@@ -1,0 +1,66 @@
+"""Experiment ABL-CONV: convergence-rate analysis of the figure curves.
+
+Not a paper artefact — a statistical validation of the whole pipeline:
+estimation theory fixes the MLE's log-log decay slope at -1/2, so the
+fitted slope on our simulator-generated curves is an end-to-end check that
+the sweep harness, the preprocessing and the simulators behave like real
+Monte-Carlo statistics.  The BMF curve's shallower slope + lower intercept
+is the quantitative form of "starts accurate, converges to MLE".
+"""
+
+import pytest
+
+from _bench_util import emit
+from repro.experiments.convergence import convergence_report
+from repro.experiments.figures import figure4_opamp, figure5_adc
+from repro.experiments.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def reports(scale):
+    fig4 = figure4_opamp(n_bank=scale.opamp_bank, n_repeats=scale.n_repeats)
+    fig5 = figure5_adc(n_bank=scale.adc_bank, n_repeats=scale.n_repeats)
+    return {
+        "opamp": convergence_report(fig4.sweep, "covariance"),
+        "adc": convergence_report(fig5.sweep, "covariance"),
+    }
+
+
+def test_convergence_rates(reports, benchmark):
+    benchmark(lambda: reports["opamp"]["fits"]["mle"].predict(64.0))
+    rows = []
+    for circuit, report in reports.items():
+        fits = report["fits"]
+        rows.append(
+            [
+                circuit,
+                fits["mle"].slope,
+                fits["mle"].r_squared,
+                fits["bmf"].slope,
+                report["bmf_floor"],
+                report.get("implied_cost_ratio_at_16", float("nan")),
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "circuit",
+                "mle_slope",
+                "mle_R2",
+                "bmf_slope",
+                "bmf_floor",
+                "implied_ratio@16",
+            ],
+            rows,
+            title=(
+                "ABL-CONV log-log decay fits "
+                "[theory: MLE slope -0.5; BMF shallower with lower floor]"
+            ),
+        )
+    )
+    for circuit, report in reports.items():
+        mle = report["fits"]["mle"]
+        assert -0.75 < mle.slope < -0.25, f"{circuit}: MLE decay off-theory"
+        assert mle.r_squared > 0.85
+        assert report["fits"]["bmf"].slope > mle.slope
+        assert report["implied_cost_ratio_at_16"] > 1.5

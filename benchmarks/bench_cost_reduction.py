@@ -1,0 +1,78 @@
+"""Experiment TXT-16X: the paper's headline cost-reduction numbers.
+
+In-text claims (Sec. 5 / abstract):
+* op-amp covariance: "more than 16x cost reduction over MLE";
+* op-amp mean: "nearly 3x cost reduction when the sample number is
+  extremely small";
+* ADC: "MLE requires more than 10x samples to achieve the same accuracy"
+  for both moments.
+
+The measured ratio at each BMF operating point is (samples MLE needs to
+match BMF's error) / (samples BMF used), log-interpolated on the MLE error
+curve; ``>range`` means MLE never caught up within the sweep.
+"""
+
+import pytest
+
+from _bench_util import emit
+from repro.experiments.cost import cost_reduction
+from repro.experiments.figures import figure4_opamp, figure5_adc
+from repro.experiments.reporting import format_cost_reduction
+
+
+@pytest.fixture(scope="module")
+def fig4(scale):
+    return figure4_opamp(n_bank=scale.opamp_bank, n_repeats=scale.n_repeats)
+
+
+@pytest.fixture(scope="module")
+def fig5(scale):
+    return figure5_adc(n_bank=scale.adc_bank, n_repeats=scale.n_repeats)
+
+
+def test_opamp_covariance_cost_reduction(fig4, benchmark):
+    """Paper: up to 16x for the op-amp covariance."""
+    reduction = benchmark(lambda: cost_reduction(fig4.sweep, "covariance"))
+    emit(
+        format_cost_reduction(
+            reduction,
+            "TXT-16X op-amp covariance cost reduction [paper: >16x]",
+        )
+    )
+    assert reduction.ratios[8] > 3.0
+
+
+def test_opamp_mean_cost_reduction(fig4, benchmark):
+    """Paper: ~3x for the op-amp mean at extremely small n."""
+    reduction = benchmark(lambda: cost_reduction(fig4.sweep, "mean"))
+    emit(
+        format_cost_reduction(
+            reduction,
+            "TXT-16X op-amp mean cost reduction [paper: ~3x at smallest n]",
+        )
+    )
+    assert reduction.ratios[8] > 1.2
+
+
+def test_adc_covariance_cost_reduction(fig5, benchmark):
+    """Paper: >10x for the ADC covariance."""
+    reduction = benchmark(lambda: cost_reduction(fig5.sweep, "covariance"))
+    emit(
+        format_cost_reduction(
+            reduction,
+            "TXT-16X flash-ADC covariance cost reduction [paper: >10x]",
+        )
+    )
+    assert reduction.ratios[8] > 5.0
+
+
+def test_adc_mean_cost_reduction(fig5, benchmark):
+    """Paper: >10x for the ADC mean."""
+    reduction = benchmark(lambda: cost_reduction(fig5.sweep, "mean"))
+    emit(
+        format_cost_reduction(
+            reduction,
+            "TXT-16X flash-ADC mean cost reduction [paper: >10x]",
+        )
+    )
+    assert reduction.ratios[8] > 2.0

@@ -1,0 +1,80 @@
+"""Experiment FIG4A/FIG4B: op-amp error-vs-samples (paper Figure 4).
+
+Paper series (Sec. 5.1): estimation error of the late-stage mean vector
+(4a) and covariance matrix (4b) as a function of the number of late-stage
+samples, for MLE and the proposed BMF, averaged over repeated runs.
+
+Paper-reported behaviour to reproduce in *shape*:
+* 4(b): BMF accurate below n=20 while MLE needs >128 samples (>=16x);
+* 4(a): BMF ~3x cheaper at the smallest sample counts, converging to MLE;
+* optimized kappa0 small (4.67 at n=32) and v0 large (557.3 at n=32).
+"""
+
+import pytest
+
+from _bench_util import emit
+from repro.experiments.figures import figure4_opamp
+from repro.experiments.reporting import format_error_series, format_hyperparams
+
+
+@pytest.fixture(scope="module")
+def fig4(scale):
+    return figure4_opamp(n_bank=scale.opamp_bank, n_repeats=scale.n_repeats)
+
+
+def test_fig4_sweep(benchmark, scale):
+    """Times the full Figure-4 experiment (dataset cached beforehand)."""
+    from repro.experiments import datasets
+
+    datasets.opamp_dataset(scale.opamp_bank)  # exclude generation from timing
+    result = benchmark.pedantic(
+        lambda: figure4_opamp(n_bank=scale.opamp_bank, n_repeats=scale.n_repeats),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.sweep.methods == ["bmf", "mle"]
+
+
+def test_fig4a_mean_error(fig4, benchmark, scale):
+    """Figure 4(a): mean-vector error series."""
+    benchmark(lambda: fig4.sweep.mean_error_curve("bmf"))
+    emit(
+        format_error_series(
+            fig4.sweep,
+            "mean",
+            f"FIG4A op-amp mean-vector error vs n ({scale.label} scale) "
+            "[paper: BMF ~3x cheaper at extremely small n]",
+        )
+    )
+    bmf = fig4.sweep.mean_error_curve("bmf")
+    mle = fig4.sweep.mean_error_curve("mle")
+    # Shape checks mirroring the paper's qualitative findings.
+    assert bmf[8] <= 1.1 * mle[8]
+    assert mle[max(mle)] < mle[8]
+
+
+def test_fig4b_cov_error(fig4, benchmark, scale):
+    """Figure 4(b): covariance-matrix error series (the 16x headline)."""
+    benchmark(lambda: fig4.sweep.cov_error_curve("bmf"))
+    emit(
+        format_error_series(
+            fig4.sweep,
+            "covariance",
+            f"FIG4B op-amp covariance error vs n ({scale.label} scale) "
+            "[paper: BMF@<20 samples ~ MLE@>128 samples]",
+        )
+    )
+    emit(
+        format_hyperparams(
+            fig4.sweep,
+            "FIG4 median CV-selected hyper-parameters "
+            "[paper at n=32: kappa0=4.67, v0=557.3]",
+        )
+    )
+    bmf = fig4.sweep.cov_error_curve("bmf")
+    mle = fig4.sweep.cov_error_curve("mle")
+    assert bmf[8] < 0.6 * mle[8]
+    assert bmf[16] < 0.7 * mle[16]
+    k0, v0 = fig4.sweep.hyperparam_medians(32)
+    assert k0 < 100.0, "paper: op-amp kappa0 is small"
+    assert v0 > 50.0, "paper: op-amp v0 is large"

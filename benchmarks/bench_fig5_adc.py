@@ -1,0 +1,78 @@
+"""Experiment FIG5A/FIG5B: flash-ADC error-vs-samples (paper Figure 5).
+
+Paper series (Sec. 5.2): late-stage mean / covariance estimation error vs
+sample count for MLE and BMF on the flash ADC (SNR, SINAD, SFDR, THD,
+power).
+
+Paper-reported behaviour to reproduce in *shape*:
+* BMF wins on BOTH mean and covariance even at n=8, with MLE needing
+  >10x the samples for the same accuracy;
+* optimized kappa0 AND v0 both large (521.9 / 558.8 at n=32) — the
+  early-stage knowledge of both moments is trustworthy for this circuit.
+"""
+
+import pytest
+
+from _bench_util import emit
+from repro.experiments.figures import figure5_adc
+from repro.experiments.reporting import format_error_series, format_hyperparams
+
+
+@pytest.fixture(scope="module")
+def fig5(scale):
+    return figure5_adc(n_bank=scale.adc_bank, n_repeats=scale.n_repeats)
+
+
+def test_fig5_sweep(benchmark, scale):
+    """Times the full Figure-5 experiment (dataset cached beforehand)."""
+    from repro.experiments import datasets
+
+    datasets.adc_dataset(scale.adc_bank)
+    result = benchmark.pedantic(
+        lambda: figure5_adc(n_bank=scale.adc_bank, n_repeats=scale.n_repeats),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.sweep.methods == ["bmf", "mle"]
+
+
+def test_fig5a_mean_error(fig5, benchmark, scale):
+    """Figure 5(a): mean-vector error series."""
+    benchmark(lambda: fig5.sweep.mean_error_curve("bmf"))
+    emit(
+        format_error_series(
+            fig5.sweep,
+            "mean",
+            f"FIG5A flash-ADC mean-vector error vs n ({scale.label} scale) "
+            "[paper: BMF@8 ~ MLE@>80 samples]",
+        )
+    )
+    bmf = fig5.sweep.mean_error_curve("bmf")
+    mle = fig5.sweep.mean_error_curve("mle")
+    assert bmf[8] < 0.75 * mle[8]
+
+
+def test_fig5b_cov_error(fig5, benchmark, scale):
+    """Figure 5(b): covariance error series."""
+    benchmark(lambda: fig5.sweep.cov_error_curve("bmf"))
+    emit(
+        format_error_series(
+            fig5.sweep,
+            "covariance",
+            f"FIG5B flash-ADC covariance error vs n ({scale.label} scale) "
+            "[paper: BMF@8 ~ MLE@>80 samples]",
+        )
+    )
+    emit(
+        format_hyperparams(
+            fig5.sweep,
+            "FIG5 median CV-selected hyper-parameters "
+            "[paper at n=32: kappa0=521.9, v0=558.8]",
+        )
+    )
+    bmf = fig5.sweep.cov_error_curve("bmf")
+    mle = fig5.sweep.cov_error_curve("mle")
+    assert bmf[8] < 0.5 * mle[8]
+    k0, v0 = fig5.sweep.hyperparam_medians(32)
+    assert k0 > 5.0, "paper: ADC kappa0 is large"
+    assert v0 > 100.0, "paper: ADC v0 is large"

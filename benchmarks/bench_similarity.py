@@ -1,0 +1,64 @@
+"""Experiment DIAG-SIM: stage-similarity diagnostics of both workloads.
+
+Not a paper artefact — the quantified version of the paper's premise
+("early-stage and late-stage performance distributions are quite similar",
+Sec. 4.1).  The report's regime predictions should agree with the CV's
+measured hyper-parameter choices: op-amp mean mismatch significant (small
+kappa0), covariances close for both circuits (large v0), ADC matched in
+both moments (both large).
+"""
+
+import pytest
+
+from _bench_util import emit
+from repro.experiments import datasets
+from repro.experiments.reporting import format_table
+from repro.experiments.similarity import stage_similarity
+
+
+@pytest.fixture(scope="module")
+def reports(scale):
+    return {
+        "opamp": stage_similarity(datasets.opamp_dataset(scale.opamp_bank)),
+        "adc": stage_similarity(datasets.adc_dataset(scale.adc_bank)),
+    }
+
+
+def test_stage_similarity(reports, benchmark, scale):
+    benchmark(lambda: reports["opamp"].expected_kappa0_regime(32))
+    rows = []
+    for circuit, report in reports.items():
+        rows.append(
+            [
+                circuit,
+                report.mean_mismatch_norm,
+                report.cov_gap,
+                report.corr_gap,
+                report.hellinger,
+                report.expected_kappa0_regime(32),
+                report.expected_v0_regime(32),
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "circuit",
+                "mean_gap",
+                "cov_gap",
+                "corr_gap",
+                "hellinger",
+                "kappa0@32",
+                "v0@32",
+            ],
+            rows,
+            title=(
+                "DIAG-SIM early/late similarity (isotropic space) "
+                "[paper regime: op-amp kappa0 small; ADC both large]"
+            ),
+        )
+    )
+    opamp, adc = reports["opamp"], reports["adc"]
+    # The cross-circuit ordering behind the paper's Sec. 5 narrative.
+    assert opamp.mean_mismatch_norm > adc.mean_mismatch_norm
+    assert adc.expected_kappa0_regime(32) in ("large", "moderate")
+    assert "recommended" in adc.recommendation(8)

@@ -1,0 +1,92 @@
+"""Multi-population fusion across process corners.
+
+Reference [7] — the univariate predecessor this paper extends — exploits
+correlation between "different circuit configurations and corners".  This
+example runs the multivariate version on five op-amp corner populations
+(TT/SS/FF/SF/FS):
+
+1. simulate paired early/late banks per corner, sharing random draws;
+2. give every corner only 8 late-stage samples;
+3. fuse three ways: MLE, independent per-corner BMF, and
+   :class:`~repro.core.multipop.MultiPopulationBMF`, which pools the
+   corners' scarce samples to estimate the common layout-induced shift;
+4. report the per-corner mean errors.
+
+Run with:  python examples/corner_fusion.py
+"""
+
+import numpy as np
+
+from repro.circuits.corners import STANDARD_CORNERS, generate_corner_datasets
+from repro.core.errors import mean_error
+from repro.core.mle import MLEstimator
+from repro.core.multipop import MultiPopulationBMF, PopulationData
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.core.prior import PriorKnowledge
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    print("simulating 5 corner populations x 400 paired op-amp dies...")
+    banks = generate_corner_datasets(STANDARD_CORNERS, n_samples=400, seed=12)
+
+    populations, exact_means, mle_errors = [], {}, {}
+    n_late = 8
+    for name, dataset in banks.items():
+        transform = ShiftScaleTransform.fit(
+            dataset.early, dataset.early_nominal, dataset.late_nominal
+        )
+        early_iso = transform.transform(dataset.early, "early")
+        late_iso = transform.transform(dataset.late, "late")
+        idx = rng.choice(late_iso.shape[0], size=n_late, replace=False)
+        subset = late_iso[idx]
+        populations.append(
+            PopulationData(
+                name=name,
+                prior=PriorKnowledge.from_samples(early_iso),
+                late_samples=subset,
+            )
+        )
+        exact_means[name] = late_iso.mean(axis=0)
+        mle = MLEstimator().estimate(subset)
+        mle_errors[name] = mean_error(mle.mean, exact_means[name])
+
+    fusion = MultiPopulationBMF(populations)
+    # Identical generators per arm: the CV fold splits are then the same,
+    # so any difference is due to pooling, not fold luck.
+    pooled = fusion.estimate_all(rng=np.random.default_rng(99))
+    independent = fusion.estimate_independent(rng=np.random.default_rng(99))
+
+    print(
+        f"\npooling selected tau = {fusion.selected_tau:g}; "
+        f"pooled shift norm = {np.linalg.norm(fusion.pooled_delta):.3f} sigma"
+    )
+    if fusion.selected_tau >= 1e5:
+        print(
+            "(the leave-corner-out score found the corners' discrepancies "
+            "NOT transferable here, so it disabled pooling — the guard that "
+            "keeps empirical Bayes honest)"
+        )
+    print(f"\nper-corner mean-vector error (Eq. 37, {n_late} late samples each):")
+    print(f"{'corner':<8} {'MLE':>10} {'BMF indep':>12} {'BMF pooled':>12}")
+    total = np.zeros(3)
+    for name in banks:
+        errs = (
+            mle_errors[name],
+            mean_error(independent[name].mean, exact_means[name]),
+            mean_error(pooled[name].mean, exact_means[name]),
+        )
+        total += errs
+        print(f"{name:<8} {errs[0]:>10.4f} {errs[1]:>12.4f} {errs[2]:>12.4f}")
+    print("-" * 46)
+    print(f"{'average':<8} {total[0]/5:>10.4f} {total[1]/5:>12.4f} {total[2]/5:>12.4f}")
+    print(
+        "\nwhen the corners share a common layout-induced shift, pooling their\n"
+        "scarce samples pins it down (the cross-population analogue of the\n"
+        "paper's early/late fusion); when they do not — as the tau selection\n"
+        "may decide above — pooled and independent fusion coincide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Circuit-simulation substrate: MNA solver, op-amp and flash-ADC workloads."""
+
+from repro.circuits.adc import ADC_METRIC_NAMES, ADCMetrics, FlashADC, FlashADCDesign
+from repro.circuits.components import (
+    GROUND,
+    Capacitor,
+    Component,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VoltageSource,
+)
+from repro.circuits.linearity import (
+    LinearityResult,
+    inl_dnl_from_histogram,
+    inl_dnl_from_levels,
+)
+from repro.circuits.corners import (
+    STANDARD_CORNERS,
+    CornerSpec,
+    generate_corner_datasets,
+)
+from repro.circuits.devices import Mosfet, MosfetGeometry, MosfetProcess, SmallSignal
+from repro.circuits.mna import ACAnalysis, ACSolution, MNAStamps
+from repro.circuits.montecarlo import (
+    PairedDataset,
+    generate_adc_dataset,
+    generate_opamp_dataset,
+)
+from repro.circuits.netlist import Netlist
+from repro.circuits.ota import (
+    OTA_METRIC_NAMES,
+    FoldedCascodeDesign,
+    FoldedCascodeOTA,
+    OTAMetrics,
+    generate_ota_dataset,
+)
+from repro.circuits.opamp import (
+    OPAMP_METRIC_NAMES,
+    OpAmpDesign,
+    OpAmpMetrics,
+    TwoStageOpAmp,
+)
+from repro.circuits.sensitivity import (
+    SensitivityResult,
+    metric_sensitivities,
+    variance_budget,
+)
+from repro.circuits.spice_io import (
+    format_value,
+    parse_netlist,
+    parse_value,
+    write_netlist,
+)
+from repro.circuits.process import GlobalVariation, ProcessSample, ProcessVariationModel
+from repro.circuits.noise import BOLTZMANN, NoiseAnalysis, NoiseResult
+from repro.circuits.transient import (
+    TransientAnalysis,
+    TransientResult,
+    sine,
+    step,
+)
+from repro.circuits.testbench import (
+    SpectralAnalyzer,
+    SpectralMetrics,
+    coherent_frequency,
+    sine_record,
+)
+
+__all__ = [
+    "ACAnalysis",
+    "BOLTZMANN",
+    "ACSolution",
+    "ADCMetrics",
+    "ADC_METRIC_NAMES",
+    "Capacitor",
+    "CornerSpec",
+    "Component",
+    "CurrentSource",
+    "FlashADC",
+    "FlashADCDesign",
+    "FoldedCascodeDesign",
+    "FoldedCascodeOTA",
+    "GROUND",
+    "GlobalVariation",
+    "Inductor",
+    "LinearityResult",
+    "MNAStamps",
+    "Mosfet",
+    "MosfetGeometry",
+    "MosfetProcess",
+    "Netlist",
+    "NoiseAnalysis",
+    "NoiseResult",
+    "OPAMP_METRIC_NAMES",
+    "OTAMetrics",
+    "OTA_METRIC_NAMES",
+    "OpAmpDesign",
+    "OpAmpMetrics",
+    "PairedDataset",
+    "ProcessSample",
+    "ProcessVariationModel",
+    "Resistor",
+    "STANDARD_CORNERS",
+    "SensitivityResult",
+    "SmallSignal",
+    "SpectralAnalyzer",
+    "SpectralMetrics",
+    "TransientAnalysis",
+    "TransientResult",
+    "TwoStageOpAmp",
+    "VCCS",
+    "VoltageSource",
+    "coherent_frequency",
+    "format_value",
+    "generate_adc_dataset",
+    "generate_corner_datasets",
+    "generate_ota_dataset",
+    "generate_opamp_dataset",
+    "inl_dnl_from_histogram",
+    "inl_dnl_from_levels",
+    "metric_sensitivities",
+    "parse_netlist",
+    "parse_value",
+    "sine",
+    "sine_record",
+    "step",
+    "variance_budget",
+    "write_netlist",
+]

@@ -1,0 +1,188 @@
+"""Small-signal circuit components for the MNA solver.
+
+The paper's experiments run schematic-level and post-layout SPICE on a
+two-stage op-amp and a flash ADC.  Our substitute substrate is a linear
+small-signal AC simulator: each component contributes stamps to the
+complex admittance system ``(G + j*omega*C) v = i`` assembled by
+:mod:`repro.circuits.mna`.  Supported elements cover everything the
+behavioural op-amp macromodel needs:
+
+* :class:`Resistor` — conductance stamp into ``G``.
+* :class:`Capacitor` — susceptance stamp into ``C``.
+* :class:`Inductor` — modelled with an auxiliary branch current (full MNA).
+* :class:`VCCS` — voltage-controlled current source (a transistor's ``gm``).
+* :class:`CurrentSource` — independent AC excitation.
+* :class:`VoltageSource` — independent AC excitation via an auxiliary row.
+
+Nodes are arbitrary hashable labels; ``GROUND`` (``"0"``) is the reference.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Tuple
+
+from repro.exceptions import NetlistError
+
+__all__ = [
+    "GROUND",
+    "Component",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VCCS",
+    "CurrentSource",
+    "VoltageSource",
+]
+
+#: Reference node label shared by every netlist.
+GROUND: Hashable = "0"
+
+
+class Component(abc.ABC):
+    """Base class for all circuit elements.
+
+    Subclasses expose the node labels they touch via :meth:`nodes` and
+    (for elements needing an extra MNA unknown) declare
+    ``needs_branch_current``.
+    """
+
+    #: True for elements that add an auxiliary branch-current unknown.
+    needs_branch_current: bool = False
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise NetlistError("component name must be non-empty")
+        self.name = str(name)
+
+    @abc.abstractmethod
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """All node labels this component connects to."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class TwoTerminal(Component):
+    """A component with a positive and a negative terminal."""
+
+    def __init__(self, name: str, pos: Hashable, neg: Hashable, value: float) -> None:
+        super().__init__(name)
+        if pos == neg:
+            raise NetlistError(f"{name}: both terminals on node {pos!r}")
+        self.pos = pos
+        self.neg = neg
+        self.value = float(value)
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        return (self.pos, self.neg)
+
+
+class Resistor(TwoTerminal):
+    """Linear resistor; ``value`` in ohms, must be positive."""
+
+    def __init__(self, name: str, pos: Hashable, neg: Hashable, resistance: float) -> None:
+        if resistance <= 0.0:
+            raise NetlistError(f"{name}: resistance must be > 0, got {resistance}")
+        super().__init__(name, pos, neg, resistance)
+
+    @property
+    def conductance(self) -> float:
+        """``1 / R`` stamped into the real admittance matrix."""
+        return 1.0 / self.value
+
+
+class Capacitor(TwoTerminal):
+    """Linear capacitor; ``value`` in farads, must be non-negative.
+
+    A zero-valued capacitor is legal (parasitic placeholders that a
+    process corner may or may not populate) and stamps nothing.
+    """
+
+    def __init__(self, name: str, pos: Hashable, neg: Hashable, capacitance: float) -> None:
+        if capacitance < 0.0:
+            raise NetlistError(f"{name}: capacitance must be >= 0, got {capacitance}")
+        # Bypass the pos==neg check relaxation: capacitors still need two nodes.
+        super().__init__(name, pos, neg, capacitance)
+
+
+class Inductor(TwoTerminal):
+    """Linear inductor; handled with an auxiliary branch current.
+
+    The branch equation is ``v_pos - v_neg - j*omega*L*i_L = 0``.
+    """
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, pos: Hashable, neg: Hashable, inductance: float) -> None:
+        if inductance <= 0.0:
+            raise NetlistError(f"{name}: inductance must be > 0, got {inductance}")
+        super().__init__(name, pos, neg, inductance)
+
+
+class VCCS(Component):
+    """Voltage-controlled current source ``i = gm * (v_cp - v_cn)``.
+
+    Current flows from ``pos`` through the source to ``neg`` (i.e. a
+    positive ``gm`` and positive control voltage pushes current *into*
+    node ``neg``), matching the SPICE ``G`` element convention.  This is
+    the MOSFET transconductance in a small-signal macromodel.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pos: Hashable,
+        neg: Hashable,
+        ctrl_pos: Hashable,
+        ctrl_neg: Hashable,
+        gm: float,
+    ) -> None:
+        super().__init__(name)
+        if pos == neg:
+            raise NetlistError(f"{name}: output terminals coincide on {pos!r}")
+        self.pos = pos
+        self.neg = neg
+        self.ctrl_pos = ctrl_pos
+        self.ctrl_neg = ctrl_neg
+        self.gm = float(gm)
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        return (self.pos, self.neg, self.ctrl_pos, self.ctrl_neg)
+
+
+class CurrentSource(Component):
+    """Independent AC current source; ``amplitude`` flows from pos to neg."""
+
+    def __init__(self, name: str, pos: Hashable, neg: Hashable, amplitude: complex = 1.0) -> None:
+        super().__init__(name)
+        if pos == neg:
+            raise NetlistError(f"{name}: both terminals on node {pos!r}")
+        self.pos = pos
+        self.neg = neg
+        self.amplitude = complex(amplitude)
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        return (self.pos, self.neg)
+
+
+class VoltageSource(Component):
+    """Independent AC voltage source with an auxiliary branch current.
+
+    Enforces ``v_pos - v_neg = amplitude``; the branch current becomes an
+    extra MNA unknown.
+    """
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, pos: Hashable, neg: Hashable, amplitude: complex = 1.0) -> None:
+        super().__init__(name)
+        if pos == neg:
+            raise NetlistError(f"{name}: both terminals on node {pos!r}")
+        self.pos = pos
+        self.neg = neg
+        self.amplitude = complex(amplitude)
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        return (self.pos, self.neg)

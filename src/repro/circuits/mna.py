@@ -1,0 +1,236 @@
+"""Modified nodal analysis (MNA) AC solver.
+
+Assembles the complex system ``(G + j*omega*C) x = b`` from a
+:class:`~repro.circuits.netlist.Netlist` and solves it over a frequency
+grid.  The unknown vector ``x`` stacks node voltages followed by auxiliary
+branch currents (voltage sources, inductors).
+
+The solver is deliberately dense: the behavioural op-amp macromodel has a
+handful of nodes, and a batched ``numpy.linalg.solve`` over the whole
+frequency grid is faster than any sparse machinery at that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.components import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VoltageSource,
+)
+from repro.circuits.netlist import Netlist
+from repro.exceptions import SimulationError
+
+__all__ = ["MNAStamps", "ACSolution", "ACAnalysis"]
+
+
+@dataclass(frozen=True)
+class MNAStamps:
+    """Frequency-independent MNA matrices for a netlist.
+
+    ``G`` collects resistive/transconductance stamps, ``C`` reactive ones,
+    and ``b`` the excitation vector; the system at angular frequency
+    ``omega`` is ``(G + 1j*omega*C) x = b``.  Inductor branch equations put
+    ``-L`` into ``C`` at their branch diagonal.
+    """
+
+    G: np.ndarray
+    C: np.ndarray
+    b: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """System dimension."""
+        return self.G.shape[0]
+
+
+class ACSolution:
+    """Node voltages over a frequency grid.
+
+    Wraps the raw ``(n_freq, size)`` solution matrix with name-based
+    access so callers never deal in matrix indices.
+    """
+
+    def __init__(
+        self,
+        freqs: np.ndarray,
+        solution: np.ndarray,
+        node_map: Dict[Hashable, int],
+        branch_map: Dict[str, int],
+    ) -> None:
+        self.freqs = freqs
+        self._solution = solution
+        self._node_map = node_map
+        self._branch_map = branch_map
+
+    def voltage(self, node: Hashable) -> np.ndarray:
+        """Complex voltage of ``node`` at every frequency (0 for ground)."""
+        if node == "0":
+            return np.zeros_like(self.freqs, dtype=complex)
+        try:
+            idx = self._node_map[node]
+        except KeyError as exc:
+            raise SimulationError(f"unknown node {node!r}") from exc
+        return self._solution[:, idx]
+
+    def branch_current(self, name: str) -> np.ndarray:
+        """Complex branch current of a voltage source / inductor."""
+        try:
+            idx = self._branch_map[name]
+        except KeyError as exc:
+            raise SimulationError(f"no branch current for component {name!r}") from exc
+        return self._solution[:, idx]
+
+    def transfer(self, out_node: Hashable, in_node: Hashable) -> np.ndarray:
+        """Voltage transfer function ``V(out) / V(in)`` over frequency."""
+        vin = self.voltage(in_node)
+        if np.any(np.abs(vin) == 0.0):
+            raise SimulationError(f"input node {in_node!r} has zero voltage")
+        return self.voltage(out_node) / vin
+
+
+class ACAnalysis:
+    """Small-signal AC analysis of a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit; validated at construction.
+
+    Notes
+    -----
+    Stamp conventions follow standard MNA texts (e.g. Vlach & Singhal):
+
+    * two-terminal admittance ``y``: ``+y`` at ``(p, p)``/``(n, n)``,
+      ``-y`` at ``(p, n)``/``(n, p)``;
+    * VCCS ``gm`` from control pair ``(cp, cn)`` into output pair
+      ``(p, n)``: ``+gm`` at ``(p, cp)``, ``-gm`` at ``(p, cn)``, ``-gm``
+      at ``(n, cp)``, ``+gm`` at ``(n, cn)``;
+    * voltage source branch ``k``: ``+1`` at ``(p, k)``/``(k, p)``, ``-1``
+      at ``(n, k)``/``(k, n)``, RHS ``b[k] = amplitude``;
+    * independent current source from ``p`` to ``n``: ``b[p] -= I``,
+      ``b[n] += I`` (current leaves ``p``, enters ``n`` externally).
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self._stamps = self._assemble()
+
+    # ------------------------------------------------------------------
+    @property
+    def stamps(self) -> MNAStamps:
+        """The assembled frequency-independent matrices."""
+        return self._stamps
+
+    def _assemble(self) -> MNAStamps:
+        net = self.netlist
+        size = net.size
+        g = np.zeros((size, size))
+        c = np.zeros((size, size))
+        b = np.zeros(size, dtype=complex)
+
+        def stamp_admittance(mat: np.ndarray, p: int, n: int, y: float) -> None:
+            if p >= 0:
+                mat[p, p] += y
+            if n >= 0:
+                mat[n, n] += y
+            if p >= 0 and n >= 0:
+                mat[p, n] -= y
+                mat[n, p] -= y
+
+        for comp in net.components:
+            if isinstance(comp, Resistor):
+                p, n = net.node_index(comp.pos), net.node_index(comp.neg)
+                stamp_admittance(g, p, n, comp.conductance)
+            elif isinstance(comp, Capacitor):
+                p, n = net.node_index(comp.pos), net.node_index(comp.neg)
+                stamp_admittance(c, p, n, comp.value)
+            elif isinstance(comp, Inductor):
+                p, n = net.node_index(comp.pos), net.node_index(comp.neg)
+                k = net.branch_index(comp.name)
+                for node, sign in ((p, 1.0), (n, -1.0)):
+                    if node >= 0:
+                        g[node, k] += sign
+                        g[k, node] += sign
+                c[k, k] -= comp.value
+            elif isinstance(comp, VCCS):
+                p, n = net.node_index(comp.pos), net.node_index(comp.neg)
+                cp, cn = net.node_index(comp.ctrl_pos), net.node_index(comp.ctrl_neg)
+                for out_node, out_sign in ((p, 1.0), (n, -1.0)):
+                    if out_node < 0:
+                        continue
+                    if cp >= 0:
+                        g[out_node, cp] += out_sign * comp.gm
+                    if cn >= 0:
+                        g[out_node, cn] -= out_sign * comp.gm
+            elif isinstance(comp, VoltageSource):
+                p, n = net.node_index(comp.pos), net.node_index(comp.neg)
+                k = net.branch_index(comp.name)
+                for node, sign in ((p, 1.0), (n, -1.0)):
+                    if node >= 0:
+                        g[node, k] += sign
+                        g[k, node] += sign
+                b[k] += comp.amplitude
+            elif isinstance(comp, CurrentSource):
+                p, n = net.node_index(comp.pos), net.node_index(comp.neg)
+                if p >= 0:
+                    b[p] -= comp.amplitude
+                if n >= 0:
+                    b[n] += comp.amplitude
+            else:  # pragma: no cover - future component types
+                raise SimulationError(f"unsupported component {type(comp).__name__}")
+        return MNAStamps(G=g, C=c, b=b)
+
+    # ------------------------------------------------------------------
+    def solve(self, freqs) -> ACSolution:
+        """Solve the AC system at every frequency in ``freqs`` (hertz).
+
+        Uses one batched dense solve over the whole grid.  Raises
+        :class:`SimulationError` when the system is singular at any
+        frequency (e.g. a floating node escaped validation).
+        """
+        f = np.atleast_1d(np.asarray(freqs, dtype=float))
+        if f.ndim != 1 or f.size == 0:
+            raise SimulationError("frequency grid must be a non-empty 1-D array")
+        if np.any(f < 0.0):
+            raise SimulationError("frequencies must be non-negative")
+        omega = 2.0 * np.pi * f
+        st = self._stamps
+        systems = st.G[None, :, :] + 1j * omega[:, None, None] * st.C[None, :, :]
+        rhs = np.broadcast_to(st.b, (f.size, st.size))
+        try:
+            solution = np.linalg.solve(systems, rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError("singular MNA system; check for floating nodes") from exc
+        if not np.all(np.isfinite(solution)):
+            raise SimulationError("non-finite AC solution")
+        node_map = {node: net_idx for node, net_idx in self._node_items()}
+        branch_map = {
+            comp.name: self.netlist.branch_index(comp.name)
+            for comp in self.netlist.components
+            if comp.needs_branch_current
+        }
+        return ACSolution(f, solution, node_map, branch_map)
+
+    def _node_items(self):
+        net = self.netlist
+        seen = set()
+        for comp in net.components:
+            for node in comp.nodes():
+                if node != "0" and node not in seen:
+                    seen.add(node)
+                    yield node, net.node_index(node)
+
+    # ------------------------------------------------------------------
+    def dc_gain(self, out_node: Hashable, in_node: Hashable) -> float:
+        """Zero-frequency transfer magnitude (one solve at f=0)."""
+        sol = self.solve(np.array([0.0]))
+        return float(np.abs(sol.transfer(out_node, in_node))[0])

@@ -1,0 +1,154 @@
+"""Monte-Carlo engine producing paired early/late metric datasets.
+
+The paper generates "5000 Monte-Carlo samples by both schematic-level and
+post-layout simulations" for the op-amp and 1000 for the ADC (Sec. 5).
+:class:`PairedDataset` is the in-memory equivalent of those sample banks:
+two aligned ``(n, d)`` metric matrices plus the two nominal vectors needed
+by the Sec. 4.1 shift-and-scale step.
+
+An optional measurement-noise model emulates the post-silicon validation
+use case, where late-stage "samples" are bench measurements with their own
+instrumentation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.adc import ADC_METRIC_NAMES, FlashADC, FlashADCDesign
+from repro.circuits.opamp import OPAMP_METRIC_NAMES, OpAmpDesign, TwoStageOpAmp
+from repro.exceptions import DimensionError, SimulationError
+
+__all__ = ["PairedDataset", "generate_opamp_dataset", "generate_adc_dataset"]
+
+
+@dataclass(frozen=True)
+class PairedDataset:
+    """Aligned early/late Monte-Carlo metric banks for one circuit.
+
+    Attributes
+    ----------
+    early, late:
+        ``(n, d)`` metric matrices; row ``i`` of both corresponds to the
+        *same die* simulated at the two stages.
+    early_nominal, late_nominal:
+        Nominal metric vectors (one variation-free run per stage).
+    metric_names:
+        Column labels.
+    """
+
+    early: np.ndarray
+    late: np.ndarray
+    early_nominal: np.ndarray
+    late_nominal: np.ndarray
+    metric_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.early.shape != self.late.shape:
+            raise DimensionError(
+                f"stage shapes differ: {self.early.shape} vs {self.late.shape}"
+            )
+        d = self.early.shape[1]
+        if self.early_nominal.shape != (d,) or self.late_nominal.shape != (d,):
+            raise DimensionError("nominal vectors must match the metric count")
+        if len(self.metric_names) != d:
+            raise DimensionError("metric_names must match the metric count")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Number of paired dies."""
+        return self.early.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Number of performance metrics ``d``."""
+        return self.early.shape[1]
+
+    def late_subset(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw ``n`` late-stage rows without replacement.
+
+        This emulates collecting only ``n`` expensive late-stage samples
+        out of the population; the paper's sweeps repeat this 100 times
+        "based on independent samples to average out random fluctuations".
+        """
+        if not 1 <= n <= self.n_samples:
+            raise SimulationError(
+                f"subset size {n} outside [1, {self.n_samples}]"
+            )
+        gen = rng if rng is not None else np.random.default_rng()
+        idx = gen.choice(self.n_samples, size=n, replace=False)
+        return self.late[idx]
+
+    def with_measurement_noise(
+        self, noise_std_rel, rng: Optional[np.random.Generator] = None
+    ) -> "PairedDataset":
+        """A copy whose late-stage bank carries instrumentation noise.
+
+        ``noise_std_rel`` is a scalar or length-``d`` vector of noise
+        standard deviations *relative to each metric's late-stage std* —
+        the post-silicon validation scenario where bench measurements are
+        themselves noisy.
+        """
+        rel = np.broadcast_to(np.asarray(noise_std_rel, dtype=float), (self.dim,))
+        if np.any(rel < 0.0):
+            raise SimulationError("noise levels must be non-negative")
+        gen = rng if rng is not None else np.random.default_rng()
+        stds = self.late.std(axis=0, ddof=0)
+        noisy = self.late + gen.standard_normal(self.late.shape) * stds * rel
+        return PairedDataset(
+            early=self.early,
+            late=noisy,
+            early_nominal=self.early_nominal,
+            late_nominal=self.late_nominal,
+            metric_names=self.metric_names,
+        )
+
+
+def generate_opamp_dataset(
+    n_samples: int = 5000,
+    seed: int = 2015,
+    design: Optional[OpAmpDesign] = None,
+) -> PairedDataset:
+    """Generate the paper's op-amp sample bank (Sec. 5.1).
+
+    Draws one process-sample list and replays it through both the
+    schematic and the post-layout simulator so rows are paired by die.
+    """
+    early_sim = TwoStageOpAmp.schematic(design)
+    late_sim = TwoStageOpAmp.post_layout(design)
+    rng = np.random.default_rng(seed)
+    samples = early_sim.process_model().sample(early_sim.devices, n_samples, rng)
+    return PairedDataset(
+        early=early_sim.simulate_batch(samples),
+        late=late_sim.simulate_batch(samples),
+        early_nominal=early_sim.simulate_nominal().as_array(),
+        late_nominal=late_sim.simulate_nominal().as_array(),
+        metric_names=OPAMP_METRIC_NAMES,
+    )
+
+
+def generate_adc_dataset(
+    n_samples: int = 1000,
+    seed: int = 2015,
+    design: Optional[FlashADCDesign] = None,
+) -> PairedDataset:
+    """Generate the paper's flash-ADC sample bank (Sec. 5.2).
+
+    Die seeds are shared between stages so each row pair is the same die.
+    """
+    early_sim = FlashADC.schematic(design)
+    late_sim = FlashADC.post_layout(design)
+    die_seeds = np.arange(n_samples, dtype=np.int64) + np.int64(seed) * 1_000_003
+    return PairedDataset(
+        early=early_sim.simulate_batch(die_seeds),
+        late=late_sim.simulate_batch(die_seeds),
+        early_nominal=early_sim.simulate_nominal().as_array(),
+        late_nominal=late_sim.simulate_nominal().as_array(),
+        metric_names=ADC_METRIC_NAMES,
+    )

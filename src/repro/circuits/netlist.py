@@ -1,0 +1,173 @@
+"""Netlist container: components plus node bookkeeping.
+
+A :class:`Netlist` owns a set of components, assigns integer indices to
+non-ground nodes and auxiliary branch currents, and validates connectivity
+before the MNA solver touches it.  The index maps are what let
+:mod:`repro.circuits.mna` assemble dense matrices directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.circuits.components import (
+    GROUND,
+    Capacitor,
+    Component,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VoltageSource,
+)
+from repro.exceptions import NetlistError
+
+__all__ = ["Netlist"]
+
+
+class Netlist:
+    """An ordered collection of components with node/branch indexing.
+
+    Components may be supplied at construction or added with :meth:`add`.
+    Node indices are assigned in first-appearance order, which makes
+    matrix layouts reproducible for tests.
+    """
+
+    def __init__(self, components: Optional[Iterable[Component]] = None, title: str = "") -> None:
+        self.title = title
+        self._components: List[Component] = []
+        self._names: Dict[str, Component] = {}
+        self._node_index: Dict[Hashable, int] = {}
+        self._branch_index: Dict[str, int] = {}
+        for comp in components or ():
+            self.add(comp)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> "Netlist":
+        """Add a component; names must be unique within the netlist."""
+        if not isinstance(component, Component):
+            raise NetlistError(f"expected a Component, got {type(component).__name__}")
+        if component.name in self._names:
+            raise NetlistError(f"duplicate component name {component.name!r}")
+        self._names[component.name] = component
+        self._components.append(component)
+        for node in component.nodes():
+            if node != GROUND and node not in self._node_index:
+                self._node_index[node] = len(self._node_index)
+        if component.needs_branch_current:
+            self._branch_index[component.name] = len(self._branch_index)
+        return self
+
+    # convenience builders -------------------------------------------------
+    def resistor(self, name: str, pos, neg, resistance: float) -> "Netlist":
+        """Add a :class:`Resistor` and return self for chaining."""
+        return self.add(Resistor(name, pos, neg, resistance))
+
+    def capacitor(self, name: str, pos, neg, capacitance: float) -> "Netlist":
+        """Add a :class:`Capacitor` and return self for chaining."""
+        return self.add(Capacitor(name, pos, neg, capacitance))
+
+    def inductor(self, name: str, pos, neg, inductance: float) -> "Netlist":
+        """Add an :class:`Inductor` and return self for chaining."""
+        return self.add(Inductor(name, pos, neg, inductance))
+
+    def vccs(self, name: str, pos, neg, ctrl_pos, ctrl_neg, gm: float) -> "Netlist":
+        """Add a :class:`VCCS` and return self for chaining."""
+        return self.add(VCCS(name, pos, neg, ctrl_pos, ctrl_neg, gm))
+
+    def current_source(self, name: str, pos, neg, amplitude: complex = 1.0) -> "Netlist":
+        """Add a :class:`CurrentSource` and return self for chaining."""
+        return self.add(CurrentSource(name, pos, neg, amplitude))
+
+    def voltage_source(self, name: str, pos, neg, amplitude: complex = 1.0) -> "Netlist":
+        """Add a :class:`VoltageSource` and return self for chaining."""
+        return self.add(VoltageSource(name, pos, neg, amplitude))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> List[Component]:
+        """Components in insertion order (read-only copy)."""
+        return list(self._components)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_index)
+
+    @property
+    def n_branches(self) -> int:
+        """Number of auxiliary branch-current unknowns."""
+        return len(self._branch_index)
+
+    @property
+    def size(self) -> int:
+        """Total MNA system dimension."""
+        return self.n_nodes + self.n_branches
+
+    def node_index(self, node: Hashable) -> int:
+        """Matrix row/column of a node; ``-1`` denotes ground."""
+        if node == GROUND:
+            return -1
+        try:
+            return self._node_index[node]
+        except KeyError as exc:
+            raise NetlistError(f"unknown node {node!r}") from exc
+
+    def branch_index(self, name: str) -> int:
+        """Matrix row/column of a component's auxiliary branch current."""
+        try:
+            return self.n_nodes + self._branch_index[name]
+        except KeyError as exc:
+            raise NetlistError(f"component {name!r} has no branch current") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __getitem__(self, name: str) -> Component:
+        try:
+            return self._names[name]
+        except KeyError as exc:
+            raise NetlistError(f"no component named {name!r}") from exc
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist(title={self.title!r}, components={len(self)}, "
+            f"nodes={self.n_nodes}, branches={self.n_branches})"
+        )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural sanity before simulation.
+
+        * at least one component references ground (otherwise the system
+          matrix is singular by construction);
+        * every node connects to at least two component terminals, except
+          VCCS control terminals which sense without loading.
+        """
+        if not self._components:
+            raise NetlistError("netlist is empty")
+        touches_ground = False
+        load_count: Dict[Hashable, int] = {node: 0 for node in self._node_index}
+        for comp in self._components:
+            conducting_nodes = comp.nodes()
+            if isinstance(comp, VCCS):
+                conducting_nodes = (comp.pos, comp.neg)
+            for node in conducting_nodes:
+                if node == GROUND:
+                    touches_ground = True
+                else:
+                    load_count[node] += 1
+        if not touches_ground:
+            raise NetlistError("no component references the ground node")
+        dangling = [node for node, count in load_count.items() if count == 0]
+        if dangling:
+            raise NetlistError(f"nodes with no conducting connection: {dangling!r}")

@@ -1,0 +1,175 @@
+"""Process variation model: global (inter-die) plus local (mismatch) components.
+
+Each Monte-Carlo sample draws one *global* variation vector shared by every
+transistor on the die (lot/wafer-level threshold and mobility shifts) and
+independent *local* deviations per transistor whose standard deviations
+follow the Pelgrom area law supplied by each device.  The same
+:class:`ProcessSample` is replayed through both the schematic-level and the
+post-layout simulator so early/late metric pairs are *correlated through
+the physics*, which is the property BMF exploits (Sec. 1: data from the two
+stages "are derived from the same circuit" and "are expected to be highly
+correlated").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.devices import Mosfet
+from repro.exceptions import SimulationError
+
+__all__ = ["GlobalVariation", "ProcessSample", "ProcessVariationModel"]
+
+
+@dataclass(frozen=True)
+class GlobalVariation:
+    """Die-level variation shared by all devices of one polarity.
+
+    Attributes
+    ----------
+    dvth_n, dvth_p:
+        Global threshold shifts for NMOS and PMOS devices (V).  Drawn with
+        a positive correlation because many underlying causes (oxide
+        thickness, gate-length bias) move both polarities together.
+    dkp_rel_n, dkp_rel_p:
+        Global relative mobility (``kp``) deviations.
+    temp_delta:
+        Die temperature deviation from nominal (K); scales mobility via
+        the usual ``T^-1.5`` law inside the simulators that opt in.
+    """
+
+    dvth_n: float
+    dvth_p: float
+    dkp_rel_n: float
+    dkp_rel_p: float
+    temp_delta: float = 0.0
+
+
+@dataclass(frozen=True)
+class ProcessSample:
+    """One die's complete variation draw.
+
+    ``local`` maps transistor instance names to their
+    ``(dvth, dkp_rel)`` local deviations (on top of the global shift).
+    """
+
+    global_variation: GlobalVariation
+    local: Dict[str, Tuple[float, float]]
+
+    def apply(self, device: Mosfet, polarity: str) -> Mosfet:
+        """Return ``device`` re-instantiated with this sample's variations."""
+        if polarity not in ("n", "p"):
+            raise SimulationError(f"polarity must be 'n' or 'p', got {polarity!r}")
+        g = self.global_variation
+        g_dvth = g.dvth_n if polarity == "n" else g.dvth_p
+        g_dkp = g.dkp_rel_n if polarity == "n" else g.dkp_rel_p
+        l_dvth, l_dkp = self.local.get(device.name, (0.0, 0.0))
+        return device.with_variation(g_dvth + l_dvth, g_dkp + l_dkp)
+
+
+class ProcessVariationModel:
+    """Sampler for :class:`ProcessSample` draws.
+
+    Parameters
+    ----------
+    sigma_vth_global:
+        Std of the global threshold shift (V), same for both polarities.
+    sigma_kp_rel_global:
+        Std of the global relative ``kp`` deviation.
+    polarity_correlation:
+        Correlation between the NMOS and PMOS global shifts (0..1).
+    sigma_temp:
+        Std of the die temperature deviation (K).
+    local_scale:
+        Multiplier on every device's Pelgrom sigmas; ``1.0`` is nominal,
+        larger values emulate a noisier process corner.
+    """
+
+    def __init__(
+        self,
+        sigma_vth_global: float = 0.015,
+        sigma_kp_rel_global: float = 0.05,
+        polarity_correlation: float = 0.6,
+        sigma_temp: float = 0.0,
+        local_scale: float = 1.0,
+    ) -> None:
+        if sigma_vth_global < 0.0 or sigma_kp_rel_global < 0.0:
+            raise SimulationError("variation sigmas must be non-negative")
+        if not -1.0 < polarity_correlation < 1.0:
+            raise SimulationError(
+                f"polarity correlation must lie in (-1, 1), got {polarity_correlation}"
+            )
+        if local_scale < 0.0:
+            raise SimulationError(f"local_scale must be >= 0, got {local_scale}")
+        self.sigma_vth_global = float(sigma_vth_global)
+        self.sigma_kp_rel_global = float(sigma_kp_rel_global)
+        self.polarity_correlation = float(polarity_correlation)
+        self.sigma_temp = float(sigma_temp)
+        self.local_scale = float(local_scale)
+
+    # ------------------------------------------------------------------
+    def _correlated_pair(
+        self, rng: np.random.Generator, sigma: float, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Two length-``n`` vectors with correlation ``polarity_correlation``."""
+        rho = self.polarity_correlation
+        z1 = rng.standard_normal(n)
+        z2 = rho * z1 + np.sqrt(1.0 - rho * rho) * rng.standard_normal(n)
+        return sigma * z1, sigma * z2
+
+    def sample(
+        self,
+        devices: Sequence[Mosfet],
+        n: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[ProcessSample]:
+        """Draw ``n`` die samples for the given device list.
+
+        Local deviations are independent across devices and dies, scaled
+        per device by its Pelgrom sigmas (so small transistors are noisier,
+        as in real silicon).
+        """
+        if n < 1:
+            raise SimulationError(f"n must be >= 1, got {n}")
+        gen = rng if rng is not None else np.random.default_rng()
+        dvth_n, dvth_p = self._correlated_pair(gen, self.sigma_vth_global, n)
+        dkp_n, dkp_p = self._correlated_pair(gen, self.sigma_kp_rel_global, n)
+        temps = (
+            gen.standard_normal(n) * self.sigma_temp
+            if self.sigma_temp > 0.0
+            else np.zeros(n)
+        )
+
+        sigmas = {dev.name: dev.mismatch_sigma() for dev in devices}
+        samples: List[ProcessSample] = []
+        for i in range(n):
+            local: Dict[str, Tuple[float, float]] = {}
+            for dev in devices:
+                s_vth, s_kp = sigmas[dev.name]
+                local[dev.name] = (
+                    float(gen.standard_normal() * s_vth * self.local_scale),
+                    float(gen.standard_normal() * s_kp * self.local_scale),
+                )
+            samples.append(
+                ProcessSample(
+                    global_variation=GlobalVariation(
+                        dvth_n=float(dvth_n[i]),
+                        dvth_p=float(dvth_p[i]),
+                        dkp_rel_n=float(dkp_n[i]),
+                        dkp_rel_p=float(dkp_p[i]),
+                        temp_delta=float(temps[i]),
+                    ),
+                    local=local,
+                )
+            )
+        return samples
+
+    def nominal_sample(self, devices: Sequence[Mosfet]) -> ProcessSample:
+        """The variation-free sample used for nominal simulations (Sec. 4.1)."""
+        return ProcessSample(
+            global_variation=GlobalVariation(0.0, 0.0, 0.0, 0.0, 0.0),
+            local={dev.name: (0.0, 0.0) for dev in devices},
+        )

@@ -1,0 +1,215 @@
+"""SPICE-flavoured netlist text format: parser and writer.
+
+Analog engineers think in netlists, not Python constructors.  This module
+reads and writes a SPICE-like card format covering every element of the
+MNA substrate, so a small-signal macromodel can live in a text file next
+to the design data:
+
+    * two-stage op-amp macromodel
+    VIN in 0 AC 1
+    GM1 x 0 in 0 1.85m
+    R1  x 0 95k
+    C1  x 0 45f
+    CC  x out 0.5p
+    GM2 out 0 x 0 9.2m
+    R2  out 0 21k
+    CL  out 0 1p
+    .END
+
+Supported cards (first letter selects the element, SPICE-style):
+
+* ``R<name> n+ n- value``           resistor
+* ``C<name> n+ n- value``           capacitor
+* ``L<name> n+ n- value``           inductor
+* ``G<name> n+ n- nc+ nc- gm``      VCCS
+* ``I<name> n+ n- [AC] value``      current source
+* ``V<name> n+ n- [AC] value``      voltage source
+
+Values accept SPICE suffixes (``f p n u m k meg g t``), case-insensitive.
+Comments start with ``*`` or ``;``; ``.END`` is optional; continuation
+lines (leading ``+``) are joined.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.circuits.components import (
+    Capacitor,
+    Component,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VoltageSource,
+)
+from repro.circuits.netlist import Netlist
+from repro.exceptions import NetlistError
+
+__all__ = ["parse_value", "format_value", "parse_netlist", "write_netlist"]
+
+#: SPICE magnitude suffixes.  ``meg`` must be matched before ``m``.
+_SUFFIXES = (
+    ("meg", 1e6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+)
+
+_VALUE_RE = re.compile(
+    r"^([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)([a-zA-Z]*)$"
+)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE value token: ``4.7k`` -> 4700.0, ``0.5p`` -> 5e-13."""
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise NetlistError(f"cannot parse value {token!r}")
+    number, suffix = match.groups()
+    value = float(number)
+    suffix = suffix.lower()
+    if not suffix:
+        return value
+    for name, scale in _SUFFIXES:
+        if suffix == name or suffix.startswith(name):
+            # SPICE ignores trailing unit letters ("1kohm", "10pF").
+            return value * scale
+    # Unknown leading letter: SPICE would silently ignore it, but silent
+    # unit errors are how tape-outs die — be strict instead.
+    raise NetlistError(f"unknown value suffix {suffix!r} in {token!r}")
+
+
+def format_value(value: float) -> str:
+    """Render a float with the largest suffix that keeps 1 <= |v| < 1000."""
+    if value == 0.0:
+        return "0"
+    for name, scale in (("t", 1e12), ("meg", 1e6), ("k", 1e3)):
+        if abs(value) >= scale:
+            return f"{value / scale:.6g}{name}"
+    if abs(value) >= 1.0:
+        return f"{value:.6g}"
+    for name, scale in (("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15)):
+        if abs(value) >= scale:
+            return f"{value / scale:.6g}{name}"
+    return f"{value:.6g}"
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Strip comments, join continuations, drop blanks and .END."""
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not lines:
+                raise NetlistError("continuation line with nothing to continue")
+            lines[-1] += " " + stripped[1:].strip()
+            continue
+        if stripped.lower() in (".end", ".ends"):
+            break
+        lines.append(stripped)
+    return lines
+
+
+def _parse_card(line: str) -> Component:
+    tokens = line.split()
+    name = tokens[0]
+    kind = name[0].upper()
+    if kind == "R":
+        if len(tokens) != 4:
+            raise NetlistError(f"{name}: resistor needs 'R n+ n- value', got {line!r}")
+        return Resistor(name, tokens[1], tokens[2], parse_value(tokens[3]))
+    if kind == "C":
+        if len(tokens) != 4:
+            raise NetlistError(f"{name}: capacitor needs 'C n+ n- value', got {line!r}")
+        return Capacitor(name, tokens[1], tokens[2], parse_value(tokens[3]))
+    if kind == "L":
+        if len(tokens) != 4:
+            raise NetlistError(f"{name}: inductor needs 'L n+ n- value', got {line!r}")
+        return Inductor(name, tokens[1], tokens[2], parse_value(tokens[3]))
+    if kind == "G":
+        if len(tokens) != 6:
+            raise NetlistError(
+                f"{name}: VCCS needs 'G n+ n- nc+ nc- gm', got {line!r}"
+            )
+        return VCCS(
+            name, tokens[1], tokens[2], tokens[3], tokens[4], parse_value(tokens[5])
+        )
+    if kind in ("V", "I"):
+        rest = tokens[3:]
+        if rest and rest[0].upper() == "AC":
+            rest = rest[1:]
+        if len(tokens) < 4 or len(rest) != 1:
+            raise NetlistError(
+                f"{name}: source needs '{kind} n+ n- [AC] value', got {line!r}"
+            )
+        amplitude = parse_value(rest[0])
+        if kind == "V":
+            return VoltageSource(name, tokens[1], tokens[2], amplitude)
+        return CurrentSource(name, tokens[1], tokens[2], amplitude)
+    raise NetlistError(f"unsupported element type {kind!r} in {line!r}")
+
+
+def parse_netlist(source: Union[str, Path], title: str = "") -> Netlist:
+    """Parse a netlist from text or a file path.
+
+    A :class:`Path` (or a string naming an existing file) is read from
+    disk; any other string is treated as the netlist text itself.
+    """
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif isinstance(source, str) and "\n" not in source and Path(source).is_file():
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    lines = _logical_lines(text)
+    if not lines:
+        raise NetlistError("netlist contains no element cards")
+    net = Netlist(title=title)
+    for line in lines:
+        net.add(_parse_card(line))
+    return net
+
+
+def write_netlist(netlist: Netlist, path: Union[str, Path, None] = None) -> str:
+    """Render a netlist back to card text (and optionally write a file)."""
+    lines: List[str] = []
+    if netlist.title:
+        lines.append(f"* {netlist.title}")
+    for comp in netlist.components:
+        if isinstance(comp, (Resistor, Capacitor, Inductor)):
+            lines.append(
+                f"{comp.name} {comp.pos} {comp.neg} {format_value(comp.value)}"
+            )
+        elif isinstance(comp, VCCS):
+            lines.append(
+                f"{comp.name} {comp.pos} {comp.neg} {comp.ctrl_pos} "
+                f"{comp.ctrl_neg} {format_value(comp.gm)}"
+            )
+        elif isinstance(comp, VoltageSource):
+            lines.append(
+                f"{comp.name} {comp.pos} {comp.neg} AC {format_value(comp.amplitude.real)}"
+            )
+        elif isinstance(comp, CurrentSource):
+            lines.append(
+                f"{comp.name} {comp.pos} {comp.neg} AC {format_value(comp.amplitude.real)}"
+            )
+        else:  # pragma: no cover - future component types
+            raise NetlistError(f"cannot serialise {type(comp).__name__}")
+    lines.append(".END")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,161 @@
+"""Dynamic ADC test bench: coherent sine test plus FFT spectral metrics.
+
+The paper's flash-ADC experiment (Sec. 5.2) measures SNR, SINAD, SFDR and
+THD — the standard dynamic metrics of IEEE Std 1241.  This module provides
+the measurement half of that experiment:
+
+* :func:`coherent_frequency` picks an input frequency so an integer, odd
+  number of cycles fits in the record (no spectral leakage, so a plain
+  rectangular window is exact);
+* :class:`SpectralAnalyzer` turns a captured output record into the four
+  metrics from its single-sided power spectrum, folding aliased harmonics
+  back into the first Nyquist zone exactly the way a bench analyzer does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "coherent_frequency",
+    "SpectralMetrics",
+    "SpectralAnalyzer",
+    "sine_record",
+]
+
+
+def coherent_frequency(n_samples: int, n_cycles: int, sample_rate: float) -> float:
+    """Input frequency for coherent sampling.
+
+    ``n_cycles`` must be odd and co-prime with ``n_samples`` so every
+    sample lands on a distinct phase of the sine — the textbook recipe for
+    exercising all ADC codes without windowing.
+    """
+    if n_samples < 8:
+        raise SimulationError(f"record too short: {n_samples}")
+    if n_cycles < 1 or n_cycles >= n_samples // 2:
+        raise SimulationError(
+            f"n_cycles must lie in [1, n_samples/2), got {n_cycles}"
+        )
+    if math.gcd(n_samples, n_cycles) != 1:
+        raise SimulationError(
+            f"n_cycles={n_cycles} shares a factor with n_samples={n_samples}"
+        )
+    return n_cycles * sample_rate / n_samples
+
+
+def sine_record(
+    n_samples: int,
+    n_cycles: int,
+    amplitude: float,
+    offset: float = 0.0,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """A coherently sampled sine record (unitless time base)."""
+    t = np.arange(n_samples)
+    return offset + amplitude * np.sin(2.0 * np.pi * n_cycles * t / n_samples + phase)
+
+
+@dataclass(frozen=True)
+class SpectralMetrics:
+    """Dynamic ADC metrics, all in dB (dBc for distortion quantities)."""
+
+    snr: float
+    sinad: float
+    sfdr: float
+    thd: float
+    enob: float
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """``(snr, sinad, sfdr, thd)`` — the paper's four dynamic metrics."""
+        return (self.snr, self.sinad, self.sfdr, self.thd)
+
+
+class SpectralAnalyzer:
+    """FFT-based dynamic metric extraction for coherent records.
+
+    Parameters
+    ----------
+    n_harmonics:
+        Number of harmonics (2nd..) treated as distortion for THD; IEEE
+        1241 commonly uses the first five.
+    """
+
+    def __init__(self, n_harmonics: int = 5) -> None:
+        if n_harmonics < 1:
+            raise SimulationError(f"n_harmonics must be >= 1, got {n_harmonics}")
+        self.n_harmonics = int(n_harmonics)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fold_bin(k: int, n: int) -> int:
+        """Alias a harmonic bin back into the first Nyquist zone."""
+        k = k % n
+        half = n // 2
+        if k > half:
+            k = n - k
+        return k
+
+    def analyze(self, record, signal_bin: int) -> SpectralMetrics:
+        """Compute the metrics of a coherently captured record.
+
+        Parameters
+        ----------
+        record:
+            Length-``n`` output record (codes or volts — metrics are
+            ratios, so units cancel).
+        signal_bin:
+            The coherent input's bin index (= ``n_cycles``).
+        """
+        x = np.asarray(record, dtype=float).ravel()
+        n = x.size
+        if n < 16:
+            raise SimulationError(f"record too short for analysis: {n}")
+        if not 0 < signal_bin < n // 2:
+            raise SimulationError(
+                f"signal bin {signal_bin} outside (0, {n // 2})"
+            )
+        spectrum = np.fft.rfft(x)
+        power = np.abs(spectrum) ** 2
+        power[0] = 0.0  # discard DC
+        n_bins = power.size
+
+        p_signal = float(power[signal_bin])
+        if p_signal <= 0.0:
+            raise SimulationError("no signal power at the coherent bin")
+
+        harmonic_bins = []
+        for h in range(2, 2 + self.n_harmonics):
+            hb = self._fold_bin(h * signal_bin, n)
+            if 0 < hb < n_bins and hb != signal_bin:
+                harmonic_bins.append(hb)
+        harmonic_bins = sorted(set(harmonic_bins))
+        p_harm = float(np.sum(power[harmonic_bins])) if harmonic_bins else 0.0
+
+        p_total = float(np.sum(power))
+        p_noise = p_total - p_signal - p_harm
+        p_noise = max(p_noise, 1e-30 * p_signal)
+        p_nad = p_total - p_signal
+        p_nad = max(p_nad, 1e-30 * p_signal)
+
+        spur_power = power.copy()
+        spur_power[signal_bin] = 0.0
+        p_spur = float(np.max(spur_power))
+        p_spur = max(p_spur, 1e-30 * p_signal)
+
+        snr = 10.0 * math.log10(p_signal / p_noise)
+        sinad = 10.0 * math.log10(p_signal / p_nad)
+        sfdr = 10.0 * math.log10(p_signal / p_spur)
+        thd = (
+            10.0 * math.log10(p_harm / p_signal)
+            if p_harm > 0.0
+            else -300.0
+        )
+        enob = (sinad - 1.76) / 6.02
+        return SpectralMetrics(snr=snr, sinad=sinad, sfdr=sfdr, thd=thd, enob=enob)

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives non-Python users (and CI jobs) direct access to the reproduction
+harness:
+
+* ``generate`` — simulate a paired Monte-Carlo bank and save it as .npz;
+* ``fuse`` — run Algorithm 1 on a saved bank with n late samples, print
+  the fused moments, optionally save the estimate as JSON;
+* ``figure4`` / ``figure5`` — regenerate a paper figure's series;
+* ``cost`` — the cost-reduction headline for a circuit;
+* ``gof`` — multivariate-normality diagnostics of a saved bank.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multivariate Bayesian model fusion for AMS moment estimation "
+            "(DAC 2015 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="simulate a paired Monte-Carlo bank")
+    gen.add_argument("circuit", choices=["opamp", "adc", "ota"])
+    gen.add_argument("output", help="output .npz path")
+    gen.add_argument("--samples", type=int, default=None, help="bank size")
+    gen.add_argument("--seed", type=int, default=2015)
+
+    fuse = sub.add_parser("fuse", help="fuse early knowledge with n late samples")
+    fuse.add_argument("dataset", help=".npz bank from 'generate'")
+    fuse.add_argument("--late-samples", type=int, default=16)
+    fuse.add_argument("--seed", type=int, default=0)
+    fuse.add_argument("--save", default=None, help="write the estimate JSON here")
+    fuse.add_argument(
+        "--kappa0", type=float, default=None, help="pin kappa0 (skip CV)"
+    )
+    fuse.add_argument("--v0", type=float, default=None, help="pin v0 (skip CV)")
+
+    for fig, circuit in (("figure4", "op-amp"), ("figure5", "flash ADC")):
+        f = sub.add_parser(fig, help=f"regenerate paper {fig} ({circuit})")
+        f.add_argument("--bank", type=int, default=None)
+        f.add_argument("--repeats", type=int, default=30)
+        f.add_argument("--csv", default=None, help="dump raw sweep errors to CSV")
+
+    cost = sub.add_parser("cost", help="cost-reduction headline")
+    cost.add_argument("circuit", choices=["opamp", "adc"])
+    cost.add_argument("--bank", type=int, default=None)
+    cost.add_argument("--repeats", type=int, default=30)
+
+    gof = sub.add_parser("gof", help="normality diagnostics of a saved bank")
+    gof.add_argument("dataset", help=".npz bank from 'generate'")
+    gof.add_argument("--stage", choices=["early", "late"], default="late")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    from repro.circuits.montecarlo import generate_adc_dataset, generate_opamp_dataset
+    from repro.io import save_dataset
+
+    if args.circuit == "opamp":
+        n = args.samples if args.samples is not None else 5000
+        dataset = generate_opamp_dataset(n_samples=n, seed=args.seed)
+    elif args.circuit == "ota":
+        from repro.circuits.ota import generate_ota_dataset
+
+        n = args.samples if args.samples is not None else 2000
+        dataset = generate_ota_dataset(n_samples=n, seed=args.seed)
+    else:
+        n = args.samples if args.samples is not None else 1000
+        dataset = generate_adc_dataset(n_samples=n, seed=args.seed)
+    save_dataset(dataset, args.output)
+    print(
+        f"wrote {dataset.n_samples} paired {args.circuit} dies "
+        f"({dataset.dim} metrics) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_fuse(args) -> int:
+    from repro.core.pipeline import BMFPipeline
+    from repro.io import load_dataset, save_estimate
+
+    dataset = load_dataset(args.dataset)
+    rng = np.random.default_rng(args.seed)
+    pipeline = BMFPipeline.fit(
+        dataset.early,
+        dataset.early_nominal,
+        dataset.late_nominal,
+        kappa0=args.kappa0,
+        v0=args.v0,
+    )
+    subset = dataset.late_subset(args.late_samples, rng)
+    result = pipeline.estimate(subset, rng=rng)
+    print(
+        f"fused {args.late_samples} late samples; "
+        f"kappa0={result.info['kappa0']:.4g}, v0={result.info['v0']:.4g}"
+    )
+    print(f"{'metric':<16} {'fused mean':>14} {'fused std':>14}")
+    stds = np.sqrt(np.diag(result.covariance))
+    for name, mean, std in zip(dataset.metric_names, result.mean, stds):
+        print(f"{name:<16} {mean:>14.6g} {std:>14.6g}")
+    if args.save:
+        estimate = result.isotropic
+        save_estimate(estimate, args.save)
+        print(f"saved isotropic-space estimate to {args.save}")
+    return 0
+
+
+def _run_figure(args, which: str) -> int:
+    from repro.experiments.cost import cost_reduction
+    from repro.experiments.figures import figure4_opamp, figure5_adc
+    from repro.experiments.reporting import (
+        format_cost_reduction,
+        format_error_series,
+        format_hyperparams,
+    )
+
+    if which == "figure4":
+        bank = args.bank if args.bank is not None else 2000
+        fig = figure4_opamp(n_bank=bank, n_repeats=args.repeats)
+        title = "op-amp (paper Figure 4)"
+    else:
+        bank = args.bank if args.bank is not None else 800
+        fig = figure5_adc(n_bank=bank, n_repeats=args.repeats)
+        title = "flash ADC (paper Figure 5)"
+    print(format_error_series(fig.sweep, "mean", f"{title} — mean error"))
+    print()
+    print(format_error_series(fig.sweep, "covariance", f"{title} — covariance error"))
+    print()
+    print(format_hyperparams(fig.sweep, f"{title} — selected hyper-parameters"))
+    print()
+    print(
+        format_cost_reduction(
+            cost_reduction(fig.sweep, "covariance"), f"{title} — covariance cost"
+        )
+    )
+    if getattr(args, "csv", None):
+        from repro.io import sweep_to_csv
+
+        sweep_to_csv(fig.sweep, args.csv)
+        print(f"\nraw sweep errors written to {args.csv}")
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    from repro.experiments.cost import cost_reduction
+    from repro.experiments.figures import figure4_opamp, figure5_adc
+    from repro.experiments.reporting import format_cost_reduction
+
+    if args.circuit == "opamp":
+        bank = args.bank if args.bank is not None else 2000
+        fig = figure4_opamp(n_bank=bank, n_repeats=args.repeats)
+    else:
+        bank = args.bank if args.bank is not None else 800
+        fig = figure5_adc(n_bank=bank, n_repeats=args.repeats)
+    for metric in ("covariance", "mean"):
+        print(
+            format_cost_reduction(
+                cost_reduction(fig.sweep, metric),
+                f"{args.circuit} {metric} cost reduction",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_gof(args) -> int:
+    from repro.io import load_dataset
+    from repro.stats.gof import henze_zirkler, mardia_kurtosis, mardia_skewness
+
+    dataset = load_dataset(args.dataset)
+    samples = dataset.early if args.stage == "early" else dataset.late
+    print(f"normality diagnostics on the {args.stage} stage ({samples.shape[0]} rows):")
+    for test in (mardia_skewness, mardia_kurtosis, henze_zirkler):
+        result = test(samples)
+        verdict = "REJECT" if result.reject_normality else "accept"
+        print(
+            f"  {result.name:<18} stat {result.statistic:>10.3f}  "
+            f"p {result.p_value:>8.4f}  -> {verdict} normality at {result.alpha}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "fuse": _cmd_fuse,
+        "figure4": lambda a: _run_figure(a, "figure4"),
+        "figure5": lambda a: _run_figure(a, "figure5"),
+        "cost": _cmd_cost,
+        "gof": _cmd_gof,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

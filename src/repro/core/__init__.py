@@ -1,0 +1,59 @@
+"""Core contribution: multivariate BMF moment estimation (Algorithm 1)."""
+
+from repro.core.bmf import BMFEstimator, map_moments
+from repro.core.confidence import (
+    CredibleSummary,
+    mean_credible_region,
+    mean_region_contains,
+    posterior_credible_summary,
+)
+from repro.core.bmf_bd import BernoulliBMF, BetaPrior
+from repro.core.crossval import CrossValidationResult, TwoDimensionalCV, make_folds
+from repro.core.evidence import EvidenceResult, EvidenceSelector, log_evidence
+from repro.core.errors import (
+    EstimationError,
+    covariance_error,
+    estimation_error,
+    mean_error,
+)
+from repro.core.estimators import MomentEstimate, MomentEstimator
+from repro.core.hypergrid import HyperParameterGrid
+from repro.core.mle import MLEstimator
+from repro.core.multipop import MultiPopulationBMF, PopulationData
+from repro.core.pipeline import BMFPipeline, PipelineResult
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.core.prior import PriorKnowledge
+from repro.core.univariate_bmf import NormalGammaPrior, UnivariateBMF
+
+__all__ = [
+    "BMFEstimator",
+    "BMFPipeline",
+    "BernoulliBMF",
+    "BetaPrior",
+    "CredibleSummary",
+    "CrossValidationResult",
+    "EstimationError",
+    "EvidenceResult",
+    "EvidenceSelector",
+    "HyperParameterGrid",
+    "MLEstimator",
+    "MomentEstimate",
+    "MomentEstimator",
+    "MultiPopulationBMF",
+    "NormalGammaPrior",
+    "PipelineResult",
+    "PopulationData",
+    "PriorKnowledge",
+    "ShiftScaleTransform",
+    "TwoDimensionalCV",
+    "UnivariateBMF",
+    "covariance_error",
+    "estimation_error",
+    "log_evidence",
+    "make_folds",
+    "map_moments",
+    "mean_credible_region",
+    "mean_region_contains",
+    "mean_error",
+    "posterior_credible_summary",
+]

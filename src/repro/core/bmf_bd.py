@@ -1,0 +1,123 @@
+"""BMF-BD: Bayesian model fusion on Bernoulli distribution (reference [5]).
+
+Fang et al. (DAC 2014) fuse an early-stage *yield* (pass probability) into
+a late-stage yield estimate when observations are binary pass/fail.  The
+Bernoulli likelihood's conjugate prior is the Beta distribution; anchoring
+its mode at the early-stage yield mirrors the moment-matching of the main
+paper.
+
+Included because the paper's Sec. 2 positions it as prior art and because
+the yield-estimation example (:mod:`examples.yield_estimation`) compares
+moment-based parametric yield against this direct pass/fail fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import HyperParameterError, InsufficientDataError
+
+__all__ = ["BetaPrior", "BernoulliBMF"]
+
+
+@dataclass(frozen=True)
+class BetaPrior:
+    """Beta(a, b) prior over a pass probability."""
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.a <= 0.0 or self.b <= 0.0:
+            raise HyperParameterError(
+                f"Beta parameters must be > 0, got a={self.a}, b={self.b}"
+            )
+
+    @classmethod
+    def from_early_yield(cls, yield_e: float, strength: float) -> "BetaPrior":
+        """Prior whose mode is the early-stage yield.
+
+        ``strength`` is the equivalent prior sample count (``a + b - 2``);
+        larger values express more confidence in the early-stage yield.
+        """
+        if not 0.0 < yield_e < 1.0:
+            raise HyperParameterError(
+                f"early yield must lie strictly in (0, 1), got {yield_e}"
+            )
+        if strength <= 0.0:
+            raise HyperParameterError(f"strength must be > 0, got {strength}")
+        return cls(a=1.0 + strength * yield_e, b=1.0 + strength * (1.0 - yield_e))
+
+    @property
+    def mode(self) -> Optional[float]:
+        """Mode ``(a - 1)/(a + b - 2)`` when defined (a, b > 1)."""
+        if self.a <= 1.0 or self.b <= 1.0:
+            return None
+        return (self.a - 1.0) / (self.a + self.b - 2.0)
+
+    @property
+    def mean(self) -> float:
+        """Mean ``a / (a + b)``."""
+        return self.a / (self.a + self.b)
+
+    def posterior(self, passes: int, fails: int) -> "BetaPrior":
+        """Conjugate update with observed pass/fail counts."""
+        if passes < 0 or fails < 0:
+            raise ValueError("counts must be non-negative")
+        return BetaPrior(a=self.a + passes, b=self.b + fails)
+
+    def credible_interval(self, level: float = 0.95) -> Tuple[float, float]:
+        """Equal-tailed credible interval for the pass probability."""
+        from scipy import stats as sps
+
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must lie in (0, 1), got {level}")
+        tail = (1.0 - level) / 2.0
+        return (
+            float(sps.beta.ppf(tail, self.a, self.b)),
+            float(sps.beta.ppf(1.0 - tail, self.a, self.b)),
+        )
+
+
+class BernoulliBMF:
+    """Late-stage yield estimation by Beta-Bernoulli fusion.
+
+    Parameters
+    ----------
+    yield_e:
+        Early-stage yield estimate (from abundant early samples).
+    strength:
+        Equivalent prior sample count encoding credibility of ``yield_e``.
+    """
+
+    def __init__(self, yield_e: float, strength: float = 20.0) -> None:
+        self.prior = BetaPrior.from_early_yield(yield_e, strength)
+
+    def estimate(self, outcomes) -> float:
+        """MAP yield after fusing binary late-stage outcomes.
+
+        ``outcomes`` is an array-like of booleans/0-1 values (pass=1).
+        """
+        arr = np.atleast_1d(np.asarray(outcomes)).ravel()
+        if arr.size == 0:
+            raise InsufficientDataError("need at least one late-stage outcome")
+        values = arr.astype(float)
+        if np.any((values != 0.0) & (values != 1.0)):
+            raise ValueError("outcomes must be binary (0/1 or booleans)")
+        passes = int(values.sum())
+        posterior = self.prior.posterior(passes, arr.size - passes)
+        mode = posterior.mode
+        # Posterior of a proper fused prior always has a, b > 1, but guard
+        # for degenerate user-supplied priors.
+        return mode if mode is not None else posterior.mean
+
+    def estimate_with_interval(self, outcomes, level: float = 0.95):
+        """MAP yield plus an equal-tailed credible interval."""
+        arr = np.atleast_1d(np.asarray(outcomes)).ravel().astype(float)
+        passes = int(arr.sum())
+        posterior = self.prior.posterior(passes, arr.size - passes)
+        point = posterior.mode if posterior.mode is not None else posterior.mean
+        return point, posterior.credible_interval(level)

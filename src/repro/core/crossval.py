@@ -1,0 +1,203 @@
+"""Two-dimensional Q-fold cross validation for ``(kappa0, v0)`` (Sec. 4.2).
+
+For every candidate pair on a :class:`~repro.core.hypergrid.HyperParameterGrid`
+the late-stage samples are split into ``Q`` folds; each fold in turn is held
+out, the MAP moments (Eq. 31–32) are computed from the remaining folds, and
+the held-out fold is scored with the Gaussian log-likelihood (Eq. 9).  The
+pair maximising the average held-out log-likelihood wins — "larger
+likelihood function value indicates more accurate estimation" (Sec. 4.2).
+
+Implementation notes
+--------------------
+The fold statistics (mean, scatter) are computed once per fold and reused
+across all grid candidates, so a full search costs
+``O(Q * (n d^2 + d^3) + Q * |grid| * d^3)`` instead of re-touching the data
+``|grid|`` times.  For the paper's ``d = 5`` this makes the entire
+two-dimensional search sub-millisecond per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hypergrid import HyperParameterGrid
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import InsufficientDataError, NotSPDError
+from repro.linalg.validation import as_samples, clip_eigenvalues
+from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+__all__ = ["CrossValidationResult", "TwoDimensionalCV", "make_folds"]
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Winner of the two-dimensional search plus the full score surface.
+
+    ``scores[i, j]`` is the average held-out log-likelihood for
+    ``kappa0_values[i]`` and ``v0_values[j]`` — exactly the landscape the
+    paper sketches in Fig. 2(a).
+    """
+
+    kappa0: float
+    v0: float
+    best_score: float
+    kappa0_values: np.ndarray
+    v0_values: np.ndarray
+    scores: np.ndarray
+    n_folds: int
+
+    def score_at(self, kappa0: float, v0: float) -> float:
+        """Score of a specific grid candidate (must be on the grid)."""
+        i = int(np.argmin(np.abs(self.kappa0_values - kappa0)))
+        j = int(np.argmin(np.abs(self.v0_values - v0)))
+        return float(self.scores[i, j])
+
+
+def make_folds(
+    n: int, n_folds: int, rng: Optional[np.random.Generator] = None
+) -> List[np.ndarray]:
+    """Partition ``range(n)`` into ``n_folds`` near-equal random folds.
+
+    Matches Fig. 2(b): each sample appears in exactly one testing fold.
+    Deterministic given ``rng``; with ``rng=None`` the split is still
+    randomised (fresh generator) to avoid systematic ordering bias when
+    samples arrive sorted.
+    """
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    if n < n_folds:
+        raise InsufficientDataError(
+            f"cannot split {n} samples into {n_folds} folds"
+        )
+    gen = rng if rng is not None else np.random.default_rng()
+    perm = gen.permutation(n)
+    return [np.sort(part) for part in np.array_split(perm, n_folds)]
+
+
+class TwoDimensionalCV:
+    """Grid-search cross validator for the BMF hyper-parameters.
+
+    Parameters
+    ----------
+    prior:
+        Early-stage knowledge used by every candidate's MAP estimate.
+    grid:
+        Candidate ``(kappa0, v0)`` combinations.
+    n_folds:
+        Requested ``Q``; automatically reduced to ``n`` when fewer samples
+        than folds are supplied (leave-one-out at the extreme).
+    """
+
+    def __init__(
+        self,
+        prior: PriorKnowledge,
+        grid: Optional[HyperParameterGrid] = None,
+        n_folds: int = 4,
+    ) -> None:
+        self.prior = prior
+        self.grid = grid if grid is not None else HyperParameterGrid.paper_default(prior.dim)
+        if self.grid.dim != prior.dim:
+            raise InsufficientDataError(
+                f"grid dim {self.grid.dim} does not match prior dim {prior.dim}"
+            )
+        if n_folds < 2:
+            raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+        self.n_folds = int(n_folds)
+
+    # ------------------------------------------------------------------
+    def select(
+        self, samples, rng: Optional[np.random.Generator] = None
+    ) -> CrossValidationResult:
+        """Run the full two-dimensional search and return the winner."""
+        data = as_samples(samples)
+        n, d = data.shape
+        if d != self.prior.dim:
+            raise InsufficientDataError(
+                f"samples have {d} metrics but prior has {self.prior.dim}"
+            )
+        if n < 2:
+            raise InsufficientDataError("cross validation needs at least 2 samples")
+        q = min(self.n_folds, n)
+        folds = make_folds(n, q, rng)
+        fold_stats = [self._train_test_stats(data, fold) for fold in folds]
+
+        kappas = self.grid.kappa0_values
+        vs = self.grid.v0_values
+        scores = np.full((kappas.size, vs.size), -np.inf)
+        for i, kappa0 in enumerate(kappas):
+            for j, v0 in enumerate(vs):
+                scores[i, j] = self._score_candidate(fold_stats, float(kappa0), float(v0))
+
+        best_flat = int(np.argmax(scores))
+        bi, bj = np.unravel_index(best_flat, scores.shape)
+        return CrossValidationResult(
+            kappa0=float(kappas[bi]),
+            v0=float(vs[bj]),
+            best_score=float(scores[bi, bj]),
+            kappa0_values=kappas.copy(),
+            v0_values=vs.copy(),
+            scores=scores,
+            n_folds=q,
+        )
+
+    # ------------------------------------------------------------------
+    def _train_test_stats(
+        self, data: np.ndarray, test_idx: np.ndarray
+    ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-fold sufficient statistics reused by every grid candidate.
+
+        Returns ``(n_train, xbar_train, scatter_train, test_rows)``.
+        """
+        n = data.shape[0]
+        mask = np.ones(n, dtype=bool)
+        mask[test_idx] = False
+        train = data[mask]
+        test = data[~mask]
+        n_train = train.shape[0]
+        if n_train == 0:
+            raise InsufficientDataError("a training fold is empty; reduce n_folds")
+        xbar = train.mean(axis=0)
+        centered = train - xbar
+        scatter = centered.T @ centered
+        scatter = (scatter + scatter.T) / 2.0
+        return n_train, xbar, scatter, test
+
+    def _score_candidate(
+        self,
+        fold_stats: Sequence[Tuple[int, np.ndarray, np.ndarray, np.ndarray]],
+        kappa0: float,
+        v0: float,
+    ) -> float:
+        """Average held-out log-likelihood of one ``(kappa0, v0)`` pair."""
+        d = self.prior.dim
+        mu_e = self.prior.mean
+        sigma_e = self.prior.covariance
+        total = 0.0
+        for n_train, xbar, scatter, test in fold_stats:
+            diff = mu_e - xbar
+            mu_map = (kappa0 * mu_e + n_train * xbar) / (kappa0 + n_train)
+            numerator = (
+                (v0 - d) * sigma_e
+                + scatter
+                + (kappa0 * n_train / (kappa0 + n_train)) * np.outer(diff, diff)
+            )
+            sigma_map = numerator / (v0 + n_train - d)
+            sigma_map = (sigma_map + sigma_map.T) / 2.0
+            try:
+                gaussian = MultivariateGaussian(mu_map, sigma_map)
+            except NotSPDError:
+                # Degenerate candidate (v0 -> d with a rank-deficient
+                # scatter): repair once, and if still singular score it out.
+                try:
+                    gaussian = MultivariateGaussian(
+                        mu_map, clip_eigenvalues(sigma_map, 1e-10)
+                    )
+                except NotSPDError:
+                    return -np.inf
+            # Average per-sample log-likelihood keeps folds of slightly
+            # different sizes comparable.
+            total += gaussian.loglik(test) / test.shape[0]
+        return total / len(fold_stats)

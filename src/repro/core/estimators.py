@@ -1,0 +1,98 @@
+"""Common estimator API for multivariate moment estimation.
+
+Every estimator in :mod:`repro.core` — MLE (the paper's baseline, Eq.
+10–11), the proposed multivariate BMF (Eq. 31–32), and the shrinkage
+baselines wrapped from :mod:`repro.linalg.shrinkage` — consumes an
+``(n, d)`` late-stage sample matrix and produces a :class:`MomentEstimate`.
+A shared interface keeps the experiment sweeps (:mod:`repro.experiments`)
+estimator-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.linalg.validation import as_samples, assert_spd
+from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+__all__ = ["MomentEstimate", "MomentEstimator"]
+
+
+@dataclass(frozen=True)
+class MomentEstimate:
+    """Estimated first two moments of the late-stage metric distribution.
+
+    Attributes
+    ----------
+    mean:
+        Estimated mean vector, length ``d``.
+    covariance:
+        Estimated ``(d, d)`` SPD covariance matrix.
+    n_samples:
+        Number of late-stage samples the estimate consumed.
+    method:
+        Human-readable estimator name (``"mle"``, ``"bmf"``...).
+    info:
+        Estimator-specific extras, e.g. the selected hyper-parameters
+        ``{"kappa0": ..., "v0": ...}`` for BMF.
+    """
+
+    mean: np.ndarray
+    covariance: np.ndarray
+    n_samples: int
+    method: str
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dim(self) -> int:
+        """Number of performance metrics ``d``."""
+        return self.mean.shape[0]
+
+    def validate(self) -> "MomentEstimate":
+        """Check shape consistency and SPD-ness of the covariance."""
+        if self.mean.ndim != 1:
+            raise DimensionError("estimate mean must be 1-D")
+        if self.covariance.shape != (self.dim, self.dim):
+            raise DimensionError(
+                f"estimate covariance shape {self.covariance.shape} "
+                f"does not match mean dim {self.dim}"
+            )
+        assert_spd(self.covariance, "estimated covariance")
+        return self
+
+    def to_gaussian(self) -> MultivariateGaussian:
+        """The plug-in Gaussian ``N(mean, covariance)`` for this estimate."""
+        return MultivariateGaussian(self.mean, self.covariance)
+
+    def loglik(self, x) -> float:
+        """Gaussian log-likelihood of data ``x`` under this estimate (Eq. 9)."""
+        return self.to_gaussian().loglik(x)
+
+
+class MomentEstimator(abc.ABC):
+    """Abstract base class for multivariate moment estimators."""
+
+    #: Short name reported in :attr:`MomentEstimate.method`.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def estimate(
+        self, samples, rng: Optional[np.random.Generator] = None
+    ) -> MomentEstimate:
+        """Estimate the late-stage moments from ``(n, d)`` samples.
+
+        ``rng`` is accepted by all estimators so stochastic ones (e.g. BMF
+        with randomised cross-validation folds) are reproducible; purely
+        deterministic estimators ignore it.
+        """
+
+    def _check(self, samples) -> np.ndarray:
+        return as_samples(samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

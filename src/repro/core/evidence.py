@@ -1,0 +1,110 @@
+"""Evidence-based hyper-parameter selection (empirical Bayes).
+
+The paper selects ``(kappa0, v0)`` by two-dimensional Q-fold cross
+validation (Sec. 4.2).  The conjugate structure offers a cheaper,
+fold-free alternative this module implements: maximise the **marginal
+likelihood** (evidence) of the late-stage samples,
+
+    log p(D | kappa0, v0) = log Z_n - log Z_0 - (n d / 2) log(2 pi),
+
+where ``Z_0``/``Z_n`` are the normal-Wishart normalisers (Eq. 13) of the
+prior and its conjugate posterior.  The identity is exact (it is verified
+pointwise against Bayes' theorem by the property suite), so the evidence
+costs one posterior update per grid candidate — no folds, no fold-split
+randomness, and it uses every sample for both "training" and scoring in
+the Bayesian-correct way.
+
+Trade-off versus the paper's CV: the evidence integrates over the prior's
+own uncertainty, so a *misspecified* prior (exactly the situation the CV's
+held-out scoring is designed to catch) can be over-trusted at very small
+``n``.  The ablation benchmark measures this on the circuit workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hypergrid import HyperParameterGrid
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import InsufficientDataError
+from repro.linalg.validation import as_samples
+
+__all__ = ["log_evidence", "EvidenceResult", "EvidenceSelector"]
+
+
+def log_evidence(prior: PriorKnowledge, samples, kappa0: float, v0: float) -> float:
+    """Closed-form marginal likelihood of ``samples`` under one prior setting."""
+    data = as_samples(samples)
+    n, d = data.shape
+    if d != prior.dim:
+        raise InsufficientDataError(
+            f"samples have {d} metrics but prior has {prior.dim}"
+        )
+    nw_prior = prior.to_normal_wishart(kappa0, v0)
+    nw_post = nw_prior.posterior(data)
+    return (
+        nw_post.log_normalizer()
+        - nw_prior.log_normalizer()
+        - n * d / 2.0 * math.log(2.0 * math.pi)
+    )
+
+
+@dataclass(frozen=True)
+class EvidenceResult:
+    """Winner of the evidence search plus the full score surface."""
+
+    kappa0: float
+    v0: float
+    best_log_evidence: float
+    kappa0_values: np.ndarray
+    v0_values: np.ndarray
+    scores: np.ndarray
+
+
+class EvidenceSelector:
+    """Grid search maximising the marginal likelihood.
+
+    Drop-in alternative to
+    :class:`~repro.core.crossval.TwoDimensionalCV`: same grid, same
+    ``select`` signature (the ``rng`` argument is accepted but unused —
+    the evidence is deterministic).
+    """
+
+    def __init__(
+        self,
+        prior: PriorKnowledge,
+        grid: Optional[HyperParameterGrid] = None,
+    ) -> None:
+        self.prior = prior
+        self.grid = grid if grid is not None else HyperParameterGrid.paper_default(prior.dim)
+        if self.grid.dim != prior.dim:
+            raise InsufficientDataError(
+                f"grid dim {self.grid.dim} does not match prior dim {prior.dim}"
+            )
+
+    def select(
+        self, samples, rng: Optional[np.random.Generator] = None
+    ) -> EvidenceResult:
+        """Score every grid candidate and return the evidence maximiser."""
+        data = as_samples(samples)
+        if data.shape[0] < 2:
+            raise InsufficientDataError("evidence selection needs at least 2 samples")
+        kappas = self.grid.kappa0_values
+        vs = self.grid.v0_values
+        scores = np.full((kappas.size, vs.size), -np.inf)
+        for i, kappa0 in enumerate(kappas):
+            for j, v0 in enumerate(vs):
+                scores[i, j] = log_evidence(self.prior, data, float(kappa0), float(v0))
+        bi, bj = np.unravel_index(int(np.argmax(scores)), scores.shape)
+        return EvidenceResult(
+            kappa0=float(kappas[bi]),
+            v0=float(vs[bj]),
+            best_log_evidence=float(scores[bi, bj]),
+            kappa0_values=kappas.copy(),
+            v0_values=vs.copy(),
+            scores=scores,
+        )

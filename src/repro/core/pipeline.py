@@ -1,0 +1,144 @@
+"""End-to-end BMF pipeline: Algorithm 1 plus the Sec. 4.1 preprocessing.
+
+This is the one-call public API a circuit team would use:
+
+>>> pipeline = BMFPipeline.fit(
+...     early_samples, early_nominal, late_nominal)   # doctest: +SKIP
+>>> result = pipeline.estimate(late_samples)          # doctest: +SKIP
+>>> result.mean, result.covariance                    # physical units
+
+Internally it (1) fits the shift-and-scale transform from the early-stage
+data and the two nominal simulations, (2) measures the early-stage prior
+moments in the isotropic space, (3) selects ``(kappa0, v0)`` by
+two-dimensional cross validation on the transformed late samples, (4)
+computes the MAP moments (Eq. 31–32), and (5) maps them back to physical
+units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.bmf import BMFEstimator
+from repro.core.estimators import MomentEstimate
+from repro.core.hypergrid import HyperParameterGrid
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError
+
+__all__ = ["PipelineResult", "BMFPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Fused late-stage moments in both physical and isotropic spaces."""
+
+    #: MAP mean in physical units.
+    mean: np.ndarray
+    #: MAP covariance in physical units.
+    covariance: np.ndarray
+    #: The isotropic-space estimate (the space of Eq. 37–38).
+    isotropic: MomentEstimate
+    #: Selected hyper-parameters and diagnostics.
+    info: Dict[str, float]
+
+
+class BMFPipeline:
+    """Fitted preprocessing + prior; reusable across late-stage datasets.
+
+    Construct with :meth:`fit`; then call :meth:`estimate` for each batch
+    of late-stage samples (e.g. per die, per corner).
+    """
+
+    def __init__(
+        self,
+        transform: ShiftScaleTransform,
+        prior: PriorKnowledge,
+        grid: Optional[HyperParameterGrid] = None,
+        n_folds: int = 4,
+        kappa0: Optional[float] = None,
+        v0: Optional[float] = None,
+    ) -> None:
+        if transform.dim != prior.dim:
+            raise DimensionError(
+                f"transform dim {transform.dim} != prior dim {prior.dim}"
+            )
+        self.transform = transform
+        self.prior = prior
+        self.grid = grid
+        self.n_folds = n_folds
+        self.kappa0 = kappa0
+        self.v0 = v0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        early_samples,
+        early_nominal,
+        late_nominal,
+        grid: Optional[HyperParameterGrid] = None,
+        n_folds: int = 4,
+        kappa0: Optional[float] = None,
+        v0: Optional[float] = None,
+    ) -> "BMFPipeline":
+        """Fit preprocessing and prior from early-stage data.
+
+        Parameters mirror :class:`~repro.core.bmf.BMFEstimator`; ``kappa0``
+        / ``v0`` pin the hyper-parameters (ablation mode) and otherwise
+        cross validation selects them per late-stage dataset.
+        """
+        transform = ShiftScaleTransform.fit(early_samples, early_nominal, late_nominal)
+        early_iso = transform.transform(early_samples, stage="early")
+        prior = PriorKnowledge.from_samples(early_iso)
+        return cls(
+            transform=transform,
+            prior=prior,
+            grid=grid,
+            n_folds=n_folds,
+            kappa0=kappa0,
+            v0=v0,
+        )
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self, late_samples, rng: Optional[np.random.Generator] = None
+    ) -> PipelineResult:
+        """Fuse prior knowledge with late-stage samples (Algorithm 1)."""
+        late_iso = self.transform.transform(late_samples, stage="late")
+        estimator = BMFEstimator(
+            self.prior,
+            kappa0=self.kappa0,
+            v0=self.v0,
+            grid=self.grid,
+            n_folds=self.n_folds,
+        )
+        iso_estimate = estimator.estimate(late_iso, rng=rng)
+        mean_phys, cov_phys = self.transform.inverse_transform_moments(
+            iso_estimate.mean, iso_estimate.covariance, stage="late"
+        )
+        return PipelineResult(
+            mean=mean_phys,
+            covariance=cov_phys,
+            isotropic=iso_estimate,
+            info=dict(iso_estimate.info),
+        )
+
+    def estimate_mle(self, late_samples) -> PipelineResult:
+        """Baseline MLE through the same preprocessing, for fair comparison."""
+        from repro.core.mle import MLEstimator
+
+        late_iso = self.transform.transform(late_samples, stage="late")
+        iso_estimate = MLEstimator().estimate(late_iso)
+        mean_phys, cov_phys = self.transform.inverse_transform_moments(
+            iso_estimate.mean, iso_estimate.covariance, stage="late"
+        )
+        return PipelineResult(
+            mean=mean_phys,
+            covariance=cov_phys,
+            isotropic=iso_estimate,
+            info=dict(iso_estimate.info),
+        )

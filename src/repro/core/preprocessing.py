@@ -1,0 +1,165 @@
+"""Performance shift and scaling (Sec. 4.1, Fig. 1).
+
+Early- and late-stage distributions share a *shape* but not a *location*:
+post-layout parasitics shift nominal gain, bandwidth, power...  Directly
+fusing raw data would let the location mismatch corrupt the covariance
+estimate (the rank-one term of Eq. 32 blows up).  The paper's remedy:
+
+1. **Shift** each stage by its own nominal performance vector
+   ``P_{E,NOM}`` / ``P_{L,NOM}`` (one nominal simulation per stage).
+2. **Scale** both stages by the early-stage per-dimension standard
+   deviation, making the clouds origin-centred and "isotropic" so metrics
+   spanning seven orders of magnitude (gain vs. power) contribute equally
+   to the error norms of Eq. (37)–(38).
+
+:class:`ShiftScaleTransform` is fitted once from early-stage data plus the
+two nominal vectors and then applied to either stage; it is invertible so
+fused moments can be reported back in physical units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError, InsufficientDataError, NotFittedError
+from repro.linalg.validation import as_samples, symmetrize
+
+__all__ = ["ShiftScaleTransform"]
+
+
+@dataclass
+class ShiftScaleTransform:
+    """Invertible per-stage shift and common scale for metric matrices.
+
+    Parameters
+    ----------
+    early_nominal, late_nominal:
+        Nominal performance vectors ``P_{E,NOM}``, ``P_{L,NOM}`` measured by
+        one nominal (variation-free) simulation per stage.
+    scale:
+        Per-dimension scale; by convention the early-stage standard
+        deviation.  Use :meth:`fit` to compute it from data.
+    """
+
+    early_nominal: Optional[np.ndarray] = None
+    late_nominal: Optional[np.ndarray] = None
+    scale: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        early_samples,
+        early_nominal,
+        late_nominal,
+    ) -> "ShiftScaleTransform":
+        """Fit the transform: nominal shifts plus early-stage std scaling.
+
+        Only early-stage *distribution* data is needed — the whole point is
+        that late-stage samples are scarce, so the scale must come from the
+        abundant stage (Sec. 4.1: "scale both stages' data by the standard
+        deviation of early-stage in each dimension").
+        """
+        early = as_samples(early_samples)
+        e_nom = np.atleast_1d(np.asarray(early_nominal, dtype=float))
+        l_nom = np.atleast_1d(np.asarray(late_nominal, dtype=float))
+        d = early.shape[1]
+        if e_nom.shape != (d,) or l_nom.shape != (d,):
+            raise DimensionError(
+                f"nominal vectors must have length {d}, got {e_nom.shape} and {l_nom.shape}"
+            )
+        if early.shape[0] < 2:
+            raise InsufficientDataError("need at least 2 early samples to fit a scale")
+        std = early.std(axis=0, ddof=0)
+        if np.any(std == 0.0):
+            raise InsufficientDataError(
+                "an early-stage metric has zero variance; cannot scale"
+            )
+        return cls(early_nominal=e_nom, late_nominal=l_nom, scale=std)
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.early_nominal is None or self.late_nominal is None or self.scale is None:
+            raise NotFittedError("ShiftScaleTransform is not fitted")
+
+    @property
+    def dim(self) -> int:
+        """Number of performance metrics ``d``."""
+        self._require_fitted()
+        return self.early_nominal.shape[0]
+
+    def _nominal(self, stage: str) -> np.ndarray:
+        if stage == "early":
+            return self.early_nominal
+        if stage == "late":
+            return self.late_nominal
+        raise ValueError(f"stage must be 'early' or 'late', got {stage!r}")
+
+    # ------------------------------------------------------------------
+    def transform(self, samples, stage: str) -> np.ndarray:
+        """Map physical-unit samples of ``stage`` into the isotropic space."""
+        self._require_fitted()
+        data = as_samples(samples)
+        if data.shape[1] != self.dim:
+            raise DimensionError(
+                f"samples have {data.shape[1]} metrics, transform expects {self.dim}"
+            )
+        return (data - self._nominal(stage)) / self.scale
+
+    def inverse_transform(self, samples, stage: str) -> np.ndarray:
+        """Map isotropic-space samples of ``stage`` back to physical units."""
+        self._require_fitted()
+        data = as_samples(samples)
+        if data.shape[1] != self.dim:
+            raise DimensionError(
+                f"samples have {data.shape[1]} metrics, transform expects {self.dim}"
+            )
+        return data * self.scale + self._nominal(stage)
+
+    # ------------------------------------------------------------------
+    def transform_moments(
+        self, mean, covariance, stage: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Push physical-unit moments into the isotropic space.
+
+        ``mean' = (mean - nominal) / scale``;
+        ``cov'_ij = cov_ij / (scale_i scale_j)``.
+        """
+        self._require_fitted()
+        mean_arr = np.atleast_1d(np.asarray(mean, dtype=float))
+        cov_arr = symmetrize(np.asarray(covariance, dtype=float))
+        inv = 1.0 / self.scale
+        return (
+            (mean_arr - self._nominal(stage)) * inv,
+            symmetrize(cov_arr * np.outer(inv, inv)),
+        )
+
+    def inverse_transform_moments(
+        self, mean, covariance, stage: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pull isotropic-space moments back into physical units."""
+        self._require_fitted()
+        mean_arr = np.atleast_1d(np.asarray(mean, dtype=float))
+        cov_arr = symmetrize(np.asarray(covariance, dtype=float))
+        return (
+            mean_arr * self.scale + self._nominal(stage),
+            symmetrize(cov_arr * np.outer(self.scale, self.scale)),
+        )
+
+    def isotropy_report(self, samples, stage: str) -> dict:
+        """Diagnostics on how isotropic the transformed cloud is (Fig. 1).
+
+        Returns the max |mean| and the per-dimension std range of the
+        transformed samples; a well-matched stage pair shows means near 0
+        and stds near 1.
+        """
+        z = self.transform(samples, stage)
+        stds = z.std(axis=0, ddof=0)
+        return {
+            "max_abs_mean": float(np.max(np.abs(z.mean(axis=0)))),
+            "min_std": float(np.min(stds)),
+            "max_std": float(np.max(stds)),
+        }

@@ -1,0 +1,101 @@
+"""Early-stage prior knowledge container (Sec. 3.2, Eq. 17–21).
+
+:class:`PriorKnowledge` carries the early-stage mean vector and covariance
+matrix and knows how to materialise the normal-Wishart prior whose mode
+coincides with them for any candidate hyper-parameter pair ``(kappa0, v0)``.
+Keeping the early-stage moments separate from the hyper-parameters mirrors
+the paper's flow: the moments are *data* (measured once from abundant
+early-stage samples), the hyper-parameters are *credibility knobs* selected
+later by cross validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DimensionError, InsufficientDataError
+from repro.linalg.validation import as_samples, assert_spd, symmetrize
+from repro.stats.moments import mle_covariance, sample_mean
+from repro.stats.normal_wishart import NormalWishart
+
+__all__ = ["PriorKnowledge"]
+
+
+@dataclass(frozen=True)
+class PriorKnowledge:
+    """Early-stage moments ``(mu_E, Sigma_E)`` used to anchor the prior.
+
+    Attributes
+    ----------
+    mean:
+        Early-stage mean vector ``mu_E`` (Eq. 17/19).
+    covariance:
+        Early-stage covariance ``Sigma_E``; its inverse is the precision
+        ``Lambda_E`` of Eq. (18)/(20).
+    n_samples:
+        How many early-stage samples produced the moments (0 when supplied
+        analytically); recorded for reporting only.
+    """
+
+    mean: np.ndarray
+    covariance: np.ndarray
+    n_samples: int = 0
+
+    def __post_init__(self) -> None:
+        mean = np.atleast_1d(np.asarray(self.mean, dtype=float))
+        if mean.ndim != 1:
+            raise DimensionError("prior mean must be 1-D")
+        cov = assert_spd(self.covariance, "prior covariance")
+        if cov.shape != (mean.shape[0], mean.shape[0]):
+            raise DimensionError(
+                f"prior covariance shape {cov.shape} does not match mean dim {mean.shape[0]}"
+            )
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "covariance", cov)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, early_samples) -> "PriorKnowledge":
+        """Measure ``(mu_E, Sigma_E)`` from an early-stage sample matrix.
+
+        The early stage is assumed data-rich (e.g. thousands of cheap
+        schematic-level simulations), so the plain MLE moments are used.
+        """
+        samples = as_samples(early_samples)
+        n, d = samples.shape
+        if n < d + 1:
+            raise InsufficientDataError(
+                f"need at least d + 1 = {d + 1} early samples for an "
+                f"invertible covariance, got {n}"
+            )
+        return cls(
+            mean=sample_mean(samples),
+            covariance=mle_covariance(samples),
+            n_samples=n,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of performance metrics ``d``."""
+        return self.mean.shape[0]
+
+    @property
+    def precision(self) -> np.ndarray:
+        """Early-stage precision matrix ``Lambda_E = Sigma_E^{-1}`` (Eq. 18)."""
+        return symmetrize(np.linalg.inv(self.covariance))
+
+    def to_normal_wishart(self, kappa0: float, v0: float) -> NormalWishart:
+        """Normal-Wishart prior of Eq. (21) for hyper-parameters ``(kappa0, v0)``.
+
+        The returned prior peaks at ``(mu_E, Lambda_E)`` by construction
+        (Eq. 15–20).
+        """
+        return NormalWishart.from_early_stage(self.mean, self.covariance, kappa0, v0)
+
+    def min_v0(self) -> float:
+        """Smallest admissible ``v0`` (must strictly exceed ``d``, Eq. 20)."""
+        return float(self.dim)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses are deliberately fine-grained: numerical
+problems (non-SPD covariances, singular systems) are distinguished from
+user errors (bad shapes, insufficient samples) because the recommended
+remedies differ — the former usually call for regularisation, the latter
+for fixing the call site.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class DimensionError(ReproError, ValueError):
+    """Raised when array arguments have incompatible or invalid shapes."""
+
+
+class InsufficientDataError(ReproError, ValueError):
+    """Raised when an estimator receives fewer samples than it requires."""
+
+
+class NotSPDError(ReproError, ValueError):
+    """Raised when a matrix expected to be symmetric positive definite is not."""
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """Raised when a linear system or inversion encounters a singular matrix."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative routine fails to converge."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Raised when a circuit simulation cannot be completed."""
+
+
+class NetlistError(ReproError, ValueError):
+    """Raised when a circuit netlist is malformed (dangling node, bad value...)."""
+
+
+class SpecificationError(ReproError, ValueError):
+    """Raised when a performance specification is malformed."""
+
+
+class HyperParameterError(ReproError, ValueError):
+    """Raised when BMF hyper-parameters violate their constraints.
+
+    The normal-Wishart prior requires ``kappa_0 > 0`` and ``v_0 > d`` (the
+    paper uses ``v_0 >= d``; strict inequality keeps the prior mode of the
+    precision matrix well defined, see Eq. (16) of the paper).
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a transform/estimator is used before being fitted."""

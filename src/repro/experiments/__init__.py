@@ -1,0 +1,85 @@
+"""Experiment harness regenerating every figure and headline of Sec. 5."""
+
+from repro.experiments.ablations import (
+    ShrinkageEstimator,
+    ablate_dimensionality,
+    ablate_fixed_hyperparams,
+    ablate_fold_count,
+    ablate_non_gaussian,
+    ablate_prior_quality,
+    ablate_process_quality,
+    ablate_selector,
+    ablate_shift_scale,
+    ablate_shrinkage_baselines,
+)
+from repro.experiments.budget import BudgetPlan, BudgetPlanner
+from repro.experiments.convergence import DecayFit, convergence_report, fit_decay
+from repro.experiments.cost import CostReduction, cost_reduction, samples_to_reach
+from repro.experiments.similarity import StageSimilarity, stage_similarity
+from repro.experiments.datasets import (
+    PAPER_ADC_SAMPLES,
+    PAPER_OPAMP_SAMPLES,
+    adc_dataset,
+    clear_cache,
+    opamp_dataset,
+)
+from repro.experiments.figures import (
+    FigureData,
+    figure1_shift_scale,
+    figure2_cv_surface,
+    figure4_opamp,
+    figure5_adc,
+)
+from repro.experiments.reporting import (
+    format_cost_reduction,
+    format_error_series,
+    format_hyperparams,
+    format_table,
+)
+from repro.experiments.sweep import (
+    ErrorSweep,
+    SweepConfig,
+    SweepResult,
+    default_estimators,
+)
+
+__all__ = [
+    "BudgetPlan",
+    "BudgetPlanner",
+    "CostReduction",
+    "DecayFit",
+    "ErrorSweep",
+    "FigureData",
+    "PAPER_ADC_SAMPLES",
+    "PAPER_OPAMP_SAMPLES",
+    "ShrinkageEstimator",
+    "SweepConfig",
+    "StageSimilarity",
+    "SweepResult",
+    "ablate_dimensionality",
+    "ablate_fixed_hyperparams",
+    "ablate_fold_count",
+    "ablate_non_gaussian",
+    "ablate_prior_quality",
+    "ablate_process_quality",
+    "ablate_selector",
+    "ablate_shift_scale",
+    "ablate_shrinkage_baselines",
+    "adc_dataset",
+    "clear_cache",
+    "convergence_report",
+    "cost_reduction",
+    "default_estimators",
+    "figure1_shift_scale",
+    "figure2_cv_surface",
+    "figure4_opamp",
+    "figure5_adc",
+    "fit_decay",
+    "format_cost_reduction",
+    "format_error_series",
+    "format_hyperparams",
+    "format_table",
+    "opamp_dataset",
+    "samples_to_reach",
+    "stage_similarity",
+]

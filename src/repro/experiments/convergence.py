@@ -1,0 +1,89 @@
+"""Asymptotic convergence analysis of the estimators.
+
+Classical theory predicts:
+
+* MLE errors decay like ``n^{-1/2}`` in both criteria — a log-log slope of
+  ``-0.5`` on the figures' curves;
+* BMF inherits the same asymptotic rate (the prior washes out, Eq. 34/36)
+  but starts from a much lower intercept — until the prior's residual bias
+  floor, where the curve flattens.
+
+:func:`fit_decay` extracts slope/intercept from a sweep curve and
+:func:`convergence_report` packages both methods' fits plus the estimated
+BMF floor.  The bench asserts the MLE slope lands near -0.5, a strong
+end-to-end sanity check of the whole pipeline (simulator included).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["DecayFit", "fit_decay", "convergence_report"]
+
+
+@dataclass(frozen=True)
+class DecayFit:
+    """Power-law fit ``error ~ C * n^slope`` of one error curve."""
+
+    slope: float
+    log_intercept: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Error predicted at sample count ``n``."""
+        return math.exp(self.log_intercept + self.slope * math.log(n))
+
+
+def fit_decay(curve: Dict[int, float]) -> DecayFit:
+    """Least-squares log-log fit of an error-vs-n curve."""
+    if len(curve) < 3:
+        raise DimensionError("need at least 3 sweep points to fit a decay")
+    ns = np.array(sorted(curve))
+    errs = np.array([curve[n] for n in ns])
+    if np.any(errs <= 0.0):
+        raise DimensionError("error curve must be strictly positive")
+    x = np.log(ns.astype(float))
+    y = np.log(errs)
+    slope, intercept = np.polyfit(x, y, 1)
+    fitted = intercept + slope * x
+    ss_res = float(np.sum((y - fitted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return DecayFit(slope=float(slope), log_intercept=float(intercept), r_squared=r2)
+
+
+def convergence_report(
+    result: SweepResult, metric: str = "covariance"
+) -> Dict[str, object]:
+    """Fit both methods' curves and estimate the BMF advantage structure.
+
+    Returns a dict with per-method :class:`DecayFit`, the implied
+    intercept ratio (how much cheaper BMF starts out), and a crude BMF
+    floor estimate (its smallest observed error — the prior-bias plateau
+    if the curve has flattened).
+    """
+    if metric not in ("mean", "covariance"):
+        raise ValueError(f"metric must be 'mean' or 'covariance', got {metric!r}")
+    get = result.mean_error_curve if metric == "mean" else result.cov_error_curve
+    fits = {m: fit_decay(get(m)) for m in result.methods}
+    out: Dict[str, object] = {"fits": fits, "metric": metric}
+    if "mle" in fits and "bmf" in fits:
+        mle, bmf = fits["mle"], fits["bmf"]
+        # Equal-error sample ratio at the reference point n=16, implied by
+        # the two power laws: solve C_m n_m^s_m = C_b 16^s_b for n_m.
+        target = bmf.predict(16.0)
+        if mle.slope < 0.0:
+            n_equiv = math.exp(
+                (math.log(target) - mle.log_intercept) / mle.slope
+            )
+            out["implied_cost_ratio_at_16"] = n_equiv / 16.0
+        bmf_curve = get("bmf")
+        out["bmf_floor"] = min(bmf_curve.values())
+    return out

@@ -1,0 +1,54 @@
+"""Cached Monte-Carlo sample banks for the paper's two experiments.
+
+Generating the op-amp bank (5000 paired simulations) takes a few seconds;
+benchmarks and examples share one instance per configuration through this
+module's process-level cache instead of regenerating it.
+
+``FAST`` sizes are provided for unit/integration tests where statistical
+resolution is not the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.circuits.montecarlo import (
+    PairedDataset,
+    generate_adc_dataset,
+    generate_opamp_dataset,
+)
+
+__all__ = [
+    "opamp_dataset",
+    "adc_dataset",
+    "clear_cache",
+    "PAPER_OPAMP_SAMPLES",
+    "PAPER_ADC_SAMPLES",
+]
+
+#: Sample counts used in the paper (Sec. 5.1 / 5.2).
+PAPER_OPAMP_SAMPLES = 5000
+PAPER_ADC_SAMPLES = 1000
+
+_CACHE: Dict[Tuple[str, int, int], PairedDataset] = {}
+
+
+def opamp_dataset(n_samples: int = PAPER_OPAMP_SAMPLES, seed: int = 2015) -> PairedDataset:
+    """The op-amp bank of Sec. 5.1 (cached per ``(n_samples, seed)``)."""
+    key = ("opamp", n_samples, seed)
+    if key not in _CACHE:
+        _CACHE[key] = generate_opamp_dataset(n_samples=n_samples, seed=seed)
+    return _CACHE[key]
+
+
+def adc_dataset(n_samples: int = PAPER_ADC_SAMPLES, seed: int = 2015) -> PairedDataset:
+    """The flash-ADC bank of Sec. 5.2 (cached per ``(n_samples, seed)``)."""
+    key = ("adc", n_samples, seed)
+    if key not in _CACHE:
+        _CACHE[key] = generate_adc_dataset(n_samples=n_samples, seed=seed)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached banks (frees memory in long sessions)."""
+    _CACHE.clear()

@@ -1,0 +1,129 @@
+"""Stage-similarity diagnostics: is a dataset a good BMF candidate?
+
+BMF pays off exactly when the early and late distributions are similar
+after the Sec. 4.1 shift and scale.  This module turns that premise into
+numbers a user can check *before* spending late-stage samples:
+
+* per-metric mean mismatch in early-sigma units (drives ``kappa0``),
+* per-metric std ratio and the covariance Frobenius gap (drive ``v0``),
+* Gaussian distribution distances between the stage fits,
+* a coarse recommendation string.
+
+The same report was used to calibrate this repository's circuit simulators
+against the paper's hyper-parameter regimes (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.circuits.montecarlo import PairedDataset
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.linalg.norms import frobenius_norm, vector_2norm
+from repro.stats.distances import hellinger_gaussian, wasserstein2_gaussian
+
+__all__ = ["StageSimilarity", "stage_similarity"]
+
+
+@dataclass(frozen=True)
+class StageSimilarity:
+    """Quantified early/late similarity in the isotropic space."""
+
+    #: Per-metric late-minus-early mean offset, in early-sigma units.
+    mean_mismatch: np.ndarray
+    #: Norm of :attr:`mean_mismatch` — the prior-mean error floor.
+    mean_mismatch_norm: float
+    #: Per-metric late/early std ratio (1.0 = perfectly matched spread).
+    std_ratio: np.ndarray
+    #: Frobenius gap between the stage covariances — prior-cov error floor.
+    cov_gap: float
+    #: Largest absolute correlation-entry change between stages.
+    corr_gap: float
+    #: Hellinger distance between the Gaussian stage fits (0..1).
+    hellinger: float
+    #: 2-Wasserstein distance between the Gaussian stage fits.
+    wasserstein2: float
+    metric_names: Tuple[str, ...]
+
+    # ------------------------------------------------------------------
+    def expected_kappa0_regime(self, n_late: int) -> str:
+        """Coarse prediction of the CV's kappa0 regime at ``n_late``.
+
+        The prior mean wins while its error floor is below the sample-mean
+        error ``~ sqrt(d / n)``; compare the two.
+        """
+        d = self.mean_mismatch.shape[0]
+        sampling_error = float(np.sqrt(d / max(n_late, 1)))
+        if self.mean_mismatch_norm < 0.5 * sampling_error:
+            return "large"
+        if self.mean_mismatch_norm < 1.5 * sampling_error:
+            return "moderate"
+        return "small"
+
+    def expected_v0_regime(self, n_late: int) -> str:
+        """Coarse prediction of the CV's v0 regime at ``n_late``.
+
+        The MLE covariance error scales like ``~ d / sqrt(n)`` in Frobenius
+        norm for unit-variance metrics; the prior wins while its gap is
+        below that.
+        """
+        d = self.std_ratio.shape[0]
+        sampling_error = float(d / np.sqrt(max(n_late, 1)))
+        if self.cov_gap < 0.5 * sampling_error:
+            return "large"
+        if self.cov_gap < 1.5 * sampling_error:
+            return "moderate"
+        return "small"
+
+    def recommendation(self, n_late: int = 16) -> str:
+        """One-line verdict on whether BMF is worth running."""
+        k_regime = self.expected_kappa0_regime(n_late)
+        v_regime = self.expected_v0_regime(n_late)
+        if k_regime == "small" and v_regime == "small":
+            return (
+                "stages dissimilar in both moments: BMF will mostly fall "
+                "back to MLE; expect little gain"
+            )
+        parts = []
+        if v_regime != "small":
+            parts.append("covariance prior useful")
+        if k_regime != "small":
+            parts.append("mean prior useful")
+        return "BMF recommended: " + " and ".join(parts)
+
+
+def stage_similarity(dataset: PairedDataset) -> StageSimilarity:
+    """Compute the similarity report for a paired dataset."""
+    transform = ShiftScaleTransform.fit(
+        dataset.early, dataset.early_nominal, dataset.late_nominal
+    )
+    early = transform.transform(dataset.early, "early")
+    late = transform.transform(dataset.late, "late")
+
+    mu_e, mu_l = early.mean(axis=0), late.mean(axis=0)
+    # A tiny eigenvalue floor keeps the Gaussian distances defined when
+    # two metrics are nearly collinear (e.g. both linear in one bias
+    # current) and the sample covariance is numerically singular.
+    from repro.linalg.validation import clip_eigenvalues
+
+    cov_e = clip_eigenvalues(np.cov(early.T, bias=True), 1e-10)
+    cov_l = clip_eigenvalues(np.cov(late.T, bias=True), 1e-10)
+    std_e = np.sqrt(np.diag(cov_e))
+    std_l = np.sqrt(np.diag(cov_l))
+    corr_e = cov_e / np.outer(std_e, std_e)
+    corr_l = cov_l / np.outer(std_l, std_l)
+
+    mismatch = mu_l - mu_e
+    return StageSimilarity(
+        mean_mismatch=mismatch,
+        mean_mismatch_norm=vector_2norm(mismatch),
+        std_ratio=std_l / std_e,
+        cov_gap=frobenius_norm(cov_l - cov_e),
+        corr_gap=float(np.max(np.abs(corr_l - corr_e))),
+        hellinger=hellinger_gaussian(mu_e, cov_e, mu_l, cov_l),
+        wasserstein2=wasserstein2_gaussian(mu_e, cov_e, mu_l, cov_l),
+        metric_names=dataset.metric_names,
+    )

@@ -1,0 +1,206 @@
+"""Error-versus-sample-count sweeps (the x/y data of Figures 4 and 5).
+
+For each late-stage sample count ``n`` the sweep repeats ``n_repeats``
+times (the paper uses 100 "repeated runs based on independent samples to
+average out random fluctuations"): draw ``n`` late rows, run every
+estimator, and record the Eq. (37)–(38) errors against the exact moments
+measured from the *full* late-stage bank.  Everything happens in the
+shifted-and-scaled space of Sec. 4.1, exactly as the paper computes its
+error criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.montecarlo import PairedDataset
+from repro.core.bmf import BMFEstimator
+from repro.core.errors import covariance_error, mean_error
+from repro.core.estimators import MomentEstimator
+from repro.core.hypergrid import HyperParameterGrid
+from repro.core.mle import MLEstimator
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError
+from repro.stats.moments import mle_covariance, sample_mean
+
+__all__ = ["SweepConfig", "SweepResult", "ErrorSweep", "default_estimators"]
+
+#: Factory signature: receives the fitted prior, returns a fresh estimator.
+EstimatorFactory = Callable[[PriorKnowledge], MomentEstimator]
+
+
+def default_estimators() -> Dict[str, EstimatorFactory]:
+    """The paper's two contenders: MLE baseline and the proposed BMF."""
+    return {
+        "mle": lambda prior: MLEstimator(),
+        "bmf": lambda prior: BMFEstimator(prior),
+    }
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Sweep parameters.
+
+    Attributes
+    ----------
+    sample_sizes:
+        Late-stage sample counts ``n`` (the figures' x-axis).
+    n_repeats:
+        Independent repetitions per ``n`` (paper: 100).
+    seed:
+        Base RNG seed; repetition ``r`` uses a child seed so runs are
+        reproducible yet independent.
+    """
+
+    sample_sizes: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
+    n_repeats: int = 100
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.sample_sizes:
+            raise DimensionError("sample_sizes must be non-empty")
+        if any(n < 2 for n in self.sample_sizes):
+            raise DimensionError("every sample size must be >= 2")
+        if self.n_repeats < 1:
+            raise DimensionError("n_repeats must be >= 1")
+
+
+@dataclass
+class SweepResult:
+    """Raw and summarised sweep outcomes.
+
+    ``mean_errors[method][n]`` / ``cov_errors[method][n]`` hold one error
+    per repetition; the ``*_curve`` methods average them into the series
+    plotted in the paper's figures.
+    """
+
+    config: SweepConfig
+    mean_errors: Dict[str, Dict[int, List[float]]]
+    cov_errors: Dict[str, Dict[int, List[float]]]
+    hyperparams: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    @property
+    def methods(self) -> List[str]:
+        """Estimator names present in the sweep."""
+        return sorted(self.mean_errors)
+
+    def mean_error_curve(self, method: str) -> Dict[int, float]:
+        """Average Eq. (37) error per sample count (Fig. 4a / 5a series)."""
+        return {
+            n: float(np.mean(errs)) for n, errs in sorted(self.mean_errors[method].items())
+        }
+
+    def cov_error_curve(self, method: str) -> Dict[int, float]:
+        """Average Eq. (38) error per sample count (Fig. 4b / 5b series)."""
+        return {
+            n: float(np.mean(errs)) for n, errs in sorted(self.cov_errors[method].items())
+        }
+
+    def hyperparam_medians(self, n: int) -> Tuple[float, float]:
+        """Median selected ``(kappa0, v0)`` at sample count ``n``."""
+        pairs = self.hyperparams.get(n, [])
+        if not pairs:
+            raise KeyError(f"no hyper-parameter records for n={n}")
+        arr = np.asarray(pairs, dtype=float)
+        return float(np.median(arr[:, 0])), float(np.median(arr[:, 1]))
+
+
+class ErrorSweep:
+    """Runs the paper's accuracy-vs-cost experiment on a paired dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Paired early/late bank for one circuit.
+    estimators:
+        Mapping of name -> factory; defaults to MLE vs BMF.
+    config:
+        Sample sizes / repeats / seed.
+    shift_scale:
+        Apply the Sec. 4.1 preprocessing (True, the paper's flow).  The
+        ``False`` setting exists for the ablation benchmark showing why
+        the step matters.
+    """
+
+    def __init__(
+        self,
+        dataset: PairedDataset,
+        estimators: Optional[Dict[str, EstimatorFactory]] = None,
+        config: Optional[SweepConfig] = None,
+        shift_scale: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.estimators = estimators if estimators is not None else default_estimators()
+        self.config = config if config is not None else SweepConfig()
+        max_n = max(self.config.sample_sizes)
+        if max_n > dataset.n_samples:
+            raise DimensionError(
+                f"largest sweep size {max_n} exceeds dataset size {dataset.n_samples}"
+            )
+        self.shift_scale = bool(shift_scale)
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        ds = self.dataset
+        if self.shift_scale:
+            self._transform = ShiftScaleTransform.fit(
+                ds.early, ds.early_nominal, ds.late_nominal
+            )
+            self._early = self._transform.transform(ds.early, "early")
+            self._late = self._transform.transform(ds.late, "late")
+        else:
+            self._transform = None
+            self._early = ds.early.copy()
+            self._late = ds.late.copy()
+        self.prior = PriorKnowledge.from_samples(self._early)
+        # Ground truth: moments of the full late-stage bank (the paper's
+        # mu_EXACT / Sigma_EXACT measured from all 5000/1000 samples).
+        self.exact_mean = sample_mean(self._late)
+        self.exact_cov = mle_covariance(self._late)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        """Execute the full sweep."""
+        cfg = self.config
+        mean_errors: Dict[str, Dict[int, List[float]]] = {
+            name: {n: [] for n in cfg.sample_sizes} for name in self.estimators
+        }
+        cov_errors: Dict[str, Dict[int, List[float]]] = {
+            name: {n: [] for n in cfg.sample_sizes} for name in self.estimators
+        }
+        hyperparams: Dict[int, List[Tuple[float, float]]] = {
+            n: [] for n in cfg.sample_sizes
+        }
+        seed_seq = np.random.SeedSequence(cfg.seed)
+        children = seed_seq.spawn(cfg.n_repeats * len(cfg.sample_sizes))
+        k = 0
+        for n in cfg.sample_sizes:
+            for _rep in range(cfg.n_repeats):
+                rng = np.random.default_rng(children[k])
+                k += 1
+                idx = rng.choice(self._late.shape[0], size=n, replace=False)
+                subset = self._late[idx]
+                for name, factory in self.estimators.items():
+                    estimator = factory(self.prior)
+                    estimate = estimator.estimate(subset, rng=rng)
+                    mean_errors[name][n].append(
+                        mean_error(estimate.mean, self.exact_mean)
+                    )
+                    cov_errors[name][n].append(
+                        covariance_error(estimate.covariance, self.exact_cov)
+                    )
+                    if "kappa0" in estimate.info and "v0" in estimate.info:
+                        hyperparams[n].append(
+                            (estimate.info["kappa0"], estimate.info["v0"])
+                        )
+        return SweepResult(
+            config=cfg,
+            mean_errors=mean_errors,
+            cov_errors=cov_errors,
+            hyperparams=hyperparams,
+        )

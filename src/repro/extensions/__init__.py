@@ -1,0 +1,21 @@
+"""Extensions beyond the paper: non-Gaussian moments, streaming, robustness."""
+
+from repro.extensions.higher_moments import (
+    FusedHigherMoments,
+    HigherMomentFusion,
+    standardized_fourth_moment,
+    standardized_third_moment,
+)
+from repro.extensions.robust import RobustBMFEstimator, mahalanobis_gate
+from repro.extensions.sequential import SequentialBMF, SequentialState
+
+__all__ = [
+    "FusedHigherMoments",
+    "HigherMomentFusion",
+    "RobustBMFEstimator",
+    "SequentialBMF",
+    "SequentialState",
+    "mahalanobis_gate",
+    "standardized_fourth_moment",
+    "standardized_third_moment",
+]

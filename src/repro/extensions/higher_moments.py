@@ -1,0 +1,187 @@
+"""Higher-order moment extension (the paper's stated future work).
+
+Sec. 1/6: "How to extend the proposed BMF method to other non-Gaussian
+distributions will be further studied in our future researches (e.g., by
+estimating and matching the high-order moments)."  This module provides a
+concrete, conservative version of that idea:
+
+* :func:`standardized_third_moment` / :func:`standardized_fourth_moment` —
+  multivariate co-skewness/co-kurtosis tensors in standardized coordinates;
+* :class:`HigherMomentFusion` — shrinkage fusion of late-stage higher
+  moments towards the early-stage ones with a credibility weight selected
+  by the same held-out-likelihood idea as the paper's CV, using a
+  Gram-Charlier-corrected density as the scoring model;
+* :meth:`HigherMomentFusion.corrected_pdf` — the Gram-Charlier A-series
+  density correction built from the fused moments, usable for non-Gaussian
+  yield integration by Monte-Carlo re-weighting.
+
+This stays deliberately first-order: tensors are fused with a scalar
+convex weight (the conjugate theory for third/fourth moments has no
+closed form), which is exactly the "estimate and match" recipe the paper
+sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError, InsufficientDataError
+from repro.linalg.validation import as_samples, cholesky_safe
+from repro.stats.moments import mle_covariance, sample_mean
+
+__all__ = [
+    "standardized_third_moment",
+    "standardized_fourth_moment",
+    "HigherMomentFusion",
+]
+
+
+def _whiten(samples: np.ndarray) -> np.ndarray:
+    """Standardize samples with their own mean and covariance Cholesky."""
+    from scipy.linalg import solve_triangular
+
+    data = as_samples(samples)
+    n, d = data.shape
+    if n < d + 2:
+        raise InsufficientDataError(
+            f"need at least d + 2 = {d + 2} samples to whiten, got {n}"
+        )
+    centered = data - sample_mean(data)
+    chol = cholesky_safe(mle_covariance(data))
+    return solve_triangular(chol, centered.T, lower=True).T
+
+
+def standardized_third_moment(samples) -> np.ndarray:
+    """Co-skewness tensor ``E[z_i z_j z_k]`` of whitened samples, shape (d, d, d)."""
+    z = _whiten(samples)
+    return np.einsum("ni,nj,nk->ijk", z, z, z) / z.shape[0]
+
+
+def standardized_fourth_moment(samples) -> np.ndarray:
+    """Co-kurtosis tensor ``E[z_i z_j z_k z_l]``, shape (d, d, d, d)."""
+    z = _whiten(samples)
+    return np.einsum("ni,nj,nk,nl->ijkl", z, z, z, z) / z.shape[0]
+
+
+@dataclass(frozen=True)
+class FusedHigherMoments:
+    """Fused standardized third/fourth moment tensors plus the weight used."""
+
+    third: np.ndarray
+    fourth: np.ndarray
+    weight_on_prior: float
+
+
+class HigherMomentFusion:
+    """Shrink late-stage higher moments towards early-stage ones.
+
+    Parameters
+    ----------
+    early_samples:
+        Abundant early-stage samples fixing the prior tensors.
+    weights:
+        Candidate prior weights searched by hold-out scoring; ``None``
+        uses a default grid spanning "ignore prior" to "trust prior".
+    """
+
+    def __init__(self, early_samples, weights: Optional[Tuple[float, ...]] = None) -> None:
+        self.prior_third = standardized_third_moment(early_samples)
+        self.prior_fourth = standardized_fourth_moment(early_samples)
+        self.weights = (
+            tuple(weights) if weights is not None else (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+        )
+        if any(not 0.0 <= w <= 1.0 for w in self.weights):
+            raise DimensionError("all candidate weights must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def fuse(
+        self, late_samples, rng: Optional[np.random.Generator] = None
+    ) -> FusedHigherMoments:
+        """Select the prior weight by 2-fold hold-out and fuse the tensors.
+
+        Scoring uses the Gram-Charlier corrected log density of the held
+        out half under the fused tensors of the training half.
+        """
+        data = as_samples(late_samples)
+        n = data.shape[0]
+        if n < 6:
+            raise InsufficientDataError("higher-moment fusion needs at least 6 samples")
+        gen = rng if rng is not None else np.random.default_rng()
+        perm = gen.permutation(n)
+        half = n // 2
+        folds = (
+            (perm[:half], perm[half:]),
+            (perm[half:], perm[:half]),
+        )
+
+        best_w, best_score = self.weights[0], -np.inf
+        for w in self.weights:
+            score = 0.0
+            for train_idx, test_idx in folds:
+                fused = self._fuse_with_weight(data[train_idx], w)
+                score += self._gram_charlier_score(data[test_idx], fused)
+            if score > best_score:
+                best_w, best_score = w, score
+        return self._fuse_with_weight(data, best_w)
+
+    def _fuse_with_weight(self, data: np.ndarray, w: float) -> FusedHigherMoments:
+        third = standardized_third_moment(data)
+        fourth = standardized_fourth_moment(data)
+        return FusedHigherMoments(
+            third=w * self.prior_third + (1.0 - w) * third,
+            fourth=w * self.prior_fourth + (1.0 - w) * fourth,
+            weight_on_prior=w,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _gram_charlier_score(test: np.ndarray, fused: FusedHigherMoments) -> float:
+        """Average corrected log density of held-out samples.
+
+        Uses the diagonal Gram-Charlier A correction per dimension (the
+        full tensor correction is unstable at these sample sizes); the
+        correction factor is clipped below at 0.1 to keep the log finite.
+        """
+        z = _whiten(test)
+        d = z.shape[1]
+        base = -0.5 * np.sum(z * z, axis=1) - 0.5 * d * np.log(2.0 * np.pi)
+        corr = np.ones(z.shape[0])
+        for j in range(d):
+            skew = fused.third[j, j, j]
+            exkurt = fused.fourth[j, j, j, j] - 3.0
+            h3 = z[:, j] ** 3 - 3.0 * z[:, j]
+            h4 = z[:, j] ** 4 - 6.0 * z[:, j] ** 2 + 3.0
+            corr *= 1.0 + skew / 6.0 * h3 + exkurt / 24.0 * h4
+        corr = np.clip(corr, 0.1, None)
+        return float(np.mean(base + np.log(corr)))
+
+    # ------------------------------------------------------------------
+    def corrected_pdf(self, fused: FusedHigherMoments, mean, covariance):
+        """A callable Gram-Charlier-corrected density for the fused moments.
+
+        Returns ``pdf(x)`` operating on ``(n, d)`` arrays: the Gaussian
+        density from ``(mean, covariance)`` times the (clipped) diagonal
+        A-series correction implied by ``fused``.
+        """
+        from repro.stats.multivariate_gaussian import MultivariateGaussian
+        from scipy.linalg import solve_triangular
+
+        gaussian = MultivariateGaussian(mean, covariance)
+        chol = gaussian.cholesky
+
+        def pdf(x):
+            data = as_samples(x)
+            z = solve_triangular(chol, (data - gaussian.mean).T, lower=True).T
+            corr = np.ones(data.shape[0])
+            for j in range(gaussian.dim):
+                skew = fused.third[j, j, j]
+                exkurt = fused.fourth[j, j, j, j] - 3.0
+                h3 = z[:, j] ** 3 - 3.0 * z[:, j]
+                h4 = z[:, j] ** 4 - 6.0 * z[:, j] ** 2 + 3.0
+                corr *= 1.0 + skew / 6.0 * h3 + exkurt / 24.0 * h4
+            return gaussian.pdf(data) * np.clip(corr, 0.0, None)
+
+        return pdf

@@ -1,0 +1,150 @@
+"""Sequential (streaming) Bayesian moment fusion.
+
+Post-silicon validation collects measurements die by die; waiting for the
+full batch before fusing wastes information.  Because the normal-Wishart
+prior is conjugate, the posterior after each die is again normal-Wishart
+(Eq. 23–28), so updates can be applied incrementally with O(d^2) state.
+
+:class:`SequentialBMF` wraps that recursion and exposes the running MAP
+estimate after every observed sample — by conjugacy it matches the batch
+result of :func:`repro.core.bmf.map_moments` exactly, which the tests
+verify.  It also offers a simple stopping rule: stop measuring once the
+estimate movement falls below a tolerance for ``patience`` consecutive
+dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError, HyperParameterError
+from repro.linalg.norms import frobenius_norm, vector_2norm
+from repro.stats.normal_wishart import NormalWishart
+
+__all__ = ["SequentialBMF", "SequentialState"]
+
+
+@dataclass(frozen=True)
+class SequentialState:
+    """Running MAP estimate after ``n_observed`` samples."""
+
+    n_observed: int
+    mean: np.ndarray
+    covariance: np.ndarray
+    mean_step: float
+    cov_step: float
+
+
+class SequentialBMF:
+    """Incremental BMF with fixed hyper-parameters.
+
+    Parameters
+    ----------
+    prior:
+        Early-stage knowledge.
+    kappa0, v0:
+        Hyper-parameters; sequential mode keeps them fixed (re-running the
+        CV after every die would defeat the streaming purpose — re-select
+        periodically from the accumulated batch if needed).
+    """
+
+    def __init__(self, prior: PriorKnowledge, kappa0: float, v0: float) -> None:
+        if kappa0 <= 0.0:
+            raise HyperParameterError(f"kappa0 must be > 0, got {kappa0}")
+        if v0 <= prior.dim:
+            raise HyperParameterError(f"v0 must exceed d = {prior.dim}, got {v0}")
+        self.prior = prior
+        self.kappa0 = float(kappa0)
+        self.v0 = float(v0)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all observed samples and restart from the prior."""
+        self._posterior: NormalWishart = self.prior.to_normal_wishart(
+            self.kappa0, self.v0
+        )
+        self._n = 0
+        self._last_mean: Optional[np.ndarray] = None
+        self._last_cov: Optional[np.ndarray] = None
+        self.history: List[SequentialState] = []
+
+    @property
+    def n_observed(self) -> int:
+        """Number of samples folded in so far."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    def observe(self, x) -> SequentialState:
+        """Fold in one die's metric vector and return the updated state."""
+        row = np.atleast_1d(np.asarray(x, dtype=float))
+        if row.ndim != 1 or row.shape[0] != self.prior.dim:
+            raise DimensionError(
+                f"observation must be a length-{self.prior.dim} vector"
+            )
+        self._posterior = self._posterior.posterior(row[None, :])
+        self._n += 1
+        estimate = self._posterior.map_estimate()
+        if self._last_mean is None:
+            mean_step = float("inf")
+            cov_step = float("inf")
+        else:
+            mean_step = vector_2norm(estimate.mean - self._last_mean)
+            cov_step = frobenius_norm(estimate.covariance - self._last_cov)
+        self._last_mean = estimate.mean
+        self._last_cov = estimate.covariance
+        state = SequentialState(
+            n_observed=self._n,
+            mean=estimate.mean,
+            covariance=estimate.covariance,
+            mean_step=mean_step,
+            cov_step=cov_step,
+        )
+        self.history.append(state)
+        return state
+
+    def observe_batch(self, samples) -> SequentialState:
+        """Fold in several rows one by one; returns the final state."""
+        data = np.atleast_2d(np.asarray(samples, dtype=float))
+        if data.shape[0] == 0:
+            raise DimensionError("batch must contain at least one row")
+        state = None
+        for row in data:
+            state = self.observe(row)
+        return state
+
+    # ------------------------------------------------------------------
+    def current_estimate(self) -> SequentialState:
+        """The latest state (prior mode if nothing observed yet)."""
+        if self.history:
+            return self.history[-1]
+        estimate = self._posterior.map_estimate()
+        return SequentialState(
+            n_observed=0,
+            mean=estimate.mean,
+            covariance=estimate.covariance,
+            mean_step=float("inf"),
+            cov_step=float("inf"),
+        )
+
+    def converged(
+        self, mean_tol: float = 1e-3, cov_tol: float = 1e-3, patience: int = 3
+    ) -> bool:
+        """Stopping rule: last ``patience`` steps all moved less than tol.
+
+        A pragmatic measurement-budget cutoff for the post-silicon lab:
+        stop paying for bench time once extra dies stop moving the fused
+        moments.
+        """
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if len(self.history) < patience + 1:
+            return False
+        recent = self.history[-patience:]
+        return all(
+            s.mean_step <= mean_tol and s.cov_step <= cov_tol for s in recent
+        )

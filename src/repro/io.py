@@ -1,0 +1,130 @@
+"""Serialization: datasets to ``.npz``, estimates and sweeps to JSON/CSV.
+
+A validation team generates Monte-Carlo banks once (hours of simulator
+time) and fuses many times; these helpers make the banks and the results
+durable artefacts:
+
+* :func:`save_dataset` / :func:`load_dataset` — round-trip a
+  :class:`~repro.circuits.montecarlo.PairedDataset` through one ``.npz``;
+* :func:`estimate_to_dict` / :func:`estimate_from_dict` and
+  :func:`save_estimate` / :func:`load_estimate` — JSON round-trip of a
+  :class:`~repro.core.estimators.MomentEstimate`;
+* :func:`sweep_to_csv` — flat CSV of a sweep's raw errors for external
+  plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.circuits.montecarlo import PairedDataset
+from repro.core.estimators import MomentEstimate
+from repro.exceptions import DimensionError
+from repro.experiments.sweep import SweepResult
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "estimate_to_dict",
+    "estimate_from_dict",
+    "save_estimate",
+    "load_estimate",
+    "sweep_to_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# datasets
+# ---------------------------------------------------------------------------
+def save_dataset(dataset: PairedDataset, path: PathLike) -> None:
+    """Write a paired dataset to a single compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        early=dataset.early,
+        late=dataset.late,
+        early_nominal=dataset.early_nominal,
+        late_nominal=dataset.late_nominal,
+        metric_names=np.array(dataset.metric_names, dtype=np.str_),
+    )
+
+
+def load_dataset(path: PathLike) -> PairedDataset:
+    """Load a paired dataset written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        required = {"early", "late", "early_nominal", "late_nominal", "metric_names"}
+        missing = required - set(data.files)
+        if missing:
+            raise DimensionError(f"dataset file missing arrays: {sorted(missing)}")
+        return PairedDataset(
+            early=data["early"],
+            late=data["late"],
+            early_nominal=data["early_nominal"],
+            late_nominal=data["late_nominal"],
+            metric_names=tuple(str(n) for n in data["metric_names"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# estimates
+# ---------------------------------------------------------------------------
+def estimate_to_dict(estimate: MomentEstimate) -> Dict:
+    """JSON-safe dictionary representation of a moment estimate."""
+    return {
+        "mean": estimate.mean.tolist(),
+        "covariance": estimate.covariance.tolist(),
+        "n_samples": int(estimate.n_samples),
+        "method": estimate.method,
+        "info": {k: float(v) for k, v in estimate.info.items()},
+    }
+
+
+def estimate_from_dict(payload: Dict) -> MomentEstimate:
+    """Inverse of :func:`estimate_to_dict`; validates the result."""
+    try:
+        estimate = MomentEstimate(
+            mean=np.asarray(payload["mean"], dtype=float),
+            covariance=np.asarray(payload["covariance"], dtype=float),
+            n_samples=int(payload["n_samples"]),
+            method=str(payload["method"]),
+            info={k: float(v) for k, v in payload.get("info", {}).items()},
+        )
+    except KeyError as exc:
+        raise DimensionError(f"estimate payload missing field {exc}") from exc
+    return estimate.validate()
+
+
+def save_estimate(estimate: MomentEstimate, path: PathLike) -> None:
+    """Write an estimate to a JSON file."""
+    Path(path).write_text(json.dumps(estimate_to_dict(estimate), indent=2))
+
+
+def load_estimate(path: PathLike) -> MomentEstimate:
+    """Load an estimate from a JSON file written by :func:`save_estimate`."""
+    return estimate_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# sweeps
+# ---------------------------------------------------------------------------
+def sweep_to_csv(result: SweepResult, path: PathLike) -> None:
+    """Flatten a sweep's raw per-repetition errors to CSV.
+
+    Columns: ``method, n_late, repetition, mean_error, cov_error`` — one
+    row per (method, n, repetition), ready for pandas/gnuplot.
+    """
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["method", "n_late", "repetition", "mean_error", "cov_error"])
+        for method in result.methods:
+            for n in sorted(result.mean_errors[method]):
+                m_errs = result.mean_errors[method][n]
+                c_errs = result.cov_errors[method][n]
+                for rep, (m_err, c_err) in enumerate(zip(m_errs, c_errs)):
+                    writer.writerow([method, n, rep, repr(m_err), repr(c_err)])

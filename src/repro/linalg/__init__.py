@@ -1,0 +1,53 @@
+"""Linear-algebra substrate: SPD validation/repair, norms, shrinkage baselines."""
+
+from repro.linalg.norms import (
+    condition_number,
+    frobenius_norm,
+    log_det_spd,
+    relative_difference,
+    spectral_norm,
+    vector_2norm,
+)
+from repro.linalg.shrinkage import (
+    diagonal_shrinkage,
+    ledoit_wolf,
+    oas,
+    sample_covariance,
+    shrink_towards,
+)
+from repro.linalg.validation import (
+    as_matrix,
+    as_samples,
+    assert_spd,
+    cholesky_safe,
+    clip_eigenvalues,
+    is_spd,
+    is_symmetric,
+    jitter_spd,
+    nearest_spd,
+    symmetrize,
+)
+
+__all__ = [
+    "as_matrix",
+    "as_samples",
+    "assert_spd",
+    "cholesky_safe",
+    "clip_eigenvalues",
+    "condition_number",
+    "diagonal_shrinkage",
+    "frobenius_norm",
+    "is_spd",
+    "is_symmetric",
+    "jitter_spd",
+    "ledoit_wolf",
+    "log_det_spd",
+    "nearest_spd",
+    "oas",
+    "relative_difference",
+    "sample_covariance",
+    "shrink_towards",
+    "spectral_norm",
+    "symmetrize",
+    "vector_2norm",
+]

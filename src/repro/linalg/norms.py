@@ -1,0 +1,77 @@
+"""Matrix and vector norms plus conditioning diagnostics.
+
+The paper's accuracy criteria (Eq. 37 and 38) are the vector 2-norm for the
+mean and the Frobenius norm for the covariance, both evaluated in the
+shifted-and-scaled metric space.  These thin wrappers exist so the rest of
+the code base names the paper's equations instead of calling
+``np.linalg.norm`` with easy-to-mix-up ``ord`` arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.linalg.validation import as_matrix
+
+__all__ = [
+    "vector_2norm",
+    "frobenius_norm",
+    "spectral_norm",
+    "condition_number",
+    "log_det_spd",
+    "relative_difference",
+]
+
+
+def vector_2norm(v) -> float:
+    """Euclidean norm of a 1-D vector (Eq. 37's ``|| . ||_2``)."""
+    arr = np.asarray(v, dtype=float)
+    if arr.ndim != 1:
+        raise DimensionError(f"expected 1-D vector, got ndim={arr.ndim}")
+    return float(np.linalg.norm(arr, ord=2))
+
+
+def frobenius_norm(a) -> float:
+    """Frobenius norm of a matrix (Eq. 38's ``|| . ||_F``)."""
+    return float(np.linalg.norm(as_matrix(a), ord="fro"))
+
+
+def spectral_norm(a) -> float:
+    """Largest singular value of a matrix."""
+    return float(np.linalg.norm(as_matrix(a), ord=2))
+
+
+def condition_number(a) -> float:
+    """2-norm condition number; ``inf`` for singular matrices."""
+    arr = as_matrix(a)
+    s = np.linalg.svd(arr, compute_uv=False)
+    smin = float(s[-1])
+    if smin == 0.0:
+        return float("inf")
+    return float(s[0]) / smin
+
+
+def log_det_spd(a) -> float:
+    """Log-determinant of an SPD matrix via Cholesky (stable for tiny dets)."""
+    from repro.linalg.validation import cholesky_safe
+
+    chol = cholesky_safe(a)
+    return 2.0 * float(np.sum(np.log(np.diag(chol))))
+
+
+def relative_difference(a, b) -> float:
+    """Frobenius distance between two matrices, relative to ``||b||_F``.
+
+    Useful for convergence/agreement checks; returns the absolute distance
+    when ``b`` is the zero matrix.
+    """
+    a_arr = as_matrix(a)
+    b_arr = as_matrix(b)
+    if a_arr.shape != b_arr.shape:
+        raise DimensionError(f"shape mismatch: {a_arr.shape} vs {b_arr.shape}")
+    denom = float(np.linalg.norm(b_arr, ord="fro"))
+    num = float(np.linalg.norm(a_arr - b_arr, ord="fro"))
+    if denom == 0.0:
+        return num
+    return num / denom

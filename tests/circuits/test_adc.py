@@ -1,0 +1,126 @@
+"""Tests for the flash ADC simulator (Sec. 5.2 workload)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adc import ADC_METRIC_NAMES, FlashADC, FlashADCDesign
+from repro.exceptions import SimulationError
+
+
+@pytest.fixture(scope="module")
+def early():
+    return FlashADC.schematic()
+
+
+@pytest.fixture(scope="module")
+def late():
+    return FlashADC.post_layout()
+
+
+class TestDesign:
+    def test_comparator_count(self):
+        assert FlashADCDesign(n_bits=6).n_comparators == 63
+
+    def test_lsb(self):
+        assert FlashADCDesign(n_bits=6, vref=1.8).lsb == pytest.approx(1.8 / 64)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(SimulationError):
+            FlashADCDesign(n_bits=1)
+
+    def test_rejects_non_coprime_cycles(self):
+        with pytest.raises(SimulationError):
+            FlashADCDesign(n_samples=2048, n_cycles=64)
+
+
+class TestNominalConversion:
+    def test_sinad_near_ideal_6bit(self, early):
+        # Ideal 6-bit: 6.02*6 + 1.76 = 37.9 dB; mismatch-free nominal
+        # should be within ~2 dB of it.
+        nominal = early.simulate_nominal()
+        assert nominal.sinad == pytest.approx(37.9, abs=2.5)
+
+    def test_metric_order(self, early):
+        arr = early.simulate_nominal().as_array()
+        assert arr.shape == (5,)
+        assert ADC_METRIC_NAMES == ("snr", "sinad", "sfdr", "thd", "power")
+
+    def test_nominal_power_budget(self, early):
+        design = FlashADCDesign()
+        expected = design.vref * (
+            design.n_comparators * design.comparator_bias + design.ladder_current
+        )
+        assert early.simulate_nominal().power == pytest.approx(expected, rel=1e-9)
+
+
+class TestVariationResponse:
+    def test_deterministic_per_seed(self, early):
+        a = early.simulate(42).as_array()
+        b = early.simulate(42).as_array()
+        assert np.array_equal(a, b)
+
+    def test_different_dies_differ(self, early):
+        assert not np.array_equal(
+            early.simulate(1).as_array(), early.simulate(2).as_array()
+        )
+
+    def test_offsets_degrade_sinad(self, early):
+        nominal = early.simulate_nominal()
+        metrics = early.simulate_batch(np.arange(50))
+        assert metrics[:, 1].mean() < nominal.sinad
+
+    def test_snr_sinad_ordering(self, early):
+        """SINAD counts harmonics too, so SINAD <= SNR always."""
+        metrics = early.simulate_batch(np.arange(30))
+        assert np.all(metrics[:, 1] <= metrics[:, 0] + 1e-9)
+
+    def test_snr_sinad_strongly_correlated(self, early):
+        metrics = early.simulate_batch(np.arange(120))
+        corr = np.corrcoef(metrics[:, 0], metrics[:, 1])[0, 1]
+        assert corr > 0.6
+
+    def test_batch_shape(self, early):
+        assert early.simulate_batch(np.arange(7)).shape == (7, 5)
+
+
+class TestStagePairing:
+    def test_same_seed_shares_die(self, early, late):
+        m_early = early.simulate_batch(np.arange(80))
+        m_late = late.simulate_batch(np.arange(80))
+        # Power is driven by the same bias draws: near-perfect pairing.
+        corr = np.corrcoef(m_early[:, 4], m_late[:, 4])[0, 1]
+        assert corr > 0.99
+
+    def test_layout_adds_power(self, early, late):
+        assert late.simulate_nominal().power > early.simulate_nominal().power
+
+    def test_power_variation_not_rescaled_by_overhead(self, early, late):
+        """The overhead is a fixed adder: stage stds must match closely."""
+        m_early = early.simulate_batch(np.arange(100))
+        m_late = late.simulate_batch(np.arange(100))
+        ratio = m_late[:, 4].std() / m_early[:, 4].std()
+        assert ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_distribution_shapes_similar(self, early, late):
+        """The BMF premise for the ADC: early/late clouds nearly congruent."""
+        m_early = early.simulate_batch(np.arange(150))
+        m_late = late.simulate_batch(np.arange(150))
+        std_ratio = m_late.std(axis=0) / m_early.std(axis=0)
+        assert np.all(std_ratio > 0.8)
+        assert np.all(std_ratio < 1.25)
+
+
+class TestLadderGradient:
+    def test_gradient_tilts_thresholds(self):
+        from repro.circuits.adc import _LayoutEffects
+
+        design = FlashADCDesign()
+        flat = FlashADC(design)
+        tilted = FlashADC(design, _LayoutEffects(ladder_gradient=20e-3))
+        n = design.n_comparators
+        t_flat = flat._thresholds(np.zeros(n), np.zeros(n + 1))
+        t_tilt = tilted._thresholds(np.zeros(n), np.zeros(n + 1))
+        delta = t_tilt - t_flat
+        # Linear tilt: monotone increasing, zero-mean across the ladder.
+        assert np.all(np.diff(delta) > 0.0)
+        assert abs(delta.mean()) < 1e-3

@@ -1,0 +1,77 @@
+"""Tests for the circuit components."""
+
+import pytest
+
+from repro.circuits.components import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VoltageSource,
+)
+from repro.exceptions import NetlistError
+
+
+class TestResistor:
+    def test_conductance(self):
+        assert Resistor("R1", "a", "b", 2.0).conductance == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "a", 1.0)
+
+    def test_nodes(self):
+        assert Resistor("R1", "a", GROUND, 1.0).nodes() == ("a", GROUND)
+
+
+class TestCapacitor:
+    def test_zero_value_is_legal(self):
+        assert Capacitor("C1", "a", "b", 0.0).value == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "b", -1e-12)
+
+    def test_no_branch_current(self):
+        assert not Capacitor("C1", "a", "b", 1e-12).needs_branch_current
+
+
+class TestInductor:
+    def test_needs_branch_current(self):
+        assert Inductor("L1", "a", "b", 1e-9).needs_branch_current
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Inductor("L1", "a", "b", 0.0)
+
+
+class TestVCCS:
+    def test_four_nodes(self):
+        g = VCCS("G1", "o1", "o2", "c1", "c2", 1e-3)
+        assert g.nodes() == ("o1", "o2", "c1", "c2")
+
+    def test_rejects_coincident_output(self):
+        with pytest.raises(NetlistError):
+            VCCS("G1", "o", "o", "c1", "c2", 1e-3)
+
+    def test_negative_gm_allowed(self):
+        assert VCCS("G1", "a", "b", "c", "d", -2e-3).gm == -2e-3
+
+
+class TestSources:
+    def test_current_source_amplitude_complex(self):
+        src = CurrentSource("I1", "a", GROUND, 1 + 2j)
+        assert src.amplitude == 1 + 2j
+
+    def test_voltage_source_branch(self):
+        assert VoltageSource("V1", "a", GROUND).needs_branch_current
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)

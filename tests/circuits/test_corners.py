@@ -1,0 +1,80 @@
+"""Tests for process-corner dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.corners import (
+    STANDARD_CORNERS,
+    CornerSpec,
+    generate_corner_datasets,
+)
+from repro.exceptions import SimulationError
+
+
+@pytest.fixture(scope="module")
+def corner_banks():
+    return generate_corner_datasets(STANDARD_CORNERS, n_samples=80, seed=3)
+
+
+class TestCornerSpec:
+    def test_standard_set(self):
+        names = [c.name for c in STANDARD_CORNERS]
+        assert names == ["TT", "SS", "FF", "SF", "FS"]
+
+    def test_apply_shifts_globals(self):
+        from repro.circuits.process import GlobalVariation, ProcessSample
+
+        sample = ProcessSample(GlobalVariation(0.0, 0.0, 0.0, 0.0), local={})
+        shifted = CornerSpec("SS", 1.5, 1.5).apply(sample, 0.01, 0.05)
+        assert shifted.global_variation.dvth_n == pytest.approx(0.015)
+        assert shifted.global_variation.dkp_rel_n == pytest.approx(-0.075)
+
+    def test_tt_is_identity(self):
+        from repro.circuits.process import GlobalVariation, ProcessSample
+
+        sample = ProcessSample(GlobalVariation(0.001, 0.002, 0.0, 0.0), local={})
+        shifted = CornerSpec("TT", 0.0, 0.0).apply(sample, 0.01, 0.05)
+        assert shifted.global_variation == sample.global_variation
+
+
+class TestCornerDatasets:
+    def test_all_corners_present(self, corner_banks):
+        assert set(corner_banks) == {"TT", "SS", "FF", "SF", "FS"}
+        for ds in corner_banks.values():
+            assert ds.n_samples == 80
+            assert ds.dim == 5
+
+    def test_ss_slower_than_ff(self, corner_banks):
+        """Slow corner: lower currents and gm -> lower gain-bandwidth
+        product (the -3 dB corner alone trades off against gain)."""
+        ss = corner_banks["SS"].early
+        ff = corner_banks["FF"].early
+        gbw_ss = (ss[:, 0] * ss[:, 1]).mean()
+        gbw_ff = (ff[:, 0] * ff[:, 1]).mean()
+        assert gbw_ss < gbw_ff
+
+    def test_ff_burns_more_power(self, corner_banks):
+        p_ss = corner_banks["SS"].early[:, 2].mean()
+        p_ff = corner_banks["FF"].early[:, 2].mean()
+        assert p_ff > p_ss
+
+    def test_corners_share_randomness(self, corner_banks):
+        """Same die index across corners: strongly correlated metrics."""
+        tt = corner_banks["TT"].early[:, 2]
+        ss = corner_banks["SS"].early[:, 2]
+        assert np.corrcoef(tt, ss)[0, 1] > 0.8
+
+    def test_nominals_differ_per_corner(self, corner_banks):
+        assert not np.allclose(
+            corner_banks["TT"].early_nominal, corner_banks["SS"].early_nominal
+        )
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SimulationError):
+            generate_corner_datasets(
+                (CornerSpec("X", 0, 0), CornerSpec("X", 1, 1)), n_samples=5
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            generate_corner_datasets((), n_samples=5)

@@ -1,0 +1,106 @@
+"""Tests for the square-law MOSFET model."""
+
+import math
+
+import pytest
+
+from repro.circuits.devices import Mosfet, MosfetGeometry, MosfetProcess
+from repro.exceptions import SimulationError
+
+
+@pytest.fixture
+def nmos():
+    return MosfetProcess(vth=0.45, kp=4e-4, lambda_=0.15)
+
+
+@pytest.fixture
+def device(nmos):
+    return Mosfet("M1", MosfetGeometry(8e-6, 0.12e-6), nmos)
+
+
+class TestGeometry:
+    def test_ratio_and_area(self):
+        geo = MosfetGeometry(10e-6, 0.2e-6)
+        assert geo.ratio == pytest.approx(50.0)
+        assert geo.area == pytest.approx(2e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            MosfetGeometry(0.0, 1e-6)
+
+
+class TestSmallSignal:
+    def test_gm_square_law(self, device):
+        i_d = 20e-6
+        ss = device.small_signal(i_d)
+        beta = 4e-4 * (8.0 / 0.12)
+        assert ss.gm == pytest.approx(math.sqrt(2 * beta * i_d))
+
+    def test_gds_lambda(self, device):
+        ss = device.small_signal(20e-6)
+        assert ss.gds == pytest.approx(0.15 * 20e-6)
+
+    def test_gm_vov_identity(self, device):
+        # gm * Vov = 2 * Id for a square-law device.
+        ss = device.small_signal(50e-6)
+        assert ss.gm * ss.vov == pytest.approx(2 * 50e-6)
+
+    def test_intrinsic_gain(self, device):
+        ss = device.small_signal(20e-6)
+        assert ss.intrinsic_gain == pytest.approx(ss.gm / ss.gds)
+
+    def test_infinite_gain_for_ideal_device(self, nmos):
+        ideal = MosfetProcess(vth=0.45, kp=4e-4, lambda_=0.0)
+        dev = Mosfet("M", MosfetGeometry(1e-6, 1e-7), ideal)
+        assert dev.small_signal(1e-5).intrinsic_gain == math.inf
+
+    def test_rejects_nonpositive_current(self, device):
+        with pytest.raises(SimulationError):
+            device.small_signal(0.0)
+
+
+class TestVariation:
+    def test_vth_shift(self, device):
+        varied = device.with_variation(dvth=0.02, dkp_rel=0.0)
+        assert varied.vth_effective == pytest.approx(0.47)
+
+    def test_kp_scaling_changes_gm(self, device):
+        varied = device.with_variation(dvth=0.0, dkp_rel=0.1)
+        gm0 = device.small_signal(20e-6).gm
+        gm1 = varied.small_signal(20e-6).gm
+        assert gm1 / gm0 == pytest.approx(math.sqrt(1.1))
+
+    def test_rejects_kp_collapse(self, device):
+        with pytest.raises(SimulationError):
+            device.with_variation(0.0, -1.0)
+
+
+class TestSaturationCurrent:
+    def test_zero_below_threshold(self, device):
+        assert device.saturation_current(0.40) == 0.0
+
+    def test_square_law_above_threshold(self, device):
+        vgs = 0.65
+        beta = 4e-4 * (8.0 / 0.12)
+        expected = 0.5 * beta * (vgs - 0.45) ** 2
+        assert device.saturation_current(vgs) == pytest.approx(expected)
+
+    def test_monotonic_in_vgs(self, device):
+        assert device.saturation_current(0.7) > device.saturation_current(0.6)
+
+
+class TestPelgrom:
+    def test_mismatch_shrinks_with_area(self, nmos):
+        small = Mosfet("S", MosfetGeometry(1e-6, 0.1e-6), nmos)
+        big = Mosfet("B", MosfetGeometry(4e-6, 0.4e-6), nmos)
+        s_vth_small, _ = small.mismatch_sigma()
+        s_vth_big, _ = big.mismatch_sigma()
+        # 16x area -> 4x lower sigma.
+        assert s_vth_small / s_vth_big == pytest.approx(4.0)
+
+    def test_pelgrom_formula(self, nmos):
+        dev = Mosfet("M", MosfetGeometry(2e-6, 0.5e-6), nmos)
+        s_vth, s_kp = dev.mismatch_sigma()
+        root_area = math.sqrt(2e-6 * 0.5e-6)
+        assert s_vth == pytest.approx(nmos.avt / root_area)
+        assert s_kp == pytest.approx(nmos.akp / root_area)

@@ -1,0 +1,136 @@
+"""Tests for INL/DNL static linearity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adc import FlashADC, FlashADCDesign
+from repro.circuits.linearity import (
+    LinearityResult,
+    inl_dnl_from_histogram,
+    inl_dnl_from_levels,
+)
+from repro.circuits.testbench import sine_record
+from repro.exceptions import SimulationError
+
+
+class TestFromLevels:
+    def test_ideal_ladder_is_perfect(self):
+        levels = np.linspace(0.1, 1.7, 63)
+        result = inl_dnl_from_levels(levels)
+        assert result.dnl_max == pytest.approx(0.0, abs=1e-12)
+        assert result.inl_max == pytest.approx(0.0, abs=1e-12)
+        assert result.monotonic
+
+    def test_endpoint_convention(self):
+        levels = np.linspace(0.0, 1.0, 17)
+        levels[8] += 0.01
+        result = inl_dnl_from_levels(levels)
+        assert result.inl[0] == pytest.approx(0.0, abs=1e-12)
+        assert result.inl[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_wide_code(self):
+        """One transition moved by +0.5 LSB: DNL -0.5/+0.5 around it."""
+        levels = np.linspace(0.0, 1.0, 11).astype(float)  # LSB = 0.1
+        levels[5] += 0.05
+        result = inl_dnl_from_levels(levels)
+        assert result.dnl[4] == pytest.approx(0.5, abs=1e-9)
+        assert result.dnl[5] == pytest.approx(-0.5, abs=1e-9)
+        assert result.inl[5] == pytest.approx(0.5, abs=1e-9)
+
+    def test_missing_code_detection(self):
+        """Two coincident transitions produce DNL = -1 (non-monotonic)."""
+        levels = np.linspace(0.0, 1.0, 11)
+        levels[5] = levels[4]
+        result = inl_dnl_from_levels(levels)
+        assert result.dnl.min() == pytest.approx(-1.0, abs=1e-9)
+        assert not result.monotonic
+
+    def test_unsorted_levels_are_sorted(self):
+        levels = np.linspace(0.0, 1.0, 11)
+        shuffled = levels[::-1].copy()
+        result = inl_dnl_from_levels(shuffled)
+        assert result.dnl_max == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_too_few(self):
+        with pytest.raises(SimulationError):
+            inl_dnl_from_levels([0.0, 1.0])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(SimulationError):
+            inl_dnl_from_levels([0.5, 0.5, 0.5])
+
+
+class TestFromHistogram:
+    def _convert(self, thresholds, n_samples=200_000, amp=1.02):
+        """Quantize an overdriven sine against the given trip points."""
+        vin = sine_record(n_samples, 127, amp * 0.5, offset=0.5)
+        return np.searchsorted(np.sort(thresholds), vin, side="left")
+
+    def test_recovers_known_inl(self):
+        """Histogram estimate must match the direct level computation."""
+        n_codes = 64
+        levels = np.linspace(1.0 / n_codes, 1.0 - 1.0 / n_codes, n_codes - 1)
+        rng = np.random.default_rng(0)
+        levels = levels + rng.normal(0.0, 0.002, size=levels.size)
+        direct = inl_dnl_from_levels(np.sort(levels))
+        codes = self._convert(levels)
+        hist = inl_dnl_from_histogram(codes, n_codes)
+        assert np.allclose(hist.inl, direct.inl, atol=0.15)
+        assert hist.inl_max == pytest.approx(direct.inl_max, abs=0.2)
+
+    def test_ideal_quantizer_near_zero(self):
+        n_codes = 32
+        levels = np.linspace(1.0 / n_codes, 1.0 - 1.0 / n_codes, n_codes - 1)
+        codes = self._convert(levels)
+        result = inl_dnl_from_histogram(codes, n_codes)
+        assert result.inl_max < 0.1
+
+    def test_rejects_short_record(self):
+        with pytest.raises(SimulationError):
+            inl_dnl_from_histogram(np.zeros(10, dtype=int), 64)
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(SimulationError):
+            inl_dnl_from_histogram(np.full(10000, 99), 64)
+
+    def test_rejects_unexercised_codes(self):
+        codes = np.concatenate([np.zeros(5000, dtype=int), np.full(5000, 31)])
+        with pytest.raises(SimulationError):
+            inl_dnl_from_histogram(codes, 32)
+
+
+class TestFlashADCLinearity:
+    def test_measure_linearity(self):
+        adc = FlashADC.schematic()
+        result = adc.measure_linearity(7)
+        assert isinstance(result, LinearityResult)
+        assert result.dnl.size == adc.design.n_comparators - 1
+        # 4 mV offsets on a 28 mV LSB: INL well below 1 LSB typically.
+        assert result.inl_max < 1.5
+
+    def test_linear_gradient_absorbed_by_endpoint_fit(self):
+        """A purely linear ladder tilt changes the slope, not the INL —
+        the end-point fit removes linear deviations by construction."""
+        from repro.circuits.adc import _LayoutEffects
+
+        design = FlashADCDesign(sigma_offset=0.1e-3, sigma_ladder_rel=1e-4)
+        flat = FlashADC(design)
+        tilted = FlashADC(design, _LayoutEffects(ladder_gradient=20e-3))
+        for seed in range(5):
+            inl_flat = flat.measure_linearity(seed).inl_max
+            inl_tilt = tilted.measure_linearity(seed).inl_max
+            assert inl_tilt == pytest.approx(inl_flat, abs=0.05)
+
+    def test_larger_offsets_worsen_inl(self):
+        small = FlashADC(FlashADCDesign(sigma_offset=1e-3))
+        big = FlashADC(FlashADCDesign(sigma_offset=10e-3))
+        seeds = range(10)
+        inl_small = np.mean([small.measure_linearity(s).inl_max for s in seeds])
+        inl_big = np.mean([big.measure_linearity(s).inl_max for s in seeds])
+        assert inl_big > 2.0 * inl_small
+
+    def test_deterministic(self):
+        adc = FlashADC.post_layout()
+        a = adc.measure_linearity(3)
+        b = adc.measure_linearity(3)
+        assert np.array_equal(a.inl, b.inl)

@@ -1,0 +1,121 @@
+"""Tests for the Monte-Carlo paired-dataset engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.montecarlo import (
+    PairedDataset,
+    generate_adc_dataset,
+    generate_opamp_dataset,
+)
+from repro.exceptions import DimensionError, SimulationError
+
+
+class TestPairedDatasetContainer:
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            PairedDataset(
+                early=np.zeros((10, 3)),
+                late=np.zeros((10, 4)),
+                early_nominal=np.zeros(3),
+                late_nominal=np.zeros(3),
+                metric_names=("a", "b", "c"),
+            )
+
+    def test_nominal_length_validation(self):
+        with pytest.raises(DimensionError):
+            PairedDataset(
+                early=np.zeros((10, 3)),
+                late=np.zeros((10, 3)),
+                early_nominal=np.zeros(2),
+                late_nominal=np.zeros(3),
+                metric_names=("a", "b", "c"),
+            )
+
+    def test_names_length_validation(self):
+        with pytest.raises(DimensionError):
+            PairedDataset(
+                early=np.zeros((10, 3)),
+                late=np.zeros((10, 3)),
+                early_nominal=np.zeros(3),
+                late_nominal=np.zeros(3),
+                metric_names=("a", "b"),
+            )
+
+
+class TestSubset:
+    def test_subset_rows_come_from_late(self, opamp_dataset_small, rng):
+        subset = opamp_dataset_small.late_subset(10, rng)
+        assert subset.shape == (10, 5)
+        # Every row must exist in the late bank.
+        for row in subset:
+            assert np.any(np.all(np.isclose(opamp_dataset_small.late, row), axis=1))
+
+    def test_subset_without_replacement(self, opamp_dataset_small, rng):
+        subset = opamp_dataset_small.late_subset(
+            opamp_dataset_small.n_samples, rng
+        )
+        assert np.unique(subset, axis=0).shape[0] == opamp_dataset_small.n_samples
+
+    def test_subset_bounds(self, opamp_dataset_small, rng):
+        with pytest.raises(SimulationError):
+            opamp_dataset_small.late_subset(0, rng)
+        with pytest.raises(SimulationError):
+            opamp_dataset_small.late_subset(opamp_dataset_small.n_samples + 1, rng)
+
+
+class TestMeasurementNoise:
+    def test_noise_changes_late_only(self, opamp_dataset_small, rng):
+        noisy = opamp_dataset_small.with_measurement_noise(0.2, rng)
+        assert np.array_equal(noisy.early, opamp_dataset_small.early)
+        assert not np.array_equal(noisy.late, opamp_dataset_small.late)
+
+    def test_noise_scale_is_relative(self, opamp_dataset_small, rng):
+        noisy = opamp_dataset_small.with_measurement_noise(0.5, rng)
+        added = noisy.late - opamp_dataset_small.late
+        stds = opamp_dataset_small.late.std(axis=0)
+        ratio = added.std(axis=0) / stds
+        assert np.all(np.abs(ratio - 0.5) < 0.1)
+
+    def test_zero_noise_is_identity(self, opamp_dataset_small, rng):
+        noisy = opamp_dataset_small.with_measurement_noise(0.0, rng)
+        assert np.array_equal(noisy.late, opamp_dataset_small.late)
+
+    def test_rejects_negative_noise(self, opamp_dataset_small, rng):
+        with pytest.raises(SimulationError):
+            opamp_dataset_small.with_measurement_noise(-0.1, rng)
+
+
+class TestGeneration:
+    def test_opamp_dataset_shapes(self, opamp_dataset_small):
+        assert opamp_dataset_small.n_samples == 300
+        assert opamp_dataset_small.dim == 5
+        assert opamp_dataset_small.metric_names[0] == "gain"
+
+    def test_adc_dataset_shapes(self, adc_dataset_small):
+        assert adc_dataset_small.n_samples == 200
+        assert adc_dataset_small.metric_names == ("snr", "sinad", "sfdr", "thd", "power")
+
+    def test_opamp_reproducible_by_seed(self):
+        a = generate_opamp_dataset(20, seed=3)
+        b = generate_opamp_dataset(20, seed=3)
+        assert np.array_equal(a.early, b.early)
+        assert np.array_equal(a.late, b.late)
+
+    def test_adc_reproducible_by_seed(self):
+        a = generate_adc_dataset(15, seed=3)
+        b = generate_adc_dataset(15, seed=3)
+        assert np.array_equal(a.late, b.late)
+
+    def test_different_seeds_differ(self):
+        a = generate_opamp_dataset(20, seed=3)
+        b = generate_opamp_dataset(20, seed=4)
+        assert not np.array_equal(a.early, b.early)
+
+    def test_rows_are_paired_dies(self, opamp_dataset_small):
+        """Row-wise early/late correlation must far exceed shuffled pairs."""
+        early, late = opamp_dataset_small.early, opamp_dataset_small.late
+        paired = np.corrcoef(early[:, 0], late[:, 0])[0, 1]
+        shuffled = np.corrcoef(early[:, 0], np.roll(late[:, 0], 7))[0, 1]
+        assert paired > 0.9
+        assert abs(shuffled) < 0.3

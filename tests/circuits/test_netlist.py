@@ -1,0 +1,95 @@
+"""Tests for netlist construction and validation."""
+
+import pytest
+
+from repro.circuits.components import Resistor
+from repro.circuits.netlist import Netlist
+from repro.exceptions import NetlistError
+
+
+@pytest.fixture
+def divider():
+    """A two-resistor voltage divider driven by a source."""
+    net = Netlist(title="divider")
+    net.voltage_source("Vin", "in", "0", 1.0)
+    net.resistor("R1", "in", "mid", 1000.0)
+    net.resistor("R2", "mid", "0", 1000.0)
+    return net
+
+
+class TestConstruction:
+    def test_node_and_branch_counts(self, divider):
+        assert divider.n_nodes == 2  # in, mid
+        assert divider.n_branches == 1  # Vin
+        assert divider.size == 3
+        assert len(divider) == 3
+
+    def test_duplicate_name_rejected(self, divider):
+        with pytest.raises(NetlistError):
+            divider.resistor("R1", "a", "0", 1.0)
+
+    def test_non_component_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist().add("not a component")
+
+    def test_getitem(self, divider):
+        assert isinstance(divider["R1"], Resistor)
+        with pytest.raises(NetlistError):
+            divider["missing"]
+
+    def test_contains(self, divider):
+        assert "R2" in divider
+        assert "R9" not in divider
+
+    def test_chaining(self):
+        net = Netlist().resistor("R1", "a", "0", 1.0).capacitor("C1", "a", "0", 1e-12)
+        assert len(net) == 2
+
+
+class TestIndexing:
+    def test_ground_index_is_minus_one(self, divider):
+        assert divider.node_index("0") == -1
+
+    def test_first_appearance_order(self, divider):
+        assert divider.node_index("in") == 0
+        assert divider.node_index("mid") == 1
+
+    def test_unknown_node_raises(self, divider):
+        with pytest.raises(NetlistError):
+            divider.node_index("nowhere")
+
+    def test_branch_index_offset(self, divider):
+        assert divider.branch_index("Vin") == 2
+
+    def test_branch_index_missing(self, divider):
+        with pytest.raises(NetlistError):
+            divider.branch_index("R1")
+
+
+class TestValidation:
+    def test_divider_validates(self, divider):
+        divider.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist().validate()
+
+    def test_floating_circuit_rejected(self):
+        net = Netlist().resistor("R1", "a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            net.validate()
+
+    def test_dangling_node_rejected(self):
+        net = Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        net.vccs("G1", "a", "0", "sense", "0", 1e-3)
+        # Node "sense" is only touched by a VCCS control terminal.
+        with pytest.raises(NetlistError):
+            net.validate()
+
+    def test_vccs_control_may_share_driven_node(self):
+        net = Netlist()
+        net.voltage_source("Vin", "in", "0", 1.0)
+        net.vccs("G1", "out", "0", "in", "0", 1e-3)
+        net.resistor("RL", "out", "0", 1000.0)
+        net.validate()

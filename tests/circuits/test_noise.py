@@ -1,0 +1,130 @@
+"""Tests for the thermal-noise analysis against textbook results."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.noise import BOLTZMANN, NoiseAnalysis
+from repro.exceptions import SimulationError
+
+
+def rc_netlist(r=10e3, c=1e-12):
+    net = Netlist()
+    net.voltage_source("Vin", "in", "0", 1.0)
+    net.resistor("R", "in", "out", r)
+    net.capacitor("C", "out", "0", c)
+    return net
+
+
+class TestRCNoise:
+    def test_low_frequency_psd_is_4ktr(self):
+        """Well below the pole the full resistor noise appears at the output."""
+        r, temp = 10e3, 300.0
+        analysis = NoiseAnalysis(rc_netlist(r=r), temperature=temp)
+        result = analysis.output_noise("out", np.array([1.0, 10.0]))
+        expected = 4.0 * BOLTZMANN * temp * r
+        assert result.psd[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_integrated_noise_is_kt_over_c(self):
+        """The classic result: total RC output noise = kT/C, independent of R."""
+        c, temp = 1e-12, 300.0
+        expected_rms = np.sqrt(BOLTZMANN * temp / c)
+        for r in (1e3, 10e3, 100e3):
+            pole = 1.0 / (2 * np.pi * r * c)
+            freqs = np.logspace(np.log10(pole) - 4, np.log10(pole) + 4, 4000)
+            analysis = NoiseAnalysis(rc_netlist(r=r, c=c), temperature=temp)
+            rms = analysis.output_noise("out", freqs).rms()
+            assert rms == pytest.approx(expected_rms, rel=0.02), f"R={r}"
+
+    def test_psd_scales_with_temperature(self):
+        cold = NoiseAnalysis(rc_netlist(), temperature=150.0)
+        hot = NoiseAnalysis(rc_netlist(), temperature=300.0)
+        f = np.array([1.0, 10.0])
+        ratio = hot.output_noise("out", f).psd / cold.output_noise("out", f).psd
+        assert np.allclose(ratio, 2.0, rtol=1e-9)
+
+
+class TestDivider:
+    def test_two_resistor_divider_psd(self):
+        """Divider output noise: parallel combination sets the PSD."""
+        r1, r2, temp = 1e3, 3e3, 300.0
+        net = Netlist()
+        net.voltage_source("Vin", "in", "0", 1.0)
+        net.resistor("R1", "in", "out", r1)
+        net.resistor("R2", "out", "0", r2)
+        # Tiny cap keeps the output node well-defined at all frequencies.
+        net.capacitor("C", "out", "0", 1e-18)
+        analysis = NoiseAnalysis(net, temperature=temp)
+        result = analysis.output_noise("out", np.array([1.0, 100.0]))
+        r_par = r1 * r2 / (r1 + r2)
+        assert result.psd[0] == pytest.approx(
+            4 * BOLTZMANN * temp * r_par, rel=1e-6
+        )
+
+    def test_dominant_contributor(self):
+        """With R2 >> R1 the parallel impedance ~ R1, and R1's current
+        noise (4kT/R1, the largest) dominates the output."""
+        net = Netlist()
+        net.voltage_source("Vin", "in", "0", 1.0)
+        net.resistor("Rsmall", "in", "out", 100.0)
+        net.resistor("Rbig", "out", "0", 1e6)
+        net.capacitor("C", "out", "0", 1e-18)
+        analysis = NoiseAnalysis(net)
+        result = analysis.output_noise("out", np.array([1.0, 10.0]))
+        assert result.dominant_contributor() == "Rsmall"
+
+
+class TestInputReferred:
+    def test_amplifier_input_referred(self):
+        """For a VCCS amplifier with source resistance, the input-referred
+        noise at low frequency is the source resistor's 4kTR (the load
+        resistor is suppressed by the gain)."""
+        rs, rl, gm, temp = 1e3, 100e3, 10e-3, 300.0
+        net = Netlist()
+        net.voltage_source("Vin", "src", "0", 1.0)
+        net.resistor("Rs", "src", "g", rs)
+        net.capacitor("Cg", "g", "0", 1e-15)
+        net.vccs("G1", "out", "0", "g", "0", gm)
+        net.resistor("RL", "out", "0", rl)
+        net.capacitor("CL", "out", "0", 1e-15)
+        analysis = NoiseAnalysis(net, temperature=temp)
+        psd_in = analysis.input_referred_noise("out", "Vin", np.array([10.0, 100.0]))
+        source_noise = 4 * BOLTZMANN * temp * rs
+        load_referred = 4 * BOLTZMANN * temp * rl / (gm * rl) ** 2
+        assert psd_in[0] == pytest.approx(source_noise + load_referred, rel=1e-3)
+
+    def test_unknown_source_raises(self):
+        analysis = NoiseAnalysis(rc_netlist())
+        with pytest.raises(SimulationError):
+            analysis.input_referred_noise("out", "Vxx", np.array([1.0, 2.0]))
+
+
+class TestValidation:
+    def test_rejects_no_resistors(self):
+        net = Netlist()
+        net.voltage_source("Vin", "in", "0", 1.0)
+        net.capacitor("C", "in", "0", 1e-12)
+        with pytest.raises(SimulationError):
+            NoiseAnalysis(net)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(SimulationError):
+            NoiseAnalysis(rc_netlist(), temperature=0.0)
+
+    def test_rejects_single_frequency(self):
+        analysis = NoiseAnalysis(rc_netlist())
+        with pytest.raises(SimulationError):
+            analysis.output_noise("out", np.array([1.0]))
+
+    def test_sources_are_zeroed(self):
+        """The driven input must not leak into the noise solution: the
+        PSD is identical whether the source amplitude is 1 V or 100 V."""
+        net_a = rc_netlist()
+        net_b = Netlist()
+        net_b.voltage_source("Vin", "in", "0", 100.0)
+        net_b.resistor("R", "in", "out", 10e3)
+        net_b.capacitor("C", "out", "0", 1e-12)
+        f = np.array([10.0, 1000.0])
+        psd_a = NoiseAnalysis(net_a).output_noise("out", f).psd
+        psd_b = NoiseAnalysis(net_b).output_noise("out", f).psd
+        assert np.allclose(psd_a, psd_b, rtol=1e-12)

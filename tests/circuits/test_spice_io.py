@@ -1,0 +1,171 @@
+"""Tests for the SPICE-flavoured netlist parser/writer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.components import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VoltageSource,
+)
+from repro.circuits.mna import ACAnalysis
+from repro.circuits.spice_io import (
+    format_value,
+    parse_netlist,
+    parse_value,
+    write_netlist,
+)
+from repro.exceptions import NetlistError
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            ("100", 100.0),
+            ("4.7k", 4700.0),
+            ("0.5p", 0.5e-12),
+            ("1meg", 1e6),
+            ("1MEG", 1e6),
+            ("10u", 1e-5),
+            ("3n", 3e-9),
+            ("2.2m", 2.2e-3),
+            ("15f", 15e-15),
+            ("1e-3", 1e-3),
+            ("-2.5k", -2500.0),
+            ("1g", 1e9),
+            ("1t", 1e12),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_unit_letters_after_suffix(self):
+        # SPICE convention: "10pF" means 10 pico (unit letters ignored).
+        assert parse_value("10pF") == pytest.approx(10e-12)
+        assert parse_value("1kohm") == pytest.approx(1000.0)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(NetlistError):
+            parse_value("abc")
+        with pytest.raises(NetlistError):
+            parse_value("1.2.3")
+        with pytest.raises(NetlistError):
+            parse_value("5x")
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (0.0, "0"),
+            (4700.0, "4.7k"),
+            (1e6, "1meg"),
+            (0.5e-12, "500f"),
+            (3.3e-12, "3.3p"),
+            (2.2e-3, "2.2m"),
+            (42.0, "42"),
+        ],
+    )
+    def test_formats(self, value, expected):
+        assert format_value(value) == expected
+
+    def test_round_trip(self):
+        for value in (1.0, 4700.0, 3.3e-12, 1.5e7, 2e-15, 0.25):
+            assert parse_value(format_value(value)) == pytest.approx(value, rel=1e-6)
+
+
+OPAMP_CARDS = """
+* two-stage macromodel
+VIN in 0 AC 1
+GM1 x 0 in 0 1.85m
+R1  x 0 95k
+C1  x 0 45f
+CC  x out 0.5p
+GM2 out 0 x 0 9.2m
+R2  out 0 21k
+CL  out 0 1p
+.END
+"""
+
+
+class TestParseNetlist:
+    def test_element_types(self):
+        net = parse_netlist(OPAMP_CARDS, title="opamp")
+        assert len(net) == 8
+        assert isinstance(net["VIN"], VoltageSource)
+        assert isinstance(net["GM1"], VCCS)
+        assert isinstance(net["R1"], Resistor)
+        assert isinstance(net["CC"], Capacitor)
+        assert net["R1"].value == pytest.approx(95e3)
+        assert net["GM2"].gm == pytest.approx(9.2e-3)
+
+    def test_parsed_netlist_simulates(self):
+        """The parsed macromodel must actually run through the MNA solver."""
+        net = parse_netlist(OPAMP_CARDS)
+        sol = ACAnalysis(net).solve([1.0])
+        gain = abs(sol.transfer("out", "in")[0])
+        expected = (1.85e-3 * 95e3) * (9.2e-3 * 21e3)
+        assert gain == pytest.approx(expected, rel=0.02)
+
+    def test_comments_and_continuations(self):
+        text = """
+* comment line
+R1 a 0 1k   ; trailing comment
+G1 out 0
++ a 0
++ 2m
+RL out 0 500
+"""
+        net = parse_netlist(text)
+        assert len(net) == 3
+        assert net["G1"].gm == pytest.approx(2e-3)
+
+    def test_inductor_and_current_source(self):
+        net = parse_netlist("I1 0 a 1m\nL1 a b 10n\nR1 b 0 50\n")
+        assert isinstance(net["L1"], Inductor)
+        assert isinstance(net["I1"], CurrentSource)
+
+    def test_end_card_stops_parsing(self):
+        net = parse_netlist("R1 a 0 1k\n.END\nR2 b 0 1k\n")
+        assert "R2" not in net
+
+    def test_reads_from_file(self, tmp_path):
+        path = tmp_path / "amp.cir"
+        path.write_text(OPAMP_CARDS)
+        net = parse_netlist(path)
+        assert len(net) == 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("* nothing here\n")
+
+    def test_rejects_unknown_element(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("Q1 c b e model")
+
+    def test_rejects_malformed_card(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0")
+        with pytest.raises(NetlistError):
+            parse_netlist("G1 a 0 2m")
+
+    def test_rejects_orphan_continuation(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("+ 1k\n")
+
+
+class TestWriteNetlist:
+    def test_round_trip_preserves_response(self, tmp_path):
+        original = parse_netlist(OPAMP_CARDS, title="opamp")
+        text = write_netlist(original, tmp_path / "out.cir")
+        restored = parse_netlist(tmp_path / "out.cir")
+        freqs = np.logspace(1, 8, 30)
+        h0 = ACAnalysis(original).solve(freqs).transfer("out", "in")
+        h1 = ACAnalysis(restored).solve(freqs).transfer("out", "in")
+        assert np.allclose(h0, h1, rtol=1e-5)
+        assert ".END" in text
+        assert text.startswith("* opamp")

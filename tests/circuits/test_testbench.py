@@ -1,0 +1,98 @@
+"""Tests for the coherent-sampling testbench and FFT metrics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.testbench import (
+    SpectralAnalyzer,
+    coherent_frequency,
+    sine_record,
+)
+from repro.exceptions import SimulationError
+
+
+class TestCoherentFrequency:
+    def test_basic(self):
+        assert coherent_frequency(1024, 7, 1.0e6) == pytest.approx(7e6 / 1024)
+
+    def test_rejects_common_factor(self):
+        with pytest.raises(SimulationError):
+            coherent_frequency(1024, 8, 1.0)
+
+    def test_rejects_nyquist_violation(self):
+        with pytest.raises(SimulationError):
+            coherent_frequency(64, 40, 1.0)
+
+
+class TestSineRecord:
+    def test_exact_bin_content(self):
+        x = sine_record(256, 9, amplitude=1.0)
+        spectrum = np.abs(np.fft.rfft(x))
+        assert np.argmax(spectrum) == 9
+        # Coherent: every other bin is numerically empty.
+        others = np.delete(spectrum, 9)
+        assert np.max(others) < 1e-9 * spectrum[9]
+
+    def test_offset(self):
+        x = sine_record(128, 5, 1.0, offset=2.5)
+        assert x.mean() == pytest.approx(2.5)
+
+
+class TestSpectralAnalyzer:
+    def test_pure_sine_with_noise(self, rng):
+        n, k = 4096, 63
+        snr_target = 40.0
+        amp = 1.0
+        noise_sigma = amp / np.sqrt(2) / 10 ** (snr_target / 20)
+        x = sine_record(n, k, amp) + noise_sigma * rng.standard_normal(n)
+        m = SpectralAnalyzer().analyze(x, k)
+        assert m.snr == pytest.approx(snr_target, abs=1.5)
+        assert m.sinad == pytest.approx(snr_target, abs=1.5)
+
+    def test_known_third_harmonic(self):
+        n, k = 4096, 63
+        x = sine_record(n, k, 1.0) + sine_record(n, 3 * k, 0.01)
+        m = SpectralAnalyzer().analyze(x, k)
+        # HD3 at -40 dBc dominates both THD and SFDR.
+        assert m.thd == pytest.approx(-40.0, abs=0.5)
+        assert m.sfdr == pytest.approx(40.0, abs=0.5)
+
+    def test_harmonic_folding(self):
+        # Place the 2nd harmonic above Nyquist; it must alias and still
+        # be counted as distortion rather than noise.
+        n, k = 1024, 301  # 2k = 602 > 512 folds to 1024-602 = 422
+        x = sine_record(n, k, 1.0) + sine_record(n, 2 * k, 0.02)
+        m = SpectralAnalyzer(n_harmonics=2).analyze(x, k)
+        assert m.thd == pytest.approx(-33.98, abs=0.5)
+
+    def test_ideal_quantizer_snr(self, rng):
+        """A b-bit quantizer measures close to 6.02 b + 1.76 dB."""
+        n, k, bits = 8192, 1021, 8
+        lsb = 2.0 / (1 << bits)
+        x = sine_record(n, k, 0.999)
+        codes = np.round(x / lsb)
+        m = SpectralAnalyzer().analyze(codes, k)
+        assert m.sinad == pytest.approx(6.02 * bits + 1.76, abs=1.5)
+        assert m.enob == pytest.approx(bits, abs=0.3)
+
+    def test_enob_definition(self, rng):
+        x = sine_record(2048, 67, 1.0) + 1e-3 * rng.standard_normal(2048)
+        m = SpectralAnalyzer().analyze(x, 67)
+        assert m.enob == pytest.approx((m.sinad - 1.76) / 6.02)
+
+    def test_as_tuple_order(self, rng):
+        x = sine_record(2048, 67, 1.0) + 1e-3 * rng.standard_normal(2048)
+        m = SpectralAnalyzer().analyze(x, 67)
+        assert m.as_tuple() == (m.snr, m.sinad, m.sfdr, m.thd)
+
+    def test_rejects_short_record(self):
+        with pytest.raises(SimulationError):
+            SpectralAnalyzer().analyze(np.ones(8), 1)
+
+    def test_rejects_bad_signal_bin(self):
+        with pytest.raises(SimulationError):
+            SpectralAnalyzer().analyze(np.ones(128), 64)
+
+    def test_rejects_empty_signal_bin(self):
+        with pytest.raises(SimulationError):
+            SpectralAnalyzer().analyze(np.zeros(128), 7)

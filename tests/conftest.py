@@ -1,0 +1,58 @@
+"""Shared fixtures: RNGs, SPD matrices, synthetic and circuit datasets.
+
+Circuit datasets are session-scoped and deliberately small — statistical
+resolution belongs to the benchmarks, tests only need the plumbing to be
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.montecarlo import (
+    PairedDataset,
+    generate_adc_dataset,
+    generate_opamp_dataset,
+)
+from repro.core.prior import PriorKnowledge
+from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def spd5(rng) -> np.ndarray:
+    """A well-conditioned 5x5 SPD matrix."""
+    a = rng.standard_normal((5, 5))
+    return a @ a.T + 5.0 * np.eye(5)
+
+
+@pytest.fixture
+def gaussian5(spd5, rng) -> MultivariateGaussian:
+    """A 5-dimensional Gaussian with random mean and the spd5 covariance."""
+    return MultivariateGaussian(rng.standard_normal(5), spd5)
+
+
+@pytest.fixture
+def synthetic_prior(gaussian5) -> PriorKnowledge:
+    """A prior mildly perturbed from the gaussian5 truth."""
+    return PriorKnowledge(
+        gaussian5.mean + 0.05, gaussian5.covariance * 1.08
+    )
+
+
+@pytest.fixture(scope="session")
+def opamp_dataset_small() -> PairedDataset:
+    """300 paired op-amp dies (cached for the whole test session)."""
+    return generate_opamp_dataset(n_samples=300, seed=77)
+
+
+@pytest.fixture(scope="session")
+def adc_dataset_small() -> PairedDataset:
+    """200 paired ADC dies (cached for the whole test session)."""
+    return generate_adc_dataset(n_samples=200, seed=77)

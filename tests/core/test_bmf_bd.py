@@ -1,0 +1,73 @@
+"""Tests for BMF-BD (Beta-Bernoulli yield fusion, reference [5])."""
+
+import numpy as np
+import pytest
+
+from repro.core.bmf_bd import BernoulliBMF, BetaPrior
+from repro.exceptions import HyperParameterError, InsufficientDataError
+
+
+class TestBetaPrior:
+    def test_mode_anchored_at_early_yield(self):
+        prior = BetaPrior.from_early_yield(0.9, strength=50.0)
+        assert prior.mode == pytest.approx(0.9)
+
+    def test_strength_is_equivalent_count(self):
+        prior = BetaPrior.from_early_yield(0.8, strength=20.0)
+        assert prior.a + prior.b - 2.0 == pytest.approx(20.0)
+
+    def test_rejects_degenerate_yield(self):
+        with pytest.raises(HyperParameterError):
+            BetaPrior.from_early_yield(1.0, 10.0)
+        with pytest.raises(HyperParameterError):
+            BetaPrior.from_early_yield(0.0, 10.0)
+
+    def test_posterior_counts(self):
+        prior = BetaPrior(2.0, 3.0)
+        post = prior.posterior(passes=4, fails=1)
+        assert post.a == pytest.approx(6.0)
+        assert post.b == pytest.approx(4.0)
+
+    def test_posterior_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BetaPrior(1.0, 1.0).posterior(-1, 0)
+
+    def test_credible_interval_brackets_mode(self):
+        prior = BetaPrior.from_early_yield(0.7, strength=100.0)
+        lo, hi = prior.credible_interval(0.95)
+        assert lo < 0.7 < hi
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_mode_none_for_flat(self):
+        assert BetaPrior(1.0, 1.0).mode is None
+
+
+class TestBernoulliBMF:
+    def test_all_pass_small_sample_stays_near_prior(self):
+        bmf = BernoulliBMF(yield_e=0.85, strength=40.0)
+        estimate = bmf.estimate(np.ones(5))
+        # 5 passes cannot drag the estimate far from a strength-40 prior.
+        assert 0.84 <= estimate <= 0.92
+
+    def test_many_fails_overrides_prior(self, rng):
+        bmf = BernoulliBMF(yield_e=0.95, strength=10.0)
+        outcomes = (rng.random(500) < 0.5).astype(float)
+        estimate = bmf.estimate(outcomes)
+        assert abs(estimate - 0.5) < 0.1
+
+    def test_accepts_booleans(self):
+        bmf = BernoulliBMF(yield_e=0.8)
+        assert 0.0 <= bmf.estimate([True, False, True]) <= 1.0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BernoulliBMF(0.8).estimate([0.5, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InsufficientDataError):
+            BernoulliBMF(0.8).estimate([])
+
+    def test_interval_contains_point(self, rng):
+        bmf = BernoulliBMF(yield_e=0.9, strength=30.0)
+        point, (lo, hi) = bmf.estimate_with_interval((rng.random(40) < 0.9))
+        assert lo <= point <= hi

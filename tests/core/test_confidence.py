@@ -1,0 +1,97 @@
+"""Tests for posterior credible intervals/regions."""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import (
+    mean_credible_region,
+    mean_region_contains,
+    posterior_credible_summary,
+)
+from repro.exceptions import HyperParameterError
+
+
+@pytest.fixture
+def posterior(synthetic_prior, gaussian5, rng):
+    nw = synthetic_prior.to_normal_wishart(kappa0=3.0, v0=15.0)
+    return nw.posterior(gaussian5.sample(24, rng))
+
+
+class TestCredibleSummary:
+    def test_intervals_bracket_points(self, posterior):
+        summary = posterior_credible_summary(posterior, 0.95)
+        assert np.all(summary.mean_lower < summary.mean_point)
+        assert np.all(summary.mean_point < summary.mean_upper)
+        assert np.all(summary.var_lower < summary.var_upper)
+        assert np.all(summary.var_lower > 0.0)
+
+    def test_higher_level_wider(self, posterior):
+        s90 = posterior_credible_summary(posterior, 0.90)
+        s99 = posterior_credible_summary(posterior, 0.99)
+        width90 = s90.mean_upper - s90.mean_lower
+        width99 = s99.mean_upper - s99.mean_lower
+        assert np.all(width99 > width90)
+
+    def test_more_data_narrows(self, synthetic_prior, gaussian5, rng):
+        nw = synthetic_prior.to_normal_wishart(3.0, 15.0)
+        small = posterior_credible_summary(nw.posterior(gaussian5.sample(8, rng)))
+        big = posterior_credible_summary(nw.posterior(gaussian5.sample(200, rng)))
+        assert np.all(
+            (big.mean_upper - big.mean_lower) < (small.mean_upper - small.mean_lower)
+        )
+
+    def test_interval_accessors(self, posterior):
+        summary = posterior_credible_summary(posterior)
+        lo, hi = summary.mean_interval(2)
+        assert lo < summary.mean_point[2] < hi
+        vlo, vhi = summary.variance_interval(0)
+        assert vlo < vhi
+
+    def test_rejects_bad_level(self, posterior):
+        with pytest.raises(HyperParameterError):
+            posterior_credible_summary(posterior, 1.0)
+
+    def test_frequentist_coverage(self, gaussian5, rng):
+        """The 90% marginal mean interval should cover the truth ~90%."""
+        from repro.core.prior import PriorKnowledge
+
+        prior = PriorKnowledge(gaussian5.mean, gaussian5.covariance)
+        nw = prior.to_normal_wishart(kappa0=1.0, v0=8.0)
+        hits = 0
+        trials = 60
+        for _ in range(trials):
+            post = nw.posterior(gaussian5.sample(20, rng))
+            summary = posterior_credible_summary(post, 0.90)
+            hits += int(
+                summary.mean_lower[0] <= gaussian5.mean[0] <= summary.mean_upper[0]
+            )
+        # 90% nominal; accept a generous band for 60 trials.
+        assert hits >= 45
+
+
+class TestMeanRegion:
+    def test_center_inside(self, posterior):
+        center, shape, r2 = mean_credible_region(posterior, 0.95)
+        assert mean_region_contains(center, shape, r2, center[None, :])[0]
+
+    def test_far_point_outside(self, posterior):
+        center, shape, r2 = mean_credible_region(posterior, 0.95)
+        far = center + 100.0
+        assert not mean_region_contains(center, shape, r2, far[None, :])[0]
+
+    def test_monotone_in_level(self, posterior):
+        _c1, _s1, r2_90 = mean_credible_region(posterior, 0.90)
+        _c2, _s2, r2_99 = mean_credible_region(posterior, 0.99)
+        assert r2_99 > r2_90
+
+    def test_posterior_mass_calibration(self, posterior, rng):
+        """~95% of posterior mu draws should fall inside the 95% region."""
+        center, shape, r2 = mean_credible_region(posterior, 0.95)
+        mus, _lams = posterior.sample(800, rng)
+        inside = mean_region_contains(center, shape, r2, mus)
+        assert 0.90 <= inside.mean() <= 0.99
+
+    def test_dim_mismatch(self, posterior):
+        center, shape, r2 = mean_credible_region(posterior)
+        with pytest.raises(Exception):
+            mean_region_contains(center, shape, r2, np.zeros((1, 3)))

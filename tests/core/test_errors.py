@@ -1,0 +1,59 @@
+"""Tests for the error criteria of Eq. (37)-(38)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    EstimationError,
+    covariance_error,
+    estimation_error,
+    mean_error,
+)
+from repro.core.estimators import MomentEstimate
+from repro.exceptions import DimensionError
+
+
+class TestMeanError:
+    def test_zero_for_exact(self, rng):
+        mu = rng.standard_normal(5)
+        assert mean_error(mu, mu) == 0.0
+
+    def test_euclidean(self):
+        assert mean_error([1.0, 0.0], [0.0, 0.0]) == pytest.approx(1.0)
+        assert mean_error([3.0, 4.0], [0.0, 0.0]) == pytest.approx(5.0)
+
+    def test_symmetric(self, rng):
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        assert mean_error(a, b) == pytest.approx(mean_error(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            mean_error([1.0], [1.0, 2.0])
+
+
+class TestCovarianceError:
+    def test_zero_for_exact(self, spd5):
+        assert covariance_error(spd5, spd5) == 0.0
+
+    def test_frobenius(self, spd5):
+        assert covariance_error(2.0 * spd5, spd5) == pytest.approx(
+            np.linalg.norm(spd5, "fro")
+        )
+
+    def test_shape_mismatch(self, spd5):
+        with pytest.raises(DimensionError):
+            covariance_error(spd5, np.eye(3))
+
+
+class TestEstimationError:
+    def test_bundles_both(self, spd5, rng):
+        mu = rng.standard_normal(5)
+        estimate = MomentEstimate(
+            mean=mu + 1.0, covariance=spd5 * 1.5, n_samples=16, method="test"
+        )
+        err = estimation_error(estimate, mu, spd5)
+        assert isinstance(err, EstimationError)
+        assert err.mean_error == pytest.approx(np.sqrt(5.0))
+        assert err.covariance_error == pytest.approx(0.5 * np.linalg.norm(spd5, "fro"))
+        assert err.method == "test"
+        assert err.n_samples == 16

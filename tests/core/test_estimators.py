@@ -1,0 +1,72 @@
+"""Tests for the shared estimator API."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import MomentEstimate, MomentEstimator
+from repro.exceptions import DimensionError, NotSPDError
+
+
+class TestMomentEstimate:
+    def test_validate_passes_good(self, spd5, rng):
+        MomentEstimate(
+            mean=rng.standard_normal(5), covariance=spd5, n_samples=4, method="x"
+        ).validate()
+
+    def test_validate_rejects_shape_mismatch(self, spd5):
+        est = MomentEstimate(
+            mean=np.zeros(3), covariance=spd5, n_samples=4, method="x"
+        )
+        with pytest.raises(DimensionError):
+            est.validate()
+
+    def test_validate_rejects_indefinite(self):
+        est = MomentEstimate(
+            mean=np.zeros(2),
+            covariance=np.diag([1.0, -1.0]),
+            n_samples=4,
+            method="x",
+        )
+        with pytest.raises(NotSPDError):
+            est.validate()
+
+    def test_to_gaussian_round_trip(self, spd5, rng):
+        mu = rng.standard_normal(5)
+        gaussian = MomentEstimate(
+            mean=mu, covariance=spd5, n_samples=4, method="x"
+        ).to_gaussian()
+        assert np.allclose(gaussian.mean, mu)
+        assert np.allclose(gaussian.covariance, (spd5 + spd5.T) / 2)
+
+    def test_loglik_matches_gaussian(self, spd5, rng):
+        mu = rng.standard_normal(5)
+        est = MomentEstimate(mean=mu, covariance=spd5, n_samples=4, method="x")
+        x = est.to_gaussian().sample(10, rng)
+        assert est.loglik(x) == pytest.approx(est.to_gaussian().loglik(x))
+
+    def test_info_defaults_empty(self, spd5):
+        est = MomentEstimate(np.zeros(5), spd5, 4, "x")
+        assert est.info == {}
+
+
+class TestAbstractBase:
+    def test_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            MomentEstimator()
+
+    def test_subclass_contract(self, gaussian5, rng):
+        class Dummy(MomentEstimator):
+            name = "dummy"
+
+            def estimate(self, samples, rng=None):
+                data = self._check(samples)
+                return MomentEstimate(
+                    mean=data.mean(axis=0),
+                    covariance=np.eye(data.shape[1]),
+                    n_samples=data.shape[0],
+                    method=self.name,
+                )
+
+        est = Dummy().estimate(gaussian5.sample(6, rng))
+        assert est.method == "dummy"
+        assert est.dim == 5

@@ -1,0 +1,62 @@
+"""Tests for the MLE baseline (Eq. 10-11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mle import MLEstimator
+from repro.exceptions import InsufficientDataError
+from repro.linalg.validation import is_spd
+from repro.stats.moments import mle_covariance
+
+
+class TestMLEstimator:
+    def test_mean_matches_eq10(self, gaussian5, rng):
+        data = gaussian5.sample(30, rng)
+        est = MLEstimator().estimate(data)
+        assert np.allclose(est.mean, data.mean(axis=0))
+
+    def test_covariance_matches_eq11(self, gaussian5, rng):
+        data = gaussian5.sample(30, rng)
+        est = MLEstimator(eig_floor_rel=0.0).estimate(data)
+        assert np.allclose(est.covariance, mle_covariance(data))
+
+    def test_unbiased_option(self, gaussian5, rng):
+        data = gaussian5.sample(30, rng)
+        est = MLEstimator(eig_floor_rel=0.0, ddof=1).estimate(data)
+        assert np.allclose(est.covariance, np.cov(data.T, bias=False))
+
+    def test_metadata(self, gaussian5, rng):
+        est = MLEstimator().estimate(gaussian5.sample(12, rng))
+        assert est.method == "mle"
+        assert est.n_samples == 12
+        assert est.dim == 5
+        est.validate()
+
+    def test_floor_keeps_rank_deficient_invertible(self, gaussian5, rng):
+        # n = 3 < d = 5: raw MLE covariance is singular; the floor fixes it.
+        data = gaussian5.sample(3, rng)
+        est = MLEstimator().estimate(data)
+        assert is_spd(est.covariance)
+
+    def test_needs_two_samples(self, gaussian5, rng):
+        with pytest.raises(InsufficientDataError):
+            MLEstimator().estimate(gaussian5.sample(1, rng))
+
+    def test_rejects_bad_ddof(self):
+        with pytest.raises(ValueError):
+            MLEstimator(ddof=2)
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            MLEstimator(eig_floor_rel=-1.0)
+
+    def test_consistency_with_many_samples(self, gaussian5, rng):
+        data = gaussian5.sample(50000, rng)
+        est = MLEstimator().estimate(data)
+        assert np.allclose(est.mean, gaussian5.mean, atol=0.06)
+        assert np.allclose(est.covariance, gaussian5.covariance, atol=0.3)
+
+    def test_loglik_helper(self, gaussian5, rng):
+        data = gaussian5.sample(20, rng)
+        est = MLEstimator().estimate(data)
+        assert np.isfinite(est.loglik(data))

@@ -1,0 +1,165 @@
+"""Tests for multi-population (corner) BMF."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import mean_error
+from repro.core.multipop import MultiPopulationBMF, PopulationData
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError, InsufficientDataError
+from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+
+def _make_populations(rng, n_pops=3, n_late=8, shared_delta=1.0, d=4):
+    """K populations with different centres, same covariance, and a
+    SHARED early-to-late mean discrepancy (the structure pooling exploits)."""
+    a = rng.standard_normal((d, d))
+    cov = a @ a.T / d + np.eye(d)
+    delta = np.full(d, shared_delta) / np.sqrt(d)
+    populations, truths = [], {}
+    for k in range(n_pops):
+        centre = rng.standard_normal(d) * 3.0
+        prior = PriorKnowledge(centre, cov)
+        late_truth = MultivariateGaussian(centre + delta, cov)
+        populations.append(
+            PopulationData(
+                name=f"pop{k}",
+                prior=prior,
+                late_samples=late_truth.sample(n_late, rng),
+            )
+        )
+        truths[f"pop{k}"] = late_truth
+    return populations, truths
+
+
+class TestValidation:
+    def test_needs_two_populations(self, rng):
+        pops, _ = _make_populations(rng, n_pops=3)
+        with pytest.raises(InsufficientDataError):
+            MultiPopulationBMF(pops[:1])
+
+    def test_dimension_mismatch(self, rng):
+        pops, _ = _make_populations(rng, n_pops=2, d=4)
+        other = PopulationData(
+            name="odd",
+            prior=PriorKnowledge(np.zeros(3), np.eye(3)),
+            late_samples=rng.standard_normal((5, 3)),
+        )
+        with pytest.raises(DimensionError):
+            MultiPopulationBMF(pops + [other])
+
+    def test_duplicate_names(self, rng):
+        pops, _ = _make_populations(rng, n_pops=2)
+        twin = PopulationData(
+            name="pop0", prior=pops[0].prior, late_samples=pops[0].late_samples
+        )
+        with pytest.raises(DimensionError):
+            MultiPopulationBMF(pops + [twin])
+
+    def test_population_needs_two_samples(self, rng):
+        with pytest.raises(InsufficientDataError):
+            PopulationData(
+                name="x",
+                prior=PriorKnowledge(np.zeros(2), np.eye(2)),
+                late_samples=np.zeros((1, 2)),
+            )
+
+    def test_bad_tau_candidates(self, rng):
+        pops, _ = _make_populations(rng)
+        with pytest.raises(DimensionError):
+            MultiPopulationBMF(pops, tau_candidates=(0.0, 1.0))
+
+
+class TestPooling:
+    def test_pooled_delta_formula(self, rng):
+        pops, _ = _make_populations(rng, n_pops=2, n_late=10)
+        fusion = MultiPopulationBMF(pops)
+        delta = fusion._pooled_delta(pops)
+        manual = (
+            10 * (pops[0].late_samples.mean(axis=0) - pops[0].prior.mean)
+            + 10 * (pops[1].late_samples.mean(axis=0) - pops[1].prior.mean)
+        ) / 20
+        assert np.allclose(delta, manual)
+
+    def test_pooling_beats_independent_on_shared_shift(self, rng):
+        """With a genuine shared discrepancy, pooling must reduce the
+        average mean error (averaged over repeated worlds)."""
+        pooled_err, indep_err = 0.0, 0.0
+        for trial in range(6):
+            world = np.random.default_rng(100 + trial)
+            pops, truths = _make_populations(
+                world, n_pops=4, n_late=6, shared_delta=1.5
+            )
+            fusion = MultiPopulationBMF(pops)
+            pooled = fusion.estimate_all(rng=world)
+            indep = fusion.estimate_independent(rng=world)
+            for name, truth in truths.items():
+                pooled_err += mean_error(pooled[name].mean, truth.mean)
+                indep_err += mean_error(indep[name].mean, truth.mean)
+        assert pooled_err < indep_err
+
+    def test_no_shared_shift_selects_large_tau(self, rng):
+        """Without a common discrepancy, the leave-population-out score
+        should favour weak pooling (large tau)."""
+        # Each population gets an *opposite* discrepancy: pooling is harmful.
+        d = 4
+        cov = np.eye(d)
+        pops = []
+        for k in range(4):
+            centre = rng.standard_normal(d) * 2.0
+            sign = 1.0 if k % 2 == 0 else -1.0
+            truth = MultivariateGaussian(centre + sign * 1.5, cov)
+            pops.append(
+                PopulationData(
+                    name=f"p{k}",
+                    prior=PriorKnowledge(centre, cov),
+                    late_samples=truth.sample(12, rng),
+                )
+            )
+        fusion = MultiPopulationBMF(pops, tau_candidates=(1e-3, 1e6))
+        assert fusion.select_tau(rng) == 1e6
+
+    def test_estimates_have_metadata(self, rng):
+        pops, _ = _make_populations(rng)
+        fusion = MultiPopulationBMF(pops)
+        out = fusion.estimate_all(rng=rng)
+        assert set(out) == {"pop0", "pop1", "pop2"}
+        for estimate in out.values():
+            assert estimate.method == "multipop_bmf"
+            assert "tau" in estimate.info
+            estimate.validate()
+        assert fusion.selected_tau is not None
+        assert fusion.pooled_delta is not None
+
+
+class TestOnCornerData:
+    def test_corner_flow(self):
+        """End-to-end: corner banks -> iso space -> multipop fusion."""
+        from repro.circuits.corners import STANDARD_CORNERS, generate_corner_datasets
+        from repro.core.preprocessing import ShiftScaleTransform
+
+        datasets = generate_corner_datasets(
+            STANDARD_CORNERS[:3], n_samples=120, seed=5
+        )
+        rng = np.random.default_rng(6)
+        populations = []
+        exact = {}
+        for name, ds in datasets.items():
+            transform = ShiftScaleTransform.fit(
+                ds.early, ds.early_nominal, ds.late_nominal
+            )
+            early_iso = transform.transform(ds.early, "early")
+            late_iso = transform.transform(ds.late, "late")
+            idx = rng.choice(late_iso.shape[0], size=8, replace=False)
+            populations.append(
+                PopulationData(
+                    name=name,
+                    prior=PriorKnowledge.from_samples(early_iso),
+                    late_samples=late_iso[idx],
+                )
+            )
+            exact[name] = late_iso.mean(axis=0)
+        fusion = MultiPopulationBMF(populations)
+        out = fusion.estimate_all(rng=rng)
+        for name, estimate in out.items():
+            assert mean_error(estimate.mean, exact[name]) < 1.5

@@ -1,0 +1,100 @@
+"""Tests for the end-to-end BMF pipeline (Algorithm 1 + Sec. 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bmf import map_moments
+from repro.core.pipeline import BMFPipeline
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError
+from repro.linalg.validation import is_spd
+from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+
+@pytest.fixture
+def stage_pair(gaussian5, rng):
+    """Synthetic early/late stage pair with a nominal shift."""
+    early = gaussian5.sample(400, rng)
+    shift = np.full(5, 2.0)
+    late_truth = MultivariateGaussian(gaussian5.mean + shift, gaussian5.covariance)
+    late = late_truth.sample(200, rng)
+    early_nom = gaussian5.mean
+    late_nom = gaussian5.mean + shift
+    return early, late, early_nom, late_nom, late_truth
+
+
+class TestFit:
+    def test_fit_builds_isotropic_prior(self, stage_pair):
+        early, _late, e_nom, l_nom, _truth = stage_pair
+        pipeline = BMFPipeline.fit(early, e_nom, l_nom)
+        # The prior lives in the isotropic space: variances near 1.
+        assert np.allclose(np.diag(pipeline.prior.covariance), 1.0, atol=0.2)
+
+    def test_dim_mismatch_raises(self, stage_pair, spd5):
+        early, _late, e_nom, l_nom, _truth = stage_pair
+        transform = ShiftScaleTransform.fit(early, e_nom, l_nom)
+        prior = PriorKnowledge(np.zeros(3), np.eye(3))
+        with pytest.raises(DimensionError):
+            BMFPipeline(transform, prior)
+
+
+class TestEstimate:
+    def test_physical_units_returned(self, stage_pair, rng):
+        early, late, e_nom, l_nom, truth = stage_pair
+        pipeline = BMFPipeline.fit(early, e_nom, l_nom)
+        result = pipeline.estimate(late[:16], rng=rng)
+        # The fused mean must be near the late-stage truth, in raw units.
+        assert np.linalg.norm(result.mean - truth.mean) < 2.0
+        assert is_spd(result.covariance)
+
+    def test_info_has_hyperparams(self, stage_pair, rng):
+        early, late, e_nom, l_nom, _truth = stage_pair
+        pipeline = BMFPipeline.fit(early, e_nom, l_nom)
+        result = pipeline.estimate(late[:16], rng=rng)
+        assert "kappa0" in result.info and "v0" in result.info
+
+    def test_pinned_hyperparams_respected(self, stage_pair, rng):
+        early, late, e_nom, l_nom, _truth = stage_pair
+        pipeline = BMFPipeline.fit(early, e_nom, l_nom, kappa0=3.0, v0=20.0)
+        result = pipeline.estimate(late[:16], rng=rng)
+        assert result.info == {"kappa0": 3.0, "v0": 20.0}
+
+    def test_pinned_matches_manual_flow(self, stage_pair, rng):
+        """Pipeline == transform -> map_moments -> inverse transform."""
+        early, late, e_nom, l_nom, _truth = stage_pair
+        subset = late[:12]
+        pipeline = BMFPipeline.fit(early, e_nom, l_nom, kappa0=2.0, v0=15.0)
+        result = pipeline.estimate(subset)
+
+        transform = ShiftScaleTransform.fit(early, e_nom, l_nom)
+        prior = PriorKnowledge.from_samples(transform.transform(early, "early"))
+        mu_iso, cov_iso = map_moments(
+            prior, transform.transform(subset, "late"), 2.0, 15.0
+        )
+        mean_phys, cov_phys = transform.inverse_transform_moments(
+            mu_iso, cov_iso, "late"
+        )
+        assert np.allclose(result.mean, mean_phys)
+        assert np.allclose(result.covariance, cov_phys, rtol=1e-8)
+
+    def test_mle_baseline_through_same_preprocessing(self, stage_pair):
+        early, late, e_nom, l_nom, _truth = stage_pair
+        pipeline = BMFPipeline.fit(early, e_nom, l_nom)
+        result = pipeline.estimate_mle(late[:32])
+        assert result.isotropic.method == "mle"
+        expected_mean = late[:32].mean(axis=0)
+        assert np.allclose(result.mean, expected_mean, atol=1e-8)
+
+    def test_bmf_beats_mle_on_cov_small_n(self, stage_pair, rng):
+        early, late, e_nom, l_nom, truth = stage_pair
+        pipeline = BMFPipeline.fit(early, e_nom, l_nom)
+        wins = 0
+        for k in range(10):
+            idx = rng.choice(late.shape[0], size=8, replace=False)
+            bmf = pipeline.estimate(late[idx], rng=rng)
+            mle = pipeline.estimate_mle(late[idx])
+            bmf_err = np.linalg.norm(bmf.covariance - truth.covariance)
+            mle_err = np.linalg.norm(mle.covariance - truth.covariance)
+            wins += bmf_err < mle_err
+        assert wins >= 8

@@ -1,0 +1,109 @@
+"""Tests for the shift-and-scale preprocessing (Sec. 4.1, Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.exceptions import DimensionError, InsufficientDataError, NotFittedError
+
+
+@pytest.fixture
+def fitted(gaussian5, rng):
+    early = gaussian5.sample(300, rng)
+    early_nom = gaussian5.mean - 0.1
+    late_nom = gaussian5.mean + 0.7
+    return ShiftScaleTransform.fit(early, early_nom, late_nom), early
+
+
+class TestFit:
+    def test_scale_is_early_std(self, fitted):
+        transform, early = fitted
+        assert np.allclose(transform.scale, early.std(axis=0, ddof=0))
+
+    def test_rejects_constant_dimension(self, rng):
+        early = np.column_stack([rng.standard_normal(20), np.ones(20)])
+        with pytest.raises(InsufficientDataError):
+            ShiftScaleTransform.fit(early, np.zeros(2), np.zeros(2))
+
+    def test_rejects_wrong_nominal_length(self, gaussian5, rng):
+        early = gaussian5.sample(50, rng)
+        with pytest.raises(DimensionError):
+            ShiftScaleTransform.fit(early, np.zeros(3), np.zeros(5))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            ShiftScaleTransform().transform(np.zeros((2, 2)), "early")
+
+
+class TestRoundTrip:
+    def test_early_round_trip(self, fitted, gaussian5, rng):
+        transform, _early = fitted
+        x = gaussian5.sample(40, rng)
+        back = transform.inverse_transform(transform.transform(x, "early"), "early")
+        assert np.allclose(back, x)
+
+    def test_late_round_trip(self, fitted, gaussian5, rng):
+        transform, _early = fitted
+        x = gaussian5.sample(40, rng)
+        back = transform.inverse_transform(transform.transform(x, "late"), "late")
+        assert np.allclose(back, x)
+
+    def test_stage_labels_differ(self, fitted, gaussian5, rng):
+        transform, _early = fitted
+        x = gaussian5.sample(10, rng)
+        early_z = transform.transform(x, "early")
+        late_z = transform.transform(x, "late")
+        assert not np.allclose(early_z, late_z)
+
+    def test_rejects_unknown_stage(self, fitted):
+        transform, _early = fitted
+        with pytest.raises(ValueError):
+            transform.transform(np.zeros((2, 5)), "middle")
+
+    def test_rejects_wrong_width(self, fitted):
+        transform, _early = fitted
+        with pytest.raises(DimensionError):
+            transform.transform(np.zeros((2, 3)), "early")
+
+
+class TestMomentTransforms:
+    def test_moment_transform_matches_sample_transform(self, fitted, gaussian5, rng):
+        transform, _early = fitted
+        x = gaussian5.sample(5000, rng)
+        z = transform.transform(x, "late")
+        mean_z, cov_z = transform.transform_moments(
+            x.mean(axis=0), np.cov(x.T, bias=True), "late"
+        )
+        assert np.allclose(mean_z, z.mean(axis=0), atol=1e-10)
+        assert np.allclose(cov_z, np.cov(z.T, bias=True), atol=1e-10)
+
+    def test_moment_round_trip(self, fitted, spd5, rng):
+        transform, _early = fitted
+        mean = rng.standard_normal(5)
+        mean_z, cov_z = transform.transform_moments(mean, spd5, "late")
+        mean_back, cov_back = transform.inverse_transform_moments(mean_z, cov_z, "late")
+        assert np.allclose(mean_back, mean)
+        assert np.allclose(cov_back, spd5)
+
+
+class TestIsotropy:
+    def test_early_stage_becomes_isotropic(self, fitted, gaussian5):
+        """The Figure-1 property: near-zero mean offset, near-one stds."""
+        transform, early = fitted
+        report = transform.isotropy_report(early, "early")
+        # The early nominal is offset from the true mean by 0.1, so the
+        # transformed mean offset is 0.1 / scale, small but non-zero.
+        assert report["min_std"] == pytest.approx(1.0, abs=1e-9)
+        assert report["max_std"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_wildly_scaled_metrics_are_equalised(self, rng):
+        """Gain ~1e3 and power ~1e-4 (7 orders apart, Sec. 4.1) end up O(1)."""
+        gain = 3000.0 + 400.0 * rng.standard_normal(500)
+        power = 2e-4 + 3e-5 * rng.standard_normal(500)
+        early = np.column_stack([gain, power])
+        transform = ShiftScaleTransform.fit(
+            early, np.array([3000.0, 2e-4]), np.array([2900.0, 2.2e-4])
+        )
+        z = transform.transform(early, "early")
+        assert np.all(np.abs(z.std(axis=0) - 1.0) < 1e-9)
+        assert np.all(np.abs(z.mean(axis=0)) < 0.2)

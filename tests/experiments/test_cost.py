@@ -1,0 +1,76 @@
+"""Tests for the cost-reduction analysis."""
+
+import math
+
+import pytest
+
+from repro.experiments.cost import CostReduction, cost_reduction, samples_to_reach
+from repro.experiments.sweep import ErrorSweep, SweepConfig
+
+
+class TestSamplesToReach:
+    def test_exact_grid_point(self):
+        curve = {8: 1.0, 16: 0.5, 32: 0.25}
+        assert samples_to_reach(curve, 0.5) == pytest.approx(16.0)
+
+    def test_interpolation_log_log(self):
+        # Error halves per doubling: err = 8/n, so err=0.35 -> n ~ 22.9.
+        curve = {8: 1.0, 16: 0.5, 32: 0.25}
+        n = samples_to_reach(curve, 0.35)
+        assert n == pytest.approx(8.0 / 0.35, rel=0.01)
+
+    def test_already_reached_at_first_point(self):
+        assert samples_to_reach({8: 1.0, 16: 0.5}, 2.0) == 8.0
+
+    def test_never_reached(self):
+        assert samples_to_reach({8: 1.0, 16: 0.5}, 0.1) is None
+
+    def test_flat_segment(self):
+        assert samples_to_reach({8: 1.0, 16: 1.0, 32: 0.4}, 1.0) == 8.0
+
+
+class TestCostReduction:
+    def test_known_synthetic_ratio(self):
+        """BMF curve flat at 0.3; MLE err = 8/n -> needs n=26.7 vs BMF's 8."""
+
+        class FakeResult:
+            config = SweepConfig(sample_sizes=(8, 16, 32), n_repeats=1)
+            mean_errors = {
+                "bmf": {8: [0.3], 16: [0.3], 32: [0.3]},
+                "mle": {8: [1.0], 16: [0.5], 32: [0.25]},
+            }
+            cov_errors = mean_errors
+            hyperparams = {}
+
+            def mean_error_curve(self, m):
+                return {n: v[0] for n, v in self.mean_errors[m].items()}
+
+            def cov_error_curve(self, m):
+                return {n: v[0] for n, v in self.cov_errors[m].items()}
+
+        reduction = cost_reduction(FakeResult(), metric="covariance")
+        assert reduction.ratios[8] == pytest.approx(8.0 / 0.3 / 8.0, rel=0.01)
+
+    def test_best_ignores_infinite(self):
+        reduction = CostReduction("covariance", {8: 4.0, 16: math.inf})
+        assert reduction.best == 4.0
+
+    def test_best_all_infinite(self):
+        reduction = CostReduction("covariance", {8: math.inf})
+        assert reduction.best == math.inf
+
+    def test_rejects_bad_metric(self, opamp_dataset_small):
+        result = ErrorSweep(
+            opamp_dataset_small,
+            config=SweepConfig(sample_sizes=(8,), n_repeats=2),
+        ).run()
+        with pytest.raises(ValueError):
+            cost_reduction(result, metric="median")
+
+    def test_real_sweep_bmf_wins_cov(self, opamp_dataset_small):
+        result = ErrorSweep(
+            opamp_dataset_small,
+            config=SweepConfig(sample_sizes=(8, 32, 128), n_repeats=8, seed=6),
+        ).run()
+        reduction = cost_reduction(result, metric="covariance")
+        assert reduction.ratios[8] > 1.0

@@ -1,0 +1,35 @@
+"""Tests for the dataset cache."""
+
+from repro.experiments import datasets
+
+
+class TestCache:
+    def test_same_object_returned(self):
+        datasets.clear_cache()
+        a = datasets.opamp_dataset(n_samples=30, seed=5)
+        b = datasets.opamp_dataset(n_samples=30, seed=5)
+        assert a is b
+
+    def test_different_keys_different_objects(self):
+        datasets.clear_cache()
+        a = datasets.opamp_dataset(n_samples=30, seed=5)
+        b = datasets.opamp_dataset(n_samples=30, seed=6)
+        assert a is not b
+
+    def test_adc_cache(self):
+        datasets.clear_cache()
+        a = datasets.adc_dataset(n_samples=20, seed=5)
+        b = datasets.adc_dataset(n_samples=20, seed=5)
+        assert a is b
+        assert a.n_samples == 20
+
+    def test_clear_cache(self):
+        datasets.clear_cache()
+        a = datasets.opamp_dataset(n_samples=30, seed=5)
+        datasets.clear_cache()
+        b = datasets.opamp_dataset(n_samples=30, seed=5)
+        assert a is not b
+
+    def test_paper_constants(self):
+        assert datasets.PAPER_OPAMP_SAMPLES == 5000
+        assert datasets.PAPER_ADC_SAMPLES == 1000

@@ -1,0 +1,61 @@
+"""Tests for the figure drivers (reduced sizes — shapes only)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.figures import (
+    figure1_shift_scale,
+    figure2_cv_surface,
+    figure4_opamp,
+    figure5_adc,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _small_cache():
+    datasets.clear_cache()
+    yield
+    datasets.clear_cache()
+
+
+class TestFigure4:
+    def test_runs_and_labels(self):
+        fig = figure4_opamp(n_bank=200, sample_sizes=(8, 16), n_repeats=3)
+        assert fig.name == "figure4_opamp"
+        assert fig.sweep.methods == ["bmf", "mle"]
+        assert fig.dataset.metric_names[0] == "gain"
+
+    def test_bmf_no_worse_on_cov_at_n8(self):
+        fig = figure4_opamp(n_bank=400, sample_sizes=(8,), n_repeats=8)
+        bmf = fig.sweep.cov_error_curve("bmf")[8]
+        mle = fig.sweep.cov_error_curve("mle")[8]
+        assert bmf < mle
+
+
+class TestFigure5:
+    def test_runs_and_labels(self):
+        fig = figure5_adc(n_bank=120, sample_sizes=(8, 16), n_repeats=3)
+        assert fig.name == "figure5_adc"
+        assert fig.dataset.metric_names == ("snr", "sinad", "sfdr", "thd", "power")
+
+
+class TestFigure1:
+    def test_isotropy_report(self):
+        report = figure1_shift_scale(n_bank=150)
+        # Raw op-amp metrics span many orders of magnitude...
+        assert report["early_raw"]["std_magnitude_range"] > 3.0
+        # ...and the transform collapses them to O(1) per dimension.
+        assert report["early_transformed"]["max_std"] == pytest.approx(1.0, abs=1e-6)
+        assert report["late_transformed"]["max_std"] < 2.0
+        assert report["early_transformed"]["max_abs_mean"] < 1.0
+
+
+class TestFigure2:
+    def test_cv_surface_shape(self):
+        result = figure2_cv_surface(n_late=16, n_bank=150)
+        assert result.scores.shape == (
+            result.kappa0_values.size,
+            result.v0_values.size,
+        )
+        assert np.isfinite(result.best_score)

@@ -1,0 +1,72 @@
+"""Tests for the plain-text reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.cost import CostReduction
+from repro.experiments.reporting import (
+    format_cost_reduction,
+    format_error_series,
+    format_hyperparams,
+    format_table,
+)
+from repro.experiments.sweep import ErrorSweep, SweepConfig
+
+
+@pytest.fixture(scope="module")
+def result(opamp_dataset_small):
+    return ErrorSweep(
+        opamp_dataset_small,
+        config=SweepConfig(sample_sizes=(8, 16), n_repeats=3, seed=9),
+    ).run()
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bbbb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # All rows share the same width.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_scientific_for_extremes(self):
+        out = format_table(["x"], [[1.5e-7]])
+        assert "e-07" in out
+
+    def test_infinite_marker(self):
+        out = format_table(["x"], [[math.inf]])
+        assert ">range" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSeriesFormatting:
+    def test_error_series_contains_all_rows(self, result):
+        out = format_error_series(result, "covariance", "Fig 4b")
+        assert "Fig 4b" in out
+        assert "bmf_error" in out and "mle_error" in out
+        assert out.count("\n") >= 4  # title + header + sep + 2 data rows
+
+    def test_rejects_bad_metric(self, result):
+        with pytest.raises(ValueError):
+            format_error_series(result, "mode", "x")
+
+    def test_hyperparams_table(self, result):
+        out = format_hyperparams(result, "hyper")
+        assert "median_kappa0" in out and "median_v0" in out
+
+    def test_cost_reduction_headline(self):
+        reduction = CostReduction("covariance", {8: 12.5, 16: math.inf})
+        out = format_cost_reduction(reduction, "headline")
+        assert "12.5x" in out
+        assert "best cost reduction" in out
+
+    def test_cost_reduction_all_out_of_range(self):
+        reduction = CostReduction("mean", {8: math.inf})
+        out = format_cost_reduction(reduction, "headline")
+        assert "beyond sweep range" in out

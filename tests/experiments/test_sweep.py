@@ -1,0 +1,108 @@
+"""Tests for the error-vs-samples sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.experiments.sweep import ErrorSweep, SweepConfig, default_estimators
+
+
+@pytest.fixture(scope="module")
+def small_sweep(opamp_dataset_small):
+    sweep = ErrorSweep(
+        opamp_dataset_small,
+        config=SweepConfig(sample_sizes=(8, 32), n_repeats=5, seed=1),
+    )
+    return sweep, sweep.run()
+
+
+class TestConfigValidation:
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(DimensionError):
+            SweepConfig(sample_sizes=())
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(DimensionError):
+            SweepConfig(sample_sizes=(1, 8))
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(DimensionError):
+            SweepConfig(n_repeats=0)
+
+    def test_rejects_sizes_beyond_bank(self, opamp_dataset_small):
+        with pytest.raises(DimensionError):
+            ErrorSweep(
+                opamp_dataset_small,
+                config=SweepConfig(sample_sizes=(8, 10_000), n_repeats=2),
+            )
+
+
+class TestSweepMechanics:
+    def test_methods_present(self, small_sweep):
+        _sweep, result = small_sweep
+        assert result.methods == ["bmf", "mle"]
+
+    def test_repeat_counts(self, small_sweep):
+        _sweep, result = small_sweep
+        for method in result.methods:
+            for n in (8, 32):
+                assert len(result.mean_errors[method][n]) == 5
+                assert len(result.cov_errors[method][n]) == 5
+
+    def test_errors_are_positive(self, small_sweep):
+        _sweep, result = small_sweep
+        for method in result.methods:
+            curve = result.cov_error_curve(method)
+            assert all(v > 0.0 for v in curve.values())
+
+    def test_hyperparams_recorded_for_bmf(self, small_sweep):
+        _sweep, result = small_sweep
+        k0, v0 = result.hyperparam_medians(8)
+        assert k0 > 0.0
+        assert v0 > 5.0
+
+    def test_hyperparam_missing_n_raises(self, small_sweep):
+        _sweep, result = small_sweep
+        with pytest.raises(KeyError):
+            result.hyperparam_medians(999)
+
+    def test_reproducible(self, opamp_dataset_small):
+        cfg = SweepConfig(sample_sizes=(8,), n_repeats=3, seed=42)
+        r1 = ErrorSweep(opamp_dataset_small, config=cfg).run()
+        r2 = ErrorSweep(opamp_dataset_small, config=cfg).run()
+        assert r1.mean_errors["mle"][8] == r2.mean_errors["mle"][8]
+        assert r1.cov_errors["bmf"][8] == r2.cov_errors["bmf"][8]
+
+    def test_exact_moments_are_full_bank(self, small_sweep, opamp_dataset_small):
+        sweep, _result = small_sweep
+        late_iso = sweep._transform.transform(opamp_dataset_small.late, "late")
+        assert np.allclose(sweep.exact_mean, late_iso.mean(axis=0))
+
+    def test_mle_error_decreases_with_n(self, opamp_dataset_small):
+        cfg = SweepConfig(sample_sizes=(8, 128), n_repeats=10, seed=2)
+        result = ErrorSweep(opamp_dataset_small, config=cfg).run()
+        curve = result.cov_error_curve("mle")
+        assert curve[128] < curve[8]
+
+    def test_shift_scale_flag(self, opamp_dataset_small):
+        cfg = SweepConfig(sample_sizes=(8,), n_repeats=2, seed=3)
+        raw = ErrorSweep(opamp_dataset_small, config=cfg, shift_scale=False)
+        assert raw._transform is None
+        result = raw.run()
+        assert result.methods == ["bmf", "mle"]
+
+    def test_custom_estimators(self, opamp_dataset_small):
+        from repro.core.mle import MLEstimator
+
+        cfg = SweepConfig(sample_sizes=(8,), n_repeats=2, seed=4)
+        result = ErrorSweep(
+            opamp_dataset_small,
+            estimators={"only_mle": lambda prior: MLEstimator()},
+            config=cfg,
+        ).run()
+        assert result.methods == ["only_mle"]
+
+    def test_default_estimators_factory(self, synthetic_prior):
+        factories = default_estimators()
+        assert set(factories) == {"mle", "bmf"}
+        assert factories["bmf"](synthetic_prior).name == "bmf"

@@ -1,0 +1,104 @@
+"""Tests for the higher-order moment extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientDataError
+from repro.extensions.higher_moments import (
+    HigherMomentFusion,
+    standardized_fourth_moment,
+    standardized_third_moment,
+)
+
+
+@pytest.fixture
+def skewed_samples(rng):
+    """3-D samples with strong skew in dim 0 only."""
+    n = 800
+    x0 = rng.exponential(size=n) - 1.0
+    x1 = rng.standard_normal(n)
+    x2 = 0.5 * x1 + 0.5 * rng.standard_normal(n)
+    return np.column_stack([x0, x1, x2])
+
+
+class TestTensors:
+    def test_third_moment_shape_and_symmetry(self, skewed_samples):
+        t = standardized_third_moment(skewed_samples)
+        assert t.shape == (3, 3, 3)
+        assert np.allclose(t, np.transpose(t, (1, 0, 2)))
+        assert np.allclose(t, np.transpose(t, (0, 2, 1)))
+
+    def test_fourth_moment_shape(self, skewed_samples):
+        t = standardized_fourth_moment(skewed_samples)
+        assert t.shape == (3, 3, 3, 3)
+
+    def test_gaussian_third_moment_near_zero(self, gaussian5, rng):
+        t = standardized_third_moment(gaussian5.sample(20000, rng))
+        assert np.max(np.abs(t)) < 0.1
+
+    def test_gaussian_fourth_moment_isserlis(self, gaussian5, rng):
+        """For whitened Gaussians E[z_i z_j z_k z_l] follows Isserlis."""
+        t = standardized_fourth_moment(gaussian5.sample(50000, rng))
+        d = 5
+        eye = np.eye(d)
+        expected = (
+            np.einsum("ij,kl->ijkl", eye, eye)
+            + np.einsum("ik,jl->ijkl", eye, eye)
+            + np.einsum("il,jk->ijkl", eye, eye)
+        )
+        assert np.max(np.abs(t - expected)) < 0.25
+
+    def test_skew_detected(self, skewed_samples):
+        t = standardized_third_moment(skewed_samples)
+        assert t[0, 0, 0] > 1.0
+        assert abs(t[1, 1, 1]) < 0.4
+
+    def test_needs_enough_samples(self, rng):
+        with pytest.raises(InsufficientDataError):
+            standardized_third_moment(rng.standard_normal((3, 5)))
+
+
+class TestFusion:
+    def test_weight_selected_from_candidates(self, skewed_samples, rng):
+        fusion = HigherMomentFusion(skewed_samples, weights=(0.0, 0.5, 1.0))
+        fused = fusion.fuse(skewed_samples[:40], rng=rng)
+        assert fused.weight_on_prior in (0.0, 0.5, 1.0)
+
+    def test_matching_prior_gets_high_weight(self, skewed_samples, rng):
+        """Tiny late batch from the same distribution: trust the prior."""
+        fusion = HigherMomentFusion(skewed_samples[:400])
+        fused = fusion.fuse(skewed_samples[400:430], rng=rng)
+        assert fused.weight_on_prior >= 0.5
+
+    def test_fused_tensor_is_convex_blend(self, skewed_samples, rng):
+        fusion = HigherMomentFusion(skewed_samples, weights=(1.0,))
+        fused = fusion.fuse(skewed_samples[:30], rng=rng)
+        assert np.allclose(fused.third, fusion.prior_third)
+
+    def test_rejects_bad_weights(self, skewed_samples):
+        with pytest.raises(Exception):
+            HigherMomentFusion(skewed_samples, weights=(0.5, 1.5))
+
+    def test_needs_six_late_samples(self, skewed_samples, rng):
+        fusion = HigherMomentFusion(skewed_samples)
+        with pytest.raises(InsufficientDataError):
+            fusion.fuse(skewed_samples[:5], rng=rng)
+
+
+class TestCorrectedPDF:
+    def test_gaussian_case_reduces_to_gaussian(self, gaussian5, rng):
+        data = gaussian5.sample(5000, rng)
+        fusion = HigherMomentFusion(data)
+        fused = fusion.fuse(data[:100], rng=rng)
+        pdf = fusion.corrected_pdf(fused, gaussian5.mean, gaussian5.covariance)
+        x = gaussian5.sample(50, rng)
+        assert np.allclose(pdf(x), gaussian5.pdf(x), rtol=0.2)
+
+    def test_nonnegative(self, skewed_samples, rng):
+        fusion = HigherMomentFusion(skewed_samples)
+        fused = fusion.fuse(skewed_samples[:50], rng=rng)
+        mean = skewed_samples.mean(axis=0)
+        cov = np.cov(skewed_samples.T, bias=True)
+        pdf = fusion.corrected_pdf(fused, mean, cov)
+        grid = rng.standard_normal((200, 3)) * 3.0
+        assert np.all(pdf(grid) >= 0.0)

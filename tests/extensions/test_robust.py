@@ -1,0 +1,80 @@
+"""Tests for the robust (outlier-gated) BMF estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.bmf import BMFEstimator
+from repro.core.errors import covariance_error, mean_error
+from repro.exceptions import InsufficientDataError
+from repro.extensions.robust import RobustBMFEstimator, mahalanobis_gate
+
+
+class TestMahalanobisGate:
+    def test_clean_data_passes(self, synthetic_prior, gaussian5, rng):
+        data = gaussian5.sample(50, rng)
+        kept, rejected = mahalanobis_gate(synthetic_prior, data)
+        assert rejected.shape[0] == 0
+        assert kept.shape[0] == 50
+
+    def test_gross_outlier_rejected(self, synthetic_prior, gaussian5, rng):
+        data = gaussian5.sample(20, rng)
+        sigmas = np.sqrt(np.diag(synthetic_prior.covariance))
+        data[0] = synthetic_prior.mean + 50.0 * sigmas
+        kept, rejected = mahalanobis_gate(synthetic_prior, data)
+        assert rejected.shape[0] == 1
+        assert kept.shape[0] == 19
+
+    def test_rejects_bad_quantile(self, synthetic_prior, gaussian5, rng):
+        with pytest.raises(ValueError):
+            mahalanobis_gate(synthetic_prior, gaussian5.sample(5, rng), quantile=0.3)
+
+    def test_rejects_bad_inflation(self, synthetic_prior, gaussian5, rng):
+        with pytest.raises(ValueError):
+            mahalanobis_gate(synthetic_prior, gaussian5.sample(5, rng), inflate=0.0)
+
+
+class TestRobustEstimator:
+    def test_clean_data_matches_plain_bmf(self, synthetic_prior, gaussian5):
+        data = gaussian5.sample(16, np.random.default_rng(0))
+        robust = RobustBMFEstimator(synthetic_prior).estimate(
+            data, rng=np.random.default_rng(1)
+        )
+        plain = BMFEstimator(synthetic_prior).estimate(
+            data, rng=np.random.default_rng(1)
+        )
+        assert np.allclose(robust.mean, plain.mean)
+        assert np.allclose(robust.covariance, plain.covariance)
+        assert robust.info["rejected"] == 0.0
+
+    def test_outlier_resistance(self, synthetic_prior, gaussian5, rng):
+        """One gross outlier must hurt robust BMF much less than plain BMF."""
+        data = gaussian5.sample(16, rng)
+        contaminated = data.copy()
+        contaminated[0] = synthetic_prior.mean + 80.0 * np.sqrt(
+            np.diag(synthetic_prior.covariance)
+        )
+        robust = RobustBMFEstimator(synthetic_prior).estimate(contaminated, rng=rng)
+        plain = BMFEstimator(synthetic_prior).estimate(contaminated, rng=rng)
+        true_mean, true_cov = gaussian5.mean, gaussian5.covariance
+        assert mean_error(robust.mean, true_mean) < mean_error(plain.mean, true_mean)
+        assert covariance_error(robust.covariance, true_cov) < covariance_error(
+            plain.covariance, true_cov
+        )
+        assert robust.info["rejected"] == 1.0
+
+    def test_reports_total_sample_count(self, synthetic_prior, gaussian5, rng):
+        data = gaussian5.sample(12, rng)
+        data[0] += 500.0
+        est = RobustBMFEstimator(synthetic_prior).estimate(data, rng=rng)
+        assert est.n_samples == 12  # raw count, including the rejected row
+
+    def test_gate_bypass_when_too_few_survive(self, synthetic_prior, rng):
+        """If the gate would reject nearly everything, fall back to plain."""
+        # All samples far from the prior: pathological prior, keep the data.
+        far = synthetic_prior.mean + 100.0 + rng.standard_normal((6, 5))
+        est = RobustBMFEstimator(synthetic_prior, min_kept=4).estimate(far, rng=rng)
+        assert est.info["rejected"] == 0.0
+
+    def test_rejects_min_kept_below_two(self, synthetic_prior):
+        with pytest.raises(InsufficientDataError):
+            RobustBMFEstimator(synthetic_prior, min_kept=1)

@@ -1,0 +1,93 @@
+"""Tests for sequential (streaming) BMF."""
+
+import numpy as np
+import pytest
+
+from repro.core.bmf import map_moments
+from repro.exceptions import DimensionError, HyperParameterError
+from repro.extensions.sequential import SequentialBMF
+
+
+@pytest.fixture
+def seq(synthetic_prior):
+    return SequentialBMF(synthetic_prior, kappa0=3.0, v0=15.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_hyperparams(self, synthetic_prior):
+        with pytest.raises(HyperParameterError):
+            SequentialBMF(synthetic_prior, kappa0=0.0, v0=15.0)
+        with pytest.raises(HyperParameterError):
+            SequentialBMF(synthetic_prior, kappa0=1.0, v0=5.0)
+
+    def test_initial_estimate_is_prior_mode(self, seq, synthetic_prior):
+        state = seq.current_estimate()
+        assert state.n_observed == 0
+        assert np.allclose(state.mean, synthetic_prior.mean)
+        assert np.allclose(state.covariance, synthetic_prior.covariance, rtol=1e-8)
+
+
+class TestStreamingEqualsBatch:
+    """The conjugacy guarantee: streaming == batch, exactly."""
+
+    def test_matches_map_moments(self, seq, synthetic_prior, gaussian5, rng):
+        data = gaussian5.sample(13, rng)
+        state = seq.observe_batch(data)
+        mu, sigma = map_moments(synthetic_prior, data, 3.0, 15.0)
+        assert np.allclose(state.mean, mu)
+        assert np.allclose(state.covariance, sigma, rtol=1e-7)
+        assert state.n_observed == 13
+
+    def test_observe_one_by_one(self, seq, synthetic_prior, gaussian5, rng):
+        data = gaussian5.sample(5, rng)
+        for row in data:
+            seq.observe(row)
+        mu, _sigma = map_moments(synthetic_prior, data, 3.0, 15.0)
+        assert np.allclose(seq.current_estimate().mean, mu)
+
+    def test_history_grows(self, seq, gaussian5, rng):
+        seq.observe_batch(gaussian5.sample(4, rng))
+        assert len(seq.history) == 4
+        assert [s.n_observed for s in seq.history] == [1, 2, 3, 4]
+
+    def test_reset(self, seq, gaussian5, rng):
+        seq.observe_batch(gaussian5.sample(4, rng))
+        seq.reset()
+        assert seq.n_observed == 0
+        assert seq.history == []
+
+
+class TestStepsAndConvergence:
+    def test_first_step_is_infinite(self, seq, gaussian5, rng):
+        state = seq.observe(gaussian5.sample(1, rng)[0])
+        assert state.mean_step == float("inf")
+
+    def test_steps_shrink(self, seq, gaussian5, rng):
+        states = [seq.observe(row) for row in gaussian5.sample(60, rng)]
+        early_steps = np.mean([s.mean_step for s in states[1:6]])
+        late_steps = np.mean([s.mean_step for s in states[-5:]])
+        assert late_steps < early_steps
+
+    def test_converged_flag(self, seq, gaussian5, rng):
+        assert not seq.converged()
+        for row in gaussian5.sample(200, rng):
+            seq.observe(row)
+        assert seq.converged(mean_tol=0.5, cov_tol=2.0, patience=3)
+
+    def test_converged_requires_patience_history(self, seq, gaussian5, rng):
+        seq.observe(gaussian5.sample(1, rng)[0])
+        assert not seq.converged(patience=3)
+
+    def test_converged_rejects_bad_patience(self, seq):
+        with pytest.raises(ValueError):
+            seq.converged(patience=0)
+
+
+class TestValidation:
+    def test_rejects_wrong_length(self, seq):
+        with pytest.raises(DimensionError):
+            seq.observe(np.zeros(3))
+
+    def test_rejects_empty_batch(self, seq):
+        with pytest.raises(DimensionError):
+            seq.observe_batch(np.empty((0, 5)))

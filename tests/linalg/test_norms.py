@@ -1,0 +1,80 @@
+"""Tests for the norm wrappers used by Eq. (37)-(38)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.linalg.norms import (
+    condition_number,
+    frobenius_norm,
+    log_det_spd,
+    relative_difference,
+    spectral_norm,
+    vector_2norm,
+)
+
+
+class TestVector2Norm:
+    def test_pythagorean(self):
+        assert vector_2norm([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_zero_vector(self):
+        assert vector_2norm(np.zeros(4)) == 0.0
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionError):
+            vector_2norm(np.eye(2))
+
+
+class TestFrobeniusNorm:
+    def test_identity(self):
+        assert frobenius_norm(np.eye(4)) == pytest.approx(2.0)
+
+    def test_matches_numpy(self, spd5):
+        assert frobenius_norm(spd5) == pytest.approx(np.linalg.norm(spd5, "fro"))
+
+
+class TestSpectralNorm:
+    def test_diagonal(self):
+        assert spectral_norm(np.diag([1.0, 7.0, 3.0])) == pytest.approx(7.0)
+
+    def test_bounded_by_frobenius(self, spd5):
+        assert spectral_norm(spd5) <= frobenius_norm(spd5) + 1e-12
+
+
+class TestConditionNumber:
+    def test_identity_is_one(self):
+        assert condition_number(np.eye(3)) == pytest.approx(1.0)
+
+    def test_diagonal_ratio(self):
+        assert condition_number(np.diag([10.0, 1.0])) == pytest.approx(10.0)
+
+    def test_singular_is_inf(self):
+        assert condition_number(np.diag([1.0, 0.0])) == np.inf
+
+
+class TestLogDetSPD:
+    def test_matches_slogdet(self, spd5):
+        _sign, expected = np.linalg.slogdet(spd5)
+        assert log_det_spd(spd5) == pytest.approx(expected)
+
+    def test_tiny_determinant_stays_finite(self):
+        mat = np.eye(5) * 1e-150
+        assert np.isfinite(log_det_spd(mat))
+
+
+class TestRelativeDifference:
+    def test_zero_for_equal(self, spd5):
+        assert relative_difference(spd5, spd5) == 0.0
+
+    def test_scale_invariant(self, spd5):
+        assert relative_difference(1.1 * spd5, spd5) == pytest.approx(0.1)
+
+    def test_absolute_against_zero(self):
+        assert relative_difference(np.eye(2), np.zeros((2, 2))) == pytest.approx(
+            np.sqrt(2.0)
+        )
+
+    def test_shape_mismatch(self, spd5):
+        with pytest.raises(DimensionError):
+            relative_difference(spd5, np.eye(3))

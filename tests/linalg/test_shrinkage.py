@@ -1,0 +1,97 @@
+"""Tests for the shrinkage covariance baselines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientDataError
+from repro.linalg.shrinkage import (
+    diagonal_shrinkage,
+    ledoit_wolf,
+    oas,
+    sample_covariance,
+    shrink_towards,
+)
+from repro.linalg.validation import is_spd
+
+
+@pytest.fixture
+def samples(gaussian5, rng):
+    return gaussian5.sample(40, rng)
+
+
+class TestSampleCovariance:
+    def test_matches_numpy_mle(self, samples):
+        expected = np.cov(samples.T, bias=True)
+        assert np.allclose(sample_covariance(samples), expected)
+
+    def test_unbiased_option(self, samples):
+        expected = np.cov(samples.T, bias=False)
+        assert np.allclose(sample_covariance(samples, ddof=1), expected)
+
+    def test_rejects_single_sample_with_ddof(self):
+        with pytest.raises(InsufficientDataError):
+            sample_covariance(np.ones((1, 3)), ddof=1)
+
+
+class TestDiagonalShrinkage:
+    def test_alpha_zero_is_mle(self, samples):
+        assert np.allclose(diagonal_shrinkage(samples, 0.0), sample_covariance(samples))
+
+    def test_alpha_one_is_diagonal(self, samples):
+        out = diagonal_shrinkage(samples, 1.0)
+        assert np.allclose(out, np.diag(np.diag(out)))
+
+    def test_rejects_bad_alpha(self, samples):
+        with pytest.raises(ValueError):
+            diagonal_shrinkage(samples, 1.5)
+
+
+class TestShrinkTowards:
+    def test_convex_combination(self, samples, spd5):
+        mle = sample_covariance(samples)
+        out = shrink_towards(samples, spd5, 0.3)
+        assert np.allclose(out, 0.7 * mle + 0.3 * spd5)
+
+    def test_rejects_shape_mismatch(self, samples):
+        with pytest.raises(ValueError):
+            shrink_towards(samples, np.eye(3), 0.5)
+
+
+class TestLedoitWolf:
+    def test_returns_spd(self, samples):
+        assert is_spd(ledoit_wolf(samples))
+
+    def test_spd_even_when_rank_deficient(self, gaussian5, rng):
+        # n < d: the MLE is singular but the shrunk estimate must not be.
+        tiny = gaussian5.sample(3, rng)
+        assert is_spd(ledoit_wolf(tiny))
+
+    def test_converges_to_mle_with_many_samples(self, gaussian5, rng):
+        big = gaussian5.sample(20000, rng)
+        lw = ledoit_wolf(big)
+        mle = sample_covariance(big)
+        rel = np.linalg.norm(lw - mle) / np.linalg.norm(mle)
+        assert rel < 0.05
+
+    def test_requires_two_samples(self):
+        with pytest.raises(InsufficientDataError):
+            ledoit_wolf(np.ones((1, 4)))
+
+
+class TestOAS:
+    def test_returns_spd(self, samples):
+        assert is_spd(oas(samples))
+
+    def test_spd_when_rank_deficient(self, gaussian5, rng):
+        tiny = gaussian5.sample(3, rng)
+        assert is_spd(oas(tiny))
+
+    def test_small_sample_beats_mle_on_average(self, gaussian5, rng):
+        # OAS should have lower Frobenius risk than the raw MLE at n=8.
+        truth = gaussian5.covariance
+        oas_err, mle_err = 0.0, 0.0
+        for _ in range(30):
+            s = gaussian5.sample(8, rng)
+            oas_err += np.linalg.norm(oas(s) - truth)
+            mle_err += np.linalg.norm(sample_covariance(s) - truth)
+        assert oas_err < mle_err

@@ -1,0 +1,149 @@
+"""Tests for SPD validation and repair utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, NotSPDError
+from repro.linalg.validation import (
+    as_matrix,
+    as_samples,
+    assert_spd,
+    cholesky_safe,
+    clip_eigenvalues,
+    is_spd,
+    is_symmetric,
+    jitter_spd,
+    nearest_spd,
+    symmetrize,
+)
+
+
+class TestAsMatrix:
+    def test_accepts_square_list(self):
+        out = as_matrix([[1.0, 0.0], [0.0, 2.0]])
+        assert out.shape == (2, 2)
+        assert out.dtype == float
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionError):
+            as_matrix([1.0, 2.0])
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(DimensionError):
+            as_matrix(np.ones((2, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(NotSPDError):
+            as_matrix([[np.nan, 0.0], [0.0, 1.0]])
+
+
+class TestAsSamples:
+    def test_promotes_1d_to_column(self):
+        out = as_samples([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_keeps_2d(self):
+        out = as_samples(np.ones((4, 2)))
+        assert out.shape == (4, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            as_samples(np.empty((0, 3)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionError):
+            as_samples(np.ones((2, 2, 2)))
+
+    def test_rejects_inf(self):
+        with pytest.raises(DimensionError):
+            as_samples([[1.0], [np.inf]])
+
+
+class TestSymmetry:
+    def test_symmetrize_is_symmetric(self, rng):
+        a = rng.standard_normal((4, 4))
+        s = symmetrize(a)
+        assert np.allclose(s, s.T)
+
+    def test_symmetrize_fixed_point(self, spd5):
+        assert np.allclose(symmetrize(spd5), spd5)
+
+    def test_is_symmetric_tolerance(self):
+        a = np.eye(3)
+        a[0, 1] = 1e-12
+        assert is_symmetric(a)
+        a[0, 1] = 0.5
+        assert not is_symmetric(a)
+
+
+class TestSPDChecks:
+    def test_spd5_is_spd(self, spd5):
+        assert is_spd(spd5)
+
+    def test_negative_definite_is_not_spd(self, spd5):
+        assert not is_spd(-spd5)
+
+    def test_asymmetric_is_not_spd(self):
+        a = np.eye(2)
+        a[0, 1] = 0.9
+        assert not is_spd(a)
+
+    def test_assert_spd_returns_symmetrized(self, spd5):
+        out = assert_spd(spd5 + 1e-12)
+        assert np.allclose(out, out.T)
+
+    def test_assert_spd_raises_on_indefinite(self):
+        with pytest.raises(NotSPDError):
+            assert_spd(np.diag([1.0, -1.0]))
+
+    def test_assert_spd_raises_on_asymmetric(self):
+        a = np.eye(2)
+        a[0, 1] = 0.5
+        with pytest.raises(NotSPDError):
+            assert_spd(a)
+
+
+class TestCholeskySafe:
+    def test_reconstructs(self, spd5):
+        chol = cholesky_safe(spd5)
+        assert np.allclose(chol @ chol.T, spd5)
+
+    def test_jitters_near_singular(self):
+        # Rank-1 PSD matrix: plain Cholesky fails, jitter rescues it.
+        v = np.array([1.0, 2.0, 3.0])
+        mat = np.outer(v, v)
+        chol = cholesky_safe(mat)
+        assert np.all(np.isfinite(chol))
+
+    def test_raises_on_indefinite(self):
+        with pytest.raises(NotSPDError):
+            cholesky_safe(np.diag([1.0, -5.0]))
+
+
+class TestRepairs:
+    def test_jitter_preserves_shape(self, spd5):
+        out = jitter_spd(spd5)
+        assert out.shape == spd5.shape
+        assert is_spd(out)
+
+    def test_clip_eigenvalues_makes_spd(self):
+        mat = np.diag([1.0, 0.0, -1e-9])
+        out = clip_eigenvalues(mat)
+        assert is_spd(out)
+
+    def test_clip_leaves_good_matrix_nearly_unchanged(self, spd5):
+        out = clip_eigenvalues(spd5)
+        assert np.allclose(out, spd5, rtol=1e-9)
+
+    def test_nearest_spd_on_asymmetric_indefinite(self, rng):
+        a = rng.standard_normal((6, 6))
+        out = nearest_spd(a)
+        assert is_spd(out)
+
+    def test_nearest_spd_identity_on_spd_input(self, spd5):
+        out = nearest_spd(spd5)
+        assert np.allclose(out, spd5, rtol=1e-6)
+
+    def test_nearest_spd_on_zero_matrix(self):
+        out = nearest_spd(np.zeros((3, 3)))
+        assert is_spd(out)

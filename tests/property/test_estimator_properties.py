@@ -1,0 +1,106 @@
+"""Property-based tests of estimator invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bmf import BMFEstimator, map_moments
+from repro.core.crossval import make_folds
+from repro.core.mle import MLEstimator
+from repro.core.prior import PriorKnowledge
+from repro.linalg.validation import is_spd
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@st.composite
+def dataset(draw):
+    d = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=4, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((d, d))
+    sigma = a @ a.T + (d + 0.5) * np.eye(d)
+    mu = rng.standard_normal(d)
+    chol = np.linalg.cholesky(sigma)
+    data = mu + rng.standard_normal((n, d)) @ chol.T
+    return PriorKnowledge(mu, sigma), data, rng
+
+
+class TestEstimatorInvariants:
+    @SETTINGS
+    @given(dataset())
+    def test_mle_estimate_valid(self, prob):
+        _prior, data, _rng = prob
+        MLEstimator().estimate(data).validate()
+
+    @SETTINGS
+    @given(dataset())
+    def test_bmf_estimate_valid(self, prob):
+        prior, data, rng = prob
+        BMFEstimator(prior).estimate(data, rng=rng).validate()
+
+    @SETTINGS
+    @given(dataset())
+    def test_bmf_mean_in_convex_hull_segment(self, prob):
+        """For any selected hyper-parameters, mu_MAP lies between the
+        prior mean and the sample mean coordinate-wise (Eq. 31)."""
+        prior, data, rng = prob
+        est = BMFEstimator(prior).estimate(data, rng=rng)
+        xbar = data.mean(axis=0)
+        lo = np.minimum(prior.mean, xbar) - 1e-9
+        hi = np.maximum(prior.mean, xbar) + 1e-9
+        assert np.all(est.mean >= lo) and np.all(est.mean <= hi)
+
+    @SETTINGS
+    @given(dataset())
+    def test_bmf_covariance_spd(self, prob):
+        prior, data, rng = prob
+        est = BMFEstimator(prior).estimate(data, rng=rng)
+        assert is_spd(est.covariance)
+
+    @SETTINGS
+    @given(dataset(), st.floats(min_value=1e-2, max_value=100.0))
+    def test_map_scale_equivariance(self, prob, scale):
+        """Scaling data and prior by c scales mu_MAP by c and Sigma by c^2."""
+        prior, data, _rng = prob
+        kappa0, v0 = 2.0, prior.dim + 3.0
+        mu1, sig1 = map_moments(prior, data, kappa0, v0)
+        scaled_prior = PriorKnowledge(prior.mean * scale, prior.covariance * scale**2)
+        mu2, sig2 = map_moments(scaled_prior, data * scale, kappa0, v0)
+        assert np.allclose(mu2, mu1 * scale, rtol=1e-7, atol=1e-9)
+        assert np.allclose(sig2, sig1 * scale**2, rtol=1e-7, atol=1e-12)
+
+    @SETTINGS
+    @given(dataset())
+    def test_map_permutation_equivariance(self, prob):
+        """Reordering metrics permutes the estimates consistently."""
+        prior, data, _rng = prob
+        d = prior.dim
+        if d < 2:
+            return
+        perm = np.arange(d)[::-1]
+        kappa0, v0 = 3.0, d + 2.0
+        mu1, sig1 = map_moments(prior, data, kappa0, v0)
+        perm_prior = PriorKnowledge(
+            prior.mean[perm], prior.covariance[np.ix_(perm, perm)]
+        )
+        mu2, sig2 = map_moments(perm_prior, data[:, perm], kappa0, v0)
+        assert np.allclose(mu2, mu1[perm], atol=1e-9)
+        assert np.allclose(sig2, sig1[np.ix_(perm, perm)], atol=1e-9)
+
+
+class TestFoldProperties:
+    @SETTINGS
+    @given(
+        st.integers(min_value=2, max_value=200),
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_folds_partition(self, n, q, seed):
+        if n < q:
+            return
+        folds = make_folds(n, q, np.random.default_rng(seed))
+        combined = np.sort(np.concatenate(folds))
+        assert np.array_equal(combined, np.arange(n))
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,106 @@
+"""Property-based tests of the SPD utilities and preprocessing invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.preprocessing import ShiftScaleTransform
+from repro.linalg.norms import log_det_spd
+from repro.linalg.shrinkage import ledoit_wolf, oas
+from repro.linalg.validation import clip_eigenvalues, is_spd, nearest_spd, symmetrize
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def square_matrix(draw):
+    d = draw(st.integers(min_value=1, max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    scale = draw(st.floats(min_value=1e-3, max_value=1e3))
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((d, d)) * scale
+
+
+@st.composite
+def sample_matrix(draw):
+    d = draw(st.integers(min_value=1, max_value=6))
+    n = draw(st.integers(min_value=2, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    # Always inject per-column jitter so no dimension is constant.
+    return rng.standard_normal((n, d)) + rng.standard_normal(d)
+
+
+class TestRepairProperties:
+    @SETTINGS
+    @given(square_matrix())
+    def test_nearest_spd_always_spd(self, a):
+        assert is_spd(nearest_spd(a))
+
+    @SETTINGS
+    @given(square_matrix())
+    def test_nearest_spd_idempotent_up_to_tolerance(self, a):
+        once = nearest_spd(a)
+        twice = nearest_spd(once)
+        assert np.allclose(once, twice, rtol=1e-6, atol=1e-9)
+
+    @SETTINGS
+    @given(square_matrix())
+    def test_clip_preserves_symmetric_part_eigenvectors_order(self, a):
+        clipped = clip_eigenvalues(a)
+        assert is_spd(clipped)
+        # Clipping can only raise eigenvalues of the symmetric part.
+        sym_eigs = np.sort(np.linalg.eigvalsh(symmetrize(a)))
+        clip_eigs = np.sort(np.linalg.eigvalsh(clipped))
+        assert np.all(clip_eigs >= sym_eigs - 1e-9)
+
+    @SETTINGS
+    @given(square_matrix())
+    def test_log_det_of_repair_finite(self, a):
+        assert np.isfinite(log_det_spd(nearest_spd(a)))
+
+
+class TestShrinkageProperties:
+    @SETTINGS
+    @given(sample_matrix())
+    def test_ledoit_wolf_spd(self, x):
+        assert is_spd(ledoit_wolf(x))
+
+    @SETTINGS
+    @given(sample_matrix())
+    def test_oas_spd(self, x):
+        assert is_spd(oas(x))
+
+    @SETTINGS
+    @given(sample_matrix())
+    def test_shrinkage_preserves_trace_scale(self, x):
+        """Identity-target shrinkage preserves the covariance trace."""
+        centered = x - x.mean(axis=0)
+        mle_trace = np.trace(centered.T @ centered / x.shape[0])
+        assert np.isclose(np.trace(ledoit_wolf(x)), mle_trace, rtol=1e-6)
+
+
+class TestPreprocessingProperties:
+    @SETTINGS
+    @given(sample_matrix(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_round_trip_identity(self, early, seed):
+        if np.any(early.std(axis=0) == 0.0):
+            return
+        rng = np.random.default_rng(seed)
+        d = early.shape[1]
+        transform = ShiftScaleTransform.fit(
+            early, rng.standard_normal(d), rng.standard_normal(d)
+        )
+        x = rng.standard_normal((5, d))
+        for stage in ("early", "late"):
+            back = transform.inverse_transform(transform.transform(x, stage), stage)
+            assert np.allclose(back, x, atol=1e-9)
+
+    @SETTINGS
+    @given(sample_matrix())
+    def test_transformed_early_is_unit_std(self, early):
+        if np.any(early.std(axis=0) == 0.0):
+            return
+        d = early.shape[1]
+        transform = ShiftScaleTransform.fit(early, np.zeros(d), np.zeros(d))
+        z = transform.transform(early, "early")
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)

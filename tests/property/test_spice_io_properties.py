@@ -1,0 +1,72 @@
+"""Property-based tests of the SPICE netlist format round-trip."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.mna import ACAnalysis
+from repro.circuits.netlist import Netlist
+from repro.circuits.spice_io import format_value, parse_netlist, parse_value, write_netlist
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class TestValueRoundTrip:
+    @SETTINGS
+    @given(
+        st.floats(
+            min_value=1e-15,
+            max_value=1e12,
+            allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    def test_positive_values(self, value):
+        assert parse_value(format_value(value)) == np.float64(value) or (
+            abs(parse_value(format_value(value)) - value) <= 1e-5 * abs(value)
+        )
+
+    @SETTINGS
+    @given(st.floats(min_value=1e-12, max_value=1e9))
+    def test_negated(self, value):
+        token = format_value(-value)
+        assert parse_value(token) == np.float64(-value) or (
+            abs(parse_value(token) + value) <= 1e-5 * value
+        )
+
+
+@st.composite
+def random_ladder(draw):
+    """A random RC ladder: always a valid, solvable netlist."""
+    n_sections = draw(st.integers(min_value=1, max_value=6))
+    rs = [
+        draw(st.floats(min_value=1.0, max_value=1e6)) for _ in range(n_sections)
+    ]
+    cs = [
+        draw(st.floats(min_value=1e-15, max_value=1e-9)) for _ in range(n_sections)
+    ]
+    net = Netlist(title="ladder")
+    net.voltage_source("VIN", "n0", "0", 1.0)
+    for k in range(n_sections):
+        net.resistor(f"R{k}", f"n{k}", f"n{k + 1}", rs[k])
+        net.capacitor(f"C{k}", f"n{k + 1}", "0", cs[k])
+    return net, n_sections
+
+
+class TestNetlistRoundTrip:
+    @SETTINGS
+    @given(random_ladder())
+    def test_write_parse_preserves_structure(self, case):
+        net, n_sections = case
+        restored = parse_netlist(write_netlist(net))
+        assert len(restored) == len(net)
+        assert restored.n_nodes == net.n_nodes
+
+    @SETTINGS
+    @given(random_ladder(), st.floats(min_value=1.0, max_value=1e9))
+    def test_write_parse_preserves_response(self, case, freq):
+        net, n_sections = case
+        restored = parse_netlist(write_netlist(net))
+        out_node = f"n{n_sections}"
+        h0 = ACAnalysis(net).solve([freq]).voltage(out_node)[0]
+        h1 = ACAnalysis(restored).solve([freq]).voltage(out_node)[0]
+        assert abs(h0 - h1) <= 1e-4 * max(abs(h0), 1e-12)

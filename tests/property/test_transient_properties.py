@@ -1,0 +1,89 @@
+"""Property-based tests of the transient engine: LTI system laws."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.components import VoltageSource
+from repro.circuits.netlist import Netlist
+from repro.circuits.transient import TransientAnalysis, step
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+def _rc(r: float, c: float, amplitude: float = 1.0) -> Netlist:
+    net = Netlist()
+    net.add(VoltageSource("Vin", "in", "0", amplitude))
+    net.resistor("R", "in", "out", r)
+    net.capacitor("C", "out", "0", c)
+    return net
+
+
+@st.composite
+def rc_values(draw):
+    r = draw(st.floats(min_value=100.0, max_value=1e5))
+    c = draw(st.floats(min_value=1e-12, max_value=1e-8))
+    return r, c
+
+
+class TestLTIProperties:
+    @SETTINGS
+    @given(rc_values(), st.floats(min_value=0.1, max_value=10.0))
+    def test_homogeneity(self, rc, scale):
+        """Scaling the source amplitude scales the response linearly."""
+        r, c = rc
+        tau = r * c
+        base = TransientAnalysis(_rc(r, c, 1.0)).run(5 * tau, tau / 100)
+        scaled = TransientAnalysis(_rc(r, c, scale)).run(5 * tau, tau / 100)
+        np.testing.assert_allclose(
+            scaled.voltage("out"), scale * base.voltage("out"), atol=1e-9 * scale
+        )
+
+    @SETTINGS
+    @given(rc_values())
+    def test_final_value_theorem(self, rc):
+        """A step through an RC settles to the step amplitude."""
+        r, c = rc
+        tau = r * c
+        result = TransientAnalysis(_rc(r, c)).run(12 * tau, tau / 100)
+        assert abs(result.voltage("out")[-1] - 1.0) < 1e-4
+
+    @SETTINGS
+    @given(rc_values())
+    def test_monotone_first_order_step(self, rc):
+        """A first-order step response never overshoots or rings."""
+        r, c = rc
+        tau = r * c
+        result = TransientAnalysis(_rc(r, c)).run(6 * tau, tau / 150)
+        v = result.voltage("out")
+        assert np.all(np.diff(v) >= -1e-12)
+        assert v.max() <= 1.0 + 1e-9
+
+    @SETTINGS
+    @given(rc_values())
+    def test_step_refinement_converges(self, rc):
+        """Halving dt changes the trapezoidal solution only at O(dt^2)."""
+        r, c = rc
+        tau = r * c
+        coarse = TransientAnalysis(_rc(r, c)).run(4 * tau, tau / 50)
+        fine = TransientAnalysis(_rc(r, c)).run(4 * tau, tau / 100)
+        v_coarse = coarse.voltage("out")
+        v_fine = fine.voltage("out")[::2]
+        assert np.max(np.abs(v_coarse - v_fine)) < 2e-4
+
+    @SETTINGS
+    @given(rc_values(), st.floats(min_value=0.1, max_value=3.0))
+    def test_delayed_step_is_time_shift(self, rc, delay_taus):
+        """u(t - t0) produces the same response shifted by t0."""
+        r, c = rc
+        tau = r * c
+        dt = tau / 100
+        t0 = round(delay_taus * tau / dt) * dt  # align delay to the grid
+        immediate = TransientAnalysis(_rc(r, c)).run(8 * tau, dt, waveform=step())
+        delayed = TransientAnalysis(_rc(r, c)).run(
+            8 * tau + t0, dt, waveform=step(t0)
+        )
+        shift = int(round(t0 / dt))
+        v_imm = immediate.voltage("out")
+        v_del = delayed.voltage("out")[shift:]
+        n = min(v_imm.size, v_del.size)
+        np.testing.assert_allclose(v_del[:n], v_imm[:n], atol=5e-3)

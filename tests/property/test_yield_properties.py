@@ -1,0 +1,89 @@
+"""Property-based tests of the yield-estimation invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.yieldest.parametric import gaussian_box_probability
+from repro.yieldest.specs import Specification, SpecificationSet
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@st.composite
+def gaussian_and_box(draw):
+    d = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    width = draw(st.floats(min_value=0.2, max_value=4.0))
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((d, d))
+    cov = a @ a.T / d + np.eye(d) * 0.5
+    mean = rng.standard_normal(d)
+    lower = mean - width * np.sqrt(np.diag(cov))
+    upper = mean + width * np.sqrt(np.diag(cov))
+    return mean, cov, lower, upper
+
+
+class TestBoxProbabilityProperties:
+    @SETTINGS
+    @given(gaussian_and_box())
+    def test_in_unit_interval(self, case):
+        mean, cov, lower, upper = case
+        p = gaussian_box_probability(mean, cov, lower, upper)
+        assert 0.0 <= p <= 1.0
+
+    @SETTINGS
+    @given(gaussian_and_box())
+    def test_monotone_in_box_growth(self, case):
+        """Widening the box can only increase the probability."""
+        mean, cov, lower, upper = case
+        p_small = gaussian_box_probability(mean, cov, lower, upper)
+        p_big = gaussian_box_probability(mean, cov, lower - 1.0, upper + 1.0)
+        assert p_big >= p_small - 1e-4
+
+    @SETTINGS
+    @given(gaussian_and_box())
+    def test_diagonal_scaling_invariance(self, case):
+        """Rescaling a metric's units leaves the yield unchanged."""
+        mean, cov, lower, upper = case
+        d = mean.shape[0]
+        scales = np.linspace(1e-4, 1e4, d)
+        cov_scaled = cov * np.outer(scales, scales)
+        p_raw = gaussian_box_probability(mean, cov, lower, upper)
+        p_scaled = gaussian_box_probability(
+            mean * scales, cov_scaled, lower * scales, upper * scales
+        )
+        assert abs(p_raw - p_scaled) < 5e-3
+
+    @SETTINGS
+    @given(gaussian_and_box())
+    def test_complementary_half_spaces(self, case):
+        """P(x0 <= c) + P(x0 >= c) = 1 for any split point."""
+        mean, cov, _lower, _upper = case
+        d = mean.shape[0]
+        c = float(mean[0])
+        inf = np.full(d, np.inf)
+        low = gaussian_box_probability(
+            mean, cov, -inf, np.concatenate([[c], inf[1:]])
+        )
+        high = gaussian_box_probability(
+            mean, cov, np.concatenate([[c], -inf[1:]]), inf
+        )
+        assert low + high == 1.0 or abs(low + high - 1.0) < 5e-3
+
+    @SETTINGS
+    @given(gaussian_and_box(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_matches_empirical(self, case, seed):
+        mean, cov, lower, upper = case
+        from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+        rng = np.random.default_rng(seed)
+        samples = MultivariateGaussian(mean, cov).sample(4000, rng)
+        specs = SpecificationSet(
+            tuple(
+                Specification(f"m{j}", float(lower[j]), float(upper[j]))
+                for j in range(mean.shape[0])
+            )
+        )
+        empirical = specs.empirical_yield(samples)
+        analytic = gaussian_box_probability(mean, cov, lower, upper)
+        assert abs(empirical - analytic) < 0.05

@@ -1,0 +1,115 @@
+"""Tests for Gaussian distribution distances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.stats.distances import (
+    bhattacharyya_gaussian,
+    hellinger_gaussian,
+    kl_gaussian,
+    symmetric_kl,
+    wasserstein2_gaussian,
+)
+
+
+@pytest.fixture
+def pair(spd5, rng):
+    mu0 = rng.standard_normal(5)
+    mu1 = mu0 + 0.5
+    sigma1 = spd5 * 1.3
+    return mu0, spd5, mu1, sigma1
+
+
+class TestKL:
+    def test_zero_for_identical(self, spd5, rng):
+        mu = rng.standard_normal(5)
+        assert kl_gaussian(mu, spd5, mu, spd5) == pytest.approx(0.0, abs=1e-10)
+
+    def test_nonnegative(self, pair):
+        assert kl_gaussian(*pair) > 0.0
+
+    def test_univariate_known_value(self):
+        # KL(N(0,1) || N(1,2)) = 0.5*(1/2 + 1/2 - 1 + ln 2)
+        expected = 0.5 * (0.5 + 0.5 - 1.0 + math.log(2.0))
+        assert kl_gaussian([0.0], [[1.0]], [1.0], [[2.0]]) == pytest.approx(expected)
+
+    def test_matches_gaussian_class(self, pair):
+        from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+        mu0, s0, mu1, s1 = pair
+        p = MultivariateGaussian(mu0, s0)
+        q = MultivariateGaussian(mu1, s1)
+        assert kl_gaussian(mu0, s0, mu1, s1) == pytest.approx(p.kl_divergence(q))
+
+    def test_symmetric_kl_is_sum(self, pair):
+        mu0, s0, mu1, s1 = pair
+        expected = kl_gaussian(mu0, s0, mu1, s1) + kl_gaussian(mu1, s1, mu0, s0)
+        assert symmetric_kl(mu0, s0, mu1, s1) == pytest.approx(expected)
+
+    def test_shape_mismatch(self, spd5):
+        with pytest.raises(DimensionError):
+            kl_gaussian(np.zeros(5), spd5, np.zeros(3), np.eye(3))
+
+
+class TestBhattacharyyaHellinger:
+    def test_zero_for_identical(self, spd5, rng):
+        mu = rng.standard_normal(5)
+        assert bhattacharyya_gaussian(mu, spd5, mu, spd5) == pytest.approx(
+            0.0, abs=1e-10
+        )
+        assert hellinger_gaussian(mu, spd5, mu, spd5) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetric(self, pair):
+        mu0, s0, mu1, s1 = pair
+        assert bhattacharyya_gaussian(mu0, s0, mu1, s1) == pytest.approx(
+            bhattacharyya_gaussian(mu1, s1, mu0, s0)
+        )
+
+    def test_hellinger_bounded(self, pair):
+        assert 0.0 <= hellinger_gaussian(*pair) <= 1.0
+
+    def test_hellinger_saturates_for_distant(self, spd5):
+        h = hellinger_gaussian(np.zeros(5), spd5, np.full(5, 100.0), spd5)
+        assert h == pytest.approx(1.0, abs=1e-6)
+
+    def test_univariate_mean_term(self):
+        # Equal variances: BC = (mu0-mu1)^2 / (8 sigma^2).
+        assert bhattacharyya_gaussian([0.0], [[2.0]], [2.0], [[2.0]]) == pytest.approx(
+            4.0 / 16.0
+        )
+
+
+class TestWasserstein:
+    def test_zero_for_identical(self, spd5, rng):
+        mu = rng.standard_normal(5)
+        assert wasserstein2_gaussian(mu, spd5, mu, spd5) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_pure_translation(self, spd5):
+        # W2 of a translation is exactly the translation distance.
+        shift = np.full(5, 2.0)
+        assert wasserstein2_gaussian(
+            np.zeros(5), spd5, shift, spd5
+        ) == pytest.approx(np.linalg.norm(shift), rel=1e-6)
+
+    def test_univariate_scale(self):
+        # W2(N(0, s0^2), N(0, s1^2)) = |s0 - s1|.
+        assert wasserstein2_gaussian(
+            [0.0], [[4.0]], [0.0], [[9.0]]
+        ) == pytest.approx(1.0)
+
+    def test_symmetric(self, pair):
+        mu0, s0, mu1, s1 = pair
+        assert wasserstein2_gaussian(mu0, s0, mu1, s1) == pytest.approx(
+            wasserstein2_gaussian(mu1, s1, mu0, s0), rel=1e-8
+        )
+
+    def test_triangle_via_monotonicity(self, spd5):
+        """Farther mean translation gives strictly larger W2."""
+        near = wasserstein2_gaussian(np.zeros(5), spd5, np.full(5, 1.0), spd5)
+        far = wasserstein2_gaussian(np.zeros(5), spd5, np.full(5, 3.0), spd5)
+        assert far > near

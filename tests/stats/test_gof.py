@@ -1,0 +1,78 @@
+"""Tests for the multivariate normality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InsufficientDataError
+from repro.stats.gof import (
+    henze_zirkler,
+    mardia_kurtosis,
+    mardia_skewness,
+    marginal_moment_check,
+)
+
+
+@pytest.fixture
+def gaussian_data(gaussian5, rng):
+    return gaussian5.sample(500, rng)
+
+
+@pytest.fixture
+def skewed_data(rng):
+    base = rng.standard_normal((500, 3))
+    return np.column_stack([np.exp(base[:, 0]), base[:, 1], base[:, 2] ** 3])
+
+
+class TestMardiaSkewness:
+    def test_accepts_gaussian(self, gaussian_data):
+        assert not mardia_skewness(gaussian_data).reject_normality
+
+    def test_rejects_skewed(self, skewed_data):
+        assert mardia_skewness(skewed_data).reject_normality
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(InsufficientDataError):
+            mardia_skewness(np.ones((4, 5)))
+
+
+class TestMardiaKurtosis:
+    def test_accepts_gaussian(self, gaussian_data):
+        assert not mardia_kurtosis(gaussian_data).reject_normality
+
+    def test_rejects_heavy_tails(self, rng):
+        heavy = rng.standard_t(df=3, size=(800, 3))
+        assert mardia_kurtosis(heavy).reject_normality
+
+
+class TestHenzeZirkler:
+    def test_accepts_gaussian(self, gaussian_data):
+        assert not henze_zirkler(gaussian_data).reject_normality
+
+    def test_rejects_skewed(self, skewed_data):
+        assert henze_zirkler(skewed_data).reject_normality
+
+    def test_pvalue_in_unit_interval(self, gaussian_data):
+        result = henze_zirkler(gaussian_data)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestMarginalCheck:
+    def test_one_result_per_dimension(self, gaussian_data):
+        results = marginal_moment_check(gaussian_data)
+        assert len(results) == 5
+
+    def test_flags_only_bad_dimension(self, rng):
+        good = rng.standard_normal(2000)
+        bad = rng.exponential(size=2000)
+        results = marginal_moment_check(np.column_stack([good, bad]))
+        assert not results[0].reject_normality
+        assert results[1].reject_normality
+
+    def test_constant_column_rejected_outright(self, rng):
+        data = np.column_stack([rng.standard_normal(50), np.ones(50)])
+        results = marginal_moment_check(data)
+        assert results[1].reject_normality
+
+    def test_needs_eight_samples(self, rng):
+        with pytest.raises(InsufficientDataError):
+            marginal_moment_check(rng.standard_normal((5, 2)))

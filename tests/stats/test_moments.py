@@ -1,0 +1,96 @@
+"""Tests for sample-moment utilities (Eq. 10, 11, 26)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, InsufficientDataError
+from repro.stats.moments import (
+    correlation_from_covariance,
+    mle_covariance,
+    sample_mean,
+    scatter_matrix,
+    standardize_samples,
+    summarize,
+    unbiased_covariance,
+)
+
+
+@pytest.fixture
+def data(gaussian5, rng):
+    return gaussian5.sample(50, rng)
+
+
+class TestBasicMoments:
+    def test_sample_mean(self, data):
+        assert np.allclose(sample_mean(data), data.mean(axis=0))
+
+    def test_scatter_is_n_times_mle(self, data):
+        assert np.allclose(scatter_matrix(data), 50 * mle_covariance(data))
+
+    def test_mle_matches_numpy(self, data):
+        assert np.allclose(mle_covariance(data), np.cov(data.T, bias=True))
+
+    def test_unbiased_matches_numpy(self, data):
+        assert np.allclose(unbiased_covariance(data), np.cov(data.T, bias=False))
+
+    def test_unbiased_needs_two(self):
+        with pytest.raises(InsufficientDataError):
+            unbiased_covariance(np.ones((1, 3)))
+
+    def test_scatter_psd(self, data):
+        eigs = np.linalg.eigvalsh(scatter_matrix(data))
+        assert np.all(eigs >= -1e-8)
+
+
+class TestCorrelation:
+    def test_unit_diagonal(self, data):
+        corr = correlation_from_covariance(mle_covariance(data))
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_bounded(self, data):
+        corr = correlation_from_covariance(mle_covariance(data))
+        assert np.all(np.abs(corr) <= 1.0 + 1e-12)
+
+    def test_rejects_zero_variance(self):
+        with pytest.raises(DimensionError):
+            correlation_from_covariance(np.diag([1.0, 0.0]))
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self, data):
+        z = standardize_samples(data)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=0), 1.0)
+
+    def test_rejects_constant_column(self):
+        bad = np.column_stack([np.arange(5.0), np.ones(5)])
+        with pytest.raises(InsufficientDataError):
+            standardize_samples(bad)
+
+
+class TestSummarize:
+    def test_fields(self, data):
+        summary = summarize(data)
+        assert summary.dim == 5
+        assert summary.n_samples == 50
+        assert np.allclose(summary.mean, data.mean(axis=0))
+        summary.validate()
+
+    def test_gaussian_has_small_shape_stats(self, gaussian5, rng):
+        big = gaussian5.sample(20000, rng)
+        summary = summarize(big)
+        assert np.all(np.abs(summary.skewness) < 0.1)
+        assert np.all(np.abs(summary.excess_kurtosis) < 0.2)
+
+    def test_skewed_data_detected(self, rng):
+        x = rng.exponential(size=(5000, 2))
+        summary = summarize(x)
+        assert np.all(summary.skewness > 1.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(InsufficientDataError):
+            summarize(np.ones((1, 2)))
+
+    def test_correlation_property(self, data):
+        summary = summarize(data)
+        assert np.allclose(np.diag(summary.correlation), 1.0)

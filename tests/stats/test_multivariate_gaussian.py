@@ -1,0 +1,117 @@
+"""Tests for the multivariate Gaussian (Eq. 5-9)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.exceptions import DimensionError, NotSPDError
+from repro.stats.multivariate_gaussian import MultivariateGaussian, gaussian_loglik
+
+
+class TestConstruction:
+    def test_dim(self, gaussian5):
+        assert gaussian5.dim == 5
+
+    def test_rejects_shape_mismatch(self, spd5):
+        with pytest.raises(DimensionError):
+            MultivariateGaussian(np.zeros(3), spd5)
+
+    def test_rejects_indefinite_covariance(self):
+        with pytest.raises(NotSPDError):
+            MultivariateGaussian(np.zeros(2), np.diag([1.0, -1.0]))
+
+    def test_precision_is_inverse(self, gaussian5):
+        assert np.allclose(
+            gaussian5.precision @ gaussian5.covariance, np.eye(5), atol=1e-8
+        )
+
+    def test_log_det(self, gaussian5):
+        _s, expected = np.linalg.slogdet(gaussian5.covariance)
+        assert gaussian5.log_det_covariance == pytest.approx(expected)
+
+
+class TestDensities:
+    def test_logpdf_matches_scipy(self, gaussian5, rng):
+        x = gaussian5.sample(20, rng)
+        ref = sps.multivariate_normal(gaussian5.mean, gaussian5.covariance)
+        assert np.allclose(gaussian5.logpdf(x), ref.logpdf(x))
+
+    def test_pdf_positive(self, gaussian5, rng):
+        x = gaussian5.sample(10, rng)
+        assert np.all(gaussian5.pdf(x) > 0.0)
+
+    def test_loglik_is_sum(self, gaussian5, rng):
+        x = gaussian5.sample(15, rng)
+        assert gaussian5.loglik(x) == pytest.approx(float(np.sum(gaussian5.logpdf(x))))
+
+    def test_mahalanobis_zero_at_mean(self, gaussian5):
+        assert gaussian5.mahalanobis_sq(gaussian5.mean[None, :])[0] == pytest.approx(0.0)
+
+    def test_gaussian_loglik_helper(self, gaussian5, rng):
+        x = gaussian5.sample(5, rng)
+        assert gaussian_loglik(
+            gaussian5.mean, gaussian5.covariance, x
+        ) == pytest.approx(gaussian5.loglik(x))
+
+    def test_rejects_wrong_width(self, gaussian5):
+        with pytest.raises(DimensionError):
+            gaussian5.logpdf(np.zeros((3, 4)))
+
+
+class TestSampling:
+    def test_sample_shape(self, gaussian5, rng):
+        assert gaussian5.sample(7, rng).shape == (7, 5)
+
+    def test_sample_moments_converge(self, gaussian5, rng):
+        x = gaussian5.sample(60000, rng)
+        assert np.allclose(x.mean(axis=0), gaussian5.mean, atol=0.06)
+        assert np.allclose(np.cov(x.T, bias=True), gaussian5.covariance, atol=0.25)
+
+    def test_reproducible_with_seed(self, gaussian5):
+        a = gaussian5.sample(5, np.random.default_rng(3))
+        b = gaussian5.sample(5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero_samples(self, gaussian5):
+        with pytest.raises(ValueError):
+            gaussian5.sample(0)
+
+
+class TestDerivedDistributions:
+    def test_marginal_moments(self, gaussian5):
+        marg = gaussian5.marginal([0, 2])
+        assert np.allclose(marg.mean, gaussian5.mean[[0, 2]])
+        assert np.allclose(
+            marg.covariance, gaussian5.covariance[np.ix_([0, 2], [0, 2])]
+        )
+
+    def test_marginal_rejects_out_of_range(self, gaussian5):
+        with pytest.raises(DimensionError):
+            gaussian5.marginal([0, 9])
+
+    def test_conditional_reduces_variance(self, gaussian5):
+        cond = gaussian5.conditional([0], [gaussian5.mean[0]])
+        marg = gaussian5.marginal([1, 2, 3, 4])
+        assert np.all(np.diag(cond.covariance) <= np.diag(marg.covariance) + 1e-12)
+
+    def test_conditional_at_mean_keeps_mean(self, gaussian5):
+        cond = gaussian5.conditional([1], [gaussian5.mean[1]])
+        expected = gaussian5.mean[[0, 2, 3, 4]]
+        assert np.allclose(cond.mean, expected)
+
+    def test_conditional_rejects_all_dims(self, gaussian5):
+        with pytest.raises(DimensionError):
+            gaussian5.conditional(list(range(5)), gaussian5.mean)
+
+    def test_kl_self_is_zero(self, gaussian5):
+        assert gaussian5.kl_divergence(gaussian5) == pytest.approx(0.0, abs=1e-10)
+
+    def test_kl_positive(self, gaussian5):
+        other = MultivariateGaussian(gaussian5.mean + 1.0, gaussian5.covariance)
+        assert gaussian5.kl_divergence(other) > 0.0
+
+    def test_kl_known_value_univariate(self):
+        # KL(N(0,1) || N(1,1)) = 1/2.
+        p = MultivariateGaussian([0.0], [[1.0]])
+        q = MultivariateGaussian([1.0], [[1.0]])
+        assert p.kl_divergence(q) == pytest.approx(0.5)

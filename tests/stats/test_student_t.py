@@ -1,0 +1,117 @@
+"""Tests for the multivariate Student-t (posterior predictive)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.exceptions import DimensionError, HyperParameterError
+from repro.stats.normal_wishart import NormalWishart
+from repro.stats.student_t import MultivariateT
+
+
+@pytest.fixture
+def mvt(spd5, rng):
+    return MultivariateT(rng.standard_normal(5), spd5 / 5.0, dof=7.0)
+
+
+class TestConstruction:
+    def test_dim(self, mvt):
+        assert mvt.dim == 5
+
+    def test_rejects_bad_dof(self, spd5):
+        with pytest.raises(HyperParameterError):
+            MultivariateT(np.zeros(5), spd5, dof=0.0)
+
+    def test_rejects_shape_mismatch(self, spd5):
+        with pytest.raises(DimensionError):
+            MultivariateT(np.zeros(3), spd5, dof=3.0)
+
+    def test_moments(self, mvt):
+        assert np.allclose(mvt.mean, mvt.loc)
+        assert np.allclose(mvt.covariance, mvt.shape * 7.0 / 5.0)
+
+    def test_moments_undefined_low_dof(self, spd5):
+        t1 = MultivariateT(np.zeros(5), spd5, dof=0.5)
+        assert t1.mean is None
+        t2 = MultivariateT(np.zeros(5), spd5, dof=1.5)
+        assert t2.mean is not None
+        assert t2.covariance is None
+
+
+class TestDensity:
+    def test_logpdf_matches_scipy(self, mvt, rng):
+        ref = sps.multivariate_t(loc=mvt.loc, shape=mvt.shape, df=mvt.dof)
+        x = mvt.sample(20, rng)
+        assert np.allclose(mvt.logpdf(x), ref.logpdf(x), rtol=1e-9)
+
+    def test_univariate_matches_scipy_t(self):
+        t = MultivariateT([0.0], [[1.0]], dof=4.0)
+        x = np.linspace(-3, 3, 11)[:, None]
+        assert np.allclose(t.pdf(x), sps.t.pdf(x.ravel(), df=4.0))
+
+    def test_heavier_tails_than_gaussian(self, spd5):
+        from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+        t = MultivariateT(np.zeros(5), spd5, dof=3.0)
+        # Compare deep in the tail: the covariance-matched Gaussian decays
+        # exponentially while the t decays polynomially.
+        g = MultivariateGaussian(np.zeros(5), t.covariance)
+        far = np.full((1, 5), 30.0)
+        assert t.logpdf(far)[0] > g.logpdf(far)[0]
+
+    def test_rejects_wrong_width(self, mvt):
+        with pytest.raises(DimensionError):
+            mvt.logpdf(np.zeros((2, 3)))
+
+
+class TestSampling:
+    def test_shape(self, mvt, rng):
+        assert mvt.sample(9, rng).shape == (9, 5)
+
+    def test_sample_mean_converges(self, mvt, rng):
+        draws = mvt.sample(40000, rng)
+        assert np.allclose(draws.mean(axis=0), mvt.loc, atol=0.1)
+
+    def test_sample_covariance_converges(self, mvt, rng):
+        draws = mvt.sample(100000, rng)
+        sample_cov = np.cov(draws.T, bias=True)
+        assert np.allclose(sample_cov, mvt.covariance, rtol=0.25, atol=0.1)
+
+    def test_rejects_zero(self, mvt):
+        with pytest.raises(ValueError):
+            mvt.sample(0)
+
+
+class TestPredictiveConstruction:
+    def test_from_normal_wishart(self, spd5, rng):
+        nw = NormalWishart.from_early_stage(
+            rng.standard_normal(5), spd5, kappa0=4.0, v0=20.0
+        )
+        predictive = MultivariateT.from_normal_wishart_predictive(nw)
+        assert predictive.dof == pytest.approx(16.0)  # v0 - d + 1
+        assert np.allclose(predictive.loc, nw.mu0)
+
+    def test_predictive_matches_posterior_sampling(self, spd5, rng):
+        """Predictive draws == (sample (mu, Lambda), then sample X)."""
+        nw = NormalWishart.from_early_stage(np.zeros(5), spd5, 3.0, 25.0)
+        predictive = MultivariateT.from_normal_wishart_predictive(nw)
+        direct = predictive.sample(20000, rng)
+
+        mus, lams = nw.sample(2000, rng)
+        two_stage = np.empty((2000, 5))
+        for k in range(2000):
+            cov = np.linalg.inv(lams[k])
+            chol = np.linalg.cholesky(cov)
+            two_stage[k] = mus[k] + chol @ rng.standard_normal(5)
+        # Compare first and second moments of the two constructions.
+        assert np.allclose(direct.mean(axis=0), two_stage.mean(axis=0), atol=0.2)
+        assert np.allclose(
+            np.cov(direct.T, bias=True), np.cov(two_stage.T, bias=True),
+            rtol=0.3, atol=0.3,
+        )
+
+    def test_rejects_low_dof_posterior(self, rng):
+        # d=5 and v0 slightly above d gives predictive dof > 0; build a
+        # pathological case via direct construction instead.
+        with pytest.raises(HyperParameterError):
+            MultivariateT(np.zeros(2), np.eye(2), dof=-1.0)

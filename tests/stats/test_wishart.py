@@ -1,0 +1,99 @@
+"""Tests for Wishart / inverse-Wishart distributions."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.exceptions import HyperParameterError
+from repro.linalg.validation import is_spd
+from repro.stats.wishart import InverseWishart, Wishart
+
+
+@pytest.fixture
+def scale3(rng):
+    a = rng.standard_normal((3, 3))
+    return a @ a.T / 3.0 + np.eye(3)
+
+
+class TestWishartConstruction:
+    def test_rejects_low_dof(self, scale3):
+        with pytest.raises(HyperParameterError):
+            Wishart(scale3, 1.9)
+
+    def test_mean(self, scale3):
+        w = Wishart(scale3, 7.0)
+        assert np.allclose(w.mean, 7.0 * scale3)
+
+    def test_mode(self, scale3):
+        w = Wishart(scale3, 10.0)
+        assert np.allclose(w.mode, (10.0 - 3 - 1) * scale3)
+
+    def test_mode_none_at_low_dof(self, scale3):
+        assert Wishart(scale3, 3.5).mode is None
+
+
+class TestWishartLogpdf:
+    def test_matches_scipy(self, scale3, rng):
+        w = Wishart(scale3, 8.0)
+        ref = sps.wishart(df=8.0, scale=scale3)
+        for _ in range(5):
+            lam = w.sample(1, rng)[0]
+            assert w.logpdf(lam) == pytest.approx(float(ref.logpdf(lam)), rel=1e-8)
+
+    def test_paper_convention_scale_in_exponent(self):
+        # For d=1, Wi_v(l | t) density ~ l^{(v-2)/2} exp(-l / (2 t)).
+        t, v = 2.0, 5.0
+        w = Wishart(np.array([[t]]), v)
+        l1, l2 = 1.0, 3.0
+        ratio = w.logpdf(np.array([[l2]])) - w.logpdf(np.array([[l1]]))
+        expected = (v - 2) / 2.0 * np.log(l2 / l1) - (l2 - l1) / (2.0 * t)
+        assert ratio == pytest.approx(expected)
+
+
+class TestWishartSampling:
+    def test_sample_shapes(self, scale3, rng):
+        w = Wishart(scale3, 6.0)
+        out = w.sample(4, rng)
+        assert out.shape == (4, 3, 3)
+        assert all(is_spd(m) for m in out)
+
+    def test_sample_mean_converges(self, scale3, rng):
+        w = Wishart(scale3, 6.0)
+        draws = w.sample(4000, rng)
+        rel = np.linalg.norm(draws.mean(axis=0) - w.mean) / np.linalg.norm(w.mean)
+        assert rel < 0.08
+
+    def test_expected_logdet_matches_monte_carlo(self, scale3, rng):
+        w = Wishart(scale3, 9.0)
+        draws = w.sample(3000, rng)
+        mc = float(np.mean([np.linalg.slogdet(m)[1] for m in draws]))
+        assert w.entropy_expected_logdet() == pytest.approx(mc, abs=0.1)
+
+    def test_rejects_nonpositive_n(self, scale3):
+        with pytest.raises(ValueError):
+            Wishart(scale3, 6.0).sample(0)
+
+
+class TestInverseWishart:
+    def test_mean(self, scale3):
+        iw = InverseWishart(scale3, 8.0)
+        assert np.allclose(iw.mean, scale3 / (8.0 - 3 - 1))
+
+    def test_mean_none_at_low_dof(self, scale3):
+        assert InverseWishart(scale3, 3.5).mean is None
+
+    def test_roundtrip_with_wishart(self, scale3, rng):
+        iw = InverseWishart(scale3, 9.0)
+        w = iw.to_wishart()
+        assert np.allclose(w.scale, np.linalg.inv(scale3))
+        assert w.dof == 9.0
+
+    def test_sampling_spd(self, scale3, rng):
+        draws = InverseWishart(scale3, 7.0).sample(5, rng)
+        assert all(is_spd(m) for m in draws)
+
+    def test_logpdf_matches_scipy(self, scale3, rng):
+        iw = InverseWishart(scale3, 9.0)
+        ref = sps.invwishart(df=9.0, scale=scale3)
+        sigma = iw.sample(1, rng)[0]
+        assert iw.logpdf(sigma) == pytest.approx(float(ref.logpdf(sigma)), rel=1e-6)

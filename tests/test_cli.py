@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_dataset, load_estimate
+
+
+@pytest.fixture(scope="module")
+def bank_path(tmp_path_factory):
+    """A tiny ADC bank generated once through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "bank.npz"
+    code = main(["generate", "adc", str(path), "--samples", "60", "--seed", "3"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "opamp", "out.npz"])
+        assert args.circuit == "opamp"
+        assert args.seed == 2015
+
+    def test_rejects_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "dac", "out.npz"])
+
+
+class TestGenerate:
+    def test_bank_contents(self, bank_path):
+        dataset = load_dataset(bank_path)
+        assert dataset.n_samples == 60
+        assert dataset.metric_names == ("snr", "sinad", "sfdr", "thd", "power")
+
+    def test_seed_reproducibility(self, tmp_path):
+        a_path = tmp_path / "a.npz"
+        b_path = tmp_path / "b.npz"
+        main(["generate", "adc", str(a_path), "--samples", "10", "--seed", "5"])
+        main(["generate", "adc", str(b_path), "--samples", "10", "--seed", "5"])
+        assert np.array_equal(load_dataset(a_path).late, load_dataset(b_path).late)
+
+
+class TestFuse:
+    def test_fuse_prints_and_saves(self, bank_path, tmp_path, capsys):
+        est_path = tmp_path / "est.json"
+        code = main(
+            [
+                "fuse",
+                str(bank_path),
+                "--late-samples",
+                "10",
+                "--save",
+                str(est_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kappa0=" in out and "v0=" in out
+        assert "snr" in out
+        estimate = load_estimate(est_path)
+        assert estimate.method == "bmf"
+        assert estimate.n_samples == 10
+
+    def test_fuse_pinned_hyperparams(self, bank_path, capsys):
+        code = main(
+            [
+                "fuse",
+                str(bank_path),
+                "--late-samples",
+                "8",
+                "--kappa0",
+                "2.5",
+                "--v0",
+                "30",
+            ]
+        )
+        assert code == 0
+        assert "kappa0=2.5" in capsys.readouterr().out
+
+
+class TestGof:
+    def test_gof_output(self, bank_path, capsys):
+        code = main(["gof", str(bank_path), "--stage", "late"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mardia_skewness" in out
+        assert "henze_zirkler" in out
+
+
+class TestFigureCommands:
+    def test_figure5_small(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            ["figure5", "--bank", "120", "--repeats", "2", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out
+        assert "covariance error" in out
+        assert csv_path.exists()
+
+    def test_cost_small(self, capsys):
+        code = main(["cost", "adc", "--bank", "120", "--repeats", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost reduction" in out

@@ -1,0 +1,95 @@
+"""Tests for dataset/estimate/sweep serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import MomentEstimate
+from repro.exceptions import DimensionError
+from repro.experiments.sweep import ErrorSweep, SweepConfig
+from repro.io import (
+    estimate_from_dict,
+    estimate_to_dict,
+    load_dataset,
+    load_estimate,
+    save_dataset,
+    save_estimate,
+    sweep_to_csv,
+)
+
+
+class TestDatasetRoundTrip:
+    def test_exact_round_trip(self, adc_dataset_small, tmp_path):
+        path = tmp_path / "bank.npz"
+        save_dataset(adc_dataset_small, path)
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.early, adc_dataset_small.early)
+        assert np.array_equal(loaded.late, adc_dataset_small.late)
+        assert np.array_equal(loaded.early_nominal, adc_dataset_small.early_nominal)
+        assert loaded.metric_names == adc_dataset_small.metric_names
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, early=np.zeros((2, 2)))
+        with pytest.raises(DimensionError):
+            load_dataset(path)
+
+
+class TestEstimateRoundTrip:
+    @pytest.fixture
+    def estimate(self, spd5, rng):
+        return MomentEstimate(
+            mean=rng.standard_normal(5),
+            covariance=spd5,
+            n_samples=16,
+            method="bmf",
+            info={"kappa0": 4.67, "v0": 557.3},
+        )
+
+    def test_dict_round_trip(self, estimate):
+        restored = estimate_from_dict(estimate_to_dict(estimate))
+        assert np.allclose(restored.mean, estimate.mean)
+        assert np.allclose(restored.covariance, estimate.covariance)
+        assert restored.method == "bmf"
+        assert restored.info == {"kappa0": 4.67, "v0": 557.3}
+
+    def test_file_round_trip(self, estimate, tmp_path):
+        path = tmp_path / "est.json"
+        save_estimate(estimate, path)
+        restored = load_estimate(path)
+        assert np.allclose(restored.mean, estimate.mean)
+        # The file must be plain JSON, inspectable by other tools.
+        payload = json.loads(path.read_text())
+        assert payload["n_samples"] == 16
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(DimensionError):
+            estimate_from_dict({"mean": [0.0]})
+
+    def test_invalid_covariance_rejected(self):
+        payload = {
+            "mean": [0.0, 0.0],
+            "covariance": [[1.0, 0.0], [0.0, -1.0]],
+            "n_samples": 4,
+            "method": "x",
+        }
+        with pytest.raises(Exception):
+            estimate_from_dict(payload)
+
+
+class TestSweepCSV:
+    def test_csv_structure(self, opamp_dataset_small, tmp_path):
+        result = ErrorSweep(
+            opamp_dataset_small,
+            config=SweepConfig(sample_sizes=(8,), n_repeats=3, seed=1),
+        ).run()
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(result, path)
+        lines = path.read_text().strip().split("\n")
+        assert lines[0] == "method,n_late,repetition,mean_error,cov_error"
+        # 2 methods x 1 size x 3 repetitions = 6 data rows.
+        assert len(lines) == 7
+        first = lines[1].split(",")
+        assert first[0] in ("bmf", "mle")
+        assert float(first[3]) > 0.0

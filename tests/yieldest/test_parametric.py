@@ -1,0 +1,99 @@
+"""Tests for parametric yield estimation from moments."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.estimators import MomentEstimate
+from repro.exceptions import DimensionError
+from repro.yieldest.parametric import YieldEstimator, gaussian_box_probability
+from repro.yieldest.specs import Specification, SpecificationSet
+
+
+class TestGaussianBoxProbability:
+    def test_univariate_matches_norm_cdf(self):
+        prob = gaussian_box_probability([0.0], [[1.0]], [-1.0], [1.0])
+        expected = sps.norm.cdf(1.0) - sps.norm.cdf(-1.0)
+        assert prob == pytest.approx(expected, abs=1e-5)
+
+    def test_independent_dims_factorise(self):
+        prob = gaussian_box_probability(
+            [0.0, 0.0], np.eye(2), [-1.0, -2.0], [1.0, 2.0]
+        )
+        expected = (sps.norm.cdf(1) - sps.norm.cdf(-1)) * (
+            sps.norm.cdf(2) - sps.norm.cdf(-2)
+        )
+        assert prob == pytest.approx(expected, abs=1e-4)
+
+    def test_infinite_bounds(self):
+        prob = gaussian_box_probability(
+            [0.0, 0.0], np.eye(2), [-math.inf, 0.0], [math.inf, math.inf]
+        )
+        assert prob == pytest.approx(0.5, abs=1e-5)
+
+    def test_full_space_is_one(self):
+        prob = gaussian_box_probability(
+            [1.0, -2.0], np.eye(2) * 3.0, [-math.inf] * 2, [math.inf] * 2
+        )
+        assert prob == pytest.approx(1.0, abs=1e-6)
+
+    def test_correlation_matters(self):
+        cov = np.array([[1.0, 0.9], [0.9, 1.0]])
+        prob_corr = gaussian_box_probability([0, 0], cov, [0, 0], [math.inf] * 2)
+        prob_ind = gaussian_box_probability([0, 0], np.eye(2), [0, 0], [math.inf] * 2)
+        # Positively correlated: joint upper-orthant probability > 0.25.
+        assert prob_corr > prob_ind + 0.05
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(DimensionError):
+            gaussian_box_probability([0.0], [[1.0]], [1.0], [-1.0])
+
+
+class TestYieldEstimator:
+    @pytest.fixture
+    def specs(self):
+        return SpecificationSet(
+            (
+                Specification.minimum("a", -1.0),
+                Specification.window("b", -2.0, 2.0),
+            )
+        )
+
+    def test_report_fields(self, specs):
+        est = YieldEstimator(specs)
+        report = est.from_moments(np.zeros(2), np.eye(2), method="test")
+        assert report.method == "test"
+        assert set(report.marginal_yields) == {"a", "b"}
+        assert 0.0 <= report.total_yield <= 1.0
+
+    def test_total_below_marginals(self, specs):
+        est = YieldEstimator(specs)
+        report = est.from_moments(np.zeros(2), np.eye(2))
+        for marginal in report.marginal_yields.values():
+            assert report.total_yield <= marginal + 1e-9
+
+    def test_matches_monte_carlo(self, specs, rng):
+        cov = np.array([[1.0, 0.5], [0.5, 2.0]])
+        est = YieldEstimator(specs)
+        analytic = est.from_moments(np.zeros(2), cov).total_yield
+        mc = est.monte_carlo(np.zeros(2), cov, n_samples=200_000, rng=rng)
+        assert analytic == pytest.approx(mc, abs=0.01)
+
+    def test_from_estimate(self, specs):
+        estimate = MomentEstimate(
+            mean=np.zeros(2), covariance=np.eye(2), n_samples=10, method="bmf"
+        )
+        report = YieldEstimator(specs).from_estimate(estimate)
+        assert report.method == "bmf"
+
+    def test_limiting_metric(self, specs):
+        est = YieldEstimator(specs)
+        # Mean of "a" sits right at its lower bound: ~50% marginal yield.
+        report = est.from_moments(np.array([-1.0, 0.0]), np.eye(2))
+        assert report.limiting_metric() == "a"
+
+    def test_dim_mismatch(self, specs):
+        with pytest.raises(DimensionError):
+            YieldEstimator(specs).from_moments(np.zeros(3), np.eye(3))

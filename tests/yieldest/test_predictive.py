@@ -1,0 +1,86 @@
+"""Tests for predictive-yield estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HyperParameterError
+from repro.stats.normal_wishart import NormalWishart
+from repro.yieldest.parametric import gaussian_box_probability
+from repro.yieldest.predictive import predictive_yield, yield_posterior
+from repro.yieldest.specs import Specification, SpecificationSet
+
+
+@pytest.fixture
+def specs():
+    return SpecificationSet(
+        tuple(Specification.window(f"m{j}", -2.0, 2.0) for j in range(3))
+    )
+
+
+@pytest.fixture
+def posterior(rng):
+    a = rng.standard_normal((3, 3))
+    sigma = a @ a.T / 3.0 + np.eye(3) * 0.5
+    nw = NormalWishart.from_early_stage(np.zeros(3), sigma, kappa0=5.0, v0=20.0)
+    chol = np.linalg.cholesky(sigma)
+    data = (rng.standard_normal((24, 3)) @ chol.T) * 0.8
+    return nw.posterior(data)
+
+
+class TestPredictiveYield:
+    def test_in_unit_interval(self, posterior, specs, rng):
+        y = predictive_yield(posterior, specs, n_samples=20000, rng=rng)
+        assert 0.0 <= y <= 1.0
+
+    def test_more_conservative_than_plug_in_for_tight_specs(self, posterior, rng):
+        """Heavier predictive tails push mass outside a wide pass box."""
+        wide = SpecificationSet(
+            tuple(Specification.window(f"m{j}", -3.0, 3.0) for j in range(3))
+        )
+        map_est = posterior.map_estimate()
+        plug_in = gaussian_box_probability(
+            map_est.mean, map_est.covariance, wide.lower_bounds, wide.upper_bounds
+        )
+        pred = predictive_yield(posterior, wide, n_samples=80000, rng=rng)
+        assert pred <= plug_in + 0.01
+
+    def test_dim_mismatch(self, posterior, rng):
+        bad = SpecificationSet((Specification.window("x", -1.0, 1.0),))
+        with pytest.raises(HyperParameterError):
+            predictive_yield(posterior, bad, rng=rng)
+
+
+class TestYieldPosterior:
+    def test_interval_brackets_plug_in(self, posterior, specs, rng):
+        out = yield_posterior(posterior, specs, n_parameter_draws=100, rng=rng)
+        lo, hi = out.interval
+        assert 0.0 <= lo <= hi <= 1.0
+        # The plug-in sits near the posterior yield distribution; allow
+        # it to fall slightly outside a finite-draw interval.
+        assert lo - 0.1 <= out.plug_in <= hi + 0.1
+
+    def test_interval_narrows_with_data(self, rng):
+        sigma = np.eye(2)
+        nw = NormalWishart.from_early_stage(np.zeros(2), sigma, 5.0, 15.0)
+        specs = SpecificationSet(
+            tuple(Specification.window(f"m{j}", -2.0, 2.0) for j in range(2))
+        )
+        small = yield_posterior(
+            nw.posterior(rng.standard_normal((6, 2))),
+            specs,
+            n_parameter_draws=120,
+            rng=rng,
+        )
+        big = yield_posterior(
+            nw.posterior(rng.standard_normal((200, 2))),
+            specs,
+            n_parameter_draws=120,
+            rng=rng,
+        )
+        assert (big.interval[1] - big.interval[0]) < (
+            small.interval[1] - small.interval[0]
+        )
+
+    def test_rejects_bad_level(self, posterior, specs, rng):
+        with pytest.raises(HyperParameterError):
+            yield_posterior(posterior, specs, level=0.0, rng=rng)

@@ -1,0 +1,109 @@
+"""Tests for performance specifications."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.yieldest.specs import Specification, SpecificationSet
+
+
+class TestSpecification:
+    def test_window_pass_fail(self):
+        spec = Specification.window("gain", 1000.0, 5000.0)
+        assert spec.passes([2000.0])[0]
+        assert not spec.passes([100.0])[0]
+        assert not spec.passes([9999.0])[0]
+
+    def test_minimum_one_sided(self):
+        spec = Specification.minimum("snr", 35.0)
+        assert spec.passes([40.0])[0]
+        assert not spec.passes([30.0])[0]
+        assert spec.upper == math.inf
+
+    def test_maximum_one_sided(self):
+        spec = Specification.maximum("power", 1e-3)
+        assert spec.passes([5e-4])[0]
+        assert not spec.passes([2e-3])[0]
+
+    def test_bounds_inclusive(self):
+        spec = Specification.window("x", 0.0, 1.0)
+        assert spec.passes([0.0])[0] and spec.passes([1.0])[0]
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(SpecificationError):
+            Specification("x", 2.0, 1.0)
+
+    def test_rejects_double_infinite(self):
+        with pytest.raises(SpecificationError):
+            Specification("x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(SpecificationError):
+            Specification("x", math.nan, 1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecificationError):
+            Specification("", 0.0, 1.0)
+
+
+class TestSpecificationSet:
+    @pytest.fixture
+    def specs(self):
+        return SpecificationSet(
+            (
+                Specification.minimum("gain", 5000.0),
+                Specification.maximum("power", 4e-4),
+            )
+        )
+
+    def test_dim_and_names(self, specs):
+        assert specs.dim == 2
+        assert specs.names == ("gain", "power")
+
+    def test_bound_vectors(self, specs):
+        assert specs.lower_bounds[0] == 5000.0
+        assert specs.lower_bounds[1] == -math.inf
+        assert specs.upper_bounds[1] == 4e-4
+
+    def test_joint_pass(self, specs):
+        samples = np.array(
+            [
+                [6000.0, 3e-4],   # pass
+                [4000.0, 3e-4],   # fail gain
+                [6000.0, 5e-4],   # fail power
+            ]
+        )
+        assert list(specs.passes(samples)) == [True, False, False]
+
+    def test_single_row(self, specs):
+        assert specs.passes(np.array([6000.0, 3e-4]))[0]
+
+    def test_empirical_yield(self, specs):
+        samples = np.array([[6000.0, 3e-4]] * 3 + [[1000.0, 3e-4]])
+        assert specs.empirical_yield(samples) == pytest.approx(0.75)
+
+    def test_rejects_wrong_width(self, specs):
+        with pytest.raises(SpecificationError):
+            specs.passes(np.zeros((2, 3)))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SpecificationError):
+            SpecificationSet(
+                (Specification.minimum("x", 0.0), Specification.maximum("x", 1.0))
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            SpecificationSet(())
+
+    def test_from_dict_with_order(self):
+        specs = SpecificationSet.from_dict(
+            {"b": (0.0, 1.0), "a": (-1.0, math.inf)}, order=["a", "b"]
+        )
+        assert specs.names == ("a", "b")
+
+    def test_from_dict_missing_metric(self):
+        with pytest.raises(SpecificationError):
+            SpecificationSet.from_dict({"a": (0.0, 1.0)}, order=["a", "b"])
