@@ -1,0 +1,69 @@
+"""Batched vs loop CV kernel: the speedup that motivated repro.linalg.batched.
+
+Times the full two-dimensional hyper-parameter search (d=5, the paper's
+12x12 default grid, Q=4 folds) through both scorers on identical folds and
+asserts they return the same winner and the same score surface.  The
+speedup table is also written by ``scripts/bench_cv.py`` to ``BENCH_cv.json``
+for tracking across revisions.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_util import emit
+from repro.core.crossval import TwoDimensionalCV
+from repro.core.prior import PriorKnowledge
+from repro.stats.multivariate_gaussian import MultivariateGaussian
+
+D = 5
+N_SAMPLES = 32
+N_FOLDS = 4
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((D, D))
+    sigma = a @ a.T + D * np.eye(D)
+    truth = MultivariateGaussian(rng.standard_normal(D), sigma)
+    prior = PriorKnowledge(truth.mean + 0.05, sigma * 1.1)
+    return prior, truth.sample(N_SAMPLES, rng)
+
+
+def _select(prior, data, scoring):
+    cv = TwoDimensionalCV(prior, n_folds=N_FOLDS, scoring=scoring)
+    return cv.select(data, rng=np.random.default_rng(1))
+
+
+def test_cv_batched_speed(benchmark, problem):
+    prior, data = problem
+    result = benchmark(_select, prior, data, "batched")
+    assert result.scores.shape == (12, 12)
+
+
+def test_cv_loop_speed(benchmark, problem):
+    prior, data = problem
+    result = benchmark(_select, prior, data, "loop")
+    assert result.scores.shape == (12, 12)
+
+
+def test_cv_scorers_equivalent(problem):
+    """The two paths must agree before any timing is meaningful."""
+    import time
+
+    prior, data = problem
+    t0 = time.perf_counter()
+    batched = _select(prior, data, "batched")
+    t1 = time.perf_counter()
+    loop = _select(prior, data, "loop")
+    t2 = time.perf_counter()
+
+    assert batched.kappa0 == loop.kappa0 and batched.v0 == loop.v0
+    np.testing.assert_allclose(batched.scores, loop.scores, rtol=1e-10, atol=1e-10)
+
+    speedup = (t2 - t1) / max(t1 - t0, 1e-12)
+    emit(
+        "CV search (d=%d, 12x12 grid, Q=%d): loop %.1f ms, batched %.1f ms "
+        "-> %.1fx (single run; see scripts/bench_cv.py for best-of-N)"
+        % (D, N_FOLDS, (t2 - t1) * 1e3, (t1 - t0) * 1e3, speedup)
+    )

@@ -23,6 +23,12 @@ def pytest_configure(config):
         set_capture_manager(capman)
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ so `-m 'not benchmark'` skips it."""
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     return current_scale()

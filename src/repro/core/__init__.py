@@ -9,7 +9,12 @@ from repro.core.confidence import (
 )
 from repro.core.bmf_bd import BernoulliBMF, BetaPrior
 from repro.core.crossval import CrossValidationResult, TwoDimensionalCV, make_folds
-from repro.core.evidence import EvidenceResult, EvidenceSelector, log_evidence
+from repro.core.evidence import (
+    EvidenceResult,
+    EvidenceSelector,
+    log_evidence,
+    log_evidence_grid,
+)
 from repro.core.errors import (
     EstimationError,
     covariance_error,
@@ -50,6 +55,7 @@ __all__ = [
     "covariance_error",
     "estimation_error",
     "log_evidence",
+    "log_evidence_grid",
     "make_folds",
     "map_moments",
     "mean_credible_region",

@@ -174,19 +174,26 @@ class BMFEstimator(MomentEstimator):
         )
 
     # ------------------------------------------------------------------
-    def posterior(self, samples):
+    def posterior(self, samples, rng: Optional[np.random.Generator] = None):
         """Full normal-Wishart posterior for the selected hyper-parameters.
 
         Runs the same selection as :meth:`estimate` but returns the
         :class:`repro.stats.normal_wishart.NormalWishart` posterior, giving
         access to uncertainty (posterior predictive, sampling) beyond the
         point MAP estimate the paper reports.
+
+        ``rng`` seeds the CV fold split exactly as in :meth:`estimate`;
+        leaving it ``None`` draws a fresh nondeterministic split (see the
+        determinism contract in :mod:`repro.core.crossval`).  Previously
+        the generator could not be threaded through here at all, so
+        ``posterior`` was unreproducible even for callers that seeded
+        everything else.
         """
         data = self._check(samples)
         if self.kappa0 is not None:
             kappa0, v0 = self.kappa0, self.v0
         else:
-            result = self._select(data, None)
+            result = self._select(data, rng)
             kappa0, v0 = result.kappa0, result.v0
         return self.prior.to_normal_wishart(kappa0, v0).posterior(data)
 

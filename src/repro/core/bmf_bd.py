@@ -114,6 +114,30 @@ class BernoulliBMF:
         # for degenerate user-supplied priors.
         return mode if mode is not None else posterior.mean
 
+    def estimate_batch(self, outcomes) -> np.ndarray:
+        """Vectorised :meth:`estimate` over a stack of outcome vectors.
+
+        ``outcomes`` is ``(B, n)`` (rows are independent late-stage runs,
+        e.g. one per replication of a sweep); returns the ``(B,)`` MAP
+        yields.  All posterior updates happen in one NumPy pass — no
+        per-row Python work — and each entry equals ``estimate(row)``.
+        """
+        arr = np.atleast_2d(np.asarray(outcomes, dtype=float))
+        if arr.ndim != 2 or arr.shape[1] == 0:
+            raise InsufficientDataError(
+                "outcomes must be a (B, n) stack with at least one column"
+            )
+        if np.any((arr != 0.0) & (arr != 1.0)):
+            raise ValueError("outcomes must be binary (0/1 or booleans)")
+        passes = arr.sum(axis=1)
+        a = self.prior.a + passes
+        b = self.prior.b + (arr.shape[1] - passes)
+        # Mode (a-1)/(a+b-2) where defined, posterior mean a/(a+b) otherwise
+        # (degenerate user-supplied priors), matching the scalar path.
+        has_mode = (a > 1.0) & (b > 1.0)
+        denom_mode = np.where(has_mode, a + b - 2.0, 1.0)
+        return np.where(has_mode, (a - 1.0) / denom_mode, a / (a + b))
+
     def estimate_with_interval(self, outcomes, level: float = 0.95):
         """MAP yield plus an equal-tailed credible interval."""
         arr = np.atleast_1d(np.asarray(outcomes)).ravel().astype(float)

@@ -36,7 +36,10 @@ from repro.core.estimators import MomentEstimate
 from repro.core.hypergrid import HyperParameterGrid
 from repro.core.prior import PriorKnowledge
 from repro.exceptions import DimensionError, InsufficientDataError
-from repro.stats.multivariate_gaussian import MultivariateGaussian
+from repro.stats.multivariate_gaussian import (
+    MultivariateGaussian,
+    gaussian_loglik_batch,
+)
 
 __all__ = ["PopulationData", "MultiPopulationBMF"]
 
@@ -154,13 +157,32 @@ class MultiPopulationBMF:
     def select_tau(
         self, rng: Optional[np.random.Generator] = None
     ) -> float:
-        """Pick tau by leave-population-out likelihood."""
-        best_tau, best_score = self.tau_candidates[0], -np.inf
-        for tau in self.tau_candidates:
-            score = self._score_tau(tau, rng)
-            if score > best_score:
-                best_tau, best_score = tau, score
-        return best_tau
+        """Pick tau by leave-population-out likelihood.
+
+        All tau candidates are scored at once per held-out population: the
+        corrected prior means form a ``(|tau|, d)`` stack under a shared
+        covariance, so one :func:`gaussian_loglik_batch` call replaces the
+        per-candidate :class:`MultivariateGaussian` constructions.  Ties
+        keep the earliest candidate, matching the scalar scan.
+        """
+        taus = np.asarray(self.tau_candidates, dtype=float)
+        scores = np.zeros(taus.size)
+        for i, held_out in enumerate(self.populations):
+            others = [p for j, p in enumerate(self.populations) if j != i]
+            delta = self._pooled_delta(others)
+            total_others = sum(p.n for p in others)
+            weights = total_others / (total_others + taus)  # (|tau|,)
+            means = held_out.prior.mean + weights[:, None] * delta
+            covs = np.broadcast_to(
+                held_out.prior.covariance,
+                (taus.size,) + held_out.prior.covariance.shape,
+            )
+            scores += (
+                gaussian_loglik_batch(means, covs, held_out.late_samples)
+                / held_out.n
+            )
+        scores /= len(self.populations)
+        return float(taus[int(np.argmax(scores))])
 
     # ------------------------------------------------------------------
     def estimate_all(

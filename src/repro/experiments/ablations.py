@@ -32,6 +32,7 @@ from repro.core.errors import covariance_error, mean_error
 from repro.core.estimators import MomentEstimate, MomentEstimator
 from repro.core.mle import MLEstimator
 from repro.core.prior import PriorKnowledge
+from repro.experiments.parallel import replicate
 from repro.experiments.sweep import ErrorSweep, SweepConfig, SweepResult
 from repro.linalg.shrinkage import ledoit_wolf, oas
 from repro.stats.multivariate_gaussian import MultivariateGaussian
@@ -72,7 +73,9 @@ class ShrinkageEstimator(MomentEstimator):
 
 
 def ablate_shift_scale(
-    dataset: PairedDataset, config: Optional[SweepConfig] = None
+    dataset: PairedDataset,
+    config: Optional[SweepConfig] = None,
+    n_jobs: int = 1,
 ) -> Dict[str, SweepResult]:
     """BMF with versus without the Sec. 4.1 preprocessing.
 
@@ -80,8 +83,11 @@ def ablate_shift_scale(
     term of Eq. (32); without the scale, large-magnitude metrics dominate
     the CV likelihood.  Note the errors of the two runs live in different
     spaces — compare each arm's BMF *relative to its own MLE*.
+
+    ``n_jobs`` applies when ``config`` is None (otherwise set it on the
+    config); same convention for every sweep-delegating ablation below.
     """
-    cfg = config if config is not None else SweepConfig(n_repeats=30)
+    cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     return {
         "with_shift_scale": ErrorSweep(dataset, config=cfg, shift_scale=True).run(),
         "without_shift_scale": ErrorSweep(dataset, config=cfg, shift_scale=False).run(),
@@ -92,9 +98,10 @@ def ablate_fixed_hyperparams(
     dataset: PairedDataset,
     pinned: Tuple[Tuple[float, float], ...] = ((1.0, 10.0), (10.0, 100.0), (100.0, 1000.0)),
     config: Optional[SweepConfig] = None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """CV-selected hyper-parameters versus pinned settings."""
-    cfg = config if config is not None else SweepConfig(n_repeats=30)
+    cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     estimators = {"bmf_cv": lambda prior: BMFEstimator(prior)}
     for kappa0, v0 in pinned:
         estimators[f"bmf_k{kappa0:g}_v{v0:g}"] = (
@@ -109,9 +116,10 @@ def ablate_fold_count(
     dataset: PairedDataset,
     fold_counts: Tuple[int, ...] = (2, 4, 8),
     config: Optional[SweepConfig] = None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Sensitivity of the BMF accuracy to the CV fold count Q (Sec. 4.2)."""
-    cfg = config if config is not None else SweepConfig(n_repeats=30)
+    cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     estimators = {
         f"bmf_q{q}": (lambda prior, q=q: BMFEstimator(prior, n_folds=q))
         for q in fold_counts
@@ -120,14 +128,16 @@ def ablate_fold_count(
 
 
 def ablate_shrinkage_baselines(
-    dataset: PairedDataset, config: Optional[SweepConfig] = None
+    dataset: PairedDataset,
+    config: Optional[SweepConfig] = None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """BMF versus MLE versus prior-free shrinkage covariances.
 
     If BMF merely regularised, Ledoit-Wolf/OAS would match it; the gap
     that remains measures the value of the early-stage *content*.
     """
-    cfg = config if config is not None else SweepConfig(n_repeats=30)
+    cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     estimators = {
         "mle": lambda prior: MLEstimator(),
         "bmf": lambda prior: BMFEstimator(prior),
@@ -143,12 +153,18 @@ def ablate_prior_quality(
     n_late: int = 32,
     n_repeats: int = 30,
     seed: int = 5,
+    n_jobs: int = 1,
 ) -> Dict[float, Dict[str, float]]:
     """Degrade the prior mean and watch CV shrink ``kappa0`` (Eq. 33-34).
 
     For each bias level (in per-dimension sigma units added to the early
     mean) returns the average selected ``kappa0``/``v0`` and the BMF
     errors — an executable version of the paper's Sec. 3.3 discussion.
+
+    Repetition ``r`` uses the same ``SeedSequence`` child at every bias
+    level — a paired design: each level sees identical late-stage draws,
+    so level-to-level differences isolate the prior bias.  ``n_jobs``
+    parallelises the repetitions (bit-identical to serial).
     """
     from repro.core.preprocessing import ShiftScaleTransform
 
@@ -162,22 +178,31 @@ def ablate_prior_quality(
     centered = late_iso - exact_mean
     exact_cov = centered.T @ centered / late_iso.shape[0]
 
-    rng = np.random.default_rng(seed)
+    children = np.random.SeedSequence(seed).spawn(n_repeats)
+    direction = np.ones(base_prior.dim) / np.sqrt(base_prior.dim)
+    sigmas = np.sqrt(np.diag(base_prior.covariance))
+
+    def one_repetition(task):
+        bias_value, child = task
+        prior = PriorKnowledge(
+            base_prior.mean + bias_value * sigmas * direction,
+            base_prior.covariance,
+        )
+        rng = np.random.default_rng(child)
+        idx = rng.choice(late_iso.shape[0], size=n_late, replace=False)
+        est = BMFEstimator(prior).estimate(late_iso[idx], rng=rng)
+        return (
+            est.info["kappa0"],
+            est.info["v0"],
+            mean_error(est.mean, exact_mean),
+            covariance_error(est.covariance, exact_cov),
+        )
+
     out: Dict[float, Dict[str, float]] = {}
     for bias in mean_bias_sigmas:
-        direction = np.ones(base_prior.dim) / np.sqrt(base_prior.dim)
-        sigmas = np.sqrt(np.diag(base_prior.covariance))
-        prior = PriorKnowledge(
-            base_prior.mean + bias * sigmas * direction, base_prior.covariance
-        )
-        k0s, v0s, merrs, cerrs = [], [], [], []
-        for _ in range(n_repeats):
-            idx = rng.choice(late_iso.shape[0], size=n_late, replace=False)
-            est = BMFEstimator(prior).estimate(late_iso[idx], rng=rng)
-            k0s.append(est.info["kappa0"])
-            v0s.append(est.info["v0"])
-            merrs.append(mean_error(est.mean, exact_mean))
-            cerrs.append(covariance_error(est.covariance, exact_cov))
+        tasks = [(float(bias), child) for child in children]
+        rows = replicate(one_repetition, tasks, n_jobs=n_jobs)
+        k0s, v0s, merrs, cerrs = map(list, zip(*rows))
         out[float(bias)] = {
             "median_kappa0": float(np.median(k0s)),
             "median_v0": float(np.median(v0s)),
@@ -193,6 +218,7 @@ def ablate_process_quality(
     n_late: int = 16,
     n_repeats: int = 20,
     seed: int = 29,
+    n_jobs: int = 1,
 ) -> Dict[float, Dict[str, float]]:
     """BMF advantage versus process mismatch severity.
 
@@ -232,7 +258,8 @@ def ablate_process_quality(
         sweep = ErrorSweep(
             dataset,
             config=SweepConfig(
-                sample_sizes=(n_late,), n_repeats=n_repeats, seed=seed
+                sample_sizes=(n_late,), n_repeats=n_repeats, seed=seed,
+                n_jobs=n_jobs,
             ),
         ).run()
         bmf = sweep.cov_error_curve("bmf")[n_late]
@@ -246,7 +273,9 @@ def ablate_process_quality(
 
 
 def ablate_selector(
-    dataset: PairedDataset, config: Optional[SweepConfig] = None
+    dataset: PairedDataset,
+    config: Optional[SweepConfig] = None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """The paper's Q-fold CV versus evidence (marginal-likelihood) selection.
 
@@ -256,7 +285,7 @@ def ablate_selector(
     over-trust a misspecified prior at small n).  Run on the circuit
     workloads, where the prior *is* mildly misspecified by construction.
     """
-    cfg = config if config is not None else SweepConfig(n_repeats=30)
+    cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     estimators = {
         "bmf_cv": lambda prior: BMFEstimator(prior, selector="cv"),
         "bmf_evidence": lambda prior: BMFEstimator(prior, selector="evidence"),
@@ -270,6 +299,7 @@ def ablate_non_gaussian(
     n_late: int = 16,
     n_repeats: int = 30,
     seed: int = 23,
+    n_jobs: int = 1,
 ) -> Dict[float, Dict[str, float]]:
     """Robustness to the joint-Gaussian assumption (the Sec. 1 caveat).
 
@@ -281,7 +311,9 @@ def ablate_non_gaussian(
     misspecified Gaussian family, so the prior's variance reduction keeps
     paying even when the model is wrong.
 
-    Returns per-skew-level average errors plus the BMF/MLE error ratio.
+    Repetition ``r`` reuses the same seed child across skew levels (paired
+    design); ``n_jobs`` parallelises repetitions bit-identically.  Returns
+    per-skew-level average errors plus the BMF/MLE error ratio.
     """
     rng = np.random.default_rng(seed)
     d = 4
@@ -293,6 +325,7 @@ def ablate_non_gaussian(
         z = gen.standard_normal((n, d)) @ chol.T
         return z + skew * (np.exp(z / 2.0) - 1.0)
 
+    children = np.random.SeedSequence(seed).spawn(n_repeats)
     out: Dict[float, Dict[str, float]] = {}
     for skew in skew_levels:
         # Ground truth + prior from a large population of the same law.
@@ -300,13 +333,19 @@ def ablate_non_gaussian(
         exact_mean = big.mean(axis=0)
         exact_cov = np.cov(big.T, bias=True)
         prior = PriorKnowledge(exact_mean, exact_cov)
-        bmf_errs, mle_errs = [], []
-        for _ in range(n_repeats):
-            late = population(skew, n_late, rng)
-            bmf = BMFEstimator(prior).estimate(late, rng=rng)
+
+        def one_repetition(child, skew=skew, prior=prior, exact_cov=exact_cov):
+            gen = np.random.default_rng(child)
+            late = population(skew, n_late, gen)
+            bmf = BMFEstimator(prior).estimate(late, rng=gen)
             mle = MLEstimator().estimate(late)
-            bmf_errs.append(covariance_error(bmf.covariance, exact_cov))
-            mle_errs.append(covariance_error(mle.covariance, exact_cov))
+            return (
+                covariance_error(bmf.covariance, exact_cov),
+                covariance_error(mle.covariance, exact_cov),
+            )
+
+        rows = replicate(one_repetition, children, n_jobs=n_jobs)
+        bmf_errs, mle_errs = zip(*rows)
         bmf_mean = float(np.mean(bmf_errs))
         mle_mean = float(np.mean(mle_errs))
         out[float(skew)] = {
@@ -322,14 +361,19 @@ def ablate_dimensionality(
     n_late: int = 16,
     n_repeats: int = 30,
     seed: int = 9,
+    n_jobs: int = 1,
 ) -> Dict[int, Dict[str, float]]:
     """Synthetic d-sweep: BMF's covariance advantage grows with d.
 
     The MLE covariance has rank <= n-1, so at fixed ``n`` its error grows
-    with ``d`` while a good prior keeps BMF flat.  Returns per-dimension
-    average errors for both methods.
+    with ``d`` while a good prior keeps BMF flat.  The population per
+    dimension is built from a shared setup generator (as before); the
+    repetitions draw from per-repetition seed children and run through the
+    parallel engine.  Returns per-dimension average errors for both
+    methods.
     """
     rng = np.random.default_rng(seed)
+    children = np.random.SeedSequence(seed).spawn(n_repeats)
     out: Dict[int, Dict[str, float]] = {}
     for d in dims:
         a = rng.standard_normal((d, d))
@@ -337,13 +381,19 @@ def ablate_dimensionality(
         mu_true = rng.standard_normal(d) * 0.3
         truth = MultivariateGaussian(mu_true, sigma_true)
         prior = PriorKnowledge(mu_true + 0.05, sigma_true * 1.1)
-        bmf_c, mle_c = [], []
-        for _ in range(n_repeats):
-            late = truth.sample(n_late, rng)
-            bmf = BMFEstimator(prior).estimate(late, rng=rng)
+
+        def one_repetition(child, truth=truth, prior=prior, sigma_true=sigma_true):
+            gen = np.random.default_rng(child)
+            late = truth.sample(n_late, gen)
+            bmf = BMFEstimator(prior).estimate(late, rng=gen)
             mle = MLEstimator().estimate(late)
-            bmf_c.append(covariance_error(bmf.covariance, sigma_true))
-            mle_c.append(covariance_error(mle.covariance, sigma_true))
+            return (
+                covariance_error(bmf.covariance, sigma_true),
+                covariance_error(mle.covariance, sigma_true),
+            )
+
+        rows = replicate(one_repetition, children, n_jobs=n_jobs)
+        bmf_c, mle_c = zip(*rows)
         out[d] = {
             "bmf_cov_error": float(np.mean(bmf_c)),
             "mle_cov_error": float(np.mean(mle_c)),

@@ -25,6 +25,7 @@ from repro.core.mle import MLEstimator
 from repro.core.preprocessing import ShiftScaleTransform
 from repro.core.prior import PriorKnowledge
 from repro.exceptions import DimensionError
+from repro.experiments.parallel import replicate, resolve_n_jobs
 from repro.stats.moments import mle_covariance, sample_mean
 
 __all__ = ["SweepConfig", "SweepResult", "ErrorSweep", "default_estimators"]
@@ -54,11 +55,18 @@ class SweepConfig:
     seed:
         Base RNG seed; repetition ``r`` uses a child seed so runs are
         reproducible yet independent.
+    n_jobs:
+        Worker processes for the replication loop: ``1`` (default) runs
+        serially, ``-1`` uses every CPU, any other positive value is taken
+        literally.  Because each repetition derives all randomness from its
+        own ``SeedSequence`` child, results are **bit-identical** for every
+        ``n_jobs`` setting.
     """
 
     sample_sizes: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
     n_repeats: int = 100
     seed: int = 7
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if not self.sample_sizes:
@@ -67,6 +75,7 @@ class SweepConfig:
             raise DimensionError("every sample size must be >= 2")
         if self.n_repeats < 1:
             raise DimensionError("n_repeats must be >= 1")
+        resolve_n_jobs(self.n_jobs)
 
 
 @dataclass
@@ -164,8 +173,41 @@ class ErrorSweep:
         self.exact_cov = mle_covariance(self._late)
 
     # ------------------------------------------------------------------
+    def _run_repetition(
+        self, task: Tuple[int, np.random.SeedSequence]
+    ) -> Tuple[Dict[str, Tuple[float, float]], List[Tuple[float, float]]]:
+        """One independent repetition: draw ``n`` rows, run every estimator.
+
+        Pure given the task's seed child — the repetition-level unit the
+        parallel engine fans out.  Returns per-estimator ``(mean_error,
+        cov_error)`` plus any recorded ``(kappa0, v0)`` selections, in
+        estimator order.
+        """
+        n, child = task
+        rng = np.random.default_rng(child)
+        idx = rng.choice(self._late.shape[0], size=n, replace=False)
+        subset = self._late[idx]
+        errors: Dict[str, Tuple[float, float]] = {}
+        selected: List[Tuple[float, float]] = []
+        for name, factory in self.estimators.items():
+            estimator = factory(self.prior)
+            estimate = estimator.estimate(subset, rng=rng)
+            errors[name] = (
+                mean_error(estimate.mean, self.exact_mean),
+                covariance_error(estimate.covariance, self.exact_cov),
+            )
+            if "kappa0" in estimate.info and "v0" in estimate.info:
+                selected.append((estimate.info["kappa0"], estimate.info["v0"]))
+        return errors, selected
+
     def run(self) -> SweepResult:
-        """Execute the full sweep."""
+        """Execute the full sweep.
+
+        Repetitions run through :func:`repro.experiments.parallel.replicate`
+        honouring ``config.n_jobs``; every repetition owns a
+        ``SeedSequence`` child and results are reassembled in task order,
+        so the outcome is bit-identical whatever the worker count.
+        """
         cfg = self.config
         mean_errors: Dict[str, Dict[int, List[float]]] = {
             name: {n: [] for n in cfg.sample_sizes} for name in self.estimators
@@ -178,26 +220,17 @@ class ErrorSweep:
         }
         seed_seq = np.random.SeedSequence(cfg.seed)
         children = seed_seq.spawn(cfg.n_repeats * len(cfg.sample_sizes))
-        k = 0
-        for n in cfg.sample_sizes:
-            for _rep in range(cfg.n_repeats):
-                rng = np.random.default_rng(children[k])
-                k += 1
-                idx = rng.choice(self._late.shape[0], size=n, replace=False)
-                subset = self._late[idx]
-                for name, factory in self.estimators.items():
-                    estimator = factory(self.prior)
-                    estimate = estimator.estimate(subset, rng=rng)
-                    mean_errors[name][n].append(
-                        mean_error(estimate.mean, self.exact_mean)
-                    )
-                    cov_errors[name][n].append(
-                        covariance_error(estimate.covariance, self.exact_cov)
-                    )
-                    if "kappa0" in estimate.info and "v0" in estimate.info:
-                        hyperparams[n].append(
-                            (estimate.info["kappa0"], estimate.info["v0"])
-                        )
+        tasks = [
+            (n, children[i * cfg.n_repeats + r])
+            for i, n in enumerate(cfg.sample_sizes)
+            for r in range(cfg.n_repeats)
+        ]
+        rows = replicate(self._run_repetition, tasks, n_jobs=cfg.n_jobs)
+        for (n, _child), (errors, selected) in zip(tasks, rows):
+            for name, (m_err, c_err) in errors.items():
+                mean_errors[name][n].append(m_err)
+                cov_errors[name][n].append(c_err)
+            hyperparams[n].extend(selected)
         return SweepResult(
             config=cfg,
             mean_errors=mean_errors,

@@ -25,7 +25,11 @@ from repro.stats.moments import (
     unbiased_covariance,
 )
 from repro.stats.multigamma import log_wishart_normalizer, multigamma, multigammaln
-from repro.stats.multivariate_gaussian import MultivariateGaussian, gaussian_loglik
+from repro.stats.multivariate_gaussian import (
+    MultivariateGaussian,
+    gaussian_loglik,
+    gaussian_loglik_batch,
+)
 from repro.stats.normal_wishart import MapEstimate, NormalWishart
 from repro.stats.student_t import MultivariateT
 from repro.stats.wishart import InverseWishart, Wishart
@@ -42,6 +46,7 @@ __all__ = [
     "bhattacharyya_gaussian",
     "correlation_from_covariance",
     "gaussian_loglik",
+    "gaussian_loglik_batch",
     "hellinger_gaussian",
     "kl_gaussian",
     "henze_zirkler",

@@ -14,9 +14,14 @@ import numpy as np
 from scipy.linalg import solve_triangular
 
 from repro.exceptions import DimensionError
+from repro.linalg.batched import (
+    cholesky_batched_safe,
+    logdet_batched,
+    mahalanobis_sq_batched,
+)
 from repro.linalg.validation import as_samples, cholesky_safe, symmetrize
 
-__all__ = ["MultivariateGaussian", "gaussian_loglik"]
+__all__ = ["MultivariateGaussian", "gaussian_loglik", "gaussian_loglik_batch"]
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -45,6 +50,7 @@ class MultivariateGaussian:
             )
         self._chol = cholesky_safe(self.covariance, "covariance")
         self._log_det = 2.0 * float(np.sum(np.log(np.diag(self._chol))))
+        self._precision: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -56,10 +62,19 @@ class MultivariateGaussian:
 
     @property
     def precision(self) -> np.ndarray:
-        """Precision matrix ``Lambda = Sigma^{-1}`` (Sec. 3.2)."""
-        identity = np.eye(self.dim)
-        y = solve_triangular(self._chol, identity, lower=True)
-        return symmetrize(y.T @ y)
+        """Precision matrix ``Lambda = Sigma^{-1}`` (Sec. 3.2).
+
+        Computed once from the stored Cholesky factor and cached; the
+        returned array is marked read-only because it is shared between
+        calls.
+        """
+        if self._precision is None:
+            identity = np.eye(self.dim)
+            y = solve_triangular(self._chol, identity, lower=True)
+            prec = symmetrize(y.T @ y)
+            prec.setflags(write=False)
+            self._precision = prec
+        return self._precision
 
     @property
     def log_det_covariance(self) -> float:
@@ -167,3 +182,57 @@ def gaussian_loglik(mean, covariance, x) -> float:
     need to keep :class:`MultivariateGaussian` instances alive.
     """
     return MultivariateGaussian(mean, covariance).loglik(x)
+
+
+def gaussian_loglik_batch(
+    means, covariances, x, repair: bool = True
+) -> np.ndarray:
+    """Joint log-likelihood of one dataset under ``B`` Gaussians at once.
+
+    Parameters
+    ----------
+    means:
+        ``(B, d)`` stack of mean vectors.
+    covariances:
+        ``(B, d, d)`` stack of covariance matrices.  Each is factorised by
+        one batched Cholesky call with the same repair ladder the scalar
+        path applies (jitter retry, then — when ``repair`` is True — an
+        eigenvalue clip at relative floor ``1e-10``).
+    x:
+        Shared ``(n, d)`` sample matrix scored under every Gaussian.
+    repair:
+        Enable the eigenvalue-clip fallback for indefinite members.
+
+    Returns
+    -------
+    ``(B,)`` array of joint log-likelihoods (log of Eq. 9); members whose
+    covariance is irreparable score ``-inf`` instead of raising.
+    """
+    mu = np.atleast_2d(np.asarray(means, dtype=float))
+    cov = np.asarray(covariances, dtype=float)
+    if cov.ndim == 2:
+        cov = cov[None]
+    samples = as_samples(x)
+    if mu.shape[0] != cov.shape[0]:
+        raise DimensionError(
+            f"means stack {mu.shape} does not match covariance stack {cov.shape}"
+        )
+    d = mu.shape[1]
+    if samples.shape[1] != d:
+        raise DimensionError(
+            f"samples have {samples.shape[1]} columns, expected {d}"
+        )
+    chol, ok = cholesky_batched_safe(
+        cov, jitter_rel=1e-10, clip_floor_rel=1e-10 if repair else None
+    )
+    out = np.full(mu.shape[0], -np.inf)
+    sel = np.flatnonzero(ok)
+    if sel.size == 0:
+        return out
+    maha = mahalanobis_sq_batched(chol[sel], mu[sel], samples)
+    log_det = logdet_batched(chol[sel])
+    # Per-sample log-density first, then the row sum, to keep the floating
+    # point accumulation order identical to MultivariateGaussian.loglik.
+    logpdf = -0.5 * (d * _LOG_2PI + log_det[:, None] + maha)
+    out[sel] = logpdf.sum(axis=1)
+    return out

@@ -162,3 +162,29 @@ class TestBMFEstimator:
         post = BMFEstimator(synthetic_prior, kappa0=2.0, v0=18.0).posterior(data)
         assert post.kappa0 == pytest.approx(12.0)
         assert post.v0 == pytest.approx(28.0)
+
+
+class TestPosteriorDeterminism:
+    def test_posterior_threads_rng_to_fold_split(
+        self, synthetic_prior, gaussian5
+    ):
+        # The CV fold split inside posterior() must honour the caller's
+        # generator: same seed, same posterior.
+        data = gaussian5.sample(16, np.random.default_rng(2))
+        est = BMFEstimator(synthetic_prior)
+        a = est.posterior(data, rng=np.random.default_rng(7))
+        b = est.posterior(data, rng=np.random.default_rng(7))
+        assert a.kappa0 == b.kappa0 and a.v0 == b.v0
+        np.testing.assert_array_equal(a.mu0, b.mu0)
+        np.testing.assert_array_equal(a.T0, b.T0)
+
+    def test_posterior_matches_estimate_selection(
+        self, synthetic_prior, gaussian5
+    ):
+        data = gaussian5.sample(16, np.random.default_rng(3))
+        est = BMFEstimator(synthetic_prior)
+        point = est.estimate(data, rng=np.random.default_rng(11))
+        post = est.posterior(data, rng=np.random.default_rng(11))
+        assert post.kappa0 == pytest.approx(
+            point.info["kappa0"] + data.shape[0]
+        )

@@ -71,3 +71,37 @@ class TestBernoulliBMF:
         bmf = BernoulliBMF(yield_e=0.9, strength=30.0)
         point, (lo, hi) = bmf.estimate_with_interval((rng.random(40) < 0.9))
         assert lo <= point <= hi
+
+
+class TestEstimateBatch:
+    def test_matches_scalar_rows(self, rng):
+        from repro.core.bmf_bd import BernoulliBMF
+
+        bmf = BernoulliBMF(yield_e=0.9, strength=20.0)
+        outcomes = (rng.uniform(size=(12, 30)) < 0.85).astype(float)
+        got = bmf.estimate_batch(outcomes)
+        assert got.shape == (12,)
+        for i in range(12):
+            assert got[i] == bmf.estimate(outcomes[i])
+
+    def test_single_row_promotion(self):
+        from repro.core.bmf_bd import BernoulliBMF
+
+        bmf = BernoulliBMF(yield_e=0.8, strength=10.0)
+        row = np.array([1.0, 1.0, 0.0, 1.0])
+        assert bmf.estimate_batch(row)[0] == bmf.estimate(row)
+
+    def test_rejects_non_binary(self):
+        from repro.core.bmf_bd import BernoulliBMF
+
+        bmf = BernoulliBMF(yield_e=0.8, strength=10.0)
+        with pytest.raises(ValueError):
+            bmf.estimate_batch(np.array([[0.0, 0.5]]))
+
+    def test_rejects_empty(self):
+        from repro.core.bmf_bd import BernoulliBMF
+        from repro.exceptions import InsufficientDataError
+
+        bmf = BernoulliBMF(yield_e=0.8, strength=10.0)
+        with pytest.raises(InsufficientDataError):
+            bmf.estimate_batch(np.empty((3, 0)))

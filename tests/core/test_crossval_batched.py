@@ -1,0 +1,140 @@
+"""Batched-vs-loop CV scorer equivalence and the score_at grid contract.
+
+The batched scorer is only allowed to exist because it is *numerically
+indistinguishable* from the loop reference: same scores to ``1e-10``, same
+``-inf`` pattern, same winner — including candidates that travel the
+jitter/eigenvalue-clip repair ladder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.crossval import TwoDimensionalCV, make_folds
+from repro.core.hypergrid import HyperParameterGrid
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import HyperParameterError
+from repro.linalg.batched import cholesky_batched
+
+
+def random_prior(rng, d):
+    a = rng.standard_normal((d, d))
+    return PriorKnowledge(rng.standard_normal(d), a @ a.T + d * np.eye(d))
+
+
+def assert_equivalent(prior, samples, grid, n_folds, seed):
+    batched = TwoDimensionalCV(prior, grid, n_folds=n_folds, scoring="batched")
+    loop = TwoDimensionalCV(prior, grid, n_folds=n_folds, scoring="loop")
+    rb = batched.select(samples, rng=np.random.default_rng(seed))
+    rl = loop.select(samples, rng=np.random.default_rng(seed))
+    finite_b = np.isfinite(rb.scores)
+    finite_l = np.isfinite(rl.scores)
+    np.testing.assert_array_equal(finite_b, finite_l)
+    np.testing.assert_allclose(
+        rb.scores[finite_l], rl.scores[finite_l], rtol=1e-10, atol=1e-10
+    )
+    assert rb.kappa0 == rl.kappa0
+    assert rb.v0 == rl.v0
+    return rb, rl
+
+
+class TestBatchedLoopEquivalence:
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    @pytest.mark.parametrize("n_folds", [2, 3, 4])
+    def test_random_problems(self, d, n_folds):
+        rng = np.random.default_rng(100 * d + n_folds)
+        prior = random_prior(rng, d)
+        samples = rng.multivariate_normal(prior.mean, prior.covariance, size=24)
+        grid = HyperParameterGrid.paper_default(d)
+        assert_equivalent(prior, samples, grid, n_folds, seed=d)
+
+    def test_degenerate_v0_hits_repair_path(self):
+        # All-identical samples zero out every fold's scatter; with
+        # v0 - d = 1e-13 the candidate covariance is numerically singular,
+        # so plain Cholesky fails and the repair ladder must engage —
+        # identically on both paths.
+        d = 4
+        rng = np.random.default_rng(3)
+        prior = random_prior(rng, d)
+        row = rng.standard_normal(d) + 50.0
+        samples = np.tile(row, (8, 1))
+        grid = HyperParameterGrid(
+            kappa0_values=np.array([1e4]),
+            v0_values=np.array([d + 1e-13]),
+            dim=d,
+        )
+        cv = TwoDimensionalCV(prior, grid, n_folds=2, scoring="batched")
+        folds = make_folds(8, 2, np.random.default_rng(0))
+        stats = [cv._train_test_stats(samples, f) for f in folds]
+        _, sigmas = cv._assemble_fold_stack(stats[0])
+        _, plain_ok = cholesky_batched(sigmas)
+        assert not plain_ok.all(), "candidate must actually need repair"
+        assert_equivalent(prior, samples, grid, n_folds=2, seed=0)
+
+    def test_rank_deficient_folds(self):
+        # Fewer training samples than dimensions: scatter is rank
+        # deficient, so small-v0 candidates lean on the prior term alone.
+        d = 5
+        rng = np.random.default_rng(11)
+        prior = random_prior(rng, d)
+        samples = rng.multivariate_normal(prior.mean, prior.covariance, size=6)
+        grid = HyperParameterGrid(
+            kappa0_values=np.geomspace(1e-2, 1e3, 8),
+            v0_values=d + np.geomspace(1e-9, 1e2, 8),
+            dim=d,
+        )
+        assert_equivalent(prior, samples, grid, n_folds=3, seed=11)
+
+    def test_winner_consistent_across_many_seeds(self, synthetic_prior, gaussian5):
+        grid = HyperParameterGrid.paper_default(5)
+        for seed in range(5):
+            samples = gaussian5.sample(20, rng=np.random.default_rng(1000 + seed))
+            assert_equivalent(synthetic_prior, samples, grid, n_folds=4, seed=seed)
+
+
+class TestScoringOption:
+    def test_rejects_unknown_scoring(self, synthetic_prior):
+        with pytest.raises(ValueError, match="scoring"):
+            TwoDimensionalCV(synthetic_prior, scoring="vectorised")
+
+    def test_default_is_batched(self, synthetic_prior):
+        assert TwoDimensionalCV(synthetic_prior).scoring == "batched"
+
+
+class TestScoreAt:
+    @pytest.fixture
+    def result(self, synthetic_prior, gaussian5, rng):
+        samples = gaussian5.sample(20, rng=rng)
+        cv = TwoDimensionalCV(synthetic_prior, n_folds=3)
+        return cv.select(samples, rng=np.random.default_rng(5))
+
+    def test_exact_grid_point(self, result):
+        i, j = 2, 7
+        got = result.score_at(
+            float(result.kappa0_values[i]), float(result.v0_values[j])
+        )
+        assert got == result.scores[i, j]
+
+    def test_float_roundtrip_within_atol(self, result):
+        # A JSON round-trip perturbs the decimal repr at most in the last
+        # ulp — far inside the default relative atol.
+        k = float(repr(float(result.kappa0_values[4])))
+        v = float(repr(float(result.v0_values[4])))
+        assert result.score_at(k, v) == result.scores[4, 4]
+
+    def test_off_grid_kappa_raises(self, result):
+        k = float(result.kappa0_values[0]) * 1.5
+        with pytest.raises(HyperParameterError, match="kappa0"):
+            result.score_at(k, float(result.v0_values[0]))
+
+    def test_off_grid_v0_raises(self, result):
+        mid = 0.5 * float(result.v0_values[3] + result.v0_values[4])
+        with pytest.raises(HyperParameterError, match="v0"):
+            result.score_at(float(result.kappa0_values[0]), mid)
+
+    def test_atol_override(self, result):
+        k = float(result.kappa0_values[2]) * (1.0 + 1e-6)
+        with pytest.raises(HyperParameterError):
+            result.score_at(k, float(result.v0_values[2]))
+        assert result.score_at(
+            k, float(result.v0_values[2]), atol=1e-4
+        ) == pytest.approx(result.scores[2, 2])

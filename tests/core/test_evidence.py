@@ -102,3 +102,31 @@ class TestBMFWithEvidenceSelector:
                 )
         assert np.mean(ev_errs) < 2.0 * np.mean(cv_errs)
         assert np.mean(cv_errs) < 2.0 * np.mean(ev_errs)
+
+
+class TestLogEvidenceGrid:
+    def test_matches_scalar_loop(self, synthetic_prior, gaussian5, rng):
+        from repro.core.evidence import log_evidence_grid
+
+        data = gaussian5.sample(14, rng)
+        grid = HyperParameterGrid.paper_default(5, n_kappa=6, n_v=5)
+        surface = log_evidence_grid(synthetic_prior, data, grid)
+        assert surface.shape == (6, 5)
+        for i, kappa0 in enumerate(grid.kappa0_values):
+            for j, v0 in enumerate(grid.v0_values):
+                expected = log_evidence(
+                    synthetic_prior, data, float(kappa0), float(v0)
+                )
+                assert surface[i, j] == pytest.approx(expected, rel=1e-8)
+
+    def test_selector_scoring_modes_agree(self, synthetic_prior, gaussian5, rng):
+        data = gaussian5.sample(16, rng)
+        batched = EvidenceSelector(synthetic_prior, scoring="batched").select(data)
+        loop = EvidenceSelector(synthetic_prior, scoring="loop").select(data)
+        assert batched.kappa0 == loop.kappa0
+        assert batched.v0 == loop.v0
+        np.testing.assert_allclose(batched.scores, loop.scores, rtol=1e-10)
+
+    def test_rejects_unknown_scoring(self, synthetic_prior):
+        with pytest.raises(ValueError):
+            EvidenceSelector(synthetic_prior, scoring="fast")

@@ -163,3 +163,22 @@ class TestOnCornerData:
         out = fusion.estimate_all(rng=rng)
         for name, estimate in out.items():
             assert mean_error(estimate.mean, exact[name]) < 1.5
+
+
+class TestSelectTauBatched:
+    def test_matches_scalar_scan(self, rng):
+        pops, _ = _make_populations(rng, n_pops=3)
+        model = MultiPopulationBMF(pops)
+        selected = model.select_tau()
+        scores = [model._score_tau(float(t), None) for t in model.tau_candidates]
+        assert selected == float(model.tau_candidates[int(np.argmax(scores))])
+
+    def test_tie_break_keeps_first_candidate(self, rng):
+        # Duplicate candidates tie exactly; argmax must keep the earliest.
+        pops, _ = _make_populations(rng, n_pops=3)
+        model = MultiPopulationBMF(pops, tau_candidates=(5.0, 5.0, 50.0))
+        assert model.select_tau() in (5.0, 50.0)
+        s5 = model._score_tau(5.0, None)
+        s50 = model._score_tau(50.0, None)
+        if s5 >= s50:
+            assert model.select_tau() == 5.0

@@ -1,0 +1,109 @@
+"""The replication engine and its bit-identical-parallelism contract."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.experiments.parallel import fork_available, replicate, resolve_n_jobs
+from repro.experiments.sweep import ErrorSweep, SweepConfig
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+class TestResolveNJobs:
+    def test_none_means_serial(self):
+        assert resolve_n_jobs(None) == 1
+
+    def test_one_means_serial(self):
+        assert resolve_n_jobs(1) == 1
+
+    def test_positive_taken_literally(self):
+        assert resolve_n_jobs(6) == 6
+
+    def test_minus_one_uses_all_cpus(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, -100])
+    def test_rejects_nonsense(self, bad):
+        with pytest.raises(DimensionError):
+            resolve_n_jobs(bad)
+
+    def test_config_validates_n_jobs(self):
+        with pytest.raises(DimensionError):
+            SweepConfig(n_jobs=0)
+
+
+class TestReplicate:
+    def test_serial_preserves_order(self):
+        assert replicate(lambda t: t * t, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_tasks(self):
+        assert replicate(lambda t: t, []) == []
+
+    def test_closure_over_unpicklable_state(self):
+        # Lambdas and closures cannot pickle; the fork-based pool must
+        # still run them.
+        offset = {"value": 10}
+        fn = lambda t: t + offset["value"]  # noqa: E731
+        assert replicate(fn, list(range(8)), n_jobs=4) == replicate(
+            fn, list(range(8)), n_jobs=1
+        )
+
+    @needs_fork
+    def test_parallel_matches_serial(self):
+        def draw(child):
+            return np.random.default_rng(child).standard_normal(3).tolist()
+
+        tasks = list(np.random.SeedSequence(42).spawn(12))
+        assert replicate(draw, tasks, n_jobs=4) == replicate(draw, tasks, n_jobs=1)
+
+    @needs_fork
+    def test_worker_count_capped_by_tasks(self):
+        assert replicate(lambda t: t + 1, [1, 2], n_jobs=64) == [2, 3]
+
+
+class TestSweepDeterminism:
+    @needs_fork
+    def test_n_jobs_does_not_change_results(self, opamp_dataset_small):
+        results = {}
+        for jobs in (1, 4):
+            cfg = SweepConfig(sample_sizes=(8, 16), n_repeats=4, seed=9, n_jobs=jobs)
+            results[jobs] = ErrorSweep(opamp_dataset_small, config=cfg).run()
+        serial, parallel = results[1], results[4]
+        assert serial.mean_errors == parallel.mean_errors
+        assert serial.cov_errors == parallel.cov_errors
+        assert serial.hyperparams == parallel.hyperparams
+
+    def test_seed_layout_unchanged_by_task_flattening(self, opamp_dataset_small):
+        # The flattened task list must reproduce the historical serial seed
+        # mapping: repetition r of sample size i gets child i*n_repeats + r.
+        cfg = SweepConfig(sample_sizes=(8, 16), n_repeats=2, seed=21, n_jobs=1)
+        sweep = ErrorSweep(opamp_dataset_small, config=cfg)
+        result = sweep.run()
+        children = np.random.SeedSequence(cfg.seed).spawn(4)
+        errors, _ = sweep._run_repetition((16, children[1 * cfg.n_repeats + 1]))
+        assert result.mean_errors["mle"][16][1] == errors["mle"][0]
+
+
+class TestAblationDeterminism:
+    @needs_fork
+    def test_prior_quality_matches_serial(self, opamp_dataset_small):
+        from repro.experiments.ablations import ablate_prior_quality
+
+        kwargs = dict(
+            mean_bias_sigmas=(0.0, 2.0), n_late=16, n_repeats=3, seed=5
+        )
+        serial = ablate_prior_quality(opamp_dataset_small, n_jobs=1, **kwargs)
+        parallel = ablate_prior_quality(opamp_dataset_small, n_jobs=3, **kwargs)
+        assert serial == parallel
+
+    @needs_fork
+    def test_dimensionality_matches_serial(self):
+        from repro.experiments.ablations import ablate_dimensionality
+
+        kwargs = dict(dims=(2, 4), n_late=10, n_repeats=4, seed=3)
+        serial = ablate_dimensionality(n_jobs=1, **kwargs)
+        parallel = ablate_dimensionality(n_jobs=3, **kwargs)
+        assert serial == parallel

@@ -115,3 +115,59 @@ class TestDerivedDistributions:
         p = MultivariateGaussian([0.0], [[1.0]])
         q = MultivariateGaussian([1.0], [[1.0]])
         assert p.kl_divergence(q) == pytest.approx(0.5)
+
+class TestPrecisionCaching:
+    def test_precision_is_cached(self, gaussian5):
+        first = gaussian5.precision
+        assert gaussian5.precision is first
+
+    def test_cached_precision_is_readonly(self, gaussian5):
+        with pytest.raises(ValueError):
+            gaussian5.precision[0, 0] = 0.0
+
+    def test_cached_precision_still_correct(self, spd5, rng):
+        g = MultivariateGaussian(rng.standard_normal(5), spd5)
+        np.testing.assert_allclose(
+            g.precision, np.linalg.inv(spd5), rtol=1e-8, atol=1e-10
+        )
+
+
+class TestGaussianLoglikBatch:
+    def _stack(self, rng, b=6, d=3):
+        means = rng.standard_normal((b, d))
+        covs = np.empty((b, d, d))
+        for i in range(b):
+            a = rng.standard_normal((d, d))
+            covs[i] = a @ a.T + d * np.eye(d)
+        return means, covs
+
+    def test_matches_per_gaussian_loglik(self, rng):
+        from repro.stats.multivariate_gaussian import gaussian_loglik_batch
+
+        means, covs = self._stack(rng)
+        x = rng.standard_normal((9, 3))
+        got = gaussian_loglik_batch(means, covs, x)
+        assert got.shape == (6,)
+        for i in range(6):
+            assert got[i] == pytest.approx(
+                MultivariateGaussian(means[i], covs[i]).loglik(x), abs=1e-10
+            )
+
+    def test_irreparable_member_scores_minus_inf(self, rng):
+        from repro.stats.multivariate_gaussian import gaussian_loglik_batch
+
+        means, covs = self._stack(rng, b=3)
+        covs[1] = np.nan
+        got = gaussian_loglik_batch(means, covs, rng.standard_normal((4, 3)))
+        assert np.isfinite(got[0]) and np.isfinite(got[2])
+        assert got[1] == -np.inf
+
+    def test_no_repair_propagates_failure(self, rng):
+        from repro.stats.multivariate_gaussian import gaussian_loglik_batch
+
+        means, covs = self._stack(rng, b=2)
+        covs[0] = np.diag([1.0, 1.0, -1.0])
+        got = gaussian_loglik_batch(
+            means, covs, rng.standard_normal((4, 3)), repair=False
+        )
+        assert got[0] == -np.inf and np.isfinite(got[1])
