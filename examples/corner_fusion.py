@@ -19,10 +19,10 @@ import numpy as np
 
 from repro.circuits.corners import STANDARD_CORNERS, generate_corner_datasets
 from repro.core.errors import mean_error
-from repro.core.mle import MLEstimator
 from repro.core.multipop import MultiPopulationBMF, PopulationData
 from repro.core.preprocessing import ShiftScaleTransform
 from repro.core.prior import PriorKnowledge
+from repro.core.registry import make_estimator
 
 
 def main() -> None:
@@ -48,7 +48,7 @@ def main() -> None:
             )
         )
         exact_means[name] = late_iso.mean(axis=0)
-        mle = MLEstimator().estimate(subset)
+        mle = make_estimator("mle").estimate(subset)
         mle_errors[name] = mean_error(mle.mean, exact_means[name])
 
     fusion = MultiPopulationBMF(populations)

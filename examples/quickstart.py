@@ -11,7 +11,13 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import BMFPipeline, MultivariateGaussian, covariance_error, mean_error
+from repro import (
+    FusionConfig,
+    FusionPipeline,
+    MultivariateGaussian,
+    covariance_error,
+    mean_error,
+)
 
 rng = np.random.default_rng(2015)
 
@@ -37,12 +43,24 @@ late_nominal = mu_early + 2.0
 
 # ---------------------------------------------------------------------------
 # 2. Fit the pipeline from early-stage data and fuse (Algorithm 1).
+#    Everything a run needs is declarative data in a FusionConfig: which
+#    registry estimator ("bmf", "mle", "robust-bmf", ...), how to select
+#    (kappa0, v0), the CV fold count, the seed.  config.to_json() makes the
+#    exact run reproducible from a file.
 # ---------------------------------------------------------------------------
-pipeline = BMFPipeline.fit(early_samples, early_nominal, late_nominal)
+config = FusionConfig(estimator="bmf", selector="cv", n_folds=4, seed=2015)
+pipeline = FusionPipeline.fit(
+    early_samples, early_nominal, late_nominal, config=config
+)
 bmf = pipeline.estimate(late_samples, rng=rng)
-mle = pipeline.estimate_mle(late_samples)
+# Any other registered estimator runs through the same fitted preprocessing:
+mle = pipeline.estimate_with("mle", late_samples)
 
-print("selected hyper-parameters:", {k: round(v, 2) for k, v in bmf.info.items()})
+prov = bmf.provenance
+print(
+    f"ran estimator={prov.estimator!r} (selector={prov.selector}, "
+    f"kappa0={prov.kappa0:.2f}, v0={prov.v0:.2f}, config={prov.config_hash})"
+)
 print()
 
 # ---------------------------------------------------------------------------

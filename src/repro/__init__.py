@@ -6,9 +6,13 @@ Circuits", DAC 2015.
 
 Quick start::
 
-    from repro import BMFPipeline
-    pipeline = BMFPipeline.fit(early_samples, early_nominal, late_nominal)
+    from repro import FusionPipeline
+    pipeline = FusionPipeline.fit(early_samples, early_nominal, late_nominal)
     result = pipeline.estimate(late_samples)   # fused mean + covariance
+    result.provenance                          # estimator, (kappa0, v0), config hash
+
+Every estimator lives in a registry (``repro.available_estimators()``);
+which one a pipeline runs is declarative data in a ``FusionConfig``.
 
 Sub-packages
 ------------
@@ -36,6 +40,11 @@ from repro._version import __version__
 from repro.core import (
     BMFEstimator,
     BMFPipeline,
+    EstimatorSpec,
+    FusionConfig,
+    FusionPipeline,
+    FusionProvenance,
+    GridSpec,
     HyperParameterGrid,
     MLEstimator,
     MomentEstimate,
@@ -43,9 +52,13 @@ from repro.core import (
     PriorKnowledge,
     ShiftScaleTransform,
     TwoDimensionalCV,
+    available_estimators,
     covariance_error,
+    default_registry,
+    make_estimator,
     map_moments,
     mean_error,
+    register_estimator,
 )
 from repro.exceptions import ReproError
 from repro.stats import MultivariateGaussian, NormalWishart
@@ -53,6 +66,11 @@ from repro.stats import MultivariateGaussian, NormalWishart
 __all__ = [
     "BMFEstimator",
     "BMFPipeline",
+    "EstimatorSpec",
+    "FusionConfig",
+    "FusionPipeline",
+    "FusionProvenance",
+    "GridSpec",
     "HyperParameterGrid",
     "MLEstimator",
     "MomentEstimate",
@@ -64,7 +82,11 @@ __all__ = [
     "ShiftScaleTransform",
     "TwoDimensionalCV",
     "__version__",
+    "available_estimators",
     "covariance_error",
+    "default_registry",
+    "make_estimator",
     "map_moments",
     "mean_error",
+    "register_estimator",
 ]

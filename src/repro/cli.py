@@ -4,11 +4,19 @@ Gives non-Python users (and CI jobs) direct access to the reproduction
 harness:
 
 * ``generate`` — simulate a paired Monte-Carlo bank and save it as .npz;
-* ``fuse`` — run Algorithm 1 on a saved bank with n late samples, print
-  the fused moments, optionally save the estimate as JSON;
+* ``fuse`` — run the fusion pipeline on a saved bank with n late samples
+  using any registered estimator (``--estimator``) and/or a declarative
+  JSON config (``--config``), print the fused physical-space moments, and
+  optionally save the full result (moments + provenance + transform);
+* ``list-estimators`` — show every registry estimator name the ``fuse``
+  command accepts, with capability metadata;
 * ``figure4`` / ``figure5`` — regenerate a paper figure's series;
 * ``cost`` — the cost-reduction headline for a circuit;
 * ``gof`` — multivariate-normality diagnostics of a saved bank.
+
+The CLI constructs no concrete estimator class itself — everything goes
+through :mod:`repro.core.registry`, so a newly registered estimator is
+immediately usable from here.
 """
 
 from __future__ import annotations
@@ -43,11 +51,38 @@ def build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("dataset", help=".npz bank from 'generate'")
     fuse.add_argument("--late-samples", type=int, default=16)
     fuse.add_argument("--seed", type=int, default=0)
-    fuse.add_argument("--save", default=None, help="write the estimate JSON here")
+    fuse.add_argument(
+        "--save",
+        default=None,
+        help="write the full result JSON (physical moments + provenance + transform)",
+    )
+    fuse.add_argument(
+        "--estimator",
+        default=None,
+        metavar="NAME",
+        help="registry estimator to run (see 'list-estimators'); default: bmf",
+    )
+    fuse.add_argument(
+        "--config",
+        default=None,
+        metavar="CFG.json",
+        help="FusionConfig JSON file; CLI flags override its fields",
+    )
+    fuse.add_argument(
+        "--selector",
+        default=None,
+        choices=["cv", "evidence", "fixed", "none"],
+        help="hyper-parameter selection policy (default: cv)",
+    )
     fuse.add_argument(
         "--kappa0", type=float, default=None, help="pin kappa0 (skip CV)"
     )
     fuse.add_argument("--v0", type=float, default=None, help="pin v0 (skip CV)")
+
+    sub.add_parser(
+        "list-estimators",
+        help="list registry estimator names usable with 'fuse --estimator'",
+    )
 
     for fig, circuit in (("figure4", "op-amp"), ("figure5", "flash ADC")):
         f = sub.add_parser(fig, help=f"regenerate paper {fig} ({circuit})")
@@ -93,33 +128,78 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_fuse(args) -> int:
-    from repro.core.pipeline import BMFPipeline
-    from repro.io import load_dataset, save_estimate
+def _resolve_fuse_config(args):
+    """Merge the optional ``--config`` file with the overriding CLI flags."""
+    from repro.core.registry import EstimatorSpec, FusionConfig
+    from repro.io import load_config
 
+    config = load_config(args.config) if args.config else FusionConfig()
+    if args.estimator:
+        config = config.replace(estimator=EstimatorSpec(args.estimator))
+    if args.kappa0 is not None or args.v0 is not None:
+        config = config.replace(
+            selector="fixed", kappa0=args.kappa0, v0=args.v0
+        )
+    elif args.selector:
+        config = config.replace(selector=args.selector)
+    return config
+
+
+def _cmd_fuse(args) -> int:
+    from repro.core.pipeline import FusionPipeline
+    from repro.io import load_dataset, save_result
+
+    config = _resolve_fuse_config(args)
     dataset = load_dataset(args.dataset)
     rng = np.random.default_rng(args.seed)
-    pipeline = BMFPipeline.fit(
+    pipeline = FusionPipeline.fit(
         dataset.early,
         dataset.early_nominal,
         dataset.late_nominal,
-        kappa0=args.kappa0,
-        v0=args.v0,
+        config=config,
     )
     subset = dataset.late_subset(args.late_samples, rng)
     result = pipeline.estimate(subset, rng=rng)
-    print(
-        f"fused {args.late_samples} late samples; "
-        f"kappa0={result.info['kappa0']:.4g}, v0={result.info['v0']:.4g}"
-    )
+    prov = result.provenance
+    parts = [f"estimator={prov.estimator}"]
+    if prov.selector is not None:
+        parts.append(f"selector={prov.selector}")
+    if prov.kappa0 is not None:
+        parts.append(f"kappa0={prov.kappa0:.4g}")
+    if prov.v0 is not None:
+        parts.append(f"v0={prov.v0:.4g}")
+    parts.append(f"config={prov.config_hash}")
+    print(f"fused {args.late_samples} late samples; " + ", ".join(parts))
     print(f"{'metric':<16} {'fused mean':>14} {'fused std':>14}")
     stds = np.sqrt(np.diag(result.covariance))
     for name, mean, std in zip(dataset.metric_names, result.mean, stds):
         print(f"{name:<16} {mean:>14.6g} {std:>14.6g}")
     if args.save:
-        estimate = result.isotropic
-        save_estimate(estimate, args.save)
-        print(f"saved isotropic-space estimate to {args.save}")
+        save_result(result, args.save)
+        print(
+            f"saved physical-space moments (plus isotropic estimate, provenance, "
+            f"and shift/scale transform) to {args.save}"
+        )
+    return 0
+
+
+def _cmd_list_estimators(args) -> int:
+    from repro.core.registry import available_selectors, default_registry
+
+    print(f"{'name':<20} {'prior':<6} {'hyper':<6} {'data':<13} summary")
+    for entry in default_registry().entries():
+        print(
+            f"{entry.name:<20} "
+            f"{'yes' if entry.requires_prior else 'no':<6} "
+            f"{'yes' if entry.accepts_hyperparams else 'no':<6} "
+            f"{entry.data_kind:<13} "
+            f"{entry.summary}"
+        )
+    print(
+        "\nselectors: "
+        + ", ".join(available_selectors())
+        + " (plus 'fixed' and 'none')"
+    )
     return 0
 
 
@@ -204,6 +284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "fuse": _cmd_fuse,
+        "list-estimators": _cmd_list_estimators,
         "figure4": lambda a: _run_figure(a, "figure4"),
         "figure5": lambda a: _run_figure(a, "figure5"),
         "cost": _cmd_cost,

@@ -1,13 +1,14 @@
 """Core contribution: multivariate BMF moment estimation (Algorithm 1)."""
 
 from repro.core.bmf import BMFEstimator, map_moments
+from repro.core.baselines import ShrinkageEstimator
 from repro.core.confidence import (
     CredibleSummary,
     mean_credible_region,
     mean_region_contains,
     posterior_credible_summary,
 )
-from repro.core.bmf_bd import BernoulliBMF, BetaPrior
+from repro.core.bmf_bd import BernoulliBMF, BernoulliMomentEstimator, BetaPrior
 from repro.core.crossval import CrossValidationResult, TwoDimensionalCV, make_folds
 from repro.core.evidence import (
     EvidenceResult,
@@ -21,25 +22,53 @@ from repro.core.errors import (
     estimation_error,
     mean_error,
 )
-from repro.core.estimators import MomentEstimate, MomentEstimator
+from repro.core.estimators import EstimateInfo, MomentEstimate, MomentEstimator
 from repro.core.hypergrid import HyperParameterGrid
 from repro.core.mle import MLEstimator
 from repro.core.multipop import MultiPopulationBMF, PopulationData
-from repro.core.pipeline import BMFPipeline, PipelineResult
+from repro.core.pipeline import (
+    BMFPipeline,
+    FusionPipeline,
+    FusionProvenance,
+    PipelineResult,
+)
 from repro.core.preprocessing import ShiftScaleTransform
 from repro.core.prior import PriorKnowledge
-from repro.core.univariate_bmf import NormalGammaPrior, UnivariateBMF
+from repro.core.registry import (
+    EstimatorRegistry,
+    EstimatorSpec,
+    FusionConfig,
+    GridSpec,
+    available_estimators,
+    default_registry,
+    make_estimator,
+    register_estimator,
+    register_selector,
+)
+from repro.core.univariate_bmf import (
+    NormalGammaPrior,
+    UnivariateBMF,
+    UnivariateBMFEstimator,
+)
 
 __all__ = [
     "BMFEstimator",
     "BMFPipeline",
     "BernoulliBMF",
+    "BernoulliMomentEstimator",
     "BetaPrior",
     "CredibleSummary",
     "CrossValidationResult",
+    "EstimateInfo",
     "EstimationError",
+    "EstimatorRegistry",
+    "EstimatorSpec",
     "EvidenceResult",
     "EvidenceSelector",
+    "FusionConfig",
+    "FusionPipeline",
+    "FusionProvenance",
+    "GridSpec",
     "HyperParameterGrid",
     "MLEstimator",
     "MomentEstimate",
@@ -50,16 +79,23 @@ __all__ = [
     "PopulationData",
     "PriorKnowledge",
     "ShiftScaleTransform",
+    "ShrinkageEstimator",
     "TwoDimensionalCV",
     "UnivariateBMF",
+    "UnivariateBMFEstimator",
+    "available_estimators",
     "covariance_error",
+    "default_registry",
     "estimation_error",
     "log_evidence",
     "log_evidence_grid",
+    "make_estimator",
     "make_folds",
     "map_moments",
     "mean_credible_region",
     "mean_region_contains",
     "mean_error",
     "posterior_credible_summary",
+    "register_estimator",
+    "register_selector",
 ]

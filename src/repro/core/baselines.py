@@ -1,0 +1,79 @@
+"""Prior-free baseline estimators wrapping :mod:`repro.linalg.shrinkage`.
+
+The shrinkage functions (Ledoit-Wolf, OAS, diagonal shrinkage) return bare
+covariance matrices; :class:`ShrinkageEstimator` lifts them to the
+:class:`~repro.core.estimators.MomentEstimator` protocol so they slot into
+the registry, the pipeline, and every experiment sweep exactly like MLE and
+BMF.  They are the ablation benches' control group: if BMF merely
+*regularised*, these would match it — the gap that remains measures the
+value of the early-stage prior's content.
+
+The class lives in :mod:`repro.core` (not :mod:`repro.linalg`) because the
+protocol base class sits above the linalg layer; wrapping here keeps the
+dependency arrow pointing one way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.estimators import MomentEstimate, MomentEstimator
+from repro.linalg.shrinkage import diagonal_shrinkage, ledoit_wolf, oas
+
+__all__ = ["ShrinkageEstimator", "SHRINKAGE_KINDS"]
+
+#: Supported shrinkage kinds mapped to their covariance functions.
+SHRINKAGE_KINDS: Dict[str, Callable[..., np.ndarray]] = {
+    "ledoit_wolf": ledoit_wolf,
+    "oas": oas,
+    "diagonal": diagonal_shrinkage,
+}
+
+
+class ShrinkageEstimator(MomentEstimator):
+    """Sample mean plus a prior-free shrinkage covariance.
+
+    Parameters
+    ----------
+    kind:
+        ``"ledoit_wolf"``, ``"oas"``, or ``"diagonal"`` (hyphenated
+        spellings accepted).
+    alpha:
+        Diagonal-shrinkage mixing weight; only meaningful for
+        ``kind="diagonal"``.
+    """
+
+    def __init__(self, kind: str, alpha: Optional[float] = None) -> None:
+        key = str(kind).replace("-", "_")
+        if key not in SHRINKAGE_KINDS:
+            raise ValueError(
+                f"kind must be one of {sorted(SHRINKAGE_KINDS)}, got {kind!r}"
+            )
+        if alpha is not None and key != "diagonal":
+            raise ValueError(f"alpha only applies to kind='diagonal', got kind={kind!r}")
+        self.kind = key
+        self.alpha = None if alpha is None else float(alpha)
+        self.name = key
+
+    def estimate(
+        self, samples, rng: Optional[np.random.Generator] = None
+    ) -> MomentEstimate:
+        """Sample mean plus the selected shrinkage covariance."""
+        data = self._check(samples)
+        fn = SHRINKAGE_KINDS[self.kind]
+        if self.kind == "diagonal" and self.alpha is not None:
+            cov = fn(data, alpha=self.alpha)
+        else:
+            cov = fn(data)
+        info: dict = {"shrinkage_kind": self.kind}
+        if self.alpha is not None:
+            info["alpha"] = self.alpha
+        return MomentEstimate(
+            mean=data.mean(axis=0),
+            covariance=cov,
+            n_samples=data.shape[0],
+            method=self.name,
+            info=info,
+        )

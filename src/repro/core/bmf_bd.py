@@ -18,9 +18,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import HyperParameterError, InsufficientDataError
+from repro.core.estimators import MomentEstimate, MomentEstimator
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError, HyperParameterError, InsufficientDataError
 
-__all__ = ["BetaPrior", "BernoulliBMF"]
+__all__ = ["BetaPrior", "BernoulliBMF", "BernoulliMomentEstimator"]
 
 
 @dataclass(frozen=True)
@@ -145,3 +147,62 @@ class BernoulliBMF:
         posterior = self.prior.posterior(passes, arr.size - passes)
         point = posterior.mode if posterior.mode is not None else posterior.mean
         return point, posterior.credible_interval(level)
+
+
+class BernoulliMomentEstimator(MomentEstimator):
+    """Protocol adapter: Beta-Bernoulli yield fusion as a moment estimator.
+
+    The fused pass probability ``p`` *is* the first moment of the binary
+    pass indicator, and ``p (1 - p)`` its variance — so the BMF-BD prior
+    art slots into the registry as a ``d = 1`` estimator over 0/1 samples.
+
+    The early yield comes either from explicit ``yield_e`` or from a 1-D
+    :class:`~repro.core.prior.PriorKnowledge` whose mean is the early-stage
+    pass fraction (the natural prior when the single "metric" is the pass
+    indicator itself); it is clipped into the open unit interval.
+    """
+
+    name = "bmf_bd"
+
+    def __init__(
+        self,
+        prior: Optional[PriorKnowledge] = None,
+        yield_e: Optional[float] = None,
+        strength: float = 20.0,
+    ) -> None:
+        if yield_e is None and prior is not None:
+            if prior.dim != 1:
+                raise DimensionError(
+                    f"BMF-BD needs a 1-D pass-indicator prior, got d = {prior.dim}"
+                )
+            yield_e = float(prior.mean[0])
+        if yield_e is None:
+            raise HyperParameterError(
+                "supply either yield_e or a 1-D pass-indicator PriorKnowledge"
+            )
+        eps = 1e-6
+        self.yield_e = float(np.clip(yield_e, eps, 1.0 - eps))
+        self.strength = float(strength)
+        self._inner = BernoulliBMF(self.yield_e, self.strength)
+
+    def estimate(
+        self, samples, rng: Optional[np.random.Generator] = None
+    ) -> MomentEstimate:
+        """Fused yield as ``(mean, variance)`` moments of the pass indicator."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim == 2 and arr.shape[1] == 1:
+            arr = arr[:, 0]
+        if arr.ndim != 1:
+            raise DimensionError(
+                f"BMF-BD takes (n,) or (n, 1) binary samples, got {arr.shape}"
+            )
+        p = float(self._inner.estimate(arr))
+        eps = 1e-9
+        p = float(np.clip(p, eps, 1.0 - eps))
+        return MomentEstimate(
+            mean=np.array([p]),
+            covariance=np.array([[p * (1.0 - p)]]),
+            n_samples=int(arr.size),
+            method=self.name,
+            info={"yield_early": self.yield_e, "strength": self.strength},
+        )

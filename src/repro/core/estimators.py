@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -20,7 +20,16 @@ from repro.exceptions import DimensionError
 from repro.linalg.validation import as_samples, assert_spd
 from repro.stats.multivariate_gaussian import MultivariateGaussian
 
-__all__ = ["MomentEstimate", "MomentEstimator"]
+__all__ = ["EstimateInfo", "InfoValue", "MomentEstimate", "MomentEstimator"]
+
+#: A single diagnostic value.  Estimators record hyper-parameters (floats),
+#: counters (ints), switches (bools), and mode labels (strs); the old
+#: ``Dict[str, float]`` annotation was a lie that :mod:`repro.io` then
+#: hardened into a crash by coercing every value through ``float``.
+InfoValue = Union[bool, int, float, str]
+
+#: Estimator-specific diagnostics attached to a :class:`MomentEstimate`.
+EstimateInfo = Dict[str, InfoValue]
 
 
 @dataclass(frozen=True)
@@ -38,15 +47,17 @@ class MomentEstimate:
     method:
         Human-readable estimator name (``"mle"``, ``"bmf"``...).
     info:
-        Estimator-specific extras, e.g. the selected hyper-parameters
-        ``{"kappa0": ..., "v0": ...}`` for BMF.
+        Estimator-specific diagnostics, e.g. the selected hyper-parameters
+        ``{"kappa0": ..., "v0": ...}`` for BMF or the rejected-row count
+        for the robust gate.  Values are JSON-safe scalars (see
+        :data:`InfoValue`).
     """
 
     mean: np.ndarray
     covariance: np.ndarray
     n_samples: int
     method: str
-    info: Dict[str, float] = field(default_factory=dict)
+    info: EstimateInfo = field(default_factory=dict)
 
     @property
     def dim(self) -> int:

@@ -1,56 +1,472 @@
-"""End-to-end BMF pipeline: Algorithm 1 plus the Sec. 4.1 preprocessing.
+"""End-to-end fusion pipeline: Algorithm 1 as composable stages.
 
-This is the one-call public API a circuit team would use:
+The one-call public API a circuit team would use:
 
->>> pipeline = BMFPipeline.fit(
+>>> pipeline = FusionPipeline.fit(
 ...     early_samples, early_nominal, late_nominal)   # doctest: +SKIP
 >>> result = pipeline.estimate(late_samples)          # doctest: +SKIP
 >>> result.mean, result.covariance                    # physical units
 
-Internally it (1) fits the shift-and-scale transform from the early-stage
-data and the two nominal simulations, (2) measures the early-stage prior
-moments in the isotropic space, (3) selects ``(kappa0, v0)`` by
-two-dimensional cross validation on the transformed late samples, (4)
-computes the MAP moments (Eq. 31–32), and (5) maps them back to physical
-units.
+Internally the run is a fixed sequence of pluggable stages:
+
+1. :class:`TransformStage` — map late samples into the isotropic space of
+   the fitted Sec. 4.1 shift/scale transform (identity when disabled);
+2. :class:`SelectionStage` — resolve ``(kappa0, v0)`` for hyper-parameter
+   -aware estimators: the paper's two-dimensional CV, the fold-free
+   evidence search, pinned values (``"fixed"``), or any selector
+   registered via :func:`repro.core.registry.register_selector`;
+3. :class:`EstimationStage` — build the configured estimator through the
+   registry (*any* registered name, not just BMF) and run it;
+4. :class:`InverseTransformStage` — map the fused moments back to
+   physical units.
+
+Which estimator runs, how hyper-parameters are selected, the grid, the
+seed — all of it is declarative data in a
+:class:`~repro.core.registry.FusionConfig`, and the returned
+:class:`PipelineResult` carries a typed :class:`FusionProvenance` (estimator
+name, selected hyper-parameters, seed, config hash) instead of a loose
+``Dict[str, float]``, so a saved result is traceable to the exact
+configuration that produced it.
+
+:class:`BMFPipeline` keeps the original BMF-only constructor/`fit`
+signature as a thin shim over the config-driven machinery.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.bmf import BMFEstimator
-from repro.core.estimators import MomentEstimate
+from repro.core.estimators import EstimateInfo, MomentEstimate
 from repro.core.hypergrid import HyperParameterGrid
 from repro.core.preprocessing import ShiftScaleTransform
 from repro.core.prior import PriorKnowledge
-from repro.exceptions import DimensionError
+from repro.core.registry import (
+    EstimatorRegistry,
+    EstimatorSpec,
+    FusionConfig,
+    default_registry,
+    make_selector,
+)
+from repro.exceptions import ConfigError, DimensionError, HyperParameterError
+from repro.linalg.validation import as_samples
 
-__all__ = ["PipelineResult", "BMFPipeline"]
+__all__ = [
+    "FusionProvenance",
+    "PipelineResult",
+    "PipelineContext",
+    "PipelineStage",
+    "TransformStage",
+    "SelectionStage",
+    "EstimationStage",
+    "InverseTransformStage",
+    "FusionPipeline",
+    "BMFPipeline",
+]
+
+
+# ---------------------------------------------------------------------------
+# typed provenance
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusionProvenance:
+    """What produced a fused estimate — enough to reproduce or audit it.
+
+    Attributes
+    ----------
+    estimator:
+        Registry name of the estimator that ran (e.g. ``"bmf"``).
+    selector:
+        How hyper-parameters were resolved (``"cv"``, ``"evidence"``,
+        ``"fixed"``, ``"none"``); ``None`` for estimators that take no
+        hyper-parameters.
+    kappa0, v0:
+        The normal-Wishart hyper-parameters actually used, when any.
+    seed:
+        The config's base seed, if the run's randomness derived from it
+        (``None`` when the caller supplied its own generator).
+    config_hash:
+        Stable content hash of the full :class:`FusionConfig`.
+    n_samples:
+        Late-stage sample count consumed.
+    diagnostics:
+        Estimator/stage extras (selection scores, rejected-row counts...).
+    """
+
+    estimator: str
+    selector: Optional[str] = None
+    kappa0: Optional[float] = None
+    v0: Optional[float] = None
+    seed: Optional[int] = None
+    config_hash: Optional[str] = None
+    n_samples: int = 0
+    diagnostics: EstimateInfo = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "estimator": self.estimator,
+            "selector": self.selector,
+            "kappa0": None if self.kappa0 is None else float(self.kappa0),
+            "v0": None if self.v0 is None else float(self.v0),
+            "seed": None if self.seed is None else int(self.seed),
+            "config_hash": self.config_hash,
+            "n_samples": int(self.n_samples),
+            "diagnostics": dict(self.diagnostics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FusionProvenance":
+        if "estimator" not in payload:
+            raise ConfigError("provenance payload missing 'estimator'")
+        return cls(
+            estimator=str(payload["estimator"]),
+            selector=payload.get("selector"),
+            kappa0=None if payload.get("kappa0") is None else float(payload["kappa0"]),
+            v0=None if payload.get("v0") is None else float(payload["v0"]),
+            seed=None if payload.get("seed") is None else int(payload["seed"]),
+            config_hash=payload.get("config_hash"),
+            n_samples=int(payload.get("n_samples", 0)),
+            diagnostics=dict(payload.get("diagnostics", {})),
+        )
 
 
 @dataclass(frozen=True)
 class PipelineResult:
     """Fused late-stage moments in both physical and isotropic spaces."""
 
-    #: MAP mean in physical units.
+    #: Fused mean in physical units.
     mean: np.ndarray
-    #: MAP covariance in physical units.
+    #: Fused covariance in physical units.
     covariance: np.ndarray
     #: The isotropic-space estimate (the space of Eq. 37–38).
     isotropic: MomentEstimate
-    #: Selected hyper-parameters and diagnostics.
-    info: Dict[str, float]
+    #: Typed record of what produced this result.
+    provenance: FusionProvenance
+    #: The fitted preprocessing, so saved results are reconstructable
+    #: (None when the pipeline ran without shift/scale).
+    transform: Optional[ShiftScaleTransform] = None
+
+    @property
+    def info(self) -> EstimateInfo:
+        """Legacy diagnostics view: the isotropic estimate's info dict."""
+        return dict(self.isotropic.info)
 
 
-class BMFPipeline:
-    """Fitted preprocessing + prior; reusable across late-stage datasets.
+# ---------------------------------------------------------------------------
+# stages
+# ---------------------------------------------------------------------------
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the stages of one estimate call."""
+
+    config: FusionConfig
+    registry: EstimatorRegistry
+    samples: np.ndarray
+    rng: Optional[np.random.Generator] = None
+    transform: Optional[ShiftScaleTransform] = None
+    prior: Optional[PriorKnowledge] = None
+    grid: Optional[HyperParameterGrid] = None
+    late_iso: Optional[np.ndarray] = None
+    kappa0: Optional[float] = None
+    v0: Optional[float] = None
+    selector_used: Optional[str] = None
+    estimator_name: Optional[str] = None
+    iso_estimate: Optional[MomentEstimate] = None
+    mean: Optional[np.ndarray] = None
+    covariance: Optional[np.ndarray] = None
+    diagnostics: EstimateInfo = field(default_factory=dict)
+
+
+class PipelineStage(abc.ABC):
+    """One step of the fusion flow; stages mutate the shared context."""
+
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def run(self, ctx: PipelineContext) -> None:
+        """Advance the context; raise on unmet preconditions."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class TransformStage(PipelineStage):
+    """Map physical late-stage samples into the isotropic space."""
+
+    name = "transform"
+
+    def run(self, ctx: PipelineContext) -> None:
+        data = as_samples(ctx.samples)
+        if ctx.transform is not None:
+            ctx.late_iso = ctx.transform.transform(data, stage="late")
+        else:
+            ctx.late_iso = np.array(data, dtype=float, copy=True)
+
+
+class SelectionStage(PipelineStage):
+    """Resolve ``(kappa0, v0)`` per the config's selection policy.
+
+    Runs only for estimators whose registry entry advertises
+    ``accepts_hyperparams``; explicit values in the estimator spec's params
+    short-circuit every policy (they *are* the selection).
+    """
+
+    name = "selection"
+
+    def run(self, ctx: PipelineContext) -> None:
+        entry = ctx.registry.entry(ctx.config.estimator.name)
+        if not entry.accepts_hyperparams:
+            return
+        params = ctx.config.estimator.params
+        if params.get("kappa0") is not None and params.get("v0") is not None:
+            ctx.kappa0 = float(params["kappa0"])
+            ctx.v0 = float(params["v0"])
+            ctx.selector_used = "fixed"
+            return
+        policy = ctx.config.selector
+        if policy == "none":
+            return
+        if policy == "fixed":
+            if ctx.config.kappa0 is None or ctx.config.v0 is None:
+                raise HyperParameterError(
+                    "selector 'fixed' requires kappa0 and v0 in the config"
+                )
+            ctx.kappa0 = float(ctx.config.kappa0)
+            ctx.v0 = float(ctx.config.v0)
+            ctx.selector_used = "fixed"
+            return
+        if ctx.prior is None:
+            raise ConfigError("hyper-parameter selection requires a fitted prior")
+        grid = ctx.grid
+        if grid is None:
+            grid = HyperParameterGrid.paper_default(ctx.prior.dim)
+        selector = make_selector(policy, ctx.prior, grid, ctx.config.n_folds)
+        result = selector.select(ctx.late_iso, rng=ctx.rng)
+        ctx.kappa0 = float(result.kappa0)
+        ctx.v0 = float(result.v0)
+        ctx.selector_used = policy
+        best = getattr(result, "best_score", getattr(result, "best_log_evidence", None))
+        if best is not None:
+            ctx.diagnostics["selection_score"] = float(best)
+
+
+class EstimationStage(PipelineStage):
+    """Build the configured estimator through the registry and run it."""
+
+    name = "estimation"
+
+    def run(self, ctx: PipelineContext) -> None:
+        estimator = ctx.registry.build(
+            ctx.config.estimator,
+            prior=ctx.prior,
+            kappa0=ctx.kappa0,
+            v0=ctx.v0,
+        )
+        ctx.iso_estimate = estimator.estimate(ctx.late_iso, rng=ctx.rng)
+        ctx.estimator_name = ctx.config.estimator.name
+        info = ctx.iso_estimate.info
+        # An estimator that self-selected (selector "none") still reports
+        # what it used; fold that back into the provenance.
+        if ctx.kappa0 is None and "kappa0" in info:
+            ctx.kappa0 = float(info["kappa0"])
+            ctx.selector_used = ctx.selector_used or "estimator"
+        if ctx.v0 is None and "v0" in info:
+            ctx.v0 = float(info["v0"])
+
+
+class InverseTransformStage(PipelineStage):
+    """Pull the fused isotropic moments back into physical units."""
+
+    name = "inverse-transform"
+
+    def run(self, ctx: PipelineContext) -> None:
+        estimate = ctx.iso_estimate
+        if estimate is None:
+            raise ConfigError("estimation stage must run before inverse transform")
+        if ctx.transform is not None:
+            ctx.mean, ctx.covariance = ctx.transform.inverse_transform_moments(
+                estimate.mean, estimate.covariance, stage="late"
+            )
+        else:
+            ctx.mean = np.array(estimate.mean, copy=True)
+            ctx.covariance = np.array(estimate.covariance, copy=True)
+
+
+#: The canonical stage order of Algorithm 1 + Sec. 4.1.
+DEFAULT_STAGES = (
+    TransformStage,
+    SelectionStage,
+    EstimationStage,
+    InverseTransformStage,
+)
+
+
+# ---------------------------------------------------------------------------
+# pipeline
+# ---------------------------------------------------------------------------
+class FusionPipeline:
+    """Fitted preprocessing + prior, running any registry estimator.
 
     Construct with :meth:`fit`; then call :meth:`estimate` for each batch
-    of late-stage samples (e.g. per die, per corner).
+    of late-stage samples (e.g. per die, per corner).  The estimator, the
+    hyper-parameter selection policy, and the grid are all data in a
+    :class:`~repro.core.registry.FusionConfig` — swap estimators by
+    editing the config (or use :meth:`estimate_with` for one-off runs),
+    never by touching pipeline code.
+    """
+
+    def __init__(
+        self,
+        transform: Optional[ShiftScaleTransform],
+        prior: PriorKnowledge,
+        config: Optional[FusionConfig] = None,
+        registry: Optional[EstimatorRegistry] = None,
+        grid: Optional[HyperParameterGrid] = None,
+        stages: Optional[Sequence[PipelineStage]] = None,
+    ) -> None:
+        if transform is not None and transform.dim != prior.dim:
+            raise DimensionError(
+                f"transform dim {transform.dim} != prior dim {prior.dim}"
+            )
+        self.transform = transform
+        self.prior = prior
+        self.config = config if config is not None else FusionConfig()
+        self.registry = registry if registry is not None else default_registry()
+        if grid is not None:
+            self.grid: Optional[HyperParameterGrid] = grid
+        elif self.config.grid is not None:
+            self.grid = self.config.grid.materialize(prior.dim)
+        else:
+            self.grid = None
+        self.stages: List[PipelineStage] = (
+            list(stages) if stages is not None else [cls() for cls in DEFAULT_STAGES]
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        early_samples,
+        early_nominal=None,
+        late_nominal=None,
+        config: Optional[FusionConfig] = None,
+        registry: Optional[EstimatorRegistry] = None,
+        grid: Optional[HyperParameterGrid] = None,
+    ) -> "FusionPipeline":
+        """Fit preprocessing and prior from early-stage data.
+
+        With ``config.shift_scale`` (the paper's flow) the two nominal
+        vectors are required; without it the prior is measured from the
+        raw early samples and no transform is fitted.
+        """
+        cfg = config if config is not None else FusionConfig()
+        if cfg.shift_scale:
+            if early_nominal is None or late_nominal is None:
+                raise ConfigError(
+                    "shift/scale preprocessing needs early_nominal and late_nominal"
+                )
+            transform: Optional[ShiftScaleTransform] = ShiftScaleTransform.fit(
+                early_samples, early_nominal, late_nominal
+            )
+            early_iso = transform.transform(early_samples, stage="early")
+        else:
+            transform = None
+            early_iso = as_samples(early_samples)
+        prior = PriorKnowledge.from_samples(early_iso)
+        return cls(
+            transform=transform,
+            prior=prior,
+            config=cfg,
+            registry=registry,
+            grid=grid,
+        )
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        late_samples,
+        rng: Optional[np.random.Generator] = None,
+        config: Optional[FusionConfig] = None,
+    ) -> PipelineResult:
+        """Run the staged fusion flow on one late-stage batch.
+
+        ``rng`` seeds stochastic stages (CV fold splits); when omitted and
+        the config carries a ``seed``, a generator is derived from it so
+        the whole run is reproducible from the config alone.
+        """
+        cfg = config if config is not None else self.config
+        seed_used: Optional[int] = None
+        if rng is None and cfg.seed is not None:
+            rng = np.random.default_rng(cfg.seed)
+            seed_used = cfg.seed
+        grid = self.grid
+        if config is not None and config.grid is not None and config is not self.config:
+            grid = config.grid.materialize(self.prior.dim)
+        ctx = PipelineContext(
+            config=cfg,
+            registry=self.registry,
+            samples=late_samples,
+            rng=rng,
+            transform=self.transform,
+            prior=self.prior,
+            grid=grid,
+        )
+        for stage in self.stages:
+            stage.run(ctx)
+        assert ctx.iso_estimate is not None  # EstimationStage ran
+        diagnostics: EstimateInfo = dict(ctx.iso_estimate.info)
+        diagnostics.update(ctx.diagnostics)
+        provenance = FusionProvenance(
+            estimator=ctx.estimator_name or cfg.estimator.name,
+            selector=ctx.selector_used,
+            kappa0=ctx.kappa0,
+            v0=ctx.v0,
+            seed=seed_used,
+            config_hash=cfg.config_hash(),
+            n_samples=ctx.iso_estimate.n_samples,
+            diagnostics=diagnostics,
+        )
+        return PipelineResult(
+            mean=ctx.mean,
+            covariance=ctx.covariance,
+            isotropic=ctx.iso_estimate,
+            provenance=provenance,
+            transform=self.transform,
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_with(
+        self,
+        estimator: Union[str, EstimatorSpec],
+        late_samples,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PipelineResult:
+        """Run a different registry estimator through the same fitted flow.
+
+        The fair-comparison workhorse: identical preprocessing and prior,
+        only the estimation stage changes.
+        """
+        spec = EstimatorSpec(estimator) if isinstance(estimator, str) else estimator
+        cfg = self.config.replace(estimator=spec)
+        return self.estimate(late_samples, rng=rng, config=cfg)
+
+    def estimate_mle(
+        self, late_samples, rng: Optional[np.random.Generator] = None
+    ) -> PipelineResult:
+        """Baseline MLE through the same preprocessing, for fair comparison."""
+        return self.estimate_with("mle", late_samples, rng=rng)
+
+
+class BMFPipeline(FusionPipeline):
+    """The original BMF-only facade over the staged pipeline.
+
+    Kept for source compatibility: the constructor and :meth:`fit` take the
+    historical ``(grid, n_folds, kappa0, v0)`` arguments and translate them
+    into a :class:`FusionConfig` targeting the ``"bmf"`` registry entry.
     """
 
     def __init__(
@@ -62,34 +478,30 @@ class BMFPipeline:
         kappa0: Optional[float] = None,
         v0: Optional[float] = None,
     ) -> None:
-        if transform.dim != prior.dim:
-            raise DimensionError(
-                f"transform dim {transform.dim} != prior dim {prior.dim}"
-            )
-        self.transform = transform
-        self.prior = prior
-        self.grid = grid
-        self.n_folds = n_folds
-        self.kappa0 = kappa0
-        self.v0 = v0
+        config = FusionConfig(
+            estimator=EstimatorSpec("bmf"),
+            selector="fixed" if kappa0 is not None else "cv",
+            kappa0=kappa0,
+            v0=v0,
+            n_folds=n_folds,
+        )
+        super().__init__(transform, prior, config=config, grid=grid)
 
-    # ------------------------------------------------------------------
     @classmethod
     def fit(
         cls,
         early_samples,
-        early_nominal,
-        late_nominal,
+        early_nominal=None,
+        late_nominal=None,
         grid: Optional[HyperParameterGrid] = None,
         n_folds: int = 4,
         kappa0: Optional[float] = None,
         v0: Optional[float] = None,
     ) -> "BMFPipeline":
-        """Fit preprocessing and prior from early-stage data.
+        """Fit preprocessing and prior from early-stage data (legacy API).
 
-        Parameters mirror :class:`~repro.core.bmf.BMFEstimator`; ``kappa0``
-        / ``v0`` pin the hyper-parameters (ablation mode) and otherwise
-        cross validation selects them per late-stage dataset.
+        ``kappa0``/``v0`` pin the hyper-parameters (ablation mode) and
+        otherwise cross validation selects them per late-stage dataset.
         """
         transform = ShiftScaleTransform.fit(early_samples, early_nominal, late_nominal)
         early_iso = transform.transform(early_samples, stage="early")
@@ -101,44 +513,4 @@ class BMFPipeline:
             n_folds=n_folds,
             kappa0=kappa0,
             v0=v0,
-        )
-
-    # ------------------------------------------------------------------
-    def estimate(
-        self, late_samples, rng: Optional[np.random.Generator] = None
-    ) -> PipelineResult:
-        """Fuse prior knowledge with late-stage samples (Algorithm 1)."""
-        late_iso = self.transform.transform(late_samples, stage="late")
-        estimator = BMFEstimator(
-            self.prior,
-            kappa0=self.kappa0,
-            v0=self.v0,
-            grid=self.grid,
-            n_folds=self.n_folds,
-        )
-        iso_estimate = estimator.estimate(late_iso, rng=rng)
-        mean_phys, cov_phys = self.transform.inverse_transform_moments(
-            iso_estimate.mean, iso_estimate.covariance, stage="late"
-        )
-        return PipelineResult(
-            mean=mean_phys,
-            covariance=cov_phys,
-            isotropic=iso_estimate,
-            info=dict(iso_estimate.info),
-        )
-
-    def estimate_mle(self, late_samples) -> PipelineResult:
-        """Baseline MLE through the same preprocessing, for fair comparison."""
-        from repro.core.mle import MLEstimator
-
-        late_iso = self.transform.transform(late_samples, stage="late")
-        iso_estimate = MLEstimator().estimate(late_iso)
-        mean_phys, cov_phys = self.transform.inverse_transform_moments(
-            iso_estimate.mean, iso_estimate.covariance, stage="late"
-        )
-        return PipelineResult(
-            mean=mean_phys,
-            covariance=cov_phys,
-            isotropic=iso_estimate,
-            info=dict(iso_estimate.info),
         )

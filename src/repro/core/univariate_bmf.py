@@ -21,9 +21,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import HyperParameterError, InsufficientDataError
+from repro.core.estimators import MomentEstimate, MomentEstimator
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError, HyperParameterError, InsufficientDataError
 
-__all__ = ["NormalGammaPrior", "UnivariateBMF"]
+__all__ = ["NormalGammaPrior", "UnivariateBMF", "UnivariateBMFEstimator"]
 
 
 @dataclass(frozen=True)
@@ -121,3 +123,70 @@ class UnivariateBMF:
     def estimate_variance(self, samples) -> float:
         """MAP variance only."""
         return self.estimate(samples)[1]
+
+
+class UnivariateBMFEstimator(MomentEstimator):
+    """Protocol adapter: reference-[7] BMF as a ``d = 1`` moment estimator.
+
+    Accepts either a one-dimensional
+    :class:`~repro.core.prior.PriorKnowledge` (the pipeline path) or
+    explicit ``mean_e``/``var_e`` early-stage moments.  Samples may be a
+    flat vector or an ``(n, 1)`` matrix; the estimate comes back with a
+    ``1 x 1`` covariance so every downstream consumer (errors, yield,
+    serialization) works unchanged.
+    """
+
+    name = "univariate_bmf"
+
+    def __init__(
+        self,
+        prior: Optional[PriorKnowledge] = None,
+        mean_e: Optional[float] = None,
+        var_e: Optional[float] = None,
+        kappa0: float = 1.0,
+        alpha0: float = 2.0,
+    ) -> None:
+        if prior is not None:
+            if prior.dim != 1:
+                raise DimensionError(
+                    f"univariate BMF needs a 1-D prior, got d = {prior.dim}"
+                )
+            mean_e = float(prior.mean[0])
+            var_e = float(prior.covariance[0, 0])
+        if mean_e is None or var_e is None:
+            raise HyperParameterError(
+                "supply either a 1-D PriorKnowledge or both mean_e and var_e"
+            )
+        self.kappa0 = float(kappa0)
+        self.alpha0 = float(alpha0)
+        self._inner = UnivariateBMF(
+            mean_e=mean_e, var_e=var_e, kappa0=self.kappa0, alpha0=self.alpha0
+        )
+
+    def estimate(
+        self, samples, rng: Optional[np.random.Generator] = None
+    ) -> MomentEstimate:
+        """MAP mean/variance of the single metric, packaged as moments."""
+        data = np.asarray(samples, dtype=float)
+        if data.ndim == 2:
+            if data.shape[1] != 1:
+                raise DimensionError(
+                    f"univariate BMF takes (n,) or (n, 1) samples, got {data.shape}"
+                )
+            data = data[:, 0]
+        elif data.ndim != 1:
+            raise DimensionError(
+                f"univariate BMF takes (n,) or (n, 1) samples, got {data.shape}"
+            )
+        if data.size < 2:
+            raise InsufficientDataError(
+                f"univariate BMF needs at least 2 samples, got {data.size}"
+            )
+        mu, var = self._inner.estimate(data)
+        return MomentEstimate(
+            mean=np.array([mu]),
+            covariance=np.array([[var]]),
+            n_samples=int(data.size),
+            method=self.name,
+            info={"kappa0": self.kappa0, "alpha0": self.alpha0},
+        )

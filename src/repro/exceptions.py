@@ -58,3 +58,16 @@ class HyperParameterError(ReproError, ValueError):
 
 class NotFittedError(ReproError, RuntimeError):
     """Raised when a transform/estimator is used before being fitted."""
+
+
+class UnknownEstimatorError(ReproError, KeyError):
+    """Raised when a registry lookup names an estimator that is not registered.
+
+    The message always lists the available names so a typo in a config file
+    or on the command line is self-diagnosing.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised when a serialized :class:`~repro.core.registry.FusionConfig`
+    or :class:`~repro.core.registry.EstimatorSpec` payload is malformed."""

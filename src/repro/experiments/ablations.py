@@ -21,20 +21,20 @@ Each ablation isolates one ingredient of the paper's method:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.circuits.montecarlo import PairedDataset
-from repro.core.bmf import BMFEstimator
+
+# Re-exported for source compatibility: the adapter moved to core.baselines
+# when it joined the estimator registry ("ledoit-wolf" / "oas" / ...).
+from repro.core.baselines import ShrinkageEstimator
 from repro.core.errors import covariance_error, mean_error
-from repro.core.estimators import MomentEstimate, MomentEstimator
-from repro.core.mle import MLEstimator
 from repro.core.prior import PriorKnowledge
+from repro.core.registry import EstimatorSpec, make_estimator
 from repro.experiments.parallel import replicate
 from repro.experiments.sweep import ErrorSweep, SweepConfig, SweepResult
-from repro.linalg.shrinkage import ledoit_wolf, oas
 from repro.stats.multivariate_gaussian import MultivariateGaussian
 
 __all__ = [
@@ -49,27 +49,6 @@ __all__ = [
     "ablate_dimensionality",
     "ShrinkageEstimator",
 ]
-
-
-class ShrinkageEstimator(MomentEstimator):
-    """Adapter exposing the prior-free shrinkage covariances as estimators."""
-
-    def __init__(self, kind: str) -> None:
-        if kind not in ("ledoit_wolf", "oas"):
-            raise ValueError(f"kind must be 'ledoit_wolf' or 'oas', got {kind!r}")
-        self.kind = kind
-        self.name = kind
-
-    def estimate(self, samples, rng=None) -> MomentEstimate:
-        """Sample mean plus the selected shrinkage covariance."""
-        data = self._check(samples)
-        cov = ledoit_wolf(data) if self.kind == "ledoit_wolf" else oas(data)
-        return MomentEstimate(
-            mean=data.mean(axis=0),
-            covariance=cov,
-            n_samples=data.shape[0],
-            method=self.name,
-        )
 
 
 def ablate_shift_scale(
@@ -102,12 +81,11 @@ def ablate_fixed_hyperparams(
 ) -> SweepResult:
     """CV-selected hyper-parameters versus pinned settings."""
     cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
-    estimators = {"bmf_cv": lambda prior: BMFEstimator(prior)}
+    d = dataset.early.shape[1]
+    estimators: Dict[str, EstimatorSpec] = {"bmf_cv": EstimatorSpec("bmf")}
     for kappa0, v0 in pinned:
-        estimators[f"bmf_k{kappa0:g}_v{v0:g}"] = (
-            lambda prior, k=kappa0, v=v0: BMFEstimator(
-                prior, kappa0=k, v0=max(v, prior.dim + 1.0)
-            )
+        estimators[f"bmf_k{kappa0:g}_v{v0:g}"] = EstimatorSpec(
+            "bmf", {"kappa0": kappa0, "v0": max(v0, d + 1.0)}
         )
     return ErrorSweep(dataset, estimators=estimators, config=cfg).run()
 
@@ -121,8 +99,7 @@ def ablate_fold_count(
     """Sensitivity of the BMF accuracy to the CV fold count Q (Sec. 4.2)."""
     cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     estimators = {
-        f"bmf_q{q}": (lambda prior, q=q: BMFEstimator(prior, n_folds=q))
-        for q in fold_counts
+        f"bmf_q{q}": EstimatorSpec("bmf", {"n_folds": q}) for q in fold_counts
     }
     return ErrorSweep(dataset, estimators=estimators, config=cfg).run()
 
@@ -139,10 +116,10 @@ def ablate_shrinkage_baselines(
     """
     cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     estimators = {
-        "mle": lambda prior: MLEstimator(),
-        "bmf": lambda prior: BMFEstimator(prior),
-        "ledoit_wolf": lambda prior: ShrinkageEstimator("ledoit_wolf"),
-        "oas": lambda prior: ShrinkageEstimator("oas"),
+        "mle": EstimatorSpec("mle"),
+        "bmf": EstimatorSpec("bmf"),
+        "ledoit_wolf": EstimatorSpec("ledoit-wolf"),
+        "oas": EstimatorSpec("oas"),
     }
     return ErrorSweep(dataset, estimators=estimators, config=cfg).run()
 
@@ -190,7 +167,7 @@ def ablate_prior_quality(
         )
         rng = np.random.default_rng(child)
         idx = rng.choice(late_iso.shape[0], size=n_late, replace=False)
-        est = BMFEstimator(prior).estimate(late_iso[idx], rng=rng)
+        est = make_estimator("bmf", prior).estimate(late_iso[idx], rng=rng)
         return (
             est.info["kappa0"],
             est.info["v0"],
@@ -287,9 +264,9 @@ def ablate_selector(
     """
     cfg = config if config is not None else SweepConfig(n_repeats=30, n_jobs=n_jobs)
     estimators = {
-        "bmf_cv": lambda prior: BMFEstimator(prior, selector="cv"),
-        "bmf_evidence": lambda prior: BMFEstimator(prior, selector="evidence"),
-        "mle": lambda prior: MLEstimator(),
+        "bmf_cv": EstimatorSpec("bmf", {"selector": "cv"}),
+        "bmf_evidence": EstimatorSpec("bmf", {"selector": "evidence"}),
+        "mle": EstimatorSpec("mle"),
     }
     return ErrorSweep(dataset, estimators=estimators, config=cfg).run()
 
@@ -337,8 +314,8 @@ def ablate_non_gaussian(
         def one_repetition(child, skew=skew, prior=prior, exact_cov=exact_cov):
             gen = np.random.default_rng(child)
             late = population(skew, n_late, gen)
-            bmf = BMFEstimator(prior).estimate(late, rng=gen)
-            mle = MLEstimator().estimate(late)
+            bmf = make_estimator("bmf", prior).estimate(late, rng=gen)
+            mle = make_estimator("mle").estimate(late)
             return (
                 covariance_error(bmf.covariance, exact_cov),
                 covariance_error(mle.covariance, exact_cov),
@@ -385,8 +362,8 @@ def ablate_dimensionality(
         def one_repetition(child, truth=truth, prior=prior, sigma_true=sigma_true):
             gen = np.random.default_rng(child)
             late = truth.sample(n_late, gen)
-            bmf = BMFEstimator(prior).estimate(late, rng=gen)
-            mle = MLEstimator().estimate(late)
+            bmf = make_estimator("bmf", prior).estimate(late, rng=gen)
+            mle = make_estimator("mle").estimate(late)
             return (
                 covariance_error(bmf.covariance, sigma_true),
                 covariance_error(mle.covariance, sigma_true),

@@ -12,18 +12,16 @@ error criteria.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.montecarlo import PairedDataset
-from repro.core.bmf import BMFEstimator
 from repro.core.errors import covariance_error, mean_error
 from repro.core.estimators import MomentEstimator
-from repro.core.hypergrid import HyperParameterGrid
-from repro.core.mle import MLEstimator
 from repro.core.preprocessing import ShiftScaleTransform
 from repro.core.prior import PriorKnowledge
+from repro.core.registry import EstimatorSpec
 from repro.exceptions import DimensionError
 from repro.experiments.parallel import replicate, resolve_n_jobs
 from repro.stats.moments import mle_covariance, sample_mean
@@ -31,15 +29,55 @@ from repro.stats.moments import mle_covariance, sample_mean
 __all__ = ["SweepConfig", "SweepResult", "ErrorSweep", "default_estimators"]
 
 #: Factory signature: receives the fitted prior, returns a fresh estimator.
+#: An :class:`~repro.core.registry.EstimatorSpec` *is* such a factory, so
+#: sweeps accept registry names, specs, and plain callables interchangeably.
 EstimatorFactory = Callable[[PriorKnowledge], MomentEstimator]
 
+#: What callers may put in an ``estimators`` mapping.
+EstimatorLike = Union[str, EstimatorSpec, EstimatorFactory]
 
-def default_estimators() -> Dict[str, EstimatorFactory]:
-    """The paper's two contenders: MLE baseline and the proposed BMF."""
+
+def default_estimators() -> Dict[str, EstimatorSpec]:
+    """The paper's two contenders: MLE baseline and the proposed BMF.
+
+    Returned as registry specs — swap in any other registered name (see
+    :func:`repro.core.registry.available_estimators`) without touching
+    sweep code.
+    """
     return {
-        "mle": lambda prior: MLEstimator(),
-        "bmf": lambda prior: BMFEstimator(prior),
+        "mle": EstimatorSpec("mle"),
+        "bmf": EstimatorSpec("bmf"),
     }
+
+
+def _normalize_estimators(
+    estimators: Union[Mapping[str, EstimatorLike], Sequence[str], None],
+) -> Dict[str, EstimatorFactory]:
+    """Coerce registry names/specs/callables into a name -> factory dict.
+
+    A bare sequence of registry names (``["mle", "bmf", "oas"]``) becomes a
+    mapping keyed by those names; string values become
+    :class:`EstimatorSpec` (which is itself a ``prior -> estimator``
+    factory); callables pass through untouched for back-compatibility.
+    """
+    if estimators is None:
+        return dict(default_estimators())
+    if not isinstance(estimators, Mapping):
+        estimators = {name: name for name in estimators}
+    out: Dict[str, EstimatorFactory] = {}
+    for name, value in estimators.items():
+        if isinstance(value, str):
+            out[name] = EstimatorSpec(value)
+        elif isinstance(value, EstimatorSpec) or callable(value):
+            out[name] = value
+        else:
+            raise TypeError(
+                f"estimator {name!r} must be a registry name, EstimatorSpec, "
+                f"or factory callable, got {type(value).__name__}"
+            )
+    if not out:
+        raise DimensionError("estimators mapping must be non-empty")
+    return out
 
 
 @dataclass(frozen=True)
@@ -126,7 +164,10 @@ class ErrorSweep:
     dataset:
         Paired early/late bank for one circuit.
     estimators:
-        Mapping of name -> factory; defaults to MLE vs BMF.
+        Which estimators to compare: a mapping of display name to registry
+        name / :class:`~repro.core.registry.EstimatorSpec` / factory
+        callable, or simply a sequence of registry names.  Defaults to the
+        paper's MLE-vs-BMF pair.
     config:
         Sample sizes / repeats / seed.
     shift_scale:
@@ -138,12 +179,12 @@ class ErrorSweep:
     def __init__(
         self,
         dataset: PairedDataset,
-        estimators: Optional[Dict[str, EstimatorFactory]] = None,
+        estimators: Union[Mapping[str, EstimatorLike], Sequence[str], None] = None,
         config: Optional[SweepConfig] = None,
         shift_scale: bool = True,
     ) -> None:
         self.dataset = dataset
-        self.estimators = estimators if estimators is not None else default_estimators()
+        self.estimators = _normalize_estimators(estimators)
         self.config = config if config is not None else SweepConfig()
         max_n = max(self.config.sample_sizes)
         if max_n > dataset.n_samples:

@@ -7,13 +7,18 @@ from repro.extensions.higher_moments import (
     standardized_third_moment,
 )
 from repro.extensions.robust import RobustBMFEstimator, mahalanobis_gate
-from repro.extensions.sequential import SequentialBMF, SequentialState
+from repro.extensions.sequential import (
+    SequentialBMF,
+    SequentialBMFEstimator,
+    SequentialState,
+)
 
 __all__ = [
     "FusedHigherMoments",
     "HigherMomentFusion",
     "RobustBMFEstimator",
     "SequentialBMF",
+    "SequentialBMFEstimator",
     "SequentialState",
     "mahalanobis_gate",
     "standardized_fourth_moment",

@@ -55,10 +55,12 @@ def mahalanobis_gate(
 class RobustBMFEstimator(MomentEstimator):
     """BMF with a prior-based outlier gate in front (ablation/extension).
 
-    Parameters mirror :class:`~repro.core.bmf.BMFEstimator`; extra knobs
-    control the gate.  ``min_kept`` guards against the gate eating so many
-    samples that the fusion becomes prior-only — if fewer survive, the
-    gate is bypassed entirely and a plain BMF estimate is returned.
+    Parameters mirror :class:`~repro.core.bmf.BMFEstimator` — including
+    optional pinned ``(kappa0, v0)``, which the pipeline's selection stage
+    uses — plus extra knobs controlling the gate.  ``min_kept`` guards
+    against the gate eating so many samples that the fusion becomes
+    prior-only — if fewer survive, the gate is bypassed entirely and a
+    plain BMF estimate is returned.
     """
 
     name = "robust_bmf"
@@ -71,6 +73,8 @@ class RobustBMFEstimator(MomentEstimator):
         min_kept: int = 4,
         grid: Optional[HyperParameterGrid] = None,
         n_folds: int = 4,
+        kappa0: Optional[float] = None,
+        v0: Optional[float] = None,
     ) -> None:
         self.prior = prior
         self.quantile = float(quantile)
@@ -80,6 +84,8 @@ class RobustBMFEstimator(MomentEstimator):
         self.min_kept = int(min_kept)
         self.grid = grid
         self.n_folds = n_folds
+        self.kappa0 = None if kappa0 is None else float(kappa0)
+        self.v0 = None if v0 is None else float(v0)
         #: Number of rows rejected by the gate in the last estimate call.
         self.last_rejected: int = 0
 
@@ -95,11 +101,15 @@ class RobustBMFEstimator(MomentEstimator):
             kept, rejected = data, data[:0]
         self.last_rejected = int(rejected.shape[0])
         inner = BMFEstimator(
-            self.prior, grid=self.grid, n_folds=self.n_folds
+            self.prior,
+            kappa0=self.kappa0,
+            v0=self.v0,
+            grid=self.grid,
+            n_folds=self.n_folds,
         )
         estimate = inner.estimate(kept, rng=rng)
         info = dict(estimate.info)
-        info["rejected"] = float(self.last_rejected)
+        info["rejected"] = self.last_rejected
         return MomentEstimate(
             mean=estimate.mean,
             covariance=estimate.covariance,

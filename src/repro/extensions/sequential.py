@@ -20,12 +20,13 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.estimators import MomentEstimate, MomentEstimator
 from repro.core.prior import PriorKnowledge
 from repro.exceptions import DimensionError, HyperParameterError
 from repro.linalg.norms import frobenius_norm, vector_2norm
 from repro.stats.normal_wishart import NormalWishart
 
-__all__ = ["SequentialBMF", "SequentialState"]
+__all__ = ["SequentialBMF", "SequentialBMFEstimator", "SequentialState"]
 
 
 @dataclass(frozen=True)
@@ -131,6 +132,17 @@ class SequentialBMF:
             cov_step=float("inf"),
         )
 
+    def as_estimate(self) -> MomentEstimate:
+        """The current running MAP state as a :class:`MomentEstimate`."""
+        state = self.current_estimate()
+        return MomentEstimate(
+            mean=state.mean,
+            covariance=state.covariance,
+            n_samples=state.n_observed,
+            method="sequential_bmf",
+            info={"kappa0": self.kappa0, "v0": self.v0},
+        )
+
     def converged(
         self, mean_tol: float = 1e-3, cov_tol: float = 1e-3, patience: int = 3
     ) -> bool:
@@ -148,3 +160,45 @@ class SequentialBMF:
         return all(
             s.mean_step <= mean_tol and s.cov_step <= cov_tol for s in recent
         )
+
+
+class SequentialBMFEstimator(MomentEstimator):
+    """Batch adapter: streaming fusion's final state as a `MomentEstimate`.
+
+    Conforms :class:`SequentialBMF` to the common estimator protocol so the
+    streaming path participates in the registry, pipeline, and sweeps.  By
+    conjugacy the result equals the batch
+    :func:`repro.core.bmf.map_moments` at the same ``(kappa0, v0)`` — the
+    equivalence the sequential tests verify — so registering it mostly
+    buys the sweeps a cross-check, and users an estimator whose state they
+    can keep feeding afterwards (see :attr:`last_run`).
+
+    ``kappa0``/``v0`` default to the weakly-informative corner
+    ``(1, d + 1)`` when not supplied (streaming mode cannot re-run CV per
+    die; the pipeline's selection stage pins better values when used
+    through a config).
+    """
+
+    name = "sequential_bmf"
+
+    def __init__(
+        self,
+        prior: PriorKnowledge,
+        kappa0: Optional[float] = None,
+        v0: Optional[float] = None,
+    ) -> None:
+        self.prior = prior
+        self.kappa0 = float(kappa0) if kappa0 is not None else 1.0
+        self.v0 = float(v0) if v0 is not None else float(prior.dim) + 1.0
+        #: The :class:`SequentialBMF` instance of the last estimate call.
+        self.last_run: Optional[SequentialBMF] = None
+
+    def estimate(
+        self, samples, rng: Optional[np.random.Generator] = None
+    ) -> MomentEstimate:
+        """Stream all rows through the conjugate recursion; return the end state."""
+        data = self._check(samples)
+        seq = SequentialBMF(self.prior, self.kappa0, self.v0)
+        seq.observe_batch(data)
+        self.last_run = seq
+        return seq.as_estimate()

@@ -9,6 +9,14 @@ durable artefacts:
 * :func:`estimate_to_dict` / :func:`estimate_from_dict` and
   :func:`save_estimate` / :func:`load_estimate` — JSON round-trip of a
   :class:`~repro.core.estimators.MomentEstimate`;
+* :func:`save_config` / :func:`load_config` — JSON round-trip of a
+  declarative :class:`~repro.core.registry.FusionConfig` (lossless:
+  ``load_config(path)`` equals the saved config, hash included);
+* :func:`result_to_dict` / :func:`result_from_dict` and
+  :func:`save_result` / :func:`load_result` — full
+  :class:`~repro.core.pipeline.PipelineResult` round-trip: physical-space
+  moments, the isotropic estimate, typed provenance, and the fitted
+  shift/scale transform parameters;
 * :func:`sweep_to_csv` — flat CSV of a sweep's raw errors for external
   plotting tools.
 """
@@ -18,13 +26,13 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
 from repro.circuits.montecarlo import PairedDataset
-from repro.core.estimators import MomentEstimate
-from repro.exceptions import DimensionError
+from repro.core.estimators import EstimateInfo, MomentEstimate
+from repro.exceptions import ConfigError, DimensionError
 from repro.experiments.sweep import SweepResult
 
 __all__ = [
@@ -34,10 +42,40 @@ __all__ = [
     "estimate_from_dict",
     "save_estimate",
     "load_estimate",
+    "save_config",
+    "load_config",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
     "sweep_to_csv",
 ]
 
 PathLike = Union[str, Path]
+
+
+def _info_value(value: Any) -> Union[bool, int, float, str]:
+    """Coerce one diagnostics value to a JSON-safe typed scalar.
+
+    Estimator ``info`` dicts legitimately mix numbers with strings (e.g.
+    ``{"kappa0": 3.0, "shrinkage_kind": "oas"}``); the old serializer
+    forced everything through ``float`` and crashed on the strings.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    raise ConfigError(
+        f"info values must be bool/int/float/str, got {type(value).__name__}: {value!r}"
+    )
+
+
+def _info_dict(info: Dict[str, Any]) -> EstimateInfo:
+    return {str(k): _info_value(v) for k, v in info.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -81,7 +119,7 @@ def estimate_to_dict(estimate: MomentEstimate) -> Dict:
         "covariance": estimate.covariance.tolist(),
         "n_samples": int(estimate.n_samples),
         "method": estimate.method,
-        "info": {k: float(v) for k, v in estimate.info.items()},
+        "info": _info_dict(estimate.info),
     }
 
 
@@ -93,7 +131,7 @@ def estimate_from_dict(payload: Dict) -> MomentEstimate:
             covariance=np.asarray(payload["covariance"], dtype=float),
             n_samples=int(payload["n_samples"]),
             method=str(payload["method"]),
-            info={k: float(v) for k, v in payload.get("info", {}).items()},
+            info=_info_dict(payload.get("info", {})),
         )
     except KeyError as exc:
         raise DimensionError(f"estimate payload missing field {exc}") from exc
@@ -108,6 +146,94 @@ def save_estimate(estimate: MomentEstimate, path: PathLike) -> None:
 def load_estimate(path: PathLike) -> MomentEstimate:
     """Load an estimate from a JSON file written by :func:`save_estimate`."""
     return estimate_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# fusion configs
+# ---------------------------------------------------------------------------
+def save_config(config, path: PathLike) -> None:
+    """Write a :class:`~repro.core.registry.FusionConfig` to a JSON file."""
+    Path(path).write_text(config.to_json() + "\n")
+
+
+def load_config(path: PathLike):
+    """Load a fusion config saved by :func:`save_config` (lossless inverse)."""
+    from repro.core.registry import FusionConfig
+
+    return FusionConfig.from_json(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# pipeline results
+# ---------------------------------------------------------------------------
+#: Format marker written into every serialized pipeline result.
+RESULT_SCHEMA = "repro.pipeline-result.v1"
+
+
+def result_to_dict(result) -> Dict:
+    """JSON-safe dictionary of a :class:`~repro.core.pipeline.PipelineResult`.
+
+    Persists the *physical-space* moments (what a designer consumes), the
+    isotropic-space estimate (what Eq. 37–38 errors are computed in), the
+    typed provenance, and — when the run used the Sec. 4.1 preprocessing —
+    the fitted transform parameters, so the mapping between the two spaces
+    survives with the artefact.
+    """
+    transform = result.transform
+    return {
+        "schema": RESULT_SCHEMA,
+        "mean": np.asarray(result.mean, dtype=float).tolist(),
+        "covariance": np.asarray(result.covariance, dtype=float).tolist(),
+        "isotropic": estimate_to_dict(result.isotropic),
+        "provenance": result.provenance.to_dict(),
+        "transform": None
+        if transform is None
+        else {
+            "early_nominal": np.asarray(transform.early_nominal, dtype=float).tolist(),
+            "late_nominal": np.asarray(transform.late_nominal, dtype=float).tolist(),
+            "scale": np.asarray(transform.scale, dtype=float).tolist(),
+        },
+    }
+
+
+def result_from_dict(payload: Dict):
+    """Inverse of :func:`result_to_dict`."""
+    from repro.core.pipeline import FusionProvenance, PipelineResult
+    from repro.core.preprocessing import ShiftScaleTransform
+
+    if payload.get("schema") != RESULT_SCHEMA:
+        raise ConfigError(
+            f"not a serialized pipeline result (schema {payload.get('schema')!r}, "
+            f"expected {RESULT_SCHEMA!r})"
+        )
+    try:
+        transform_payload = payload["transform"]
+        transform = None
+        if transform_payload is not None:
+            transform = ShiftScaleTransform(
+                early_nominal=np.asarray(transform_payload["early_nominal"], dtype=float),
+                late_nominal=np.asarray(transform_payload["late_nominal"], dtype=float),
+                scale=np.asarray(transform_payload["scale"], dtype=float),
+            )
+        return PipelineResult(
+            mean=np.asarray(payload["mean"], dtype=float),
+            covariance=np.asarray(payload["covariance"], dtype=float),
+            isotropic=estimate_from_dict(payload["isotropic"]),
+            provenance=FusionProvenance.from_dict(payload["provenance"]),
+            transform=transform,
+        )
+    except KeyError as exc:
+        raise ConfigError(f"pipeline result payload missing field {exc}") from exc
+
+
+def save_result(result, path: PathLike) -> None:
+    """Write a pipeline result (physical moments + provenance) to JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: PathLike):
+    """Load a pipeline result saved by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
 
 
 # ---------------------------------------------------------------------------

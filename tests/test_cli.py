@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
-from repro.io import load_dataset, load_estimate
+from repro.io import load_dataset, load_result
 
 
 @pytest.fixture(scope="module")
@@ -62,9 +62,21 @@ class TestFuse:
         out = capsys.readouterr().out
         assert "kappa0=" in out and "v0=" in out
         assert "snr" in out
-        estimate = load_estimate(est_path)
-        assert estimate.method == "bmf"
-        assert estimate.n_samples == 10
+        # --save persists the physical-space result and says so.
+        assert "physical-space" in out
+        result = load_result(est_path)
+        assert result.isotropic.method == "bmf"
+        assert result.isotropic.n_samples == 10
+        assert result.provenance.estimator == "bmf"
+        assert result.provenance.kappa0 is not None
+        assert result.transform is not None
+        # The persisted moments are in physical units: the transform maps
+        # the stored isotropic estimate onto them exactly.
+        mean_phys, cov_phys = result.transform.inverse_transform_moments(
+            result.isotropic.mean, result.isotropic.covariance, stage="late"
+        )
+        np.testing.assert_allclose(result.mean, mean_phys)
+        np.testing.assert_allclose(result.covariance, cov_phys)
 
     def test_fuse_pinned_hyperparams(self, bank_path, capsys):
         code = main(
@@ -81,6 +93,53 @@ class TestFuse:
         )
         assert code == 0
         assert "kappa0=2.5" in capsys.readouterr().out
+
+    def test_fuse_estimator_flag(self, bank_path, capsys):
+        code = main(
+            ["fuse", str(bank_path), "--late-samples", "10", "--estimator", "mle"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimator=mle" in out
+        # MLE takes no hyper-parameters, so none are reported.
+        assert "kappa0=" not in out
+
+    def test_fuse_unknown_estimator_lists_available(self, bank_path, capsys):
+        from repro.exceptions import UnknownEstimatorError
+
+        with pytest.raises(UnknownEstimatorError, match="available"):
+            main(["fuse", str(bank_path), "--estimator", "nope"])
+
+    def test_fuse_config_file(self, bank_path, tmp_path, capsys):
+        from repro.core.registry import EstimatorSpec, FusionConfig
+        from repro.io import save_config
+
+        cfg_path = tmp_path / "cfg.json"
+        save_config(
+            FusionConfig(
+                estimator=EstimatorSpec("bmf"),
+                selector="fixed",
+                kappa0=4.0,
+                v0=25.0,
+            ),
+            cfg_path,
+        )
+        code = main(
+            ["fuse", str(bank_path), "--late-samples", "8", "--config", str(cfg_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kappa0=4" in out and "v0=25" in out
+
+
+class TestListEstimators:
+    def test_lists_registered_names(self, capsys):
+        code = main(["list-estimators"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("mle", "bmf", "robust-bmf", "ledoit-wolf", "oas"):
+            assert name in out
+        assert "selectors:" in out and "cv" in out
 
 
 class TestGof:

@@ -54,6 +54,26 @@ class TestEstimateRoundTrip:
         assert restored.method == "bmf"
         assert restored.info == {"kappa0": 4.67, "v0": 557.3}
 
+    def test_typed_info_survives(self, spd5, rng):
+        """Mixed bool/int/float/str diagnostics round-trip with types intact."""
+        estimate = MomentEstimate(
+            mean=rng.standard_normal(5),
+            covariance=spd5,
+            n_samples=9,
+            method="oas",
+            info={
+                "kappa0": 4.0,
+                "rejected": 2,
+                "gated": True,
+                "shrinkage_kind": "oas",
+            },
+        )
+        restored = estimate_from_dict(estimate_to_dict(estimate))
+        assert restored.info == estimate.info
+        assert isinstance(restored.info["rejected"], int)
+        assert isinstance(restored.info["gated"], bool)
+        assert isinstance(restored.info["shrinkage_kind"], str)
+
     def test_file_round_trip(self, estimate, tmp_path):
         path = tmp_path / "est.json"
         save_estimate(estimate, path)
