@@ -24,8 +24,12 @@ def current_scale() -> BenchScale:
     repeats); the default reduced scale keeps the whole harness to a few
     minutes while preserving every qualitative conclusion.
     """
-    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+    scale = os.environ.get("REPRO_BENCH_SCALE", "").lower()
+    if scale == "paper":
         return BenchScale(opamp_bank=5000, adc_bank=1000, n_repeats=100, label="paper")
+    if scale == "smoke":
+        # CI-sized: exercises every benchmark code path in seconds.
+        return BenchScale(opamp_bank=64, adc_bank=24, n_repeats=2, label="smoke")
     return BenchScale(opamp_bank=2000, adc_bank=800, n_repeats=30, label="reduced")
 
 

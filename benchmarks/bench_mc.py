@@ -1,0 +1,82 @@
+"""Vectorized vs loop Monte-Carlo engines: the PR's dataset-generation speedup.
+
+Times both ``simulate_batch`` engines on the op-amp and flash-ADC banks
+(the Sec. 5 workloads) and asserts the vectorized metrics match the scalar
+reference to <=1e-10 relative error before any timing is reported.  The
+checked-in numbers live in ``BENCH_mc.json`` via ``scripts/bench_mc.py``;
+this module keeps the comparison running under the benchmark marker (and
+at ``REPRO_BENCH_SCALE=smoke`` sizes in CI).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _bench_util import emit
+from repro.circuits.adc import FlashADC
+from repro.circuits.opamp import TwoStageOpAmp
+
+SEED = 2015
+
+
+@pytest.fixture(scope="module")
+def opamp_problem(scale):
+    sim = TwoStageOpAmp.schematic()
+    rng = np.random.default_rng(SEED)
+    samples = sim.process_model().sample(sim.devices, scale.opamp_bank, rng)
+    return sim, samples
+
+
+@pytest.fixture(scope="module")
+def adc_problem(scale):
+    sim = FlashADC.post_layout()
+    seeds = np.arange(scale.adc_bank, dtype=np.int64) + np.int64(SEED) * 1_000_003
+    return sim, seeds
+
+
+def test_opamp_vectorized_speed(benchmark, opamp_problem):
+    sim, samples = opamp_problem
+    bank = benchmark(sim.simulate_batch, samples)
+    assert bank.shape == (len(samples), 5)
+
+
+def test_adc_vectorized_speed(benchmark, adc_problem):
+    sim, seeds = adc_problem
+    bank = benchmark(sim.simulate_batch, seeds)
+    assert bank.shape == (seeds.size, 5)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def test_opamp_engines_equivalent(opamp_problem):
+    """Vectorized metrics must match the scalar path before timing counts."""
+    sim, samples = opamp_problem
+    batched_s, batched = _timed(lambda: sim.simulate_batch(samples))
+    loop_s, loop = _timed(lambda: sim.simulate_batch(samples, engine="loop"))
+
+    rel = np.max(np.abs(batched - loop) / np.maximum(np.abs(loop), 1e-300))
+    assert rel <= 1e-10
+    emit(
+        "op-amp bank (n=%d): loop %.2f s, vectorized %.3f s -> %.1fx, "
+        "max rel metric diff %.1e (see scripts/bench_mc.py for best-of-N)"
+        % (len(samples), loop_s, batched_s, loop_s / max(batched_s, 1e-12), rel)
+    )
+
+
+def test_adc_engines_equivalent(adc_problem):
+    sim, seeds = adc_problem
+    batched_s, batched = _timed(lambda: sim.simulate_batch(seeds))
+    loop_s, loop = _timed(lambda: sim.simulate_batch(seeds, engine="loop"))
+
+    rel = np.max(np.abs(batched - loop) / np.maximum(np.abs(loop), 1e-300))
+    assert rel <= 1e-10
+    emit(
+        "flash-ADC bank (n=%d): loop %.2f s, vectorized %.3f s -> %.1fx, "
+        "max rel metric diff %.1e"
+        % (seeds.size, loop_s, batched_s, loop_s / max(batched_s, 1e-12), rel)
+    )

@@ -22,9 +22,16 @@ from repro.circuits.corners import (
     generate_corner_datasets,
 )
 from repro.circuits.devices import Mosfet, MosfetGeometry, MosfetProcess, SmallSignal
-from repro.circuits.mna import ACAnalysis, ACSolution, MNAStamps
+from repro.circuits.mna import (
+    ACAnalysis,
+    ACSolution,
+    BatchedACSolution,
+    MNAStamps,
+    StampPlan,
+)
 from repro.circuits.montecarlo import (
     PairedDataset,
+    dataset_cache_path,
     generate_adc_dataset,
     generate_opamp_dataset,
 )
@@ -64,6 +71,7 @@ from repro.circuits.transient import (
 from repro.circuits.testbench import (
     SpectralAnalyzer,
     SpectralMetrics,
+    SpectralMetricsBatch,
     coherent_frequency,
     sine_record,
 )
@@ -73,6 +81,7 @@ __all__ = [
     "BOLTZMANN",
     "ACSolution",
     "ADCMetrics",
+    "BatchedACSolution",
     "ADC_METRIC_NAMES",
     "Capacitor",
     "CornerSpec",
@@ -107,12 +116,15 @@ __all__ = [
     "SmallSignal",
     "SpectralAnalyzer",
     "SpectralMetrics",
+    "SpectralMetricsBatch",
+    "StampPlan",
     "TransientAnalysis",
     "TransientResult",
     "TwoStageOpAmp",
     "VCCS",
     "VoltageSource",
     "coherent_frequency",
+    "dataset_cache_path",
     "format_value",
     "generate_adc_dataset",
     "generate_corner_datasets",

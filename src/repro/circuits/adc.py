@@ -33,7 +33,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.circuits.testbench import SpectralAnalyzer, coherent_frequency, sine_record
+from repro.circuits.testbench import SpectralAnalyzer, sine_record
 from repro.exceptions import SimulationError
 
 __all__ = ["FlashADCDesign", "ADCMetrics", "FlashADC", "ADC_METRIC_NAMES"]
@@ -171,6 +171,46 @@ class FlashADC:
         offsets = design.sigma_offset * layout.offset_inflation * offsets_z
         return taps + offsets
 
+    def _thresholds_batch(
+        self, offsets_z: np.ndarray, ladder_z: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise :meth:`_thresholds` for ``(n_dies, ...)`` draw banks.
+
+        Mirrors the scalar expressions with ``axis=1`` reductions so each
+        row is bit-identical to a scalar call on the same draws.
+        """
+        design = self.design
+        layout = self.layout
+        n_cmp = design.n_comparators
+        resistors = 1.0 + design.sigma_ladder_rel * ladder_z
+        resistors = np.maximum(resistors, 0.1)
+        cumulative = np.cumsum(resistors, axis=1)[:, :-1]
+        taps = design.vref * cumulative / np.sum(resistors, axis=1, keepdims=True)
+        if layout.ladder_gradient != 0.0:
+            frac = np.arange(1, n_cmp + 1) / (n_cmp + 1)
+            taps = taps + layout.ladder_gradient * (frac - 0.5)
+        offsets = design.sigma_offset * layout.offset_inflation * offsets_z
+        return taps + offsets
+
+    def _input_record(self) -> np.ndarray:
+        """Deterministic input drive: near-full-scale coherent sine.
+
+        Shared by the scalar and vectorized engines (per-die noise is added
+        by the caller), including the post-layout settling compression.
+        """
+        design = self.design
+        layout = self.layout
+        amplitude = 0.49 * design.vref
+        mid = 0.5 * design.vref
+        vin = sine_record(design.n_samples, design.n_cycles, amplitude, offset=mid)
+        if layout.input_compression != 0.0:
+            # Incomplete settling through the post-layout input RC network
+            # compresses large swings: v' = v - a * v_ac^3 (odd-order term
+            # generating 3rd-harmonic distortion).
+            ac = vin - mid
+            vin = vin - layout.input_compression * (ac / amplitude) ** 3 * ac
+        return vin
+
     # ------------------------------------------------------------------
     def simulate(self, die_seed: int) -> ADCMetrics:
         """Convert a coherent sine on die ``die_seed`` and measure metrics.
@@ -185,16 +225,7 @@ class FlashADC:
         offsets_z, ladder_z, bias_z = self._die_variations(die_rng)
         thresholds = np.sort(self._thresholds(offsets_z, ladder_z))
 
-        # Input drive: near-full-scale coherent sine.
-        amplitude = 0.49 * design.vref
-        mid = 0.5 * design.vref
-        vin = sine_record(design.n_samples, design.n_cycles, amplitude, offset=mid)
-        if layout.input_compression != 0.0:
-            # Incomplete settling through the post-layout input RC network
-            # compresses large swings: v' = v - a * v_ac^3 (odd-order term
-            # generating 3rd-harmonic distortion).
-            ac = vin - mid
-            vin = vin - layout.input_compression * (ac / amplitude) ** 3 * ac
+        vin = self._input_record()
         noise_rms = math.hypot(design.noise_rms, layout.extra_noise_rms)
         vin = vin + noise_rms * die_rng.standard_normal(design.n_samples)
 
@@ -235,12 +266,7 @@ class FlashADC:
         thresholds = np.sort(
             self._thresholds(np.zeros(n_cmp), np.zeros(n_cmp + 1))
         )
-        amplitude = 0.49 * design.vref
-        mid = 0.5 * design.vref
-        vin = sine_record(design.n_samples, design.n_cycles, amplitude, offset=mid)
-        if self.layout.input_compression != 0.0:
-            ac = vin - mid
-            vin = vin - self.layout.input_compression * (ac / amplitude) ** 3 * ac
+        vin = self._input_record()
         codes = np.searchsorted(thresholds, vin, side="left").astype(float)
         spectral = self._analyzer.analyze(codes, design.n_cycles)
         nominal_core = n_cmp * design.comparator_bias + design.ladder_current
@@ -267,7 +293,116 @@ class FlashADC:
         thresholds = np.sort(self._thresholds(offsets_z, ladder_z))
         return inl_dnl_from_levels(thresholds)
 
-    def simulate_batch(self, die_seeds) -> np.ndarray:
-        """Metrics matrix ``(len(die_seeds), 5)`` in metric-name order."""
+    #: Dies per vectorized sweep; sized so the working set (record bank,
+    #: spectrum, power planes) stays cache-resident.
+    _PIPELINE_CHUNK = 256
+
+    def simulate_batch(
+        self,
+        die_seeds,
+        engine: str = "vectorized",
+        memory_budget_mb: float = 512.0,
+        n_jobs: Optional[int] = None,
+    ) -> np.ndarray:
+        """Metrics matrix ``(len(die_seeds), 5)`` in metric-name order.
+
+        ``engine="vectorized"`` (default) converts the whole bank through
+        batched threshold construction and one row-wise FFT per chunk;
+        ``engine="loop"`` is the per-die reference path.  ``n_jobs`` shards
+        the bank across forked workers; results are bit-identical to the
+        single-process engine for any ``memory_budget_mb``/``n_jobs``.
+        """
         seeds = np.atleast_1d(np.asarray(die_seeds, dtype=np.int64))
-        return np.array([self.simulate(int(s)).as_array() for s in seeds])
+        if seeds.size == 0:
+            raise SimulationError("simulate_batch requires at least one die seed")
+        if engine == "loop":
+            return np.array([self.simulate(int(s)).as_array() for s in seeds])
+        if engine != "vectorized":
+            raise SimulationError(
+                f"unknown simulate_batch engine {engine!r} (use 'vectorized' or 'loop')"
+            )
+        from repro.experiments.parallel import (
+            fork_available,
+            replicate,
+            resolve_n_jobs,
+        )
+
+        jobs = min(resolve_n_jobs(n_jobs), seeds.size)
+        if jobs > 1 and fork_available():
+            shards = [s for s in np.array_split(seeds, jobs) if s.size]
+            parts = replicate(
+                lambda shard: self._simulate_chunked(shard, memory_budget_mb),
+                shards,
+                n_jobs=jobs,
+            )
+            return np.vstack(parts)
+        return self._simulate_chunked(seeds, memory_budget_mb)
+
+    def _simulate_chunked(
+        self, seeds: np.ndarray, memory_budget_mb: float
+    ) -> np.ndarray:
+        """Run the vectorized engine in memory-bounded, cache-friendly chunks."""
+        if memory_budget_mb <= 0.0:
+            raise SimulationError(
+                f"memory_budget_mb must be positive, got {memory_budget_mb}"
+            )
+        # Per-die working set: record + noise + codes (float) and the rfft
+        # spectrum (complex), with headroom for the power bookkeeping.
+        per_die = self.design.n_samples * 8 * 12
+        budget_rows = int(memory_budget_mb * 2**20 // per_die)
+        chunk = max(1, min(self._PIPELINE_CHUNK, budget_rows))
+        if seeds.size <= chunk:
+            return self._simulate_batch_vectorized(seeds)
+        return np.vstack(
+            [
+                self._simulate_batch_vectorized(seeds[start : start + chunk])
+                for start in range(0, seeds.size, chunk)
+            ]
+        )
+
+    def _simulate_batch_vectorized(self, seeds: np.ndarray) -> np.ndarray:
+        """Convert every die in ``seeds`` through stacked array sweeps."""
+        design = self.design
+        layout = self.layout
+        n_dies = seeds.size
+        n_cmp = design.n_comparators
+        n_rec = design.n_samples
+
+        # Per-die RNG streams must replay the scalar draw order exactly
+        # (offsets, ladder, bias, then record noise), so the draws stay in
+        # a cheap gather loop while all arithmetic below is batched.
+        offsets_z = np.empty((n_dies, n_cmp))
+        ladder_z = np.empty((n_dies, n_cmp + 1))
+        bias_z = np.empty((n_dies, n_cmp))
+        noise_z = np.empty((n_dies, n_rec))
+        for i, seed in enumerate(seeds):
+            die_rng = np.random.default_rng(np.random.SeedSequence(int(seed)))
+            offsets_z[i] = die_rng.standard_normal(n_cmp)
+            ladder_z[i] = die_rng.standard_normal(n_cmp + 1)
+            bias_z[i] = die_rng.standard_normal(n_cmp)
+            noise_z[i] = die_rng.standard_normal(n_rec)
+
+        thresholds = np.sort(self._thresholds_batch(offsets_z, ladder_z), axis=1)
+
+        base = self._input_record()
+        noise_rms = math.hypot(design.noise_rms, layout.extra_noise_rms)
+        vin = base[None, :] + noise_rms * noise_z
+
+        codes = np.empty((n_dies, n_rec))
+        for i in range(n_dies):
+            codes[i] = np.searchsorted(thresholds[i], vin[i], side="left")
+
+        spectral = self._analyzer.analyze_batch(codes, design.n_cycles)
+
+        bias = design.comparator_bias * (1.0 + design.sigma_bias_rel * bias_z)
+        bias = np.maximum(bias, 0.0)
+        supply = design.vref
+        nominal_core = n_cmp * design.comparator_bias + design.ladder_current
+        power = supply * (
+            np.sum(bias, axis=1)
+            + design.ladder_current
+            + layout.power_overhead_rel * nominal_core
+        )
+        return np.column_stack(
+            [spectral.snr, spectral.sinad, spectral.sfdr, spectral.thd, power]
+        )

@@ -13,8 +13,13 @@ instrumentation error.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -22,7 +27,19 @@ from repro.circuits.adc import ADC_METRIC_NAMES, FlashADC, FlashADCDesign
 from repro.circuits.opamp import OPAMP_METRIC_NAMES, OpAmpDesign, TwoStageOpAmp
 from repro.exceptions import DimensionError, SimulationError
 
-__all__ = ["PairedDataset", "generate_opamp_dataset", "generate_adc_dataset"]
+__all__ = [
+    "PairedDataset",
+    "dataset_cache_path",
+    "generate_opamp_dataset",
+    "generate_adc_dataset",
+]
+
+#: Environment variable selecting the dataset cache directory.
+DATASET_CACHE_ENV = "REPRO_DATASET_CACHE_DIR"
+
+#: Bump whenever a simulator change alters generated metric values, so
+#: stale cache entries are never reused across code versions.
+_DATASET_CACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -110,26 +127,120 @@ class PairedDataset:
         )
 
 
+# ---------------------------------------------------------------------------
+# dataset disk cache
+# ---------------------------------------------------------------------------
+def _resolve_cache_dir(cache_dir: Optional[Union[str, Path]]) -> Path:
+    """Cache directory: explicit argument > env var > XDG cache default."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(DATASET_CACHE_ENV, "")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME", "")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "datasets"
+
+
+def _dataset_cache_key(circuit: str, n_samples: int, seed: int, design) -> str:
+    """Content hash over everything that determines the generated bank."""
+    config = {
+        "circuit": circuit,
+        "version": _DATASET_CACHE_VERSION,
+        "n_samples": int(n_samples),
+        "seed": int(seed),
+        "design": dataclasses.asdict(design),
+    }
+    payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dataset_cache_path(
+    circuit: str,
+    n_samples: int,
+    seed: int,
+    design,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Where the cache entry for this exact configuration lives (may not exist)."""
+    key = _dataset_cache_key(circuit, n_samples, seed, design)
+    return _resolve_cache_dir(cache_dir) / f"{circuit}-{key[:20]}.npz"
+
+
+def _cached_dataset(
+    circuit: str,
+    n_samples: int,
+    seed: int,
+    design,
+    builder: Callable[[], PairedDataset],
+    cache_dir: Optional[Union[str, Path]],
+    use_cache: bool,
+) -> PairedDataset:
+    """Round a dataset build through the disk cache.
+
+    Cache entries are keyed by a hash of the full generation config
+    (circuit, design parameters, ``n_samples``, ``seed`` and the engine
+    version), so any config change lands on a different file and a stale
+    entry is never served.  Writes are atomic (temp file + ``os.replace``)
+    so concurrent sweep workers cannot observe a torn ``.npz``.
+    """
+    if not use_cache:
+        return builder()
+    path = dataset_cache_path(circuit, n_samples, seed, design, cache_dir)
+    if path.exists():
+        from repro.io import load_dataset
+
+        try:
+            return load_dataset(path)
+        except Exception:
+            pass  # unreadable entry: fall through and regenerate it
+    dataset = builder()
+    from repro.io import save_dataset
+
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+        save_dataset(dataset, tmp)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # read-only cache location: serve the fresh build uncached
+    return dataset
+
+
 def generate_opamp_dataset(
     n_samples: int = 5000,
     seed: int = 2015,
     design: Optional[OpAmpDesign] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
 ) -> PairedDataset:
     """Generate the paper's op-amp sample bank (Sec. 5.1).
 
     Draws one process-sample list and replays it through both the
     schematic and the post-layout simulator so rows are paired by die.
+    Identical configurations are served from the disk cache (see
+    :func:`dataset_cache_path`); pass ``use_cache=False`` to force a
+    fresh simulation.
     """
-    early_sim = TwoStageOpAmp.schematic(design)
-    late_sim = TwoStageOpAmp.post_layout(design)
-    rng = np.random.default_rng(seed)
-    samples = early_sim.process_model().sample(early_sim.devices, n_samples, rng)
-    return PairedDataset(
-        early=early_sim.simulate_batch(samples),
-        late=late_sim.simulate_batch(samples),
-        early_nominal=early_sim.simulate_nominal().as_array(),
-        late_nominal=late_sim.simulate_nominal().as_array(),
-        metric_names=OPAMP_METRIC_NAMES,
+    resolved = design if design is not None else OpAmpDesign()
+
+    def build() -> PairedDataset:
+        early_sim = TwoStageOpAmp.schematic(resolved)
+        late_sim = TwoStageOpAmp.post_layout(resolved)
+        rng = np.random.default_rng(seed)
+        samples = early_sim.process_model().sample(
+            early_sim.devices, n_samples, rng
+        )
+        return PairedDataset(
+            early=early_sim.simulate_batch(samples),
+            late=late_sim.simulate_batch(samples),
+            early_nominal=early_sim.simulate_nominal().as_array(),
+            late_nominal=late_sim.simulate_nominal().as_array(),
+            metric_names=OPAMP_METRIC_NAMES,
+        )
+
+    return _cached_dataset(
+        "opamp", n_samples, seed, resolved, build, cache_dir, use_cache
     )
 
 
@@ -137,18 +248,32 @@ def generate_adc_dataset(
     n_samples: int = 1000,
     seed: int = 2015,
     design: Optional[FlashADCDesign] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
 ) -> PairedDataset:
     """Generate the paper's flash-ADC sample bank (Sec. 5.2).
 
     Die seeds are shared between stages so each row pair is the same die.
+    Identical configurations are served from the disk cache (see
+    :func:`dataset_cache_path`); pass ``use_cache=False`` to force a
+    fresh simulation.
     """
-    early_sim = FlashADC.schematic(design)
-    late_sim = FlashADC.post_layout(design)
-    die_seeds = np.arange(n_samples, dtype=np.int64) + np.int64(seed) * 1_000_003
-    return PairedDataset(
-        early=early_sim.simulate_batch(die_seeds),
-        late=late_sim.simulate_batch(die_seeds),
-        early_nominal=early_sim.simulate_nominal().as_array(),
-        late_nominal=late_sim.simulate_nominal().as_array(),
-        metric_names=ADC_METRIC_NAMES,
+    resolved = design if design is not None else FlashADCDesign()
+
+    def build() -> PairedDataset:
+        early_sim = FlashADC.schematic(resolved)
+        late_sim = FlashADC.post_layout(resolved)
+        die_seeds = (
+            np.arange(n_samples, dtype=np.int64) + np.int64(seed) * 1_000_003
+        )
+        return PairedDataset(
+            early=early_sim.simulate_batch(die_seeds),
+            late=late_sim.simulate_batch(die_seeds),
+            early_nominal=early_sim.simulate_nominal().as_array(),
+            late_nominal=late_sim.simulate_nominal().as_array(),
+            metric_names=ADC_METRIC_NAMES,
+        )
+
+    return _cached_dataset(
+        "adc", n_samples, seed, resolved, build, cache_dir, use_cache
     )

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.circuits.devices import Mosfet, MosfetGeometry, MosfetProcess
-from repro.circuits.mna import ACAnalysis
+from repro.circuits.mna import ACAnalysis, StampPlan
 from repro.circuits.netlist import Netlist
 from repro.circuits.process import ProcessSample, ProcessVariationModel
 from repro.exceptions import SimulationError
@@ -105,6 +105,40 @@ class OpAmpMetrics:
         )
 
 
+def _unwrapped_phase_pair(
+    phase: np.ndarray, idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unwrapped phase at columns ``idx`` and ``idx + 1`` of each row.
+
+    Equivalent to ``np.unwrap(phase, axis=1)`` followed by two gathers,
+    but phase wraps are rare (at most a couple per die), so instead of
+    cumulative-summing corrections over the whole grid the wraps are
+    located sparsely and only their contributions up to the two requested
+    columns are accumulated.  The correction values match ``np.unwrap``'s
+    exactly, zeros included, so the result is bit-identical.
+    """
+    rows = np.arange(phase.shape[0])
+    p_lo = phase[rows, idx]
+    p_hi = phase[rows, idx + 1]
+    dd = np.diff(phase, axis=1)
+    wrap_rows, wrap_cols = np.nonzero(np.abs(dd) >= np.pi)
+    if wrap_rows.size:
+        ddm = dd[wrap_rows, wrap_cols]
+        corr = np.mod(ddm + np.pi, 2.0 * np.pi) - np.pi
+        corr[(corr == -np.pi) & (ddm > 0.0)] = np.pi
+        corr -= ddm
+        # A wrap between columns c and c+1 shifts every column >= c+1.
+        lo_mask = wrap_cols + 1 <= idx[wrap_rows]
+        hi_mask = wrap_cols + 1 <= idx[wrap_rows] + 1
+        adj_lo = np.zeros(phase.shape[0])
+        adj_hi = np.zeros(phase.shape[0])
+        np.add.at(adj_lo, wrap_rows[lo_mask], corr[lo_mask])
+        np.add.at(adj_hi, wrap_rows[hi_mask], corr[hi_mask])
+        p_lo = p_lo + adj_lo
+        p_hi = p_hi + adj_hi
+    return p_lo, p_hi
+
+
 @dataclass(frozen=True)
 class _Parasitics:
     """Post-layout parasitic set (all zero at schematic level)."""
@@ -134,10 +168,15 @@ class TwoStageOpAmp:
     #: frequency across all process corners.
     _FREQ_GRID = np.logspace(1, 11, 321)
 
+    #: Component names whose stamp values vary per process draw; everything
+    #: else in the macromodel is topology shared by the whole bank.
+    _VARIABLE = ("Ggm1", "R1", "C1", "Cc", "Ggm6", "R2", "C2")
+
     def __init__(self, design: OpAmpDesign, parasitics: Optional[_Parasitics] = None) -> None:
         self.design = design
         self.parasitics = parasitics if parasitics is not None else _Parasitics()
         self._devices = design.devices()
+        self._plan: Optional[StampPlan] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -368,10 +407,320 @@ class TwoStageOpAmp:
         return sim.simulate(nominal)
 
     def simulate_batch(
-        self, samples: List[ProcessSample]
+        self,
+        samples: List[ProcessSample],
+        engine: str = "vectorized",
+        memory_budget_mb: float = 512.0,
+        n_jobs: Optional[int] = None,
     ) -> np.ndarray:
-        """Metrics matrix ``(len(samples), 5)`` in metric-name order."""
-        return np.array([self.simulate(s).as_array() for s in samples])
+        """Metrics matrix ``(len(samples), 5)`` in metric-name order.
+
+        Parameters
+        ----------
+        samples:
+            Process draws; must be non-empty.
+        engine:
+            ``"vectorized"`` (default) runs the batched stamp-plan engine —
+            one symbolic MNA assembly, stacked chunked solves, vectorized
+            metric extraction.  ``"loop"`` is the per-die reference path;
+            the two agree to better than 1e-10 relative error.
+        memory_budget_mb:
+            Peak-memory bound for the stacked complex systems; the solve
+            is chunked so ``n_samples * n_freq * m^2`` never exceeds it.
+        n_jobs:
+            Optional process-based sharding of the vectorized engine
+            (``-1`` = all CPUs).  Results are bit-identical to the
+            single-process engine for every worker count.
+        """
+        sample_list = list(samples)
+        if not sample_list:
+            raise SimulationError("simulate_batch requires at least one process sample")
+        if engine == "loop":
+            return np.array([self.simulate(s).as_array() for s in sample_list])
+        if engine != "vectorized":
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected 'vectorized' or 'loop'"
+            )
+        from repro.experiments.parallel import fork_available, replicate, resolve_n_jobs
+
+        jobs = min(resolve_n_jobs(n_jobs), len(sample_list))
+        if jobs > 1 and fork_available():
+            self._stamp_plan()  # build once; workers inherit it through fork
+            shards = [
+                s for s in np.array_split(np.arange(len(sample_list)), jobs) if s.size
+            ]
+            parts = replicate(
+                lambda idx: self._simulate_chunked(
+                    [sample_list[i] for i in idx], memory_budget_mb
+                ),
+                shards,
+                n_jobs=jobs,
+            )
+            return np.vstack(parts)
+        return self._simulate_chunked(sample_list, memory_budget_mb)
+
+    # ------------------------------------------------------------------
+    # vectorized engine
+    # ------------------------------------------------------------------
+    #: Samples per pipeline pass.  Small enough that the ~25 working
+    #: (chunk, n_freq) planes stay cache-resident — measured ~4x faster
+    #: than streaming the whole bank through memory — while large enough
+    #: to amortise per-call numpy overhead.
+    _PIPELINE_CHUNK = 512
+
+    def _simulate_chunked(
+        self, samples: List[ProcessSample], memory_budget_mb: float
+    ) -> np.ndarray:
+        """Run the vectorized engine in cache-sized sample chunks.
+
+        Every metric is computed row-independently, so chunk boundaries
+        cannot change results: the output is bit-identical for any chunk
+        size.  The memory budget can only shrink the chunk further.
+        """
+        budget_rows = int(
+            memory_budget_mb * 2**20 // (self._FREQ_GRID.size * 8 * 32)
+        )
+        chunk = max(1, min(self._PIPELINE_CHUNK, budget_rows))
+        if len(samples) <= chunk:
+            return self._simulate_batch_vectorized(samples, memory_budget_mb)
+        return np.vstack(
+            [
+                self._simulate_batch_vectorized(samples[i : i + chunk], memory_budget_mb)
+                for i in range(0, len(samples), chunk)
+            ]
+        )
+
+    def _stamp_plan(self) -> StampPlan:
+        """The macromodel's symbolic scatter plan (topology-only, cached)."""
+        if self._plan is None:
+            model = ProcessVariationModel(0.0, 0.0, 0.0, 0.0, 0.0)
+            devs = self._varied_devices(model.nominal_sample(self.devices))
+            i_tail, i_stage2, _ = self._bias_currents(devs)
+            template = self._macromodel(devs, i_tail, i_stage2)
+            self._plan = StampPlan(template, variable=self._VARIABLE)
+        return self._plan
+
+    def _batched_device_arrays(
+        self, samples: List[ProcessSample]
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        """Per-device variation arrays, mirroring :meth:`_varied_devices`."""
+        par = self.parasitics
+        n = len(samples)
+        dvth_g = {
+            "n": np.array([s.global_variation.dvth_n for s in samples]),
+            "p": np.array([s.global_variation.dvth_p for s in samples]),
+        }
+        dkp_g = {
+            "n": np.array([s.global_variation.dkp_rel_n for s in samples]),
+            "p": np.array([s.global_variation.dkp_rel_p for s in samples]),
+        }
+        out: Dict[str, Dict[str, np.ndarray]] = {}
+        for dev, pol in self._devices:
+            local = np.array(
+                [s.local.get(dev.name, (0.0, 0.0)) for s in samples]
+            ).reshape(n, 2)
+            dvth = dvth_g[pol] + local[:, 0]
+            dkp = dkp_g[pol] + local[:, 1]
+            if par.stress_kp_gain != 0.0:
+                dkp = dkp * (1.0 + par.stress_kp_gain)
+            if par.proximity_quad != 0.0:
+                dvth = dvth + par.proximity_quad * dvth * dvth / 0.012
+            kp_eff = dev.process.kp * (1.0 + dkp)
+            if np.any(kp_eff <= 0.0):
+                raise SimulationError(
+                    f"{dev.name}: kp variation drives kp non-positive in batch"
+                )
+            out[dev.name] = {
+                "dvth": dvth,
+                "dkp": dkp,
+                "vth": dev.process.vth + dvth,
+                "beta": kp_eff * dev.geometry.ratio,
+                "lambda_": dev.process.lambda_,
+                "cgg": (2.0 / 3.0) * dev.geometry.area * dev.process.cox
+                + dev.geometry.width * dev.process.cov,
+            }
+        return out
+
+    def _batched_bias_currents(
+        self, devs: Dict[str, Dict[str, np.ndarray]]
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Vectorized mirror of :meth:`_bias_currents` (square-law mirrors)."""
+        design = self.design
+        m8 = devs["M8"]
+        vov8 = np.sqrt(2.0 * design.i_bias / m8["beta"])
+        vgs = m8["vth"] + vov8
+
+        def mirror_current(dev: Dict[str, np.ndarray], name: str) -> np.ndarray:
+            vov = vgs - dev["vth"]
+            if np.any(vov <= 0.0):
+                bad = int(np.argmax(vov <= 0.0))
+                raise SimulationError(
+                    f"{name}: mirror output device cut off "
+                    f"(Vov={float(vov[bad]):.3f} at sample {bad})"
+                )
+            return (
+                0.5
+                * dev["beta"]
+                * vov
+                * vov
+                * (1.0 + self.parasitics.bias_current_rel)
+            )
+
+        return (
+            mirror_current(devs["M5"], "M5"),
+            mirror_current(devs["M7"], "M7"),
+            design.i_bias,
+        )
+
+    @staticmethod
+    def _batched_gm(dev: Dict[str, np.ndarray], current: np.ndarray) -> np.ndarray:
+        return np.sqrt(2.0 * dev["beta"] * current)
+
+    @staticmethod
+    def _batched_vov(dev: Dict[str, np.ndarray], current: np.ndarray) -> np.ndarray:
+        return np.sqrt(2.0 * current / dev["beta"])
+
+    def _simulate_batch_vectorized(
+        self, samples: List[ProcessSample], memory_budget_mb: float
+    ) -> np.ndarray:
+        n = len(samples)
+        design = self.design
+        par = self.parasitics
+        devs = self._batched_device_arrays(samples)
+        i_tail, i_stage2, i_bias = self._batched_bias_currents(devs)
+        i_half = i_tail / 2.0
+
+        gm_m1 = self._batched_gm(devs["M1"], i_half)
+        gm_m2 = self._batched_gm(devs["M2"], i_half)
+        gds = lambda name, current: devs[name]["lambda_"] * current
+        ones = np.ones(n)
+        values = {
+            "Ggm1": 0.5 * (gm_m1 + gm_m2),
+            "R1": 1.0 / (gds("M2", i_half) + gds("M4", i_half)),
+            "C1": (
+                devs["M6"]["cgg"]
+                + 0.5 * (devs["M2"]["cgg"] + devs["M4"]["cgg"]) * 0.3
+                + par.c_node1
+            )
+            * ones,
+            "Cc": (design.c_comp + par.c_comp_extra) * ones,
+            "Ggm6": self._batched_gm(devs["M6"], i_stage2),
+            "R2": 1.0 / (gds("M6", i_stage2) + gds("M7", i_stage2)),
+            "C2": (design.c_load + devs["M6"]["cgg"] * 0.2 + par.c_out) * ones,
+        }
+        plan = self._stamp_plan()
+        out_node = "out" if par.r_out_wire > 0.0 else "out_int"
+        solution = plan.solve_batched(
+            values,
+            self._FREQ_GRID,
+            memory_budget_mb=memory_budget_mb,
+            outputs=[out_node],
+        )
+        h = solution.transfer(out_node, "in")
+
+        mag = np.abs(h)
+        gain, bw = self._gain_and_bandwidth_batch(mag)
+        pm = self._phase_margin_batch(h, mag)
+        nominal_budget = design.i_tail + design.i_stage2 + design.i_bias
+        power = design.vdd * (
+            i_tail
+            + i_stage2
+            + i_bias
+            + self.parasitics.power_overhead_rel * nominal_budget
+        )
+        offset = self._offset_batch(devs, i_half)
+        return np.column_stack([gain, bw, power, offset, pm])
+
+    def _offset_batch(
+        self, devs: Dict[str, Dict[str, np.ndarray]], i_half: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized mirror of :meth:`_offset`."""
+        gm1 = self._batched_gm(devs["M1"], i_half)
+        gm3 = self._batched_gm(devs["M3"], i_half)
+        vov1 = self._batched_vov(devs["M1"], i_half)
+        vov3 = self._batched_vov(devs["M3"], i_half)
+        dvth_pair = devs["M1"]["dvth"] - devs["M2"]["dvth"]
+        dvth_load = devs["M3"]["dvth"] - devs["M4"]["dvth"]
+        dbeta_pair = devs["M1"]["dkp"] - devs["M2"]["dkp"]
+        dbeta_load = devs["M3"]["dkp"] - devs["M4"]["dkp"]
+        return (
+            dvth_pair
+            + (gm3 / gm1) * dvth_load
+            + (vov1 / 2.0) * dbeta_pair
+            + (gm3 / gm1) * (vov3 / 2.0) * dbeta_load
+            + self.parasitics.offset_systematic
+        )
+
+    def _gain_and_bandwidth_batch(
+        self, mag: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized mirror of :meth:`_gain_and_bandwidth`."""
+        gain = mag[:, 0]
+        if np.any(gain <= 0.0):
+            raise SimulationError("non-positive DC gain in batch")
+        flatness = np.abs(mag[:, 1] / gain - 1.0)
+        if np.any(flatness > 0.05):
+            raise SimulationError(
+                "response not flat at the low end of the analysis grid; "
+                "DC gain not captured (batch)"
+            )
+        target = gain / math.sqrt(2.0)
+        below = mag < target[:, None]
+        if not np.all(below.any(axis=1)):
+            raise SimulationError("-3 dB point beyond analysis grid in batch")
+        j = below.argmax(axis=1)
+        if np.any(j == 0):
+            raise SimulationError("-3 dB point below analysis grid in batch")
+        rows = np.arange(mag.shape[0])
+        bw = self._log_crossing_batch(
+            self._FREQ_GRID[j - 1],
+            self._FREQ_GRID[j],
+            mag[rows, j - 1],
+            mag[rows, j],
+            target,
+        )
+        return gain, bw
+
+    def _phase_margin_batch(self, h: np.ndarray, mag: np.ndarray) -> np.ndarray:
+        """Vectorized mirror of :meth:`_phase_margin`."""
+        below_unity = mag < 1.0
+        if not np.all(below_unity.any(axis=1)):
+            raise SimulationError("unity-gain frequency beyond analysis grid in batch")
+        j = below_unity.argmax(axis=1)
+        if np.any(j == 0):
+            raise SimulationError("gain below unity at the lowest frequency in batch")
+        rows = np.arange(mag.shape[0])
+        f_u = self._log_crossing_batch(
+            self._FREQ_GRID[j - 1],
+            self._FREQ_GRID[j],
+            mag[rows, j - 1],
+            mag[rows, j],
+            np.ones(mag.shape[0]),
+        )
+        log_f = np.log10(self._FREQ_GRID)
+        x = np.log10(f_u)
+        idx = np.clip(np.searchsorted(log_f, x, side="right") - 1, 0, log_f.size - 2)
+        phase = np.angle(h)
+        p_lo, p_hi = _unwrapped_phase_pair(phase, idx)
+        slope = (p_hi - p_lo) / (log_f[idx + 1] - log_f[idx])
+        phase_u = p_lo + slope * (x - log_f[idx])
+        return 180.0 + np.degrees(phase_u)
+
+    @staticmethod
+    def _log_crossing_batch(
+        f_lo: np.ndarray,
+        f_hi: np.ndarray,
+        m_lo: np.ndarray,
+        m_hi: np.ndarray,
+        target: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized mirror of :meth:`_log_crossing`."""
+        l_lo, l_hi = np.log10(f_lo), np.log10(f_hi)
+        g_lo, g_hi = np.log10(m_lo), np.log10(m_hi)
+        span = g_hi - g_lo
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = (np.log10(target) - g_lo) / span
+        return np.where(span == 0.0, f_lo, 10.0 ** (l_lo + frac * (l_hi - l_lo)))
 
     # ------------------------------------------------------------------
     def _gain_and_bandwidth(self, h: np.ndarray) -> Tuple[float, float]:

@@ -354,7 +354,12 @@ class FoldedCascodeOTA:
 
     def simulate_batch(self, samples: List[ProcessSample]) -> np.ndarray:
         """Metrics matrix ``(len(samples), 5)`` in metric-name order."""
-        return np.array([self.simulate(s).as_array() for s in samples])
+        sample_list = list(samples)
+        if not sample_list:
+            raise SimulationError(
+                "simulate_batch requires at least one process sample"
+            )
+        return np.array([self.simulate(s).as_array() for s in sample_list])
 
     @staticmethod
     def _log_crossing(f_lo: float, f_hi: float, m_lo: float, m_hi: float) -> float:

@@ -2,7 +2,10 @@
 
 Generating the op-amp bank (5000 paired simulations) takes a few seconds;
 benchmarks and examples share one instance per configuration through this
-module's process-level cache instead of regenerating it.
+module's process-level cache instead of regenerating it.  Underneath, the
+generators keep a persistent disk cache keyed by the full generation
+config (see :func:`repro.circuits.montecarlo.dataset_cache_path`), so a
+fresh process re-running an identical sweep skips simulation entirely.
 
 ``FAST`` sizes are provided for unit/integration tests where statistical
 resolution is not the point.

@@ -28,7 +28,12 @@ from repro.exceptions import DimensionError
 from repro.stats.multivariate_gaussian import MultivariateGaussian
 from repro.yieldest.specs import SpecificationSet
 
-__all__ = ["gaussian_box_probability", "YieldReport", "YieldEstimator"]
+__all__ = [
+    "gaussian_box_probability",
+    "gaussian_box_probabilities",
+    "YieldReport",
+    "YieldEstimator",
+]
 
 
 def gaussian_box_probability(mean, covariance, lower, upper) -> float:
@@ -63,6 +68,51 @@ def gaussian_box_probability(mean, covariance, lower, upper) -> float:
     else:  # pragma: no cover - legacy scipy path
         prob = float(_mvnun(lower_arr, upper_arr, mean_arr, cov_std))
     return min(max(prob, 0.0), 1.0)
+
+
+def gaussian_box_probabilities(means, covariances, lower, upper) -> np.ndarray:
+    """Box probabilities for a whole bank of Gaussians at once.
+
+    ``means`` is ``(k, d)`` and ``covariances`` ``(k, d, d)``; the shared
+    spec box is broadcast across the bank.  The per-dimension
+    standardization of :func:`gaussian_box_probability` is vectorized over
+    all ``k`` members; only the Genz integrator itself (which scipy exposes
+    one distribution at a time) runs per member.  Each entry equals the
+    scalar function evaluated on the corresponding ``(mean, covariance)``.
+    """
+    means_arr = np.atleast_2d(np.asarray(means, dtype=float))
+    covs = np.asarray(covariances, dtype=float)
+    n, d = means_arr.shape
+    if covs.shape != (n, d, d):
+        raise DimensionError(
+            f"covariances shape {covs.shape} does not match means shape {means_arr.shape}"
+        )
+    lower_arr = np.broadcast_to(np.asarray(lower, dtype=float), (d,))
+    upper_arr = np.broadcast_to(np.asarray(upper, dtype=float), (d,))
+    if np.any(lower_arr >= upper_arr):
+        raise DimensionError("every lower bound must be below its upper bound")
+    variances = np.diagonal(covs, axis1=1, axis2=2)
+    if np.any(variances <= 0.0):
+        raise DimensionError("covariance has non-positive diagonal entries")
+    inv = 1.0 / np.sqrt(variances)
+    # Mirror the scalar expression order (cov * outer(inv, inv)) so each
+    # member reproduces gaussian_box_probability bit-for-bit.
+    cov_std = covs * (inv[:, :, None] * inv[:, None, :])
+    lower_std = (lower_arr - means_arr) * inv
+    upper_std = (upper_arr - means_arr) * inv
+    zero_mean = np.zeros(d)
+    has_lower_limit = _cdf_supports_lower_limit()
+    probs = np.empty(n)
+    for k in range(n):
+        dist = sps.multivariate_normal(
+            mean=zero_mean, cov=cov_std[k], allow_singular=True
+        )
+        if has_lower_limit:
+            prob = float(dist.cdf(upper_std[k], lower_limit=lower_std[k]))
+        else:  # pragma: no cover - legacy scipy path
+            prob = float(_mvnun(lower_std[k], upper_std[k], zero_mean, cov_std[k]))
+        probs[k] = min(max(prob, 0.0), 1.0)
+    return probs
 
 
 def _cdf_supports_lower_limit() -> bool:

@@ -26,7 +26,10 @@ import numpy as np
 from repro.exceptions import HyperParameterError
 from repro.stats.normal_wishart import NormalWishart
 from repro.stats.student_t import MultivariateT
-from repro.yieldest.parametric import gaussian_box_probability
+from repro.yieldest.parametric import (
+    gaussian_box_probabilities,
+    gaussian_box_probability,
+)
 from repro.yieldest.specs import SpecificationSet
 
 __all__ = ["PredictiveYield", "predictive_yield", "yield_posterior"]
@@ -80,10 +83,10 @@ def yield_posterior(
     gen = rng if rng is not None else np.random.default_rng()
     mus, lams = posterior.sample(n_parameter_draws, gen)
     lower, upper = specs.lower_bounds, specs.upper_bounds
-    yields = np.empty(n_parameter_draws)
-    for k in range(n_parameter_draws):
-        sigma = np.linalg.inv(lams[k])
-        yields[k] = gaussian_box_probability(mus[k], sigma, lower, upper)
+    # All precision matrices invert in one batched LAPACK call and all box
+    # standardizations vectorize; only the Genz integrator runs per draw.
+    sigmas = np.linalg.inv(lams)
+    yields = gaussian_box_probabilities(mus, sigmas, lower, upper)
     tail = (1.0 - level) / 2.0
     map_est = posterior.map_estimate()
     plug_in = gaussian_box_probability(

@@ -1,0 +1,97 @@
+"""Disk cache round-trips for the paired-dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import montecarlo
+from repro.circuits.adc import FlashADCDesign
+from repro.circuits.montecarlo import (
+    dataset_cache_path,
+    generate_adc_dataset,
+    generate_opamp_dataset,
+)
+
+N = 12
+
+
+@pytest.fixture
+def counting_adc_builds(monkeypatch):
+    """Count how many times the ADC bank is actually simulated."""
+    calls = {"n": 0}
+    original = montecarlo.FlashADC.simulate_batch
+
+    def counted(self, *args, **kwargs):
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(montecarlo.FlashADC, "simulate_batch", counted)
+    return calls
+
+
+class TestCacheRoundTrip:
+    def test_second_identical_call_hits_cache(self, tmp_path, counting_adc_builds):
+        first = generate_adc_dataset(n_samples=N, cache_dir=tmp_path)
+        assert counting_adc_builds["n"] == 2  # early + late stage
+        second = generate_adc_dataset(n_samples=N, cache_dir=tmp_path)
+        assert counting_adc_builds["n"] == 2  # served from disk, no resim
+        np.testing.assert_array_equal(first.early, second.early)
+        np.testing.assert_array_equal(first.late, second.late)
+        np.testing.assert_array_equal(first.early_nominal, second.early_nominal)
+        np.testing.assert_array_equal(first.late_nominal, second.late_nominal)
+        assert first.metric_names == second.metric_names
+
+    def test_opamp_cache_round_trip(self, tmp_path):
+        first = generate_opamp_dataset(n_samples=N, cache_dir=tmp_path)
+        path = dataset_cache_path(
+            "opamp", N, 2015, montecarlo.OpAmpDesign(), tmp_path
+        )
+        assert path.exists()
+        second = generate_opamp_dataset(n_samples=N, cache_dir=tmp_path)
+        np.testing.assert_array_equal(first.early, second.early)
+        np.testing.assert_array_equal(first.late, second.late)
+
+
+class TestCacheInvalidation:
+    def test_config_changes_miss_the_cache(self, tmp_path, counting_adc_builds):
+        generate_adc_dataset(n_samples=N, cache_dir=tmp_path)
+        assert counting_adc_builds["n"] == 2
+        generate_adc_dataset(n_samples=N + 1, cache_dir=tmp_path)
+        assert counting_adc_builds["n"] == 4  # n_samples change -> rebuild
+        generate_adc_dataset(n_samples=N, seed=7, cache_dir=tmp_path)
+        assert counting_adc_builds["n"] == 6  # seed change -> rebuild
+        generate_adc_dataset(
+            n_samples=N,
+            design=FlashADCDesign(noise_rms=1e-3),
+            cache_dir=tmp_path,
+        )
+        assert counting_adc_builds["n"] == 8  # design change -> rebuild
+
+    def test_distinct_configs_get_distinct_files(self, tmp_path):
+        base = FlashADCDesign()
+        changed = FlashADCDesign(noise_rms=1e-3)
+        assert dataset_cache_path("adc", N, 2015, base, tmp_path) != (
+            dataset_cache_path("adc", N, 2015, changed, tmp_path)
+        )
+        assert dataset_cache_path("adc", N, 2015, base, tmp_path) != (
+            dataset_cache_path("adc", N, 7, base, tmp_path)
+        )
+
+    def test_use_cache_false_bypasses(self, tmp_path, counting_adc_builds):
+        generate_adc_dataset(n_samples=N, cache_dir=tmp_path, use_cache=False)
+        generate_adc_dataset(n_samples=N, cache_dir=tmp_path, use_cache=False)
+        assert counting_adc_builds["n"] == 4
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_entry_is_regenerated(self, tmp_path):
+        first = generate_adc_dataset(n_samples=N, cache_dir=tmp_path)
+        path = dataset_cache_path("adc", N, 2015, FlashADCDesign(), tmp_path)
+        path.write_bytes(b"not an npz")
+        second = generate_adc_dataset(n_samples=N, cache_dir=tmp_path)
+        np.testing.assert_array_equal(first.late, second.late)
+
+
+class TestCacheEnvironment:
+    def test_env_var_selects_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(montecarlo.DATASET_CACHE_ENV, str(tmp_path))
+        generate_adc_dataset(n_samples=N)
+        assert any(p.suffix == ".npz" for p in tmp_path.iterdir())

@@ -1,0 +1,140 @@
+"""Batched StampPlan solves against the scalar ACAnalysis reference."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mna import ACAnalysis, BatchedACSolution, StampPlan
+from repro.circuits.netlist import Netlist
+from repro.exceptions import SimulationError
+
+FREQS = np.logspace(2, 8, 31)
+
+
+def rc_netlist(r=1000.0, c=1e-9):
+    net = Netlist()
+    net.voltage_source("Vin", "in", "0", 1.0)
+    net.resistor("R", "in", "out", r)
+    net.capacitor("C", "out", "0", c)
+    return net
+
+
+def amp_netlist(gm=1e-3, r=50e3, c=2e-12):
+    """One gain stage: VCCS into an RC load, driven by a grounded source."""
+    net = Netlist()
+    net.voltage_source("Vin", "in", "0", 1.0)
+    net.vccs("Ggm", "0", "out", "in", "0", gm)
+    net.resistor("R", "out", "0", r)
+    net.capacitor("C", "out", "0", c)
+    return net
+
+
+def sample_values(rng, n):
+    return {
+        "R": 1000.0 * np.exp(0.2 * rng.standard_normal(n)),
+        "C": 1e-9 * np.exp(0.1 * rng.standard_normal(n)),
+    }
+
+
+class TestStampPlanEquivalence:
+    def test_rc_matches_scalar_per_sample(self):
+        plan = StampPlan(rc_netlist(), variable=("R", "C"))
+        values = sample_values(np.random.default_rng(3), 16)
+        sol = plan.solve_batched(values, FREQS)
+        assert isinstance(sol, BatchedACSolution)
+        assert sol.n_samples == 16
+        for i in (0, 7, 15):
+            scalar = ACAnalysis(
+                rc_netlist(values["R"][i], values["C"][i])
+            ).solve(FREQS)
+            np.testing.assert_allclose(
+                sol.voltage("out")[i], scalar.voltage("out"), rtol=1e-12
+            )
+
+    def test_amp_matches_scalar_per_sample(self):
+        plan = StampPlan(amp_netlist(), variable=("Ggm", "R", "C"))
+        rng = np.random.default_rng(11)
+        values = {
+            "Ggm": 1e-3 * np.exp(0.1 * rng.standard_normal(8)),
+            "R": 50e3 * np.exp(0.1 * rng.standard_normal(8)),
+            "C": 2e-12 * np.exp(0.1 * rng.standard_normal(8)),
+        }
+        sol = plan.solve_batched(values, FREQS)
+        for i in range(8):
+            scalar = ACAnalysis(
+                amp_netlist(values["Ggm"][i], values["R"][i], values["C"][i])
+            ).solve(FREQS)
+            np.testing.assert_allclose(
+                sol.voltage("out")[i], scalar.voltage("out"), rtol=1e-12
+            )
+
+    def test_transfer_from_known_input(self):
+        plan = StampPlan(rc_netlist(), variable=("R", "C"))
+        values = sample_values(np.random.default_rng(5), 4)
+        sol = plan.solve_batched(values, FREQS)
+        h = sol.transfer("out", "in")
+        scalar = ACAnalysis(
+            rc_netlist(values["R"][2], values["C"][2])
+        ).solve(FREQS)
+        np.testing.assert_allclose(
+            h[2], scalar.transfer("out", "in"), rtol=1e-12
+        )
+
+
+class TestStampPlanChunkingAndOutputs:
+    def test_memory_budget_is_bit_identical(self):
+        plan = StampPlan(rc_netlist(), variable=("R", "C"))
+        values = sample_values(np.random.default_rng(7), 64)
+        full = plan.solve_batched(values, FREQS, memory_budget_mb=512.0)
+        tiny = plan.solve_batched(values, FREQS, memory_budget_mb=0.05)
+        assert np.array_equal(full.voltage("out"), tiny.voltage("out"))
+
+    def test_outputs_subset_matches_full_solve(self):
+        plan = StampPlan(amp_netlist(), variable=("Ggm", "R", "C"))
+        rng = np.random.default_rng(13)
+        values = {
+            "Ggm": 1e-3 * np.exp(0.1 * rng.standard_normal(6)),
+            "R": 50e3 * np.exp(0.1 * rng.standard_normal(6)),
+            "C": 2e-12 * np.exp(0.1 * rng.standard_normal(6)),
+        }
+        full = plan.solve_batched(values, FREQS)
+        only_out = plan.solve_batched(values, FREQS, outputs=["out"])
+        assert np.array_equal(full.voltage("out"), only_out.voltage("out"))
+        with pytest.raises(SimulationError):
+            only_out.branch_current("Vin")
+
+    def test_unknown_output_raises(self):
+        plan = StampPlan(rc_netlist(), variable=("R", "C"))
+        values = sample_values(np.random.default_rng(1), 2)
+        with pytest.raises(SimulationError):
+            plan.solve_batched(values, FREQS, outputs=["nowhere"])
+
+
+class TestStampPlanValidation:
+    def test_empty_sample_batch_raises(self):
+        plan = StampPlan(rc_netlist(), variable=("R", "C"))
+        with pytest.raises(SimulationError):
+            plan.solve_batched(
+                {"R": np.array([]), "C": np.array([])}, FREQS
+            )
+
+    def test_non_positive_resistance_raises(self):
+        plan = StampPlan(rc_netlist(), variable=("R", "C"))
+        with pytest.raises(SimulationError):
+            plan.solve_batched(
+                {"R": np.array([1000.0, -5.0]), "C": np.array([1e-9, 1e-9])},
+                FREQS,
+            )
+
+    def test_non_positive_budget_raises(self):
+        plan = StampPlan(rc_netlist(), variable=("R", "C"))
+        values = sample_values(np.random.default_rng(2), 2)
+        with pytest.raises(SimulationError):
+            plan.solve_batched(values, FREQS, memory_budget_mb=0.0)
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(SimulationError):
+            StampPlan(rc_netlist(), variable=("Rmissing",))
+
+    def test_source_cannot_be_variable(self):
+        with pytest.raises(SimulationError):
+            StampPlan(rc_netlist(), variable=("Vin",))

@@ -1,0 +1,124 @@
+"""Scalar-vs-vectorized engine equivalence for both simulators.
+
+The vectorized Monte-Carlo engines must reproduce the per-die scalar
+reference to <=1e-10 relative error across design configurations (nominal,
+noisy process corner, derated parasitics), and must be bit-for-bit
+deterministic under sharding and memory-budget changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adc import FlashADC, FlashADCDesign
+from repro.circuits.opamp import TwoStageOpAmp
+from repro.circuits.process import ProcessVariationModel
+from repro.exceptions import SimulationError
+
+N_DIES = 24
+
+
+def _max_rel(batched, loop):
+    return np.max(np.abs(batched - loop) / np.maximum(np.abs(loop), 1e-300))
+
+
+def _opamp_samples(sim, n, model=None, seed=99):
+    model = model if model is not None else sim.process_model()
+    rng = np.random.default_rng(seed)
+    return model.sample(sim.devices, n, rng)
+
+
+class TestOpAmpEquivalence:
+    @pytest.mark.parametrize(
+        "label,sim,model",
+        [
+            ("nominal", TwoStageOpAmp.schematic(), None),
+            (
+                "noisy",
+                TwoStageOpAmp.schematic(),
+                ProcessVariationModel(
+                    sigma_vth_global=0.02,
+                    sigma_kp_rel_global=0.08,
+                    local_scale=1.5,
+                ),
+            ),
+            ("derated_parasitics", TwoStageOpAmp.post_layout(), None),
+        ],
+    )
+    def test_matches_scalar(self, label, sim, model):
+        samples = _opamp_samples(sim, N_DIES, model)
+        loop = sim.simulate_batch(samples, engine="loop")
+        batched = sim.simulate_batch(samples)
+        assert _max_rel(batched, loop) <= 1e-10
+
+    def test_sharded_engine_bit_identical(self):
+        sim = TwoStageOpAmp.post_layout()
+        samples = _opamp_samples(sim, N_DIES)
+        single = sim.simulate_batch(samples)
+        sharded = sim.simulate_batch(samples, n_jobs=3)
+        assert np.array_equal(single, sharded)
+
+    def test_memory_budget_bit_identical(self):
+        sim = TwoStageOpAmp.schematic()
+        samples = _opamp_samples(sim, N_DIES)
+        default = sim.simulate_batch(samples)
+        tight = sim.simulate_batch(samples, memory_budget_mb=4.0)
+        assert np.array_equal(default, tight)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(SimulationError):
+            TwoStageOpAmp.schematic().simulate_batch([])
+
+    def test_unknown_engine_raises(self):
+        sim = TwoStageOpAmp.schematic()
+        samples = _opamp_samples(sim, 1)
+        with pytest.raises(SimulationError):
+            sim.simulate_batch(samples, engine="spice")
+
+
+class TestADCEquivalence:
+    @pytest.mark.parametrize(
+        "label,sim",
+        [
+            ("nominal", FlashADC.schematic()),
+            (
+                "noisy",
+                FlashADC.schematic(
+                    FlashADCDesign(noise_rms=1.5e-3, sigma_offset=8e-3)
+                ),
+            ),
+            ("derated_layout", FlashADC.post_layout()),
+        ],
+    )
+    def test_matches_scalar(self, label, sim):
+        seeds = np.arange(N_DIES, dtype=np.int64) + 4242
+        loop = sim.simulate_batch(seeds, engine="loop")
+        batched = sim.simulate_batch(seeds)
+        assert _max_rel(batched, loop) <= 1e-10
+
+    def test_sharded_engine_bit_identical(self):
+        sim = FlashADC.post_layout()
+        seeds = np.arange(N_DIES, dtype=np.int64)
+        single = sim.simulate_batch(seeds)
+        sharded = sim.simulate_batch(seeds, n_jobs=3)
+        assert np.array_equal(single, sharded)
+
+    def test_memory_budget_bit_identical(self):
+        sim = FlashADC.schematic()
+        seeds = np.arange(N_DIES, dtype=np.int64)
+        default = sim.simulate_batch(seeds)
+        tight = sim.simulate_batch(seeds, memory_budget_mb=1.0)
+        assert np.array_equal(default, tight)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(SimulationError):
+            FlashADC.schematic().simulate_batch([])
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(SimulationError):
+            FlashADC.schematic().simulate_batch([1, 2], engine="spice")
+
+    def test_nominal_unchanged_by_refactor(self):
+        """The shared input-record helper must not move nominal metrics."""
+        for sim in (FlashADC.schematic(), FlashADC.post_layout()):
+            nominal = sim.simulate_nominal()
+            assert np.isfinite(nominal.as_array()).all()
