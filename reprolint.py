@@ -1,0 +1,42 @@
+"""Checkout shim: makes ``python -m reprolint`` work from the repo root.
+
+The real package lives in ``tools/reprolint``.  In an uninstalled checkout,
+``python -m`` (and a plain ``import reprolint``) can resolve ``reprolint``
+to this file via the cwd sys.path entry; the shim loads the real package
+from ``tools/`` explicitly and replaces itself with it.  Loading by file
+location (rather than re-running name resolution) keeps the shim correct
+even when the repo root precedes ``tools/`` on ``sys.path`` — as happens
+under pytest's rootdir insertion.
+"""
+
+import importlib.util
+import os
+import sys
+
+_TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tools")
+_PKG = os.path.join(_TOOLS, "reprolint")
+
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+
+def _load_real_package():
+    spec = importlib.util.spec_from_file_location(
+        "reprolint",
+        os.path.join(_PKG, "__init__.py"),
+        submodule_search_locations=[_PKG],
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Rebind the name *before* executing so the package's own absolute
+    # imports (``from reprolint.x import ...``) resolve to tools/reprolint.
+    sys.modules["reprolint"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+_load_real_package()
+
+if __name__ == "__main__":
+    from reprolint.cli import main
+
+    sys.exit(main())

@@ -38,7 +38,8 @@ from repro.circuits.components import (
     VoltageSource,
 )
 from repro.circuits.netlist import Netlist
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, SingularMatrixError
+from repro.linalg.batched import solve_batched
 
 __all__ = [
     "MNAStamps",
@@ -288,8 +289,8 @@ class ACAnalysis:
         systems = st.G[None, :, :] + 1j * omega[:, None, None] * st.C[None, :, :]
         rhs = np.broadcast_to(st.b, (f.size, st.size))
         try:
-            solution = np.linalg.solve(systems, rhs[..., None])[..., 0]
-        except np.linalg.LinAlgError as exc:
+            solution = solve_batched(systems, rhs)
+        except SingularMatrixError as exc:
             raise SimulationError("singular MNA system; check for floating nodes") from exc
         if not np.all(np.isfinite(solution)):
             raise SimulationError("non-finite AC solution")
@@ -719,8 +720,8 @@ class StampPlan:
             if x is not None:
                 return x
         try:
-            return np.linalg.solve(systems, rhs[..., None])[..., 0]
-        except np.linalg.LinAlgError as exc:
+            return solve_batched(systems, rhs)
+        except SingularMatrixError as exc:
             raise SimulationError(
                 "singular MNA system in batch; check for floating nodes"
             ) from exc

@@ -17,6 +17,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Tuple, Union
@@ -25,7 +26,7 @@ import numpy as np
 
 from repro.circuits.adc import ADC_METRIC_NAMES, FlashADC, FlashADCDesign
 from repro.circuits.opamp import OPAMP_METRIC_NAMES, OpAmpDesign, TwoStageOpAmp
-from repro.exceptions import DimensionError, SimulationError
+from repro.exceptions import DimensionError, ReproError, SimulationError
 
 __all__ = [
     "PairedDataset",
@@ -188,14 +189,19 @@ def _cached_dataset(
         return builder()
     path = dataset_cache_path(circuit, n_samples, seed, design, cache_dir)
     if path.exists():
-        from repro.io import load_dataset
+        # Lazy upward import: repro.io owns (de)serialisation and already
+        # depends on circuits for PairedDataset, so the cache round-trip
+        # has to call up a layer at function scope to avoid an import cycle.
+        from repro.io import load_dataset  # reprolint: disable=RPL003 -- lazy cache IO, see above
 
         try:
             return load_dataset(path)
-        except Exception:
-            pass  # unreadable entry: fall through and regenerate it
+        except (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile, ReproError):
+            # Torn/corrupt/stale cache entry (np.load raises any of these);
+            # fall through and regenerate it.  Everything else propagates.
+            pass
     dataset = builder()
-    from repro.io import save_dataset
+    from repro.io import save_dataset  # reprolint: disable=RPL003 -- lazy cache IO, see above
 
     try:
         path.parent.mkdir(parents=True, exist_ok=True)

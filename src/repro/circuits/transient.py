@@ -173,7 +173,7 @@ class TransientAnalysis:
         rhs_mat = c / dt - g / 2.0
         try:
             lu = lu_factor(lhs)
-        except Exception as exc:  # singular lhs: pathological netlist
+        except (ValueError, np.linalg.LinAlgError) as exc:  # singular/non-finite lhs
             raise SimulationError("singular transient system matrix") from exc
 
         out = np.empty((n_steps + 1, size))

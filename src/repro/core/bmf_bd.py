@@ -107,7 +107,9 @@ class BernoulliBMF:
         if arr.size == 0:
             raise InsufficientDataError("need at least one late-stage outcome")
         values = arr.astype(float)
-        if np.any((values != 0.0) & (values != 1.0)):
+        # Exact comparison is intentional: inputs are bools/0-1 flags, and
+        # both literals are exactly representable; 0.5 must be rejected.
+        if np.any((values != 0.0) & (values != 1.0)):  # reprolint: disable=RPL004 -- binary validation
             raise ValueError("outcomes must be binary (0/1 or booleans)")
         passes = int(values.sum())
         posterior = self.prior.posterior(passes, arr.size - passes)
@@ -129,7 +131,7 @@ class BernoulliBMF:
             raise InsufficientDataError(
                 "outcomes must be a (B, n) stack with at least one column"
             )
-        if np.any((arr != 0.0) & (arr != 1.0)):
+        if np.any((arr != 0.0) & (arr != 1.0)):  # reprolint: disable=RPL004 -- binary validation
             raise ValueError("outcomes must be binary (0/1 or booleans)")
         passes = arr.sum(axis=1)
         a = self.prior.a + passes

@@ -25,7 +25,7 @@ import numpy as np
 from scipy import stats as sps
 
 from repro.exceptions import DimensionError, HyperParameterError
-from repro.linalg.validation import symmetrize
+from repro.linalg.validation import inv_spd, solve_spd
 from repro.stats.normal_wishart import NormalWishart
 
 __all__ = [
@@ -84,7 +84,7 @@ def posterior_credible_summary(
         raise HyperParameterError(
             f"marginal dof v0 - d + 1 = {dof} must be positive"
         )
-    s = symmetrize(np.linalg.inv(posterior.T0))
+    s = inv_spd(posterior.T0, "T0")
     s_diag = np.diag(s)
     tail = (1.0 - level) / 2.0
 
@@ -136,7 +136,7 @@ def mean_credible_region(
         raise HyperParameterError(
             f"marginal dof v0 - d + 1 = {dof} must be positive"
         )
-    shape = symmetrize(np.linalg.inv(posterior.T0)) / (posterior.kappa0 * dof)
+    shape = inv_spd(posterior.T0, "T0") / (posterior.kappa0 * dof)
     radius_sq = d * float(sps.f.ppf(level, d, dof))
     return posterior.mu0.copy(), shape, radius_sq
 
@@ -151,6 +151,6 @@ def mean_region_contains(
             f"points have {pts.shape[1]} columns, expected {center.shape[0]}"
         )
     diff = pts - center
-    solve = np.linalg.solve(shape, diff.T).T
+    solve = solve_spd(shape, diff.T, "shape").T
     maha = np.sum(diff * solve, axis=1)
     return maha <= radius_sq

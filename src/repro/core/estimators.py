@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import DimensionError
 from repro.linalg.validation import as_samples, assert_spd
@@ -80,7 +81,7 @@ class MomentEstimate:
         """The plug-in Gaussian ``N(mean, covariance)`` for this estimate."""
         return MultivariateGaussian(self.mean, self.covariance)
 
-    def loglik(self, x) -> float:
+    def loglik(self, x: ArrayLike) -> float:
         """Gaussian log-likelihood of data ``x`` under this estimate (Eq. 9)."""
         return self.to_gaussian().loglik(x)
 
@@ -93,7 +94,7 @@ class MomentEstimator(abc.ABC):
 
     @abc.abstractmethod
     def estimate(
-        self, samples, rng: Optional[np.random.Generator] = None
+        self, samples: ArrayLike, rng: Optional[np.random.Generator] = None
     ) -> MomentEstimate:
         """Estimate the late-stage moments from ``(n, d)`` samples.
 
@@ -102,7 +103,7 @@ class MomentEstimator(abc.ABC):
         deterministic estimators ignore it.
         """
 
-    def _check(self, samples) -> np.ndarray:
+    def _check(self, samples: ArrayLike) -> np.ndarray:
         return as_samples(samples)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

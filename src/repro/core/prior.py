@@ -17,7 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import DimensionError, InsufficientDataError
-from repro.linalg.validation import as_samples, assert_spd, symmetrize
+from repro.linalg.validation import as_samples, assert_spd, inv_spd
 from repro.stats.moments import mle_covariance, sample_mean
 from repro.stats.normal_wishart import NormalWishart
 
@@ -86,7 +86,7 @@ class PriorKnowledge:
     @property
     def precision(self) -> np.ndarray:
         """Early-stage precision matrix ``Lambda_E = Sigma_E^{-1}`` (Eq. 18)."""
-        return symmetrize(np.linalg.inv(self.covariance))
+        return inv_spd(self.covariance, "covariance")
 
     def to_normal_wishart(self, kappa0: float, v0: float) -> NormalWishart:
         """Normal-Wishart prior of Eq. (21) for hyper-parameters ``(kappa0, v0)``.

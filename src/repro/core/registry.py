@@ -468,44 +468,47 @@ def available_estimators(registry: Optional[EstimatorRegistry] = None) -> List[s
 # The built-in factories import their classes lazily: the registry is
 # imported by repro.core's __init__ before most estimator modules finish
 # loading, and deferred imports keep that order irrelevant.
-def _make_mle(prior=None, **params):
+def _make_mle(prior: Optional[PriorKnowledge] = None, **params: Any) -> MomentEstimator:
     from repro.core.mle import MLEstimator
 
     return MLEstimator(**params)
 
 
-def _make_bmf(prior=None, **params):
+def _make_bmf(prior: Optional[PriorKnowledge] = None, **params: Any) -> MomentEstimator:
     from repro.core.bmf import BMFEstimator
 
     return BMFEstimator(prior, **params)
 
 
-def _make_robust_bmf(prior=None, **params):
-    from repro.extensions.robust import RobustBMFEstimator
+def _make_robust_bmf(prior: Optional[PriorKnowledge] = None, **params: Any) -> MomentEstimator:
+    # Lazy upward import: extensions subclass core's estimators, so the
+    # registry's built-in catalogue can only name them via a deferred
+    # function-scope import — a module-level one would be a real cycle.
+    from repro.extensions.robust import RobustBMFEstimator  # reprolint: disable=RPL003 -- plugin factory
 
     return RobustBMFEstimator(prior, **params)
 
 
-def _make_sequential_bmf(prior=None, **params):
-    from repro.extensions.sequential import SequentialBMFEstimator
+def _make_sequential_bmf(prior: Optional[PriorKnowledge] = None, **params: Any) -> MomentEstimator:
+    from repro.extensions.sequential import SequentialBMFEstimator  # reprolint: disable=RPL003 -- plugin factory
 
     return SequentialBMFEstimator(prior, **params)
 
 
-def _make_univariate_bmf(prior=None, **params):
+def _make_univariate_bmf(prior: Optional[PriorKnowledge] = None, **params: Any) -> MomentEstimator:
     from repro.core.univariate_bmf import UnivariateBMFEstimator
 
     return UnivariateBMFEstimator(prior, **params)
 
 
-def _make_bmf_bd(prior=None, **params):
+def _make_bmf_bd(prior: Optional[PriorKnowledge] = None, **params: Any) -> MomentEstimator:
     from repro.core.bmf_bd import BernoulliMomentEstimator
 
     return BernoulliMomentEstimator(prior, **params)
 
 
-def _make_shrinkage(kind):
-    def factory(prior=None, **params):
+def _make_shrinkage(kind: str) -> EstimatorFactory:
+    def factory(prior: Optional[PriorKnowledge] = None, **params: Any) -> MomentEstimator:
         from repro.core.baselines import ShrinkageEstimator
 
         return ShrinkageEstimator(kind, **params)
@@ -594,7 +597,7 @@ def register_selector(name: str, factory: SelectorFactory, overwrite: bool = Fal
 
 def make_selector(
     name: str, prior: PriorKnowledge, grid: HyperParameterGrid, n_folds: int
-):
+) -> Any:
     """Build a registered selector; unknown names list the alternatives."""
     key = _canonical_name(name)
     if key not in _SELECTORS:
@@ -610,13 +613,13 @@ def available_selectors() -> List[str]:
     return sorted(_SELECTORS)
 
 
-def _make_cv_selector(prior, grid, n_folds):
+def _make_cv_selector(prior: PriorKnowledge, grid: HyperParameterGrid, n_folds: int) -> Any:
     from repro.core.crossval import TwoDimensionalCV
 
     return TwoDimensionalCV(prior, grid, n_folds=n_folds)
 
 
-def _make_evidence_selector(prior, grid, n_folds):
+def _make_evidence_selector(prior: PriorKnowledge, grid: HyperParameterGrid, n_folds: int) -> Any:
     from repro.core.evidence import EvidenceSelector
 
     return EvidenceSelector(prior, grid)

@@ -30,6 +30,7 @@ from repro.circuits.montecarlo import PairedDataset
 # Re-exported for source compatibility: the adapter moved to core.baselines
 # when it joined the estimator registry ("ledoit-wolf" / "oas" / ...).
 from repro.core.baselines import ShrinkageEstimator
+from repro.linalg.validation import cholesky_safe
 from repro.core.errors import covariance_error, mean_error
 from repro.core.prior import PriorKnowledge
 from repro.core.registry import EstimatorSpec, make_estimator
@@ -296,7 +297,7 @@ def ablate_non_gaussian(
     d = 4
     a = rng.standard_normal((d, d))
     cov_base = a @ a.T / d + np.eye(d)
-    chol = np.linalg.cholesky(cov_base)
+    chol = cholesky_safe(cov_base, "cov_base")
 
     def population(skew: float, n: int, gen: np.random.Generator) -> np.ndarray:
         z = gen.standard_normal((n, d)) @ chol.T

@@ -28,14 +28,17 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
-from repro.exceptions import DimensionError
+from repro.exceptions import DimensionError, SingularMatrixError
 from repro.linalg.validation import EIG_FLOOR
 
 __all__ = [
     "as_spd_stack",
     "cholesky_batched",
     "cholesky_batched_safe",
+    "inv_spd_batched",
+    "solve_batched",
     "solve_triangular_batched",
     "logdet_batched",
     "mahalanobis_sq_batched",
@@ -45,7 +48,7 @@ __all__ = [
 ]
 
 
-def as_spd_stack(a, name: str = "stack") -> np.ndarray:
+def as_spd_stack(a: ArrayLike, name: str = "stack") -> np.ndarray:
     """Convert ``a`` to a float ``(B, d, d)`` stack of square matrices.
 
     A single ``(d, d)`` matrix is promoted to a one-element stack.  Unlike
@@ -62,7 +65,7 @@ def as_spd_stack(a, name: str = "stack") -> np.ndarray:
     return arr
 
 
-def symmetrize_batched(stack) -> np.ndarray:
+def symmetrize_batched(stack: ArrayLike) -> np.ndarray:
     """Symmetric part ``(A + A^T) / 2`` of every member of the stack."""
     arr = as_spd_stack(stack)
     return (arr + np.swapaxes(arr, -1, -2)) / 2.0
@@ -93,7 +96,7 @@ def _cholesky_into(
     _cholesky_into(arr, idx[mid:], out, ok)
 
 
-def cholesky_batched(stack) -> Tuple[np.ndarray, np.ndarray]:
+def cholesky_batched(stack: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
     """Lower Cholesky factors of a ``(B, d, d)`` stack with a failure mask.
 
     Returns ``(L, ok)`` where ``L[i]`` satisfies
@@ -110,7 +113,7 @@ def cholesky_batched(stack) -> Tuple[np.ndarray, np.ndarray]:
     return out, ok
 
 
-def jitter_spd_batched(stack, rel: float = 1e-10) -> np.ndarray:
+def jitter_spd_batched(stack: ArrayLike, rel: float = 1e-10) -> np.ndarray:
     """Batched :func:`repro.linalg.validation.jitter_spd` (same arithmetic)."""
     arr = symmetrize_batched(stack)
     d = arr.shape[-1]
@@ -119,7 +122,7 @@ def jitter_spd_batched(stack, rel: float = 1e-10) -> np.ndarray:
     return arr + np.eye(d) * (scale * rel)[:, None, None]
 
 
-def clip_eigenvalues_batched(stack, floor_rel: float = EIG_FLOOR) -> np.ndarray:
+def clip_eigenvalues_batched(stack: ArrayLike, floor_rel: float = EIG_FLOOR) -> np.ndarray:
     """Batched :func:`repro.linalg.validation.clip_eigenvalues`.
 
     Every member's spectrum is clipped to ``floor_rel * max(eig_max, 1)``;
@@ -142,7 +145,7 @@ def clip_eigenvalues_batched(stack, floor_rel: float = EIG_FLOOR) -> np.ndarray:
 
 
 def cholesky_batched_safe(
-    stack,
+    stack: ArrayLike,
     jitter_rel: float = 1e-10,
     clip_floor_rel: Optional[float] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -184,7 +187,42 @@ def cholesky_batched_safe(
     return chol, ok
 
 
-def solve_triangular_batched(chol, rhs, lower: bool = True) -> np.ndarray:
+def inv_spd_batched(stack: ArrayLike, name: str = "stack") -> np.ndarray:
+    """Symmetrised inverses of a ``(B, d, d)`` stack of SPD matrices.
+
+    One batched LAPACK call (``np.linalg.inv`` gufunc) followed by a
+    re-symmetrisation — the stack analogue of
+    :func:`repro.linalg.validation.inv_spd`.  Raises
+    :class:`~repro.exceptions.SingularMatrixError` when any member is
+    singular.
+    """
+    arr = as_spd_stack(stack, name)
+    try:
+        inv = np.linalg.inv(arr)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(f"{name} contains a singular member") from exc
+    return (inv + np.swapaxes(inv, -1, -2)) / 2.0
+
+
+def solve_batched(systems: np.ndarray, rhs: np.ndarray, name: str = "systems") -> np.ndarray:
+    """Solve a stack of square systems ``systems[...] @ x = rhs[...]``.
+
+    ``systems`` is ``(..., m, m)`` and ``rhs`` is ``(..., m)`` (the vector
+    RHS convention of the MNA engine); the result has ``rhs``'s shape.
+    Unlike the SPD helpers this accepts *general* (including complex,
+    non-symmetric) matrices — it exists so callers get the library's
+    :class:`~repro.exceptions.SingularMatrixError` taxonomy and a single
+    audited entry point instead of scattering raw ``np.linalg.solve``
+    calls.  The arithmetic is a verbatim pass-through: bit-identical to
+    the raw call.
+    """
+    try:
+        return np.linalg.solve(systems, rhs[..., None])[..., 0]
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(f"{name}: singular stacked system") from exc
+
+
+def solve_triangular_batched(chol: ArrayLike, rhs: ArrayLike, lower: bool = True) -> np.ndarray:
     """Solve ``L[i] x[i] = rhs[i]`` for a stack of triangular systems.
 
     ``chol`` is ``(B, d, d)``; ``rhs`` is ``(B, d)`` or ``(B, d, k)``.
@@ -217,14 +255,14 @@ def solve_triangular_batched(chol, rhs, lower: bool = True) -> np.ndarray:
     return x[:, :, 0] if squeeze else x
 
 
-def logdet_batched(chol) -> np.ndarray:
+def logdet_batched(chol: ArrayLike) -> np.ndarray:
     """``log |Sigma_i|`` from the stacked Cholesky factors, shape ``(B,)``."""
     factors = as_spd_stack(chol, "chol")
     diag = np.diagonal(factors, axis1=-2, axis2=-1)
     return 2.0 * np.sum(np.log(diag), axis=-1)
 
 
-def mahalanobis_sq_batched(chol, means, x) -> np.ndarray:
+def mahalanobis_sq_batched(chol: ArrayLike, means: ArrayLike, x: ArrayLike) -> np.ndarray:
     """Squared Mahalanobis distances of ``x`` rows under ``B`` Gaussians.
 
     ``chol`` is the ``(B, d, d)`` stack of covariance Cholesky factors,

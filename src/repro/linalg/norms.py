@@ -10,6 +10,7 @@ the code base names the paper's equations instead of calling
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import DimensionError
 from repro.linalg.validation import as_matrix
@@ -24,7 +25,7 @@ __all__ = [
 ]
 
 
-def vector_2norm(v) -> float:
+def vector_2norm(v: ArrayLike) -> float:
     """Euclidean norm of a 1-D vector (Eq. 37's ``|| . ||_2``)."""
     arr = np.asarray(v, dtype=float)
     if arr.ndim != 1:
@@ -32,17 +33,17 @@ def vector_2norm(v) -> float:
     return float(np.linalg.norm(arr, ord=2))
 
 
-def frobenius_norm(a) -> float:
+def frobenius_norm(a: ArrayLike) -> float:
     """Frobenius norm of a matrix (Eq. 38's ``|| . ||_F``)."""
     return float(np.linalg.norm(as_matrix(a), ord="fro"))
 
 
-def spectral_norm(a) -> float:
+def spectral_norm(a: ArrayLike) -> float:
     """Largest singular value of a matrix."""
     return float(np.linalg.norm(as_matrix(a), ord=2))
 
 
-def condition_number(a) -> float:
+def condition_number(a: ArrayLike) -> float:
     """2-norm condition number; ``inf`` for singular matrices."""
     arr = as_matrix(a)
     s = np.linalg.svd(arr, compute_uv=False)
@@ -52,7 +53,7 @@ def condition_number(a) -> float:
     return float(s[0]) / smin
 
 
-def log_det_spd(a) -> float:
+def log_det_spd(a: ArrayLike) -> float:
     """Log-determinant of an SPD matrix via Cholesky (stable for tiny dets)."""
     from repro.linalg.validation import cholesky_safe
 
@@ -60,7 +61,7 @@ def log_det_spd(a) -> float:
     return 2.0 * float(np.sum(np.log(np.diag(chol))))
 
 
-def relative_difference(a, b) -> float:
+def relative_difference(a: ArrayLike, b: ArrayLike) -> float:
     """Frobenius distance between two matrices, relative to ``||b||_F``.
 
     Useful for convergence/agreement checks; returns the absolute distance

@@ -14,6 +14,7 @@ SPD covariance estimate.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import InsufficientDataError
 from repro.linalg.validation import as_samples, clip_eigenvalues, symmetrize
@@ -27,7 +28,7 @@ __all__ = [
 ]
 
 
-def sample_covariance(x, ddof: int = 0) -> np.ndarray:
+def sample_covariance(x: ArrayLike, ddof: int = 0) -> np.ndarray:
     """Sample covariance with ``ddof`` degrees-of-freedom correction.
 
     ``ddof=0`` matches the paper's MLE definition (Eq. 11); ``ddof=1`` gives
@@ -41,7 +42,7 @@ def sample_covariance(x, ddof: int = 0) -> np.ndarray:
     return symmetrize(centered.T @ centered / (n - ddof))
 
 
-def diagonal_shrinkage(x, alpha: float = 0.1) -> np.ndarray:
+def diagonal_shrinkage(x: ArrayLike, alpha: float = 0.1) -> np.ndarray:
     """Convex combination of the sample covariance and its own diagonal.
 
     ``alpha`` is the weight on the diagonal target; ``alpha=0`` returns the
@@ -54,7 +55,7 @@ def diagonal_shrinkage(x, alpha: float = 0.1) -> np.ndarray:
     return symmetrize((1.0 - alpha) * cov + alpha * target)
 
 
-def shrink_towards(x, target, alpha: float) -> np.ndarray:
+def shrink_towards(x: ArrayLike, target: ArrayLike, alpha: float) -> np.ndarray:
     """Convex combination of the sample covariance and an arbitrary target.
 
     This mirrors the *structure* of the BMF covariance update (Eq. 32) with
@@ -70,7 +71,7 @@ def shrink_towards(x, target, alpha: float) -> np.ndarray:
     return symmetrize((1.0 - alpha) * cov + alpha * target_arr)
 
 
-def ledoit_wolf(x) -> np.ndarray:
+def ledoit_wolf(x: ArrayLike) -> np.ndarray:
     """Ledoit–Wolf shrinkage towards a scaled identity.
 
     Implements the analytical optimal shrinkage intensity of Ledoit & Wolf
@@ -99,7 +100,7 @@ def ledoit_wolf(x) -> np.ndarray:
     return clip_eigenvalues(shrunk)
 
 
-def oas(x) -> np.ndarray:
+def oas(x: ArrayLike) -> np.ndarray:
     """Oracle Approximating Shrinkage (Chen et al., 2010) towards scaled identity.
 
     Typically outperforms Ledoit–Wolf for Gaussian data at very small ``n``,

@@ -10,8 +10,9 @@ place.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
-from repro.exceptions import DimensionError, NotSPDError
+from repro.exceptions import DimensionError, NotSPDError, SingularMatrixError
 
 __all__ = [
     "as_matrix",
@@ -21,6 +22,8 @@ __all__ = [
     "is_spd",
     "assert_spd",
     "cholesky_safe",
+    "inv_spd",
+    "solve_spd",
     "nearest_spd",
     "clip_eigenvalues",
     "jitter_spd",
@@ -33,7 +36,7 @@ SYM_TOL = 1e-8
 EIG_FLOOR = 1e-12
 
 
-def as_matrix(a, name: str = "matrix") -> np.ndarray:
+def as_matrix(a: ArrayLike, name: str = "matrix") -> np.ndarray:
     """Convert ``a`` to a float 2-D square ndarray, validating its shape."""
     arr = np.asarray(a, dtype=float)
     if arr.ndim != 2:
@@ -45,7 +48,7 @@ def as_matrix(a, name: str = "matrix") -> np.ndarray:
     return arr
 
 
-def as_samples(x, name: str = "samples") -> np.ndarray:
+def as_samples(x: ArrayLike, name: str = "samples") -> np.ndarray:
     """Convert ``x`` to a float ``(n, d)`` sample matrix.
 
     A 1-D array is promoted to a single-feature column ``(n, 1)``, matching
@@ -63,20 +66,20 @@ def as_samples(x, name: str = "samples") -> np.ndarray:
     return arr
 
 
-def symmetrize(a) -> np.ndarray:
+def symmetrize(a: ArrayLike) -> np.ndarray:
     """Return the symmetric part ``(A + A^T) / 2`` of a square matrix."""
     arr = as_matrix(a)
     return (arr + arr.T) / 2.0
 
 
-def is_symmetric(a, tol: float = SYM_TOL) -> bool:
+def is_symmetric(a: ArrayLike, tol: float = SYM_TOL) -> bool:
     """Check symmetry of ``a`` to relative tolerance ``tol``."""
     arr = as_matrix(a)
     scale = max(1.0, float(np.max(np.abs(arr))))
     return bool(np.max(np.abs(arr - arr.T)) <= tol * scale)
 
 
-def is_spd(a, tol: float = SYM_TOL) -> bool:
+def is_spd(a: ArrayLike, tol: float = SYM_TOL) -> bool:
     """Check whether ``a`` is symmetric positive definite via Cholesky."""
     arr = as_matrix(a)
     if not is_symmetric(arr, tol):
@@ -88,7 +91,7 @@ def is_spd(a, tol: float = SYM_TOL) -> bool:
     return True
 
 
-def assert_spd(a, name: str = "matrix", tol: float = SYM_TOL) -> np.ndarray:
+def assert_spd(a: ArrayLike, name: str = "matrix", tol: float = SYM_TOL) -> np.ndarray:
     """Return the symmetrised matrix, raising :class:`NotSPDError` if not SPD."""
     arr = as_matrix(a, name)
     if not is_symmetric(arr, tol):
@@ -101,7 +104,7 @@ def assert_spd(a, name: str = "matrix", tol: float = SYM_TOL) -> np.ndarray:
     return sym
 
 
-def cholesky_safe(a, name: str = "matrix") -> np.ndarray:
+def cholesky_safe(a: ArrayLike, name: str = "matrix") -> np.ndarray:
     """Cholesky factor of ``a`` with one jitter retry before failing.
 
     Returns the lower-triangular factor ``L`` with ``a = L @ L.T``.  If the
@@ -121,7 +124,40 @@ def cholesky_safe(a, name: str = "matrix") -> np.ndarray:
         raise NotSPDError(f"{name} is not positive definite even after jitter") from exc
 
 
-def jitter_spd(a, rel: float = 1e-10) -> np.ndarray:
+def inv_spd(a: ArrayLike, name: str = "matrix") -> np.ndarray:
+    """Symmetrised inverse of a (nominally SPD) matrix.
+
+    ``np.linalg.inv`` of a symmetric matrix is only symmetric up to
+    rounding; the asymmetry then leaks into posterior updates and
+    eventually fails an :func:`assert_spd` downstream.  This wrapper
+    re-symmetrises the inverse and converts LAPACK's bare ``LinAlgError``
+    into the library's :class:`~repro.exceptions.SingularMatrixError`.
+    """
+    arr = as_matrix(a, name)
+    try:
+        inv = np.linalg.inv(arr)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(f"{name} is singular and cannot be inverted") from exc
+    return (inv + inv.T) / 2.0
+
+
+def solve_spd(a: ArrayLike, b: ArrayLike, name: str = "matrix") -> np.ndarray:
+    """Solve ``a @ x = b`` for a (nominally SPD) coefficient matrix.
+
+    Thin deterministic wrapper over ``np.linalg.solve`` — identical bits to
+    a raw call — that raises :class:`~repro.exceptions.SingularMatrixError`
+    instead of a bare ``LinAlgError``.  Prefer this over forming
+    :func:`inv_spd` explicitly when only the product is needed.
+    """
+    arr = as_matrix(a, name)
+    rhs = np.asarray(b, dtype=float)
+    try:
+        return np.linalg.solve(arr, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(f"{name} is singular; cannot solve") from exc
+
+
+def jitter_spd(a: ArrayLike, rel: float = 1e-10) -> np.ndarray:
     """Add a relative diagonal jitter to nudge a matrix towards SPD."""
     arr = symmetrize(as_matrix(a))
     d = arr.shape[0]
@@ -131,7 +167,7 @@ def jitter_spd(a, rel: float = 1e-10) -> np.ndarray:
     return arr + np.eye(d) * scale * rel
 
 
-def clip_eigenvalues(a, floor_rel: float = EIG_FLOOR) -> np.ndarray:
+def clip_eigenvalues(a: ArrayLike, floor_rel: float = EIG_FLOOR) -> np.ndarray:
     """Clip the eigenvalues of a symmetric matrix to a relative floor.
 
     The floor is ``floor_rel * max(eigenvalue, 1)`` so a zero matrix still
@@ -144,7 +180,7 @@ def clip_eigenvalues(a, floor_rel: float = EIG_FLOOR) -> np.ndarray:
     return symmetrize(vecs @ np.diag(vals) @ vecs.T)
 
 
-def nearest_spd(a, floor_rel: float = EIG_FLOOR) -> np.ndarray:
+def nearest_spd(a: ArrayLike, floor_rel: float = EIG_FLOOR) -> np.ndarray:
     """Project a square matrix to the nearest SPD matrix (Higham, 1988).
 
     Takes the symmetric part, replaces it by its positive polar factor

@@ -21,7 +21,7 @@ from scipy.linalg import sqrtm
 
 from repro.exceptions import DimensionError
 from repro.linalg.norms import log_det_spd
-from repro.linalg.validation import assert_spd, symmetrize
+from repro.linalg.validation import assert_spd, inv_spd, solve_spd, symmetrize
 
 __all__ = [
     "kl_gaussian",
@@ -49,7 +49,7 @@ def kl_gaussian(mu0, sigma0, mu1, sigma1) -> float:
     """``KL( N(mu0, sigma0) || N(mu1, sigma1) )`` in nats."""
     m0, s0, m1, s1 = _check_pair(mu0, sigma0, mu1, sigma1)
     d = m0.shape[0]
-    s1_inv = np.linalg.inv(s1)
+    s1_inv = inv_spd(s1, "sigma1")
     diff = m1 - m0
     return 0.5 * (
         float(np.trace(s1_inv @ s0))
@@ -72,7 +72,7 @@ def bhattacharyya_gaussian(mu0, sigma0, mu1, sigma1) -> float:
     m0, s0, m1, s1 = _check_pair(mu0, sigma0, mu1, sigma1)
     s_mid = symmetrize((s0 + s1) / 2.0)
     diff = m1 - m0
-    term_mean = 0.125 * float(diff @ np.linalg.solve(s_mid, diff))
+    term_mean = 0.125 * float(diff @ solve_spd(s_mid, diff, "sigma_mid"))
     term_cov = 0.5 * (
         log_det_spd(s_mid) - 0.5 * (log_det_spd(s0) + log_det_spd(s1))
     )

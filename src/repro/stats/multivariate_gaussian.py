@@ -19,7 +19,7 @@ from repro.linalg.batched import (
     logdet_batched,
     mahalanobis_sq_batched,
 )
-from repro.linalg.validation import as_samples, cholesky_safe, symmetrize
+from repro.linalg.validation import as_samples, cholesky_safe, solve_spd, symmetrize
 
 __all__ = ["MultivariateGaussian", "gaussian_loglik", "gaussian_loglik_batch"]
 
@@ -150,9 +150,9 @@ class MultivariateGaussian:
         sigma_aa = self.covariance[np.ix_(idx_a, idx_a)]
         sigma_ab = self.covariance[np.ix_(idx_a, idx_b)]
         sigma_bb = self.covariance[np.ix_(idx_b, idx_b)]
-        solve = np.linalg.solve(sigma_bb, (vals - self.mean[idx_b]))
+        solve = solve_spd(sigma_bb, (vals - self.mean[idx_b]), "sigma_bb")
         cond_mean = self.mean[idx_a] + sigma_ab @ solve
-        cond_cov = sigma_aa - sigma_ab @ np.linalg.solve(sigma_bb, sigma_ab.T)
+        cond_cov = sigma_aa - sigma_ab @ solve_spd(sigma_bb, sigma_ab.T, "sigma_bb")
         return MultivariateGaussian(cond_mean, symmetrize(cond_cov))
 
     def kl_divergence(self, other: "MultivariateGaussian") -> float:

@@ -21,7 +21,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import DimensionError, HyperParameterError
-from repro.linalg.validation import as_samples, assert_spd, symmetrize
+from repro.linalg.validation import as_samples, assert_spd, inv_spd, symmetrize
 from repro.stats.multigamma import multigammaln
 from repro.stats.multivariate_gaussian import MultivariateGaussian
 from repro.stats.wishart import Wishart
@@ -97,7 +97,7 @@ class NormalWishart:
         d = mu_e_arr.shape[0]
         if v0 <= d:
             raise HyperParameterError(f"v0 must exceed d = {d}, got {v0}")
-        lambda_e = symmetrize(np.linalg.inv(sigma_e_arr))
+        lambda_e = inv_spd(sigma_e_arr, "sigma_e")
         t0 = lambda_e / (v0 - d)
         return cls(mu_e_arr, kappa0, v0, t0)
 
@@ -111,7 +111,7 @@ class NormalWishart:
     def map_estimate(self) -> MapEstimate:
         """Mode expressed in covariance space (used by Eq. 31–32)."""
         mu_m, lambda_m = self.mode()
-        sigma_m = symmetrize(np.linalg.inv(lambda_m))
+        sigma_m = inv_spd(lambda_m, "lambda_m")
         return MapEstimate(mean=mu_m, covariance=sigma_m, precision=lambda_m)
 
     def wishart_component(self) -> Wishart:
@@ -122,7 +122,7 @@ class NormalWishart:
         """``E[Sigma] = T0^{-1} / (v0 - d - 1)`` when it exists (v0 > d + 1)."""
         if self.v0 <= self.dim + 1:
             return None
-        return symmetrize(np.linalg.inv(self.T0)) / (self.v0 - self.dim - 1)
+        return inv_spd(self.T0, "T0") / (self.v0 - self.dim - 1)
 
     # ------------------------------------------------------------------
     # density (Eq. 12-13)
@@ -151,7 +151,7 @@ class NormalWishart:
             raise DimensionError("lambda shape does not match T0 shape")
         diff = mu_arr - self.mu0
         log_det_lam = log_det_spd(lam_arr)
-        t0_inv = np.linalg.inv(self.T0)
+        t0_inv = inv_spd(self.T0, "T0")
         quad = float(diff @ lam_arr @ diff)
         trace_term = float(np.trace(t0_inv @ lam_arr))
         return (
@@ -193,11 +193,11 @@ class NormalWishart:
         mu_n = (self.kappa0 * self.mu0 + n * xbar) / kappa_n
         diff = self.mu0 - xbar
         t_n_inv = (
-            symmetrize(np.linalg.inv(self.T0))
+            inv_spd(self.T0, "T0")
             + scatter
             + (self.kappa0 * n / kappa_n) * np.outer(diff, diff)
         )
-        t_n = symmetrize(np.linalg.inv(symmetrize(t_n_inv)))
+        t_n = inv_spd(symmetrize(t_n_inv), "T_n")
         return NormalWishart(mu_n, kappa_n, v_n, t_n)
 
     # ------------------------------------------------------------------
@@ -216,7 +216,7 @@ class NormalWishart:
         lams = self.wishart_component().sample(n, gen)
         mus = np.empty((n, self.dim))
         for k in range(n):
-            cov = symmetrize(np.linalg.inv(self.kappa0 * lams[k]))
+            cov = inv_spd(self.kappa0 * lams[k], "kappa0 * Lambda")
             mus[k] = MultivariateGaussian(self.mu0, cov).sample(1, gen)[0]
         return mus, lams
 
@@ -230,9 +230,7 @@ class NormalWishart:
         Gaussian.
         """
         dof = self.v0 - self.dim + 1.0
-        scale = symmetrize(
-            np.linalg.inv(self.T0) * (self.kappa0 + 1.0) / (self.kappa0 * dof)
-        )
+        scale = inv_spd(self.T0, "T0") * (self.kappa0 + 1.0) / (self.kappa0 * dof)
         if dof <= 2.0:
             return self.mu0.copy(), None
         return self.mu0.copy(), symmetrize(scale * dof / (dof - 2.0))

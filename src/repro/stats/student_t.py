@@ -23,7 +23,7 @@ from scipy.linalg import solve_triangular
 from scipy.special import gammaln
 
 from repro.exceptions import DimensionError, HyperParameterError
-from repro.linalg.validation import as_samples, cholesky_safe, symmetrize
+from repro.linalg.validation import as_samples, cholesky_safe, inv_spd, symmetrize
 
 __all__ = ["MultivariateT"]
 
@@ -72,9 +72,7 @@ class MultivariateT:
             raise HyperParameterError(
                 f"predictive dof v0 - d + 1 = {dof} must be positive"
             )
-        scale = symmetrize(
-            np.linalg.inv(nw.T0) * (nw.kappa0 + 1.0) / (nw.kappa0 * dof)
-        )
+        scale = inv_spd(nw.T0, "T0") * (nw.kappa0 + 1.0) / (nw.kappa0 * dof)
         return cls(nw.mu0, scale, dof)
 
     # ------------------------------------------------------------------

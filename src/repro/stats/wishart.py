@@ -20,7 +20,7 @@ from scipy.linalg import solve_triangular
 from scipy.special import digamma
 
 from repro.exceptions import DimensionError, HyperParameterError
-from repro.linalg.validation import assert_spd, cholesky_safe, symmetrize
+from repro.linalg.validation import assert_spd, cholesky_safe, inv_spd, symmetrize
 from repro.stats.multigamma import log_wishart_normalizer
 
 __all__ = ["Wishart", "InverseWishart"]
@@ -146,18 +146,18 @@ class InverseWishart:
 
     def to_wishart(self) -> Wishart:
         """The precision-space Wishart equivalent of this distribution."""
-        return Wishart(np.linalg.inv(self.psi), self.dof)
+        return Wishart(inv_spd(self.psi, "psi"), self.dof)
 
     def sample(self, n: int = 1, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Draw ``n`` covariance matrices, shape ``(n, d, d)``."""
         wishart = self.to_wishart()
         draws = wishart.sample(n, rng)
-        return np.stack([symmetrize(np.linalg.inv(m)) for m in draws])
+        return np.stack([inv_spd(m, "draw") for m in draws])
 
     def logpdf(self, sigma) -> float:
         """Log density at an SPD covariance matrix ``sigma``."""
         sigma_arr = assert_spd(sigma, "sigma")
-        lam = symmetrize(np.linalg.inv(sigma_arr))
+        lam = inv_spd(sigma_arr, "sigma")
         wishart = self.to_wishart()
         # Change of variables Sigma -> Lambda has Jacobian |Lambda|^{d+1}.
         from repro.linalg.norms import log_det_spd

@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import HyperParameterError
+from repro.linalg.batched import inv_spd_batched
 from repro.stats.normal_wishart import NormalWishart
 from repro.stats.student_t import MultivariateT
 from repro.yieldest.parametric import (
@@ -85,7 +86,7 @@ def yield_posterior(
     lower, upper = specs.lower_bounds, specs.upper_bounds
     # All precision matrices invert in one batched LAPACK call and all box
     # standardizations vectorize; only the Genz integrator runs per draw.
-    sigmas = np.linalg.inv(lams)
+    sigmas = inv_spd_batched(lams, "lams")
     yields = gaussian_box_probabilities(mus, sigmas, lower, upper)
     tail = (1.0 - level) / 2.0
     map_est = posterior.map_estimate()

@@ -1,0 +1,43 @@
+"""Fixtures for the reprolint test suite.
+
+The linter lives in ``tools/`` (it is a dev tool, not part of the
+installed ``repro`` package), so the package directory is put on
+``sys.path`` here before any test imports ``reprolint``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Write a fixture file into a throwaway tree and lint it.
+
+    Returns ``(diagnostics, result)`` where ``diagnostics`` is the list of
+    reported :class:`reprolint.diagnostics.Diagnostic` and ``result`` the
+    full :class:`reprolint.cli.LintResult` (for suppression counts).
+    ``rel_path`` controls which include/exempt prefixes apply — rules such
+    as RPL002/RPL003/RPL006 only fire under ``src/repro`` by default.
+    """
+    import reprolint.rules  # noqa: F401  (populates the registry)
+    from reprolint.cli import lint_file
+    from reprolint.config import Config
+    from reprolint.registry import all_rules
+
+    def run(source, rel_path="src/repro/mod.py", codes=None, rule_options=None):
+        path = tmp_path / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        config = Config(root=str(tmp_path), rule_options=dict(rule_options or {}))
+        selected = list(codes) if codes else [r.code for r in all_rules()]
+        result = lint_file(str(path), config, selected)
+        return result.diagnostics, result
+
+    return run

@@ -1,0 +1,165 @@
+"""End-to-end CLI tests: exit codes, output format, config loading.
+
+These run ``python -m reprolint`` as a subprocess (the same invocation CI
+and pre-commit use) against throwaway trees, so argument parsing, config
+discovery and the exit-code contract are covered.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+from .conftest import REPO_ROOT, TOOLS_DIR
+
+MINIMAL_PYPROJECT = '[tool.reprolint]\nsrc-roots = ["src"]\n'
+
+DIRTY = textwrap.dedent(
+    """
+    import numpy as np
+
+    np.random.seed(0)
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    """
+)
+
+
+def run_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(TOOLS_DIR)
+    return subprocess.run(
+        [sys.executable, "-m", "reprolint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def make_tree(tmp_path, files):
+    (tmp_path / "pyproject.toml").write_text(MINIMAL_PYPROJECT, encoding="utf-8")
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+
+
+class TestExitCodes:
+    def test_violations_exit_1_with_rule_code(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/mod.py": DIRTY})
+        proc = run_cli(["src"], cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "RPL001" in proc.stdout
+        assert "src/repro/mod.py" in proc.stdout.replace(os.sep, "/")
+
+    def test_clean_tree_exits_0(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        proc = run_cli(["src"], cwd=tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout == ""
+
+    def test_suppressed_tree_exits_0_and_reports_count(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "src/repro/mod.py": (
+                    "import numpy as np\n"
+                    "np.random.seed(0)  # reprolint: disable=RPL001 -- fixture\n"
+                )
+            },
+        )
+        proc = run_cli(["src"], cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "1 suppressed" in proc.stderr
+
+    def test_syntax_error_exits_1(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/mod.py": "def broken(:\n"})
+        proc = run_cli(["src"], cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "RPL900" in proc.stdout
+
+    def test_no_rules_selected_is_usage_error(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/mod.py": CLEAN})
+        proc = run_cli(["--select", "RPL999", "src"], cwd=tmp_path)
+        assert proc.returncode == 2
+
+
+class TestSelection:
+    def test_select_restricts_rules(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/mod.py": DIRTY})
+        proc = run_cli(["--select", "RPL004", "src"], cwd=tmp_path)
+        assert proc.returncode == 0
+
+    def test_ignore_drops_rule(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/mod.py": DIRTY})
+        proc = run_cli(["--ignore", "RPL001", "src"], cwd=tmp_path)
+        assert proc.returncode == 0
+
+    def test_list_rules(self, tmp_path):
+        make_tree(tmp_path, {})
+        proc = run_cli(["--list-rules"], cwd=tmp_path)
+        assert proc.returncode == 0
+        for code in ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"]:
+            assert code in proc.stdout
+
+
+class TestRepoIntegration:
+    def test_repo_tree_is_clean(self):
+        """The acceptance gate: the real tree lints clean via the root shim."""
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "reprolint",
+                "src",
+                "tests",
+                "examples",
+                "benchmarks",
+                "scripts",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestConfig:
+    def test_module_name_derivation(self):
+        from reprolint.config import Config
+
+        cfg = Config(src_roots=["src"])
+        assert cfg.module_name("src/repro/core/registry.py") == "repro.core.registry"
+        assert cfg.module_name("src/repro/linalg/__init__.py") == "repro.linalg"
+        assert cfg.module_name("tests/test_x.py") == "tests.test_x"
+        assert cfg.module_name("README.md") is None
+
+    def test_pyproject_rule_options_are_honoured(self, tmp_path):
+        import pytest
+
+        from reprolint import config as reprolint_config
+
+        if reprolint_config._toml is None:
+            pytest.skip("no TOML parser on this interpreter (needs 3.11+ or tomli)")
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint.rules.RPL001]\nenabled = false\n", encoding="utf-8"
+        )
+        mod = tmp_path / "src" / "repro" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(DIRTY, encoding="utf-8")
+        proc = run_cli(["src"], cwd=tmp_path)
+        assert proc.returncode == 0
+
+    def test_excluded_directories_are_skipped(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/__pycache__/junk.py": DIRTY})
+        proc = run_cli(["src"], cwd=tmp_path)
+        assert proc.returncode == 0

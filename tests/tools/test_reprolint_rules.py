@@ -1,0 +1,385 @@
+"""Per-rule fixture tests: one positive hit, one clean pass, one suppression.
+
+Every rule is exercised through :func:`reprolint.cli.lint_file` on a real
+file in a throwaway tree, so path-prefix gating (include/exempt) and the
+tokenize-based suppression machinery are covered alongside the AST logic.
+"""
+
+import textwrap
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# RPL001 — legacy global RNG
+# ---------------------------------------------------------------------------
+class TestRPL001:
+    def test_flags_legacy_global_rng(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                np.random.seed(0)
+                x = np.random.randn(3)
+                """
+            )
+        )
+        assert codes_of(diags) == ["RPL001", "RPL001"]
+        assert "default_rng" in diags[0].message
+
+    def test_generator_api_is_clean(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                rng = np.random.default_rng(0)
+                x = rng.standard_normal(3)
+                ss = np.random.SeedSequence(7).spawn(2)
+                """
+            )
+        )
+        assert diags == []
+
+    def test_suppression_comment(self, lint):
+        diags, result = lint(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                np.random.seed(0)  # reprolint: disable=RPL001 -- legacy interop
+                """
+            )
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+    def test_resolves_import_aliases(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                import numpy.random as nr
+
+                nr.shuffle([1, 2, 3])
+                """
+            )
+        )
+        assert codes_of(diags) == ["RPL001"]
+
+
+# ---------------------------------------------------------------------------
+# RPL002 — raw np.linalg outside the substrate
+# ---------------------------------------------------------------------------
+RAW_INV = textwrap.dedent(
+    """
+    import numpy as np
+
+    def f(a):
+        return np.linalg.inv(a)
+    """
+)
+
+
+class TestRPL002:
+    def test_flags_raw_linalg_in_library_code(self, lint):
+        diags, _ = lint(RAW_INV, rel_path="src/repro/stats/thing.py")
+        assert codes_of(diags) == ["RPL002"]
+        assert "inv_spd" in diags[0].message
+
+    def test_substrate_itself_is_exempt(self, lint):
+        diags, _ = lint(RAW_INV, rel_path="src/repro/linalg/impl.py")
+        assert diags == []
+
+    def test_outside_package_not_in_scope(self, lint):
+        diags, _ = lint(RAW_INV, rel_path="scripts/analysis.py")
+        assert diags == []
+
+    def test_suppression_comment(self, lint):
+        diags, result = lint(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                def f(a):
+                    return np.linalg.inv(a)  # reprolint: disable=RPL002 -- benchmark ref
+                """
+            ),
+            rel_path="src/repro/core/thing.py",
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPL003 — layering back-edges
+# ---------------------------------------------------------------------------
+class TestRPL003:
+    def test_flags_upward_import(self, lint):
+        diags, _ = lint(
+            "from repro.core.pipeline import FusionPipeline\n",
+            rel_path="src/repro/linalg/helper.py",
+        )
+        assert codes_of(diags) == ["RPL003"]
+        assert "back-edge" in diags[0].message
+
+    def test_downward_import_is_clean(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                from repro.exceptions import ReproError
+                from repro.linalg import inv_spd
+                from repro.stats.wishart import WishartPrior
+                """
+            ),
+            rel_path="src/repro/core/estimator.py",
+        )
+        assert diags == []
+
+    def test_from_package_import_symbol_not_misread_as_module(self, lint):
+        # `from repro import exceptions` imports a *lower* layer even though
+        # the bare base `repro` sits in the top layer (regression guard).
+        diags, _ = lint(
+            "from repro import exceptions\n",
+            rel_path="src/repro/core/estimator.py",
+        )
+        assert diags == []
+
+    def test_suppression_comment(self, lint):
+        diags, result = lint(
+            textwrap.dedent(
+                """
+                def load():
+                    from repro.io import load_dataset  # reprolint: disable=RPL003 -- lazy IO
+                    return load_dataset
+                """
+            ),
+            rel_path="src/repro/circuits/cache.py",
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPL004 — float-literal equality
+# ---------------------------------------------------------------------------
+class TestRPL004:
+    def test_flags_nonzero_float_equality(self, lint):
+        diags, _ = lint("def f(x):\n    return x == 0.1\n")
+        assert codes_of(diags) == ["RPL004"]
+        assert "isclose" in diags[0].message
+
+    def test_zero_comparison_allowed_by_default(self, lint):
+        diags, _ = lint("def f(x):\n    return x == 0.0 or x != -0.0\n")
+        assert diags == []
+
+    def test_allow_zero_false_flags_zero_too(self, lint):
+        diags, _ = lint(
+            "def f(x):\n    return x == 0.0\n",
+            rule_options={"RPL004": {"allow-zero": False}},
+        )
+        assert codes_of(diags) == ["RPL004"]
+
+    def test_tolerance_comparisons_are_clean(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                import math
+
+                def f(x):
+                    return math.isclose(x, 0.1) and x <= 0.5 and x == 3
+                """
+            )
+        )
+        assert diags == []
+
+    def test_suppression_comment(self, lint):
+        diags, result = lint(
+            "def f(x):\n    return x != 1.0  # reprolint: disable=RPL004 -- binary flag\n"
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPL005 — bare/broad except
+# ---------------------------------------------------------------------------
+class TestRPL005:
+    def test_flags_bare_and_broad_except(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                def f():
+                    try:
+                        work()
+                    except:
+                        pass
+
+                def g():
+                    try:
+                        work()
+                    except Exception:
+                        return None
+                """
+            )
+        )
+        assert codes_of(diags) == ["RPL005", "RPL005"]
+
+    def test_specific_types_are_clean(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                def f():
+                    try:
+                        work()
+                    except (OSError, ValueError):
+                        pass
+                """
+            )
+        )
+        assert diags == []
+
+    def test_pure_reraise_is_exempt(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                def f():
+                    try:
+                        work()
+                    except Exception:
+                        log("failed")
+                        raise
+                """
+            )
+        )
+        assert diags == []
+
+    def test_suppression_comment(self, lint):
+        diags, result = lint(
+            textwrap.dedent(
+                """
+                def f():
+                    try:
+                        work()
+                    except Exception:  # reprolint: disable=RPL005 -- last-ditch CLI guard
+                        pass
+                """
+            )
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPL006 — nondeterminism in seeded paths
+# ---------------------------------------------------------------------------
+class TestRPL006:
+    def test_flags_wall_clock_read(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            )
+        )
+        assert codes_of(diags) == ["RPL006"]
+        assert "wall-clock" in diags[0].message
+
+    def test_flags_set_iteration(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                def f(names):
+                    for name in set(names):
+                        print(name)
+                    return list({n.lower() for n in names})
+                """
+            )
+        )
+        assert codes_of(diags) == ["RPL006", "RPL006"]
+
+    def test_sorted_set_and_perf_counter_are_clean(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                import time
+
+                def f(names):
+                    t0 = time.perf_counter()
+                    for name in sorted(set(names)):
+                        print(name)
+                    return "x" in set(names), time.perf_counter() - t0
+                """
+            )
+        )
+        assert diags == []
+
+    def test_outside_seeded_paths_not_in_scope(self, lint):
+        diags, _ = lint(
+            "import time\nstart = time.time()\n",
+            rel_path="benchmarks/bench_thing.py",
+        )
+        assert diags == []
+
+    def test_suppression_comment(self, lint):
+        diags, result = lint(
+            textwrap.dedent(
+                """
+                import time
+
+                def stamp():
+                    return time.time()  # reprolint: disable=RPL006 -- report metadata only
+                """
+            )
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# cross-cutting suppression semantics
+# ---------------------------------------------------------------------------
+class TestSuppressions:
+    def test_bare_disable_suppresses_every_code(self, lint):
+        diags, result = lint(
+            "import numpy as np\nnp.random.seed(0)  # reprolint: disable\n"
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self, lint):
+        diags, _ = lint(
+            "import numpy as np\nnp.random.seed(0)  # reprolint: disable=RPL004\n"
+        )
+        assert codes_of(diags) == ["RPL001"]
+
+    def test_multiline_statement_suppressed_from_any_spanned_line(self, lint):
+        diags, result = lint(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                x = np.random.normal(
+                    0.0,
+                    1.0,  # reprolint: disable=RPL001 -- fixture
+                )
+                """
+            )
+        )
+        assert diags == []
+        assert result.suppressed == 1
+
+    def test_hash_inside_string_is_not_a_suppression(self, lint):
+        diags, _ = lint(
+            'import numpy as np\nnp.random.seed(0)\ns = "# reprolint: disable=RPL001"\n'
+        )
+        assert codes_of(diags) == ["RPL001"]
+
+    def test_syntax_error_reports_parse_code(self, lint):
+        diags, _ = lint("def broken(:\n")
+        assert codes_of(diags) == ["RPL900"]

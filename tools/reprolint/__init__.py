@@ -1,0 +1,44 @@
+"""reprolint — AST-based invariant linter for the ``repro`` codebase.
+
+The repo carries two load-bearing guarantees that ordinary linters cannot
+see:
+
+1. **Determinism** — every replicated computation (parallel sweeps, the
+   vectorized Monte-Carlo engine, cross-validation folds) must be
+   bit-identical across runs and worker counts.  A single call to the
+   legacy ``np.random`` global state, a wall-clock read, or iteration over
+   an unordered ``set`` inside a seeded path silently breaks that.
+2. **SPD safety** — every covariance matrix an estimator hands downstream
+   must survive a Cholesky factorisation.  The repairs (symmetrisation,
+   jitter, eigenvalue clipping) live in the ``repro.linalg`` substrate;
+   raw ``np.linalg`` calls elsewhere bypass that policy.
+
+reprolint enforces these invariants (plus the package layering that keeps
+them enforceable) as machine-checked rules:
+
+========  ==============================================================
+RPL001    legacy global-state NumPy RNG (``np.random.seed`` & friends)
+RPL002    raw ``np.linalg.{cholesky,inv,solve,eigh}`` outside the
+          ``repro.linalg`` substrate
+RPL003    package-layering back-edge (import of a higher layer)
+RPL004    ``==``/``!=`` against a non-zero float literal
+RPL005    bare/broad ``except`` that can swallow ``ReproError`` subclasses
+RPL006    wall-clock reads and unordered-``set`` iteration in seeded paths
+========  ==============================================================
+
+Violations can be suppressed per line with a justification::
+
+    cov = np.linalg.inv(lam)  # reprolint: disable=RPL002 -- reference impl
+
+Configuration lives in ``pyproject.toml`` under ``[tool.reprolint]``.
+Run ``python -m reprolint src tests`` from the repo root.
+"""
+
+from __future__ import annotations
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.registry import Rule, all_rules, get_rule, register
+
+__version__ = "1.0.0"
+
+__all__ = ["Diagnostic", "Rule", "all_rules", "get_rule", "register", "__version__"]

@@ -1,0 +1,198 @@
+"""Command-line driver: ``python -m reprolint [paths...]``.
+
+Exit status: 0 when clean, 1 when violations (or unparseable files) were
+found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import reprolint.rules  # noqa: F401  (populates the registry)
+from reprolint.config import Config, load_config
+from reprolint.diagnostics import Diagnostic
+from reprolint.registry import FileContext, all_rules
+from reprolint.suppressions import collect_suppressions, is_suppressed
+
+#: Pseudo-code reported for files the parser rejects.
+PARSE_ERROR_CODE = "RPL900"
+
+
+@dataclass
+class LintResult:
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.diagnostics else 0
+
+
+def discover_files(paths: Sequence[str], config: Config) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            rel_dir = _rel(dirpath, config.root)
+            dirnames[:] = sorted(
+                d for d in dirnames if not config.is_excluded(_join_rel(rel_dir, d))
+            )
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                rel = _join_rel(rel_dir, name)
+                if not config.is_excluded(rel):
+                    found.append(os.path.join(dirpath, name))
+    # Deterministic order regardless of argument order or filesystem state.
+    return sorted(set(found))
+
+
+def _rel(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), root)
+    return rel.replace(os.sep, "/")
+
+
+def _join_rel(rel_dir: str, name: str) -> str:
+    return name if rel_dir in (".", "") else f"{rel_dir}/{name}"
+
+
+def lint_file(path: str, config: Config, codes: Iterable[str]) -> LintResult:
+    """Run the selected rules over one file."""
+    result = LintResult(files=1)
+    rel_path = _rel(path, config.root)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        result.warnings.append(f"{path}: unreadable ({exc})")
+        return result
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.diagnostics.append(
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return result
+    suppressions = collect_suppressions(source)
+    module_name = config.module_name(rel_path)
+    wanted = set(codes)
+    for rule in all_rules():
+        if rule.code not in wanted:
+            continue
+        ctx = FileContext(
+            path=path,
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            module_name=module_name,
+            options=config.options_for(rule.code),
+        )
+        if not rule.applies_to(ctx):
+            continue
+        for diag in rule.check(ctx):
+            if is_suppressed(suppressions, diag.span(), diag.code):
+                result.suppressed += 1
+            else:
+                result.diagnostics.append(diag)
+    return result
+
+
+def lint_paths(
+    paths: Sequence[str], config: Config, codes: Iterable[str]
+) -> LintResult:
+    total = LintResult()
+    codes = list(codes)
+    for path in discover_files(paths, config):
+        one = lint_file(path, config, codes)
+        total.diagnostics.extend(one.diagnostics)
+        total.suppressed += one.suppressed
+        total.files += one.files
+        total.warnings.extend(one.warnings)
+    total.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return total
+
+
+def _selected_codes(config: Config, args: argparse.Namespace) -> List[str]:
+    codes = [rule.code for rule in all_rules()]
+    if args.select:
+        wanted = {c.strip() for c in args.select.split(",") if c.strip()}
+        codes = [c for c in codes if c in wanted]
+    else:
+        codes = [c for c in codes if config.rule_enabled(c)]
+    if args.ignore:
+        dropped = {c.strip() for c in args.ignore.split(",") if c.strip()}
+        codes = [c for c in codes if c not in dropped]
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the repro codebase "
+        "(determinism, SPD safety, layering).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--config", help="explicit pyproject.toml path")
+    parser.add_argument("--select", help="comma-separated rule codes to run")
+    parser.add_argument("--ignore", help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="show config source and stats"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    try:
+        config, warnings = load_config(start=os.getcwd(), explicit_path=args.config)
+    except OSError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    codes = _selected_codes(config, args)
+    if not codes:
+        print("reprolint: error: no rules selected", file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths, config, codes)
+    for warning in warnings + result.warnings:
+        print(f"reprolint: warning: {warning}", file=sys.stderr)
+    for diag in result.diagnostics:
+        print(diag.format())
+    if args.verbose:
+        print(
+            f"reprolint: config={config.source} rules={','.join(codes)} "
+            f"files={result.files}",
+            file=sys.stderr,
+        )
+    if result.diagnostics or args.verbose or result.suppressed:
+        print(
+            f"reprolint: {len(result.diagnostics)} violation(s), "
+            f"{result.suppressed} suppressed, {result.files} file(s) checked",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

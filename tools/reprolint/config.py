@@ -1,0 +1,162 @@
+"""pyproject-driven configuration for reprolint.
+
+Configuration lives under ``[tool.reprolint]``:
+
+* ``exclude`` — directory/file basenames or relative path prefixes that are
+  never linted (defaults cover VCS and cache directories).
+* ``src-roots`` — roots used to derive dotted module names for the
+  layering rule (default ``["src"]``).
+* ``select`` / ``ignore`` — rule codes to enable / disable globally.
+* ``[tool.reprolint.rules.RPLxxx]`` — per-rule options.  Every rule honours
+  ``enabled``, ``include`` and ``exempt`` (relative path prefixes); see the
+  rule modules for rule-specific keys such as ``layers`` (RPL003) or
+  ``allow-zero`` (RPL004).
+
+The file is located by walking up from the lint root looking for a
+``pyproject.toml`` that contains a ``[tool.reprolint]`` table.  Python 3.11+
+parses it with :mod:`tomllib` (``tomli`` is used when present on older
+interpreters); when neither is available reprolint falls back to its
+built-in defaults, which match this repository's layout.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on old interpreters
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None  # type: ignore[assignment]
+
+DEFAULT_EXCLUDE = [
+    ".git",
+    ".hg",
+    ".venv",
+    "venv",
+    "__pycache__",
+    ".pytest_cache",
+    ".mypy_cache",
+    ".ruff_cache",
+    "build",
+    "dist",
+    "node_modules",
+    ".eggs",
+]
+
+
+@dataclass
+class Config:
+    """Resolved reprolint configuration."""
+
+    #: Directory all relative paths (include/exempt prefixes, module-name
+    #: resolution) are interpreted against — the pyproject directory when a
+    #: config file was found, else the lint invocation's cwd.
+    root: str = "."
+    exclude: List[str] = field(default_factory=lambda: list(DEFAULT_EXCLUDE))
+    src_roots: List[str] = field(default_factory=lambda: ["src"])
+    select: List[str] = field(default_factory=list)
+    ignore: List[str] = field(default_factory=list)
+    rule_options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Where the configuration came from (for --verbose).
+    source: str = "<defaults>"
+
+    # ------------------------------------------------------------------
+    def options_for(self, code: str) -> Dict[str, Any]:
+        return self.rule_options.get(code, {})
+
+    def rule_enabled(self, code: str) -> bool:
+        if self.select and code not in self.select:
+            return False
+        if code in self.ignore:
+            return False
+        enabled = self.options_for(code).get("enabled", True)
+        return bool(enabled)
+
+    def is_excluded(self, rel_path: str) -> bool:
+        parts = rel_path.split("/")
+        for pattern in self.exclude:
+            pattern = pattern.rstrip("/")
+            if "/" in pattern:
+                if rel_path == pattern or rel_path.startswith(pattern + "/"):
+                    return True
+            elif pattern in parts:
+                return True
+        return False
+
+    def module_name(self, rel_path: str) -> Optional[str]:
+        """Dotted module name of ``rel_path`` under a configured source root."""
+        if not rel_path.endswith(".py"):
+            return None
+        for root in self.src_roots:
+            root = root.rstrip("/")
+            if rel_path.startswith(root + "/"):
+                trimmed = rel_path[len(root) + 1 : -3]
+                break
+        else:
+            trimmed = rel_path[:-3]
+        name = trimmed.replace("/", ".")
+        if name.endswith(".__init__"):
+            name = name[: -len(".__init__")]
+        return name or None
+
+
+def find_pyproject(start: str) -> Optional[str]:
+    """Walk up from ``start`` to the first pyproject.toml with our table."""
+    current = os.path.abspath(start)
+    while True:
+        candidate = os.path.join(current, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def load_config(
+    start: str = ".", explicit_path: Optional[str] = None
+) -> Tuple[Config, List[str]]:
+    """Load configuration; returns ``(config, warnings)``."""
+    warnings: List[str] = []
+    path = explicit_path or find_pyproject(start)
+    if path is None:
+        return Config(root=os.path.abspath(start)), warnings
+    root = os.path.dirname(os.path.abspath(path))
+    if _toml is None:
+        warnings.append(
+            f"{path}: no TOML parser available (need Python >= 3.11 or tomli); "
+            "using built-in defaults"
+        )
+        return Config(root=root, source="<defaults>"), warnings
+    try:
+        with open(path, "rb") as handle:
+            data = _toml.load(handle)
+    except (OSError, ValueError) as exc:
+        warnings.append(f"{path}: failed to parse ({exc}); using built-in defaults")
+        return Config(root=root, source="<defaults>"), warnings
+
+    table = data.get("tool", {}).get("reprolint", {})
+    config = Config(root=root, source=path)
+    if "exclude" in table:
+        config.exclude = [str(p) for p in table["exclude"]]
+    if "src-roots" in table:
+        config.src_roots = [str(p) for p in table["src-roots"]]
+    if "select" in table:
+        config.select = [str(c) for c in table["select"]]
+    if "ignore" in table:
+        config.ignore = [str(c) for c in table["ignore"]]
+    rules_table = table.get("rules", {})
+    if isinstance(rules_table, dict):
+        for code, options in rules_table.items():
+            if isinstance(options, dict):
+                config.rule_options[str(code)] = dict(options)
+            else:
+                warnings.append(
+                    f"{path}: [tool.reprolint.rules.{code}] must be a table; ignored"
+                )
+    return config, warnings

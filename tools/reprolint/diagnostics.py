@@ -1,0 +1,31 @@
+"""Diagnostic record emitted by reprolint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at one source location.
+
+    ``line``/``col`` are 1-based / 0-based respectively, matching the
+    ``ast`` module.  ``end_line`` is the last line spanned by the offending
+    node so a suppression comment on the closing parenthesis of a
+    multi-line call still applies.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    end_line: int = field(default=0)
+
+    def span(self) -> range:
+        """All source lines this diagnostic covers (for suppression lookup)."""
+        last = self.end_line if self.end_line >= self.line else self.line
+        return range(self.line, last + 1)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"

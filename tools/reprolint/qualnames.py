@@ -1,0 +1,86 @@
+"""Resolve attribute chains to qualified names via the file's imports.
+
+``np.linalg.inv`` only means ``numpy.linalg.inv`` if ``np`` is actually an
+alias of ``numpy`` in that file, so rules resolve names through the import
+table instead of pattern-matching on spelling.  The table is collected from
+every ``import`` statement in the module (function-level imports included);
+scoping subtleties (shadowed names, conditional imports) are deliberately
+ignored — for invariant linting a rare false positive with a suppression
+comment beats a silent false negative.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+def import_aliases(tree: ast.Module, module_name: Optional[str] = None) -> Dict[str, str]:
+    """Map local names to the qualified module/object they were imported as.
+
+    Examples::
+
+        import numpy as np              ->  {"np": "numpy"}
+        import numpy.linalg             ->  {"numpy": "numpy"}
+        import numpy.linalg as nla      ->  {"nla": "numpy.linalg"}
+        from numpy import linalg        ->  {"linalg": "numpy.linalg"}
+        from numpy.linalg import inv    ->  {"inv": "numpy.linalg.inv"}
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from_base(node, module_name)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{base}.{alias.name}" if base else alias.name
+    return aliases
+
+
+def _resolve_from_base(node: ast.ImportFrom, module_name: Optional[str]) -> Optional[str]:
+    """Absolute module path a ``from X import ...`` pulls names out of."""
+    if node.level == 0:
+        return node.module or ""
+    if module_name is None:
+        return None
+    # ``from . import x`` inside package a.b resolves against a.b for
+    # __init__ modules and a for plain modules; callers hand us the module
+    # name with ``__init__`` already stripped, so drop ``level`` components.
+    parts = module_name.split(".")
+    anchor = parts[: len(parts) - node.level] if node.level <= len(parts) else []
+    base = ".".join(anchor)
+    if node.module:
+        base = f"{base}.{node.module}" if base else node.module
+    return base
+
+
+def qualified_name(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted qualified name of an attribute chain, or ``None``.
+
+    Only chains rooted at an imported name resolve — ``np.linalg.inv``
+    with ``np`` bound by ``import numpy as np`` yields
+    ``"numpy.linalg.inv"``; a chain rooted at a local variable yields
+    ``None``.
+    """
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = aliases.get(current.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))

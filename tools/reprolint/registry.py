@@ -1,0 +1,104 @@
+"""Rule registry: every rule registers itself under its ``RPLxxx`` code.
+
+A rule is a class with a ``code``, a one-line ``summary``, and a
+``check(ctx)`` generator yielding :class:`~reprolint.diagnostics.Diagnostic`
+objects.  Registration happens at import time via the :func:`register`
+decorator; :mod:`reprolint.rules` imports every rule module so the registry
+is fully populated after ``import reprolint.rules``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from reprolint.diagnostics import Diagnostic
+
+
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    def __init__(
+        self,
+        path: str,
+        rel_path: str,
+        source: str,
+        tree: ast.Module,
+        module_name: Optional[str],
+        options: Dict[str, object],
+    ) -> None:
+        self.path = path
+        #: Path relative to the config root, with ``/`` separators — this is
+        #: what rule ``include``/``exempt`` prefixes match against.
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = tree
+        #: Dotted module name when the file lives under a configured source
+        #: root (e.g. ``repro.core.registry``), else ``None``.
+        self.module_name = module_name
+        #: Per-rule options from ``[tool.reprolint.rules.RPLxxx]``.
+        self.options = options
+
+
+class Rule:
+    """Base class for reprolint rules."""
+
+    code: str = ""
+    summary: str = ""
+    #: Default path prefixes (relative, ``/``-separated) the rule applies to.
+    #: Empty means every linted file.  Overridable per-rule in pyproject.
+    default_include: List[str] = []
+    #: Default path prefixes exempt from the rule.
+    default_exempt: List[str] = []
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def applies_to(self, ctx: FileContext) -> bool:
+        include = ctx.options.get("include", self.default_include)
+        exempt = ctx.options.get("exempt", self.default_exempt)
+        rel = ctx.rel_path
+        if include and not any(_prefix_match(rel, p) for p in include):  # type: ignore[union-attr]
+            return False
+        if exempt and any(_prefix_match(rel, p) for p in exempt):  # type: ignore[union-attr]
+            return False
+        return True
+
+    def diagnostic(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            end_line=getattr(node, "end_lineno", 0) or 0,
+        )
+
+
+def _prefix_match(rel_path: str, prefix: str) -> bool:
+    """True when ``rel_path`` equals ``prefix`` or lives underneath it."""
+    prefix = prefix.rstrip("/")
+    return rel_path == prefix or rel_path.startswith(prefix + "/")
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index the rule by its code."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    return _REGISTRY[code]

@@ -1,0 +1,77 @@
+"""RPL001 — legacy global-state NumPy RNG.
+
+The determinism contract of the sweep/MC engines requires every random
+stream to be an explicit ``np.random.Generator`` threaded from a
+``SeedSequence`` (spawned per worker/fold), so results are bit-identical
+regardless of execution order or worker count.  The legacy ``np.random.*``
+module functions and ``RandomState`` mutate hidden global state: any call
+re-orders every stream that follows it and silently breaks replication.
+
+Use ``np.random.default_rng(seed)`` / ``np.random.SeedSequence(seed).spawn``
+and pass generators down explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.qualnames import import_aliases, qualified_name
+from reprolint.registry import FileContext, Rule, register
+
+#: Legacy ``numpy.random`` attributes whose call sites are flagged.
+LEGACY_FUNCTIONS = [
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "random_integers",
+    "standard_normal",
+    "normal",
+    "uniform",
+    "choice",
+    "permutation",
+    "shuffle",
+    "multivariate_normal",
+    "beta",
+    "binomial",
+    "exponential",
+    "gamma",
+    "lognormal",
+    "poisson",
+    "get_state",
+    "set_state",
+    "RandomState",
+]
+
+
+@register
+class LegacyGlobalRng(Rule):
+    code = "RPL001"
+    summary = (
+        "legacy global-state numpy RNG; thread an explicit "
+        "default_rng/SeedSequence generator instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        functions: List[str] = list(ctx.options.get("functions", LEGACY_FUNCTIONS))
+        bad = {f"numpy.random.{name}" for name in functions}
+        aliases = import_aliases(ctx.tree, ctx.module_name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, aliases)
+            if qual in bad:
+                short = qual.rsplit(".", 1)[1]
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"legacy global RNG `np.random.{short}` mutates hidden global "
+                    "state and breaks bit-identical replication; thread an "
+                    "explicit `np.random.default_rng` / `SeedSequence` generator",
+                )

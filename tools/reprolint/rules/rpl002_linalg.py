@@ -1,0 +1,57 @@
+"""RPL002 — raw ``np.linalg`` factorisations outside the SPD substrate.
+
+Every covariance the library hands downstream must be SPD — symmetric to
+tolerance and Cholesky-factorisable (DESIGN §2; Eq. 24–32 of the paper).
+The repairs (symmetrisation, jitter retry, eigenvalue clipping) and the
+associated error taxonomy (``NotSPDError``, ``SingularMatrixError``) live
+in ``repro.linalg``.  A raw ``np.linalg.cholesky/inv/solve/eigh`` call
+elsewhere bypasses that policy: it returns asymmetric inverses, raises
+bare ``LinAlgError`` instead of the library's exceptions, and skips the
+jitter ladder that keeps borderline posteriors factorisable.
+
+Route covariance work through ``repro.linalg`` (``inv_spd``, ``solve_spd``,
+``cholesky_safe``, ``solve_batched`` …) or suppress with a justification
+when the matrix is genuinely not SPD-adjacent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.qualnames import import_aliases, qualified_name
+from reprolint.registry import FileContext, Rule, register
+
+#: ``numpy.linalg`` functions the substrate wraps.
+WRAPPED_FUNCTIONS = ["cholesky", "inv", "solve", "eigh"]
+
+
+@register
+class RawLinalgOutsideSubstrate(Rule):
+    code = "RPL002"
+    summary = (
+        "raw np.linalg.{cholesky,inv,solve,eigh} outside repro.linalg; "
+        "route through the SPD-safe substrate"
+    )
+    default_include = ["src/repro"]
+    default_exempt = ["src/repro/linalg"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        functions: List[str] = list(ctx.options.get("functions", WRAPPED_FUNCTIONS))
+        bad = {f"numpy.linalg.{name}" for name in functions}
+        aliases = import_aliases(ctx.tree, ctx.module_name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, aliases)
+            if qual in bad:
+                short = qual.rsplit(".", 1)[1]
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"raw `np.linalg.{short}` bypasses the SPD-safe substrate; "
+                    "use the repro.linalg wrapper (inv_spd, solve_spd, "
+                    "cholesky_safe, solve_batched, ...) so symmetrisation, "
+                    "jitter repair and NotSPDError/SingularMatrixError apply",
+                )

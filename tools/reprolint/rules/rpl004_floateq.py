@@ -1,0 +1,68 @@
+"""RPL004 — equality comparison against a non-zero float literal.
+
+``x == 0.1`` is almost never what a numerical code means: the literal is
+not exactly representable and the left-hand side carries rounding error,
+so the comparison is a latent flake that can flip between platforms or
+BLAS builds.  Use an explicit tolerance (``math.isclose``, ``np.isclose``,
+or a documented ``abs(x - c) <= tol``).
+
+Comparison against exactly ``0.0`` is *allowed* by default
+(``allow-zero = true``): IEEE-754 zero is exact, and ``x == 0.0`` is the
+standard guard for division-by-zero sentinels and untouched defaults
+throughout this codebase.  Set ``allow-zero = false`` to flag those too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.registry import FileContext, Rule, register
+
+
+def _float_literal(node: ast.expr) -> Optional[float]:
+    """The value of a (possibly negated) float literal, else ``None``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _float_literal(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    return None
+
+
+@register
+class FloatLiteralEquality(Rule):
+    code = "RPL004"
+    summary = "==/!= against a non-zero float literal; use a tolerance comparison"
+    #: Tests/benchmarks assert exact round-trips of stored values — the one
+    #: place float ``==`` is correct.  Mirrors the pyproject config so the
+    #: no-TOML-parser fallback (Python 3.9 without tomli) behaves the same.
+    default_exempt = ["tests", "benchmarks"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        allow_zero = bool(ctx.options.get("allow-zero", True))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for operand in (left, right):
+                    value = _float_literal(operand)
+                    if value is None:
+                        continue
+                    if allow_zero and value == 0.0:
+                        continue
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"float equality `{symbol} {value!r}` is unreliable under "
+                        "rounding; compare with math.isclose/np.isclose or an "
+                        "explicit tolerance",
+                    )
+                    break

@@ -1,0 +1,66 @@
+"""RPL005 — bare/broad ``except`` that can swallow library errors.
+
+The library's error taxonomy (``repro.exceptions``) is deliberately
+fine-grained: ``SimulationError`` vs ``NotSPDError`` vs
+``InsufficientDataError`` call for different remedies.  A bare ``except:``
+or ``except Exception`` flattens all of them — a failed simulation or a
+non-SPD posterior disappears into a fallback path and the sweep happily
+reports garbage.
+
+Catch the specific types a block can actually raise (``OSError`` for cache
+IO, ``np.linalg.LinAlgError`` for factorisations, concrete ``ReproError``
+subclasses for library calls).  A handler whose body is a bare ``raise``
+(pure re-raise, e.g. for logging) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.registry import FileContext, Rule, register
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id in BROAD_NAMES
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(item) for item in expr.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a bare ``raise``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register
+class BroadExcept(Rule):
+    code = "RPL005"
+    summary = "bare/broad except swallows ReproError subclasses; catch specific types"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                what = "bare `except:`"
+            elif _is_broad(node.type):
+                what = "broad `except Exception`"
+            else:
+                continue
+            if _reraises(node):
+                continue
+            yield self.diagnostic(
+                ctx,
+                node,
+                f"{what} can swallow SimulationError/NotSPDError and every other "
+                "ReproError subclass; catch the specific exceptions this block "
+                "raises, or re-raise",
+            )

@@ -1,0 +1,123 @@
+"""RPL006 — wall-clock reads and unordered iteration in seeded paths.
+
+Everything under ``src/repro`` sits inside a seeded replication path: the
+sweep engine replays configurations across workers and asserts
+bit-identical results.  Two nondeterminism sources survive seeding:
+
+* **Wall-clock / entropy reads** — ``time.time()``, ``datetime.now()``,
+  ``os.urandom``, ``uuid.uuid4``, stdlib ``random``: different on every
+  run by construction.  (``time.perf_counter`` is *not* flagged — timing
+  measurements that only annotate reports are fine.)
+* **Unordered-``set`` iteration** — ``for x in set(...)`` or
+  ``list({...})``: iteration order depends on insertion history and, for
+  strings, on ``PYTHONHASHSEED``.  Wrap in ``sorted(...)`` to fix an
+  order, which also silences the rule.
+
+Set *membership* tests (``x in set(...)``) are order-free and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.qualnames import import_aliases, qualified_name
+from reprolint.registry import FileContext, Rule, register
+
+#: Call targets that read wall-clock time or ambient entropy.
+WALL_CLOCK_CALLS = [
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "random.random",
+    "random.seed",
+    "random.randint",
+    "random.randrange",
+    "random.getrandbits",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+]
+
+#: Builtins that realise their argument's iteration order.
+_ORDER_REALISING = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _is_unordered_set(expr: ast.expr) -> bool:
+    """True for expressions that evaluate to a set with no imposed order."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id in {"set", "frozenset"}:
+            return True
+    return False
+
+
+@register
+class NondeterminismInSeededPath(Rule):
+    code = "RPL006"
+    summary = "wall-clock read or unordered-set iteration inside a seeded path"
+    default_include = ["src/repro"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        calls: List[str] = list(ctx.options.get("calls", WALL_CLOCK_CALLS))
+        bad_calls = set(calls)
+        aliases = import_aliases(ctx.tree, ctx.module_name)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                qual = qualified_name(node.func, aliases)
+                if qual in bad_calls:
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"`{qual}` reads wall-clock/ambient entropy and differs "
+                        "on every run; seeded replication paths must derive all "
+                        "variability from the threaded SeedSequence",
+                    )
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_REALISING
+                    and node.args
+                    and _is_unordered_set(node.args[0])
+                ):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"`{node.func.id}(set(...))` realises hash-dependent set "
+                        "order (varies with PYTHONHASHSEED); wrap in sorted(...) "
+                        "to fix a deterministic order",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_unordered_set(node.iter):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        "iterating a set has hash-dependent order (varies with "
+                        "PYTHONHASHSEED); iterate sorted(...) instead",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+                for gen in node.generators:
+                    if _is_unordered_set(gen.iter):
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            "comprehension over a set has hash-dependent order "
+                            "(varies with PYTHONHASHSEED); iterate sorted(...) "
+                            "instead",
+                        )
+                        break

@@ -1,0 +1,67 @@
+"""Per-line suppression comments.
+
+Syntax (ruff/pylint-style, anchored on the marker ``reprolint:``)::
+
+    x = np.linalg.inv(s)   # reprolint: disable=RPL002
+    y = time.time()        # reprolint: disable=RPL006,RPL001 -- bench timing
+    z = legacy_call()      # reprolint: disable -- vendored reference code
+
+``disable`` with no ``=``-list suppresses every rule on that line.  Text
+after `` -- `` is a free-form justification; reprolint requires the comment,
+reviewers enforce that the justification is honest.
+
+Comments are collected with :mod:`tokenize` so a ``#`` inside a string
+literal never reads as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: line -> suppressed codes; the sentinel ``ALL`` suppresses everything.
+SuppressionMap = Dict[int, FrozenSet[str]]
+
+ALL = "ALL"
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable"  # marker
+    r"(?:=(?P<codes>[A-Z0-9,\s]+?))?"  # optional =RPL001,RPL002
+    r"\s*(?:--.*)?$"  # optional justification
+)
+
+
+def collect_suppressions(source: str) -> SuppressionMap:
+    """Map each physical line to the set of rule codes suppressed on it."""
+    out: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            codes = frozenset({ALL})
+        else:
+            codes = frozenset(c.strip() for c in raw.split(",") if c.strip())
+            if not codes:
+                continue
+        line = tok.start[0]
+        out[line] = out.get(line, frozenset()) | codes
+    return out
+
+
+def is_suppressed(suppressions: SuppressionMap, lines: range, code: str) -> bool:
+    """True when ``code`` is suppressed on any line of ``lines``."""
+    for line in lines:
+        codes = suppressions.get(line)
+        if codes is not None and (code in codes or ALL in codes):
+            return True
+    return False
