@@ -1,0 +1,175 @@
+"""Serving layer: ingest throughput and micro-batched vs per-request scoring.
+
+The serving acceptance number lives here: with 64 concurrent sessions at
+d = 5, scoring one coalesced batch through the stacked kernels must be at
+least 5x faster than issuing the same queries one request at a time.
+Both paths run the *identical* scoring code (`MomentService.query_many`),
+so the comparison isolates exactly what micro-batching buys — amortised
+Python dispatch and ``(B, d, d)`` LAPACK calls instead of ``B`` separate
+``(d, d)`` ones.
+
+The measured numbers are written to ``BENCH_serving.json`` at the repo
+root (same convention as ``BENCH_cv.json`` / ``BENCH_mc.json``) so the
+speedup is tracked in review diffs.  ``REPRO_BENCH_SCALE=smoke`` shrinks
+ingest volume and repeats for CI; the session count stays at 64 because
+it is part of the acceptance criterion.
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _bench_util import emit
+from repro.core.prior import PriorKnowledge
+from repro.serving import MomentService
+
+D = 5
+N_SESSIONS = 64
+LOGLIK_ROWS = 8
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _sizing(scale):
+    if scale.label == "smoke":
+        return {"rows_per_session": 20, "repeats": 2, "ingest_rows": 2_000}
+    if scale.label == "paper":
+        return {"rows_per_session": 500, "repeats": 10, "ingest_rows": 100_000}
+    return {"rows_per_session": 200, "repeats": 5, "ingest_rows": 20_000}
+
+
+def _build_service(rows_per_session: int, seed: int = 0) -> MomentService:
+    rng = np.random.default_rng(seed)
+    service = MomentService(start_queue=False)
+    for i in range(N_SESSIONS):
+        a = rng.standard_normal((D, D))
+        prior = PriorKnowledge(rng.standard_normal(D), a @ a.T + D * np.eye(D))
+        key = f"pop/{i:03d}"
+        service.create_session(key, prior, kappa0=2.0, v0=D + 3.0)
+        if rows_per_session > 0:
+            service.ingest(key, rng.standard_normal((rows_per_session, D)))
+    return service
+
+
+def _best_of(fn, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def sized(scale):
+    return _sizing(scale)
+
+
+def test_ingest_throughput(sized, scale):
+    """Single-row Welford ingest rate (the tester-floor trickle path)."""
+    service = MomentService(start_queue=False)
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((D, D))
+    prior = PriorKnowledge(rng.standard_normal(D), a @ a.T + D * np.eye(D))
+    service.create_session("dut", prior, kappa0=2.0, v0=D + 3.0)
+    rows = rng.standard_normal((sized["ingest_rows"], D))
+
+    t0 = time.perf_counter()
+    for row in rows:
+        service.ingest("dut", row)
+    elapsed = time.perf_counter() - t0
+    rate = sized["ingest_rows"] / elapsed
+
+    block_service = _build_service(0, seed=3)
+    t0 = time.perf_counter()
+    block_service.ingest("pop/000", rows)
+    block_elapsed = time.perf_counter() - t0
+
+    emit(
+        f"serving ingest ({scale.label}): {sized['ingest_rows']} rows one-at-a-time "
+        f"in {elapsed * 1e3:.1f} ms ({rate:,.0f} rows/s); "
+        f"same block batched in {block_elapsed * 1e3:.2f} ms"
+    )
+    assert service.store.get("dut").n_ingested == sized["ingest_rows"]
+    _record("ingest", {
+        "rows": sized["ingest_rows"],
+        "one_at_a_time_s": round(elapsed, 6),
+        "rows_per_s": round(rate),
+        "block_s": round(block_elapsed, 6),
+    })
+
+
+def test_batched_vs_per_request_query_latency(sized, scale):
+    """The acceptance measurement: 64 sessions, d=5, batched >= 5x."""
+    service = _build_service(sized["rows_per_session"], seed=7)
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((LOGLIK_ROWS, D))
+    keys = service.store.keys()
+    queries = [("estimate", key, None) for key in keys] + [
+        ("loglik", key, x) for key in keys
+    ]
+
+    batched_s, batched_results = _best_of(
+        lambda: service.query_many(queries), sized["repeats"]
+    )
+    per_request_s, per_request_results = _best_of(
+        lambda: [service.query_many([query])[0] for query in queries],
+        sized["repeats"],
+    )
+
+    # same scoring code either way -> answers must agree before timing counts
+    for batched, scalar in zip(batched_results, per_request_results):
+        if hasattr(batched, "mean"):
+            np.testing.assert_allclose(batched.mean, scalar.mean, atol=1e-10)
+            np.testing.assert_allclose(
+                batched.covariance, scalar.covariance, atol=1e-10
+            )
+        else:
+            assert batched == pytest.approx(scalar, abs=1e-8)
+
+    speedup = per_request_s / batched_s
+    emit(
+        f"serving query scoring ({scale.label}): {len(queries)} queries over "
+        f"{N_SESSIONS} sessions (d={D}) — per-request {per_request_s * 1e3:.1f} ms, "
+        f"micro-batched {batched_s * 1e3:.2f} ms -> {speedup:.1f}x"
+    )
+    _record("query_latency", {
+        "n_sessions": N_SESSIONS,
+        "dim": D,
+        "n_queries": len(queries),
+        "rows_per_session": sized["rows_per_session"],
+        "repeats": sized["repeats"],
+        "per_request_s": round(per_request_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup": round(speedup, 2),
+    }, finalize=True, scale_label=scale.label)
+    if scale.label != "smoke":
+        # CI smoke boxes are too noisy to gate on; the committed
+        # BENCH_serving.json records the reduced-scale number.
+        assert speedup >= 5.0, f"micro-batching speedup {speedup:.1f}x < 5x"
+
+
+_SECTIONS = {}
+
+
+def _record(section, payload, finalize=False, scale_label=""):
+    """Accumulate sections; write BENCH_serving.json once all are in."""
+    _SECTIONS[section] = payload
+    if not finalize:
+        return
+    document = {
+        "scale": scale_label,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        **_SECTIONS,
+    }
+    out = _REPO_ROOT / "BENCH_serving.json"
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    emit(f"wrote {out}")

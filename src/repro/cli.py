@@ -12,7 +12,13 @@ harness:
   command accepts, with capability metadata;
 * ``figure4`` / ``figure5`` — regenerate a paper figure's series;
 * ``cost`` — the cost-reduction headline for a circuit;
-* ``gof`` — multivariate-normality diagnostics of a saved bank.
+* ``gof`` — multivariate-normality diagnostics of a saved bank;
+* ``serve`` — run the streaming estimation service as a JSON-lines
+  stdin/stdout loop (see :mod:`repro.serving.protocol`);
+* ``ingest`` — fold late-stage samples from a saved bank into a serving
+  checkpoint (creating the session from the bank's early stage);
+* ``query`` — ask a serving checkpoint for an estimate, a log-likelihood,
+  a parametric yield, its counters, or its session list.
 
 The CLI constructs no concrete estimator class itself — everything goes
 through :mod:`repro.core.registry`, so a newly registered estimator is
@@ -98,6 +104,67 @@ def build_parser() -> argparse.ArgumentParser:
     gof = sub.add_parser("gof", help="normality diagnostics of a saved bank")
     gof.add_argument("dataset", help=".npz bank from 'generate'")
     gof.add_argument("--stage", choices=["early", "late"], default="late")
+
+    serve = sub.add_parser(
+        "serve", help="run the estimation service as a JSON-lines stdin/stdout loop"
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        help="restore state from this checkpoint if it exists",
+    )
+    serve.add_argument(
+        "--save-on-exit",
+        action="store_true",
+        help="write the checkpoint back when the loop ends (requires --checkpoint)",
+    )
+    serve.add_argument("--max-sessions", type=int, default=1024)
+    serve.add_argument(
+        "--ttl-ops",
+        type=int,
+        default=None,
+        help="evict sessions idle for this many store operations",
+    )
+
+    ingest = sub.add_parser(
+        "ingest", help="fold late-stage bank samples into a serving checkpoint"
+    )
+    ingest.add_argument("checkpoint", help="serving checkpoint path (updated in place)")
+    ingest.add_argument("--session", required=True, help="target session key")
+    ingest.add_argument("--dataset", required=True, help=".npz bank from 'generate'")
+    ingest.add_argument(
+        "--samples", type=int, default=16, help="late samples to draw from the bank"
+    )
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--create",
+        action="store_true",
+        help=(
+            "create the checkpoint and/or session when missing; the prior "
+            "comes from the bank's early stage"
+        ),
+    )
+    ingest.add_argument("--kappa0", type=float, default=None, help="pin kappa0")
+    ingest.add_argument("--v0", type=float, default=None, help="pin v0")
+
+    query = sub.add_parser("query", help="query a serving checkpoint")
+    query.add_argument("checkpoint", help="serving checkpoint path (read-only)")
+    query.add_argument(
+        "kind", choices=["estimate", "loglik", "yield", "stats", "sessions"]
+    )
+    query.add_argument("--session", default=None, help="session key (per-session kinds)")
+    query.add_argument(
+        "--dataset", default=None, help=".npz bank supplying rows for 'loglik'"
+    )
+    query.add_argument(
+        "--rows", type=int, default=16, help="rows drawn from the bank for 'loglik'"
+    )
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--lower", default=None, help="comma-separated lower spec bounds")
+    query.add_argument("--upper", default=None, help="comma-separated upper spec bounds")
+    query.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     return parser
 
@@ -278,6 +345,158 @@ def _cmd_gof(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.serving import MomentService, serve_loop
+
+    # The stdin loop is a single reader, so queries take the service's
+    # synchronous batch path; no collector thread is needed.
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        service = MomentService.restore(args.checkpoint, start_queue=False)
+        print(f"restored service state from {args.checkpoint}", file=sys.stderr)
+    else:
+        service = MomentService(
+            max_sessions=args.max_sessions,
+            ttl_ops=args.ttl_ops,
+            start_queue=False,
+        )
+    if args.save_on_exit and not args.checkpoint:
+        print("--save-on-exit requires --checkpoint", file=sys.stderr)
+        return 2
+    print(
+        "repro serving loop: one JSON request per line on stdin "
+        "(op: ping/create/ingest/estimate/loglik/yield/sessions/drop/"
+        "stats/checkpoint/shutdown)",
+        file=sys.stderr,
+    )
+    handled = serve_loop(service)
+    if args.save_on_exit:
+        sha = service.checkpoint(args.checkpoint)
+        print(
+            f"saved state to {args.checkpoint} (sha256 {sha[:12]}...)",
+            file=sys.stderr,
+        )
+    service.close()
+    print(f"served {handled} requests", file=sys.stderr)
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    import os
+
+    from repro.core.prior import PriorKnowledge
+    from repro.io import load_dataset
+    from repro.serving import MomentService
+
+    dataset = load_dataset(args.dataset)
+    if os.path.exists(args.checkpoint):
+        service = MomentService.restore(args.checkpoint, start_queue=False)
+    elif args.create:
+        service = MomentService(start_queue=False)
+    else:
+        print(
+            f"checkpoint {args.checkpoint} does not exist (pass --create to start one)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.session not in service.store:
+        if not args.create:
+            print(
+                f"session {args.session!r} not in checkpoint "
+                "(pass --create to register it from the bank's early stage)",
+                file=sys.stderr,
+            )
+            return 2
+        prior = PriorKnowledge.from_samples(dataset.early)
+        service.create_session(
+            args.session, prior, kappa0=args.kappa0, v0=args.v0
+        )
+        print(
+            f"created session {args.session!r} from the bank's early stage "
+            f"({dataset.early.shape[0]} rows, {dataset.dim} metrics)"
+        )
+    rng = np.random.default_rng(args.seed)
+    subset = dataset.late_subset(args.samples, rng)
+    total = service.ingest(args.session, subset)
+    sha = service.checkpoint(args.checkpoint)
+    print(
+        f"ingested {subset.shape[0]} late samples into {args.session!r} "
+        f"(session n={total}); wrote {args.checkpoint} (sha256 {sha[:12]}...)"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.io import load_dataset
+    from repro.serving import MomentService
+
+    service = MomentService.restore(args.checkpoint, start_queue=False)
+
+    if args.kind == "stats":
+        print(json.dumps(service.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.kind == "sessions":
+        for key in service.store.keys():
+            print(key)
+        return 0
+
+    if not args.session:
+        print(f"query kind {args.kind!r} requires --session", file=sys.stderr)
+        return 2
+
+    if args.kind == "estimate":
+        estimate = service.query_many([("estimate", args.session, None)])[0]
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "key": args.session,
+                        "mean": estimate.mean.tolist(),
+                        "covariance": estimate.covariance.tolist(),
+                        "n": estimate.n_samples,
+                        "info": dict(estimate.info),
+                    }
+                )
+            )
+        else:
+            print(
+                f"session {args.session!r}: MAP estimate from "
+                f"{estimate.n_samples} ingested samples"
+            )
+            print(f"{'metric':<10} {'mean':>14} {'std':>14}")
+            stds = np.sqrt(np.diag(estimate.covariance))
+            for i, (mean, std) in enumerate(zip(estimate.mean, stds)):
+                print(f"m{i:<9} {mean:>14.6g} {std:>14.6g}")
+        return 0
+
+    if args.kind == "loglik":
+        if not args.dataset:
+            print("query loglik requires --dataset", file=sys.stderr)
+            return 2
+        dataset = load_dataset(args.dataset)
+        rng = np.random.default_rng(args.seed)
+        rows = dataset.late_subset(args.rows, rng)
+        value = service.query_many([("loglik", args.session, rows)])[0]
+        print(
+            f"log-likelihood of {rows.shape[0]} bank rows under "
+            f"session {args.session!r}: {value:.6g}"
+        )
+        return 0
+
+    # kind == "yield"
+    if args.lower is None or args.upper is None:
+        print("query yield requires --lower and --upper", file=sys.stderr)
+        return 2
+    lower = np.asarray([float(t) for t in args.lower.split(",")])
+    upper = np.asarray([float(t) for t in args.upper.split(",")])
+    value = service.query_many([("yield", args.session, (lower, upper))])[0]
+    print(f"parametric yield of session {args.session!r}: {value:.6f}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -289,6 +508,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure5": lambda a: _run_figure(a, "figure5"),
         "cost": _cmd_cost,
         "gof": _cmd_gof,
+        "serve": _cmd_serve,
+        "ingest": _cmd_ingest,
+        "query": _cmd_query,
     }
     return handlers[args.command](args)
 

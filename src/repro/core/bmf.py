@@ -27,9 +27,50 @@ from repro.core.hypergrid import HyperParameterGrid
 from repro.core.prior import PriorKnowledge
 from repro.exceptions import HyperParameterError, InsufficientDataError
 from repro.linalg.validation import as_samples, clip_eigenvalues, symmetrize
-from repro.stats.moments import sample_mean, scatter_matrix
+from repro.stats.suffstats import SufficientStats
 
-__all__ = ["map_moments", "BMFEstimator"]
+__all__ = ["map_moments", "map_moments_from_stats", "BMFEstimator"]
+
+
+def map_moments_from_stats(
+    prior: PriorKnowledge,
+    stats: SufficientStats,
+    kappa0: float,
+    v0: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """MAP mean and covariance (Eq. 31–32) from sufficient statistics.
+
+    The posterior mode touches the late-stage data only through
+    ``(n, Xbar, S)``, so the estimate can be produced from a
+    :class:`~repro.stats.suffstats.SufficientStats` accumulator without
+    re-visiting raw samples — this is what makes the one-shot and
+    streaming (serving) paths provably identical: both funnel through
+    this single arithmetic.
+
+    ``n == 0`` is allowed and returns the prior mode ``(mu_E, Sigma_E)``
+    exactly — the natural answer for a serving session that has not yet
+    ingested any late-stage measurements.
+    """
+    d = prior.dim
+    if stats.dim != d:
+        raise InsufficientDataError(
+            f"late-stage statistics have {stats.dim} metrics but prior has {d}"
+        )
+    if kappa0 <= 0.0:
+        raise HyperParameterError(f"kappa0 must be > 0, got {kappa0}")
+    if v0 <= d:
+        raise HyperParameterError(f"v0 must exceed d = {d}, got {v0}")
+
+    n = stats.n
+    diff = prior.mean - stats.mean
+    mu_map = (kappa0 * prior.mean + n * stats.mean) / (kappa0 + n)
+    numerator = (
+        (v0 - d) * prior.covariance
+        + stats.scatter
+        + (kappa0 * n / (kappa0 + n)) * np.outer(diff, diff)
+    )
+    sigma_map = symmetrize(numerator / (v0 + n - d))
+    return mu_map, sigma_map
 
 
 def map_moments(
@@ -53,30 +94,19 @@ def map_moments(
     -------
     ``(mu_map, sigma_map)`` with ``sigma_map`` symmetric positive definite
     (it is a positively weighted sum of an SPD matrix and PSD terms).
+
+    This is a thin wrapper over :func:`map_moments_from_stats`; the
+    one-shot statistics use the same batch formulas as always, so results
+    are bit-identical to earlier revisions that inlined them.
     """
     data = as_samples(samples)
-    n, d = data.shape
-    if d != prior.dim:
+    if data.shape[1] != prior.dim:
         raise InsufficientDataError(
-            f"late-stage samples have {d} metrics but prior has {prior.dim}"
+            f"late-stage samples have {data.shape[1]} metrics but prior has {prior.dim}"
         )
-    if kappa0 <= 0.0:
-        raise HyperParameterError(f"kappa0 must be > 0, got {kappa0}")
-    if v0 <= d:
-        raise HyperParameterError(f"v0 must exceed d = {d}, got {v0}")
-
-    xbar = sample_mean(data)
-    scatter = scatter_matrix(data)
-    diff = prior.mean - xbar
-
-    mu_map = (kappa0 * prior.mean + n * xbar) / (kappa0 + n)
-    numerator = (
-        (v0 - d) * prior.covariance
-        + scatter
-        + (kappa0 * n / (kappa0 + n)) * np.outer(diff, diff)
+    return map_moments_from_stats(
+        prior, SufficientStats.from_samples(data), kappa0, v0
     )
-    sigma_map = symmetrize(numerator / (v0 + n - d))
-    return mu_map, sigma_map
 
 
 class BMFEstimator(MomentEstimator):
@@ -171,6 +201,34 @@ class BMFEstimator(MomentEstimator):
             n_samples=n,
             method=self.name,
             info={"kappa0": float(kappa0), "v0": float(v0)},
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_from_stats(self, stats: SufficientStats) -> MomentEstimate:
+        """MAP estimate from accumulated sufficient statistics.
+
+        The streaming entry point: no raw samples are touched, so the
+        serving layer can answer ``estimate`` queries straight from a
+        session's :class:`~repro.stats.suffstats.SufficientStats`.  Only
+        pinned-hyper-parameter mode is supported — fold-based cross
+        validation needs the raw rows to split, which an accumulator has
+        deliberately discarded.
+        """
+        if self.kappa0 is None or self.v0 is None:
+            raise HyperParameterError(
+                "estimate_from_stats requires pinned (kappa0, v0); "
+                "cross-validated selection needs raw samples"
+            )
+        mu_map, sigma_map = map_moments_from_stats(
+            self.prior, stats, self.kappa0, self.v0
+        )
+        sigma_map = clip_eigenvalues(sigma_map, 1e-12)
+        return MomentEstimate(
+            mean=mu_map,
+            covariance=sigma_map,
+            n_samples=stats.n,
+            method=self.name,
+            info={"kappa0": float(self.kappa0), "v0": float(self.v0)},
         )
 
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.estimators import MomentEstimate, MomentEstimator
 from repro.exceptions import InsufficientDataError
 from repro.linalg.validation import clip_eigenvalues
-from repro.stats.moments import mle_covariance, sample_mean
+from repro.stats.suffstats import SufficientStats
 
 __all__ = ["MLEstimator"]
 
@@ -51,13 +51,23 @@ class MLEstimator(MomentEstimator):
     ) -> MomentEstimate:
         """Estimate the moments via Eq. (10)–(11)."""
         data = self._check(samples)
-        n = data.shape[0]
+        return self.estimate_from_stats(SufficientStats.from_samples(data))
+
+    def estimate_from_stats(self, stats: SufficientStats) -> MomentEstimate:
+        """Eq. (10)–(11) from accumulated sufficient statistics.
+
+        ``Xbar`` and ``S/n`` are exactly the accumulator's ``(mean,
+        scatter/n)``, so the MLE needs no raw samples either — the one-shot
+        :meth:`estimate` funnels through here with a freshly built
+        accumulator and is bit-identical to earlier inline revisions.
+        """
+        n = stats.n
         if n < 2:
             raise InsufficientDataError(
                 f"MLE covariance needs at least 2 samples, got {n}"
             )
-        mean = sample_mean(data)
-        cov = mle_covariance(data)
+        mean = stats.mean
+        cov = stats.scatter / n
         if self.ddof == 1:
             cov = cov * n / (n - 1)
         if self.eig_floor_rel > 0.0:

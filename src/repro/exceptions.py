@@ -71,3 +71,29 @@ class UnknownEstimatorError(ReproError, KeyError):
 class ConfigError(ReproError, ValueError):
     """Raised when a serialized :class:`~repro.core.registry.FusionConfig`
     or :class:`~repro.core.registry.EstimatorSpec` payload is malformed."""
+
+
+class SchemaVersionError(ConfigError):
+    """Raised when a serialized artefact declares an unsupported schema version.
+
+    Distinguished from a generally malformed payload (:class:`ConfigError`)
+    because the remedy differs: the file is *valid*, just written by a
+    newer (or unknown) revision — upgrade the reader instead of fixing the
+    file.  Loaders must raise this rather than guessing at forward
+    compatibility.
+    """
+
+
+class SessionNotFoundError(ReproError, KeyError):
+    """Raised when a serving query names a session key that does not exist
+    (never created, or already evicted by TTL / capacity pressure)."""
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """Raised when the serving request queue is full (backpressure).
+
+    The micro-batching queue bounds its pending-request memory; once the
+    bound is hit, new submissions fail fast with this error instead of
+    growing the queue without limit.  Callers should retry with backoff or
+    shed load.
+    """

@@ -2,15 +2,24 @@
 
 Post-silicon validation collects measurements die by die; waiting for the
 full batch before fusing wastes information.  Because the normal-Wishart
-prior is conjugate, the posterior after each die is again normal-Wishart
-(Eq. 23–28), so updates can be applied incrementally with O(d^2) state.
+posterior touches the data only through the additive sufficient
+statistics ``(n, Xbar, S)``, updates can be applied incrementally with
+O(d^2) state.
 
-:class:`SequentialBMF` wraps that recursion and exposes the running MAP
-estimate after every observed sample — by conjugacy it matches the batch
-result of :func:`repro.core.bmf.map_moments` exactly, which the tests
-verify.  It also offers a simple stopping rule: stop measuring once the
-estimate movement falls below a tolerance for ``patience`` consecutive
-dies.
+:class:`SequentialBMF` is a thin consumer of
+:class:`repro.stats.suffstats.SufficientStats` — the same accumulator
+the serving layer (:mod:`repro.serving`) builds sessions on — and
+computes the running MAP estimate after every observed sample via
+:func:`repro.core.bmf.map_moments_from_stats`.  Because the batch
+estimator funnels through that exact arithmetic, streaming matches the
+one-shot result to floating-point rounding, which the tests verify.  It
+also offers a simple stopping rule: stop measuring once the estimate
+movement falls below a tolerance for ``patience`` consecutive dies.
+
+(The previous revision chained full normal-Wishart posterior objects,
+inverting two ``(d, d)`` matrices per die; the accumulator path is both
+cheaper — no inversions until an estimate is asked for — and shares one
+code path with the batch estimator instead of a parallel recursion.)
 """
 
 from __future__ import annotations
@@ -20,11 +29,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.bmf import map_moments_from_stats
 from repro.core.estimators import MomentEstimate, MomentEstimator
 from repro.core.prior import PriorKnowledge
 from repro.exceptions import DimensionError, HyperParameterError
 from repro.linalg.norms import frobenius_norm, vector_2norm
-from repro.stats.normal_wishart import NormalWishart
+from repro.stats.suffstats import SufficientStats
 
 __all__ = ["SequentialBMF", "SequentialBMFEstimator", "SequentialState"]
 
@@ -66,10 +76,7 @@ class SequentialBMF:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Forget all observed samples and restart from the prior."""
-        self._posterior: NormalWishart = self.prior.to_normal_wishart(
-            self.kappa0, self.v0
-        )
-        self._n = 0
+        self._stats: SufficientStats = SufficientStats.empty(self.prior.dim)
         self._last_mean: Optional[np.ndarray] = None
         self._last_cov: Optional[np.ndarray] = None
         self.history: List[SequentialState] = []
@@ -77,9 +84,19 @@ class SequentialBMF:
     @property
     def n_observed(self) -> int:
         """Number of samples folded in so far."""
-        return self._n
+        return self._stats.n
+
+    @property
+    def stats(self) -> SufficientStats:
+        """The live accumulator (shared representation with `repro.serving`)."""
+        return self._stats
 
     # ------------------------------------------------------------------
+    def _map_moments(self):
+        return map_moments_from_stats(
+            self.prior, self._stats, self.kappa0, self.v0
+        )
+
     def observe(self, x) -> SequentialState:
         """Fold in one die's metric vector and return the updated state."""
         row = np.atleast_1d(np.asarray(x, dtype=float))
@@ -87,21 +104,20 @@ class SequentialBMF:
             raise DimensionError(
                 f"observation must be a length-{self.prior.dim} vector"
             )
-        self._posterior = self._posterior.posterior(row[None, :])
-        self._n += 1
-        estimate = self._posterior.map_estimate()
+        self._stats.push(row)
+        mean, cov = self._map_moments()
         if self._last_mean is None:
             mean_step = float("inf")
             cov_step = float("inf")
         else:
-            mean_step = vector_2norm(estimate.mean - self._last_mean)
-            cov_step = frobenius_norm(estimate.covariance - self._last_cov)
-        self._last_mean = estimate.mean
-        self._last_cov = estimate.covariance
+            mean_step = vector_2norm(mean - self._last_mean)
+            cov_step = frobenius_norm(cov - self._last_cov)
+        self._last_mean = mean
+        self._last_cov = cov
         state = SequentialState(
-            n_observed=self._n,
-            mean=estimate.mean,
-            covariance=estimate.covariance,
+            n_observed=self._stats.n,
+            mean=mean,
+            covariance=cov,
             mean_step=mean_step,
             cov_step=cov_step,
         )
@@ -123,11 +139,11 @@ class SequentialBMF:
         """The latest state (prior mode if nothing observed yet)."""
         if self.history:
             return self.history[-1]
-        estimate = self._posterior.map_estimate()
+        mean, cov = self._map_moments()
         return SequentialState(
             n_observed=0,
-            mean=estimate.mean,
-            covariance=estimate.covariance,
+            mean=mean,
+            covariance=cov,
             mean_step=float("inf"),
             cov_step=float("inf"),
         )

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.circuits.montecarlo import PairedDataset
 from repro.core.estimators import EstimateInfo, MomentEstimate
-from repro.exceptions import ConfigError, DimensionError
+from repro.exceptions import ConfigError, DimensionError, SchemaVersionError
 from repro.experiments.sweep import SweepResult
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "result_from_dict",
     "save_result",
     "load_result",
+    "check_schema_version",
     "sweep_to_csv",
 ]
 
@@ -164,10 +165,42 @@ def load_config(path: PathLike):
 
 
 # ---------------------------------------------------------------------------
+# schema versioning
+# ---------------------------------------------------------------------------
+def check_schema_version(
+    payload: Dict, supported: int, name: str, default: int = 1
+) -> int:
+    """Validate the ``schema_version`` field of a serialized artefact.
+
+    Returns the declared version.  A payload without the field is treated
+    as ``default`` (files written before versioning existed); anything
+    other than ``supported`` raises :class:`~repro.exceptions.SchemaVersionError`
+    — previously unknown future versions loaded silently and produced
+    whatever the old field layout happened to decode to.
+    """
+    version = payload.get("schema_version", default)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SchemaVersionError(
+            f"{name}: schema_version must be an integer, got {version!r}"
+        )
+    if version != supported:
+        raise SchemaVersionError(
+            f"{name}: unsupported schema_version {version} "
+            f"(this reader supports version {supported}); "
+            "upgrade the repro package to read this file"
+        )
+    return version
+
+
+# ---------------------------------------------------------------------------
 # pipeline results
 # ---------------------------------------------------------------------------
 #: Format marker written into every serialized pipeline result.
 RESULT_SCHEMA = "repro.pipeline-result.v1"
+
+#: Structural version of the pipeline-result payload; bump on any breaking
+#: field change so old readers fail loudly instead of misdecoding.
+RESULT_SCHEMA_VERSION = 1
 
 
 def result_to_dict(result) -> Dict:
@@ -182,6 +215,7 @@ def result_to_dict(result) -> Dict:
     transform = result.transform
     return {
         "schema": RESULT_SCHEMA,
+        "schema_version": RESULT_SCHEMA_VERSION,
         "mean": np.asarray(result.mean, dtype=float).tolist(),
         "covariance": np.asarray(result.covariance, dtype=float).tolist(),
         "isotropic": estimate_to_dict(result.isotropic),
@@ -206,6 +240,7 @@ def result_from_dict(payload: Dict):
             f"not a serialized pipeline result (schema {payload.get('schema')!r}, "
             f"expected {RESULT_SCHEMA!r})"
         )
+    check_schema_version(payload, RESULT_SCHEMA_VERSION, "pipeline result")
     try:
         transform_payload = payload["transform"]
         transform = None

@@ -1,0 +1,53 @@
+"""Long-running, in-process moment-estimation service (the serving layer).
+
+Everything below this package estimates from a dataset it is handed; this
+package keeps the estimation *state* alive between requests, which is how
+BMF is actually consumed on a tester floor — measurements trickle in die
+by die, and the MAP estimate must be queryable at any instant without
+re-touching raw samples:
+
+* :mod:`repro.serving.suffstats` — mergeable sufficient-statistics
+  substrate (re-exported from :mod:`repro.stats.suffstats`) plus the
+  stacked Eq. (31)–(32) MAP kernel.
+* :mod:`repro.serving.sessions` — keyed session store with LRU capacity
+  and logical-clock TTL eviction.
+* :mod:`repro.serving.queue` — micro-batching query queue with bounded
+  backpressure.
+* :mod:`repro.serving.service` — :class:`MomentService`, the composed
+  service (+ counters).
+* :mod:`repro.serving.checkpoint` — atomic, integrity-checked snapshot /
+  bit-identical restore.
+* :mod:`repro.serving.protocol` — JSON-lines request handling for the
+  ``repro serve`` CLI verb.
+"""
+
+from repro.serving.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CHECKPOINT_SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serving.protocol import handle_request, serve_loop
+from repro.serving.queue import QUERY_KINDS, MicroBatchQueue, Request
+from repro.serving.service import MomentService, ServiceCounters
+from repro.serving.sessions import Session, SessionStore
+from repro.serving.suffstats import SufficientStats, map_moments_stack, merge_all
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "MicroBatchQueue",
+    "MomentService",
+    "QUERY_KINDS",
+    "Request",
+    "ServiceCounters",
+    "Session",
+    "SessionStore",
+    "SufficientStats",
+    "handle_request",
+    "load_checkpoint",
+    "map_moments_stack",
+    "merge_all",
+    "save_checkpoint",
+    "serve_loop",
+]

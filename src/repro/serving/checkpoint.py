@@ -1,0 +1,124 @@
+"""Atomic checkpoint / restore of full serving state.
+
+A long-running estimation service accumulates state that is expensive or
+impossible to regenerate (silicon measurements trickle in once); the
+checkpoint makes it durable with three guarantees:
+
+* **Exactness** — sufficient statistics, priors, logical clocks, and
+  counters are serialized as JSON floats, which round-trip IEEE-754
+  doubles bit-for-bit (``float.__repr__`` is shortest-round-trip), so a
+  restored service answers queries *bit-identically* to the uninterrupted
+  one — TTL eviction decisions included, because time is logical.
+* **Integrity** — the payload carries a sha256 over its canonical JSON
+  encoding; a flipped bit or truncated file fails loudly at load.
+* **Crash safety** — writes go to a temporary file in the target
+  directory, are fsync'd, then atomically renamed over the destination;
+  a crash mid-write leaves the previous checkpoint intact.
+
+Versioning follows the :mod:`repro.io` result-schema convention: a
+``schema`` marker plus an integer ``schema_version`` checked through
+:func:`repro.io.check_schema_version`, so files written by a newer layout
+are rejected with :class:`~repro.exceptions.SchemaVersionError` instead
+of being misdecoded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import ConfigError
+from repro.io import check_schema_version
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+PathLike = Union[str, Path]
+
+#: Format marker of a serving checkpoint file.
+CHECKPOINT_SCHEMA = "repro.serving-checkpoint.v1"
+
+#: Structural version; bump on any breaking change to the state layout.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def _canonical(document: Dict[str, Any]) -> str:
+    """Canonical JSON encoding the digest is computed over."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(state: Dict[str, Any]) -> str:
+    document = {
+        "schema": CHECKPOINT_SCHEMA,
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "state": state,
+    }
+    return hashlib.sha256(_canonical(document).encode("utf-8")).hexdigest()
+
+
+def save_checkpoint(state: Dict[str, Any], path: PathLike) -> str:
+    """Write a service state dictionary atomically; returns the sha256.
+
+    ``state`` is what :meth:`repro.serving.service.MomentService.state_dict`
+    produces (the function itself is agnostic — any JSON-safe dict works,
+    which keeps it testable in isolation).
+    """
+    target = Path(path)
+    payload = {
+        "schema": CHECKPOINT_SCHEMA,
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "sha256": _digest(state),
+        "state": state,
+    }
+    tmp = target.with_name(target.name + ".tmp")
+    encoded = _canonical(payload)
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(encoded)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return str(payload["sha256"])
+
+
+def load_checkpoint(path: PathLike) -> Dict[str, Any]:
+    """Read, verify, and return the state dictionary of a checkpoint.
+
+    Raises
+    ------
+    ConfigError
+        Not a checkpoint file, or the sha256 does not match (corruption,
+        truncation, or manual edits).
+    SchemaVersionError
+        The file declares a version this reader does not support.
+    """
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"checkpoint {target} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise ConfigError(
+            f"{target} is not a serving checkpoint "
+            f"(schema {payload.get('schema') if isinstance(payload, dict) else None!r}, "
+            f"expected {CHECKPOINT_SCHEMA!r})"
+        )
+    check_schema_version(payload, CHECKPOINT_SCHEMA_VERSION, "serving checkpoint")
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        raise ConfigError(f"checkpoint {target} has no state dictionary")
+    declared = payload.get("sha256")
+    actual = _digest(state)
+    if declared != actual:
+        raise ConfigError(
+            f"checkpoint {target} failed integrity verification "
+            f"(declared sha256 {declared!r}, computed {actual!r})"
+        )
+    return state

@@ -1,0 +1,250 @@
+"""JSON-lines wire protocol for the estimation service.
+
+One request per line on stdin, one response per line on stdout — the
+transport every tester harness and glue script speaks.  A request is a
+JSON object with an ``op`` field; a response always carries ``"ok"``:
+
+.. code-block:: text
+
+    {"op": "create", "key": "lna/tt", "prior_mean": [...], "prior_covariance": [[...]]}
+    {"ok": true, "op": "create", "key": "lna/tt", "dim": 5}
+
+    {"op": "bogus"}
+    {"ok": false, "op": "bogus", "error": "ConfigError", "message": "..."}
+
+Supported operations (full field reference in ``docs/SERVING.md``):
+
+=============  ==============================================================
+``ping``       liveness probe; echoes ``{"ok": true, "op": "ping"}``
+``create``     register a session from explicit prior moments
+``ingest``     fold a sample block (``samples``) or shard sufficient
+               statistics (``stats``) into a session
+``estimate``   MAP ``(mu, Sigma)`` of a session
+``loglik``     joint log-likelihood of ``x`` under the session's MAP
+``yield``      box-probability yield for ``lower``/``upper`` spec bounds
+``sessions``   list live session keys
+``drop``       remove a session
+``stats``      service counter snapshot
+``checkpoint`` atomic snapshot of the full service state to ``path``
+``shutdown``   stop the serve loop (after responding)
+=============  ==============================================================
+
+Errors never kill the loop: any :class:`~repro.exceptions.ReproError` or
+malformed-input error is reported on the offending response line and the
+loop keeps reading.  Queries taken through this module use the service's
+synchronous batch path (`MomentService.query_many`) — a single stdin
+reader gains nothing from cross-request coalescing, and determinism is
+worth more on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Callable, Dict, IO, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigError, ReproError
+from repro.serving.service import MomentService
+from repro.core.prior import PriorKnowledge
+from repro.stats.suffstats import SufficientStats
+
+__all__ = ["handle_request", "serve_loop", "PROTOCOL_OPS"]
+
+#: Operations the wire protocol accepts.
+PROTOCOL_OPS = (
+    "ping",
+    "create",
+    "ingest",
+    "estimate",
+    "loglik",
+    "yield",
+    "sessions",
+    "drop",
+    "stats",
+    "checkpoint",
+    "shutdown",
+)
+
+
+def _require(request: Dict[str, Any], field: str) -> Any:
+    try:
+        return request[field]
+    except KeyError:
+        raise ConfigError(
+            f"request op {request.get('op')!r} requires field {field!r}"
+        ) from None
+
+
+def _op_ping(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    del service, request
+    return {}
+
+
+def _op_create(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    key = str(_require(request, "key"))
+    prior = PriorKnowledge(
+        mean=np.asarray(_require(request, "prior_mean"), dtype=float),
+        covariance=np.asarray(_require(request, "prior_covariance"), dtype=float),
+        n_samples=int(request.get("prior_n_samples", 0)),
+    )
+    kappa0 = request.get("kappa0")
+    v0 = request.get("v0")
+    session = service.create_session(
+        key,
+        prior,
+        kappa0=None if kappa0 is None else float(kappa0),
+        v0=None if v0 is None else float(v0),
+        exist_ok=bool(request.get("exist_ok", False)),
+    )
+    return {
+        "key": session.key,
+        "dim": session.dim,
+        "kappa0": session.kappa0,
+        "v0": session.v0,
+        "n": session.n_ingested,
+    }
+
+
+def _op_ingest(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    key = str(_require(request, "key"))
+    if "stats" in request:
+        stats = SufficientStats.from_dict(request["stats"])
+        total = service.ingest_stats(key, stats)
+        folded = stats.n
+    else:
+        samples = np.asarray(_require(request, "samples"), dtype=float)
+        total = service.ingest(key, samples)
+        folded = 1 if samples.ndim == 1 else int(samples.shape[0])
+    return {"key": key, "ingested": folded, "n": total}
+
+
+def _op_estimate(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    key = str(_require(request, "key"))
+    estimate = service.query_many([("estimate", key, None)])[0]
+    return {
+        "key": key,
+        "mean": estimate.mean.tolist(),
+        "covariance": estimate.covariance.tolist(),
+        "n": estimate.n_samples,
+        "method": estimate.method,
+        "info": dict(estimate.info),
+    }
+
+
+def _op_loglik(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    key = str(_require(request, "key"))
+    x = np.asarray(_require(request, "x"), dtype=float)
+    value = service.query_many([("loglik", key, x)])[0]
+    return {"key": key, "loglik": float(value)}
+
+
+def _op_yield(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    key = str(_require(request, "key"))
+    lower = np.asarray(_require(request, "lower"), dtype=float)
+    upper = np.asarray(_require(request, "upper"), dtype=float)
+    value = service.query_many([("yield", key, (lower, upper))])[0]
+    return {"key": key, "yield": float(value)}
+
+
+def _op_sessions(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    del request
+    return {"sessions": service.store.keys()}
+
+
+def _op_drop(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    key = str(_require(request, "key"))
+    return {"key": key, "dropped": service.store.drop(key)}
+
+
+def _op_stats(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    del request
+    return {"stats": service.stats()}
+
+
+def _op_checkpoint(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+    path = str(_require(request, "path"))
+    sha256 = service.checkpoint(path)
+    return {"path": path, "sha256": sha256}
+
+
+_HANDLERS: Dict[str, Callable[[MomentService, Dict[str, Any]], Dict[str, Any]]] = {
+    "ping": _op_ping,
+    "create": _op_create,
+    "ingest": _op_ingest,
+    "estimate": _op_estimate,
+    "loglik": _op_loglik,
+    "yield": _op_yield,
+    "sessions": _op_sessions,
+    "drop": _op_drop,
+    "stats": _op_stats,
+    "checkpoint": _op_checkpoint,
+}
+
+
+def handle_request(service: MomentService, line: str) -> Dict[str, Any]:
+    """Decode one request line, execute it, and return the response dict.
+
+    Never raises for client mistakes — malformed JSON, unknown ops,
+    missing fields, and estimator errors all come back as
+    ``{"ok": false, "error": <class>, "message": <detail>}`` so a stream
+    of requests degrades per-line rather than tearing the session down.
+    """
+    op: Optional[str] = None
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ConfigError("request must be a JSON object")
+        op = str(request.get("op"))
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        handler = _HANDLERS.get(op)
+        if handler is None:
+            raise ConfigError(
+                f"unknown op {op!r}; expected one of {sorted(PROTOCOL_OPS)}"
+            )
+        body = handler(service, request)
+    except json.JSONDecodeError as exc:
+        return {
+            "ok": False,
+            "op": op,
+            "error": "JSONDecodeError",
+            "message": str(exc),
+        }
+    except (ReproError, TypeError, ValueError, KeyError) as exc:
+        return {
+            "ok": False,
+            "op": op,
+            "error": type(exc).__name__,
+            "message": str(exc),
+        }
+    response: Dict[str, Any] = {"ok": True, "op": op}
+    response.update(body)
+    return response
+
+
+def serve_loop(
+    service: MomentService,
+    lines: Optional[Iterable[str]] = None,
+    out: Optional[IO[str]] = None,
+) -> int:
+    """Run the JSON-lines loop until ``shutdown`` or end of input.
+
+    Returns the number of requests handled.  ``lines``/``out`` default to
+    stdin/stdout; injectable for tests.
+    """
+    source = sys.stdin if lines is None else lines
+    sink = sys.stdout if out is None else out
+    handled = 0
+    for raw in source:
+        line = raw.strip()
+        if not line:
+            continue
+        response = handle_request(service, line)
+        sink.write(json.dumps(response) + "\n")
+        sink.flush()
+        handled += 1
+        if response.get("op") == "shutdown" and response.get("ok"):
+            break
+    return handled

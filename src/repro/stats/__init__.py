@@ -32,6 +32,7 @@ from repro.stats.multivariate_gaussian import (
 )
 from repro.stats.normal_wishart import MapEstimate, NormalWishart
 from repro.stats.student_t import MultivariateT
+from repro.stats.suffstats import SufficientStats, merge_all
 from repro.stats.wishart import InverseWishart, Wishart
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "MultivariateGaussian",
     "MultivariateT",
     "NormalWishart",
+    "SufficientStats",
     "Wishart",
     "bhattacharyya_gaussian",
     "correlation_from_covariance",
@@ -54,6 +56,7 @@ __all__ = [
     "mardia_kurtosis",
     "mardia_skewness",
     "marginal_moment_check",
+    "merge_all",
     "mle_covariance",
     "multigamma",
     "multigammaln",

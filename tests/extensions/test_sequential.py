@@ -91,3 +91,33 @@ class TestValidation:
     def test_rejects_empty_batch(self, seq):
         with pytest.raises(DimensionError):
             seq.observe_batch(np.empty((0, 5)))
+
+
+class TestOneShotEquivalence:
+    """Satellite acceptance: a sample-at-a-time stream reproduces the
+    one-shot BMFEstimator to 1e-10, via the shared suffstats substrate."""
+
+    def test_streamed_matches_one_shot_estimator(
+        self, seq, synthetic_prior, gaussian5, rng
+    ):
+        from repro.core.bmf import BMFEstimator
+
+        data = gaussian5.sample(48, rng)
+        for row in data:
+            seq.observe(row)
+        reference = BMFEstimator(synthetic_prior, kappa0=3.0, v0=15.0).estimate(data)
+        state = seq.current_estimate()
+        np.testing.assert_allclose(state.mean, reference.mean, atol=1e-10)
+        np.testing.assert_allclose(
+            state.covariance, reference.covariance, atol=1e-10
+        )
+
+    def test_exposes_suffstats_accumulator(self, seq, gaussian5, rng):
+        from repro.stats.suffstats import SufficientStats
+
+        data = gaussian5.sample(7, rng)
+        seq.observe_batch(data)
+        assert isinstance(seq.stats, SufficientStats)
+        assert seq.stats.n == 7
+        reference = SufficientStats.from_samples(data)
+        np.testing.assert_allclose(seq.stats.mean, reference.mean, atol=1e-12)

@@ -1,0 +1,84 @@
+"""Checkpoint file format: atomicity, integrity, versioning."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigError, SchemaVersionError
+from repro.serving.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CHECKPOINT_SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+STATE = {"store": {"sessions": [], "clock": 7}, "counters": {"errors": 0}}
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        sha = save_checkpoint(STATE, path)
+        assert len(sha) == 64
+        assert load_checkpoint(path) == STATE
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(STATE, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(STATE, path)
+        save_checkpoint({"store": {}, "counters": {}}, path)
+        assert load_checkpoint(path) == {"store": {}, "counters": {}}
+
+    def test_digest_is_deterministic(self, tmp_path):
+        sha_a = save_checkpoint(STATE, tmp_path / "a.json")
+        sha_b = save_checkpoint(STATE, tmp_path / "b.json")
+        assert sha_a == sha_b
+
+
+class TestRejection:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("definitely not json{")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_checkpoint(path)
+
+    def test_wrong_schema_marker(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"schema": "something.else", "state": {}}))
+        with pytest.raises(ConfigError, match="not a serving checkpoint"):
+            load_checkpoint(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(STATE, path)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaVersionError):
+            load_checkpoint(path)
+
+    def test_corruption_detected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(STATE, path)
+        payload = json.loads(path.read_text())
+        payload["state"]["store"]["clock"] = 8  # single flipped value
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="integrity"):
+            load_checkpoint(path)
+
+    def test_missing_state(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": CHECKPOINT_SCHEMA,
+                    "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                }
+            )
+        )
+        with pytest.raises(ConfigError, match="no state"):
+            load_checkpoint(path)

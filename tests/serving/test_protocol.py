@@ -1,0 +1,155 @@
+"""JSON-lines protocol: every op, error containment, the serve loop."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.prior import PriorKnowledge
+from repro.serving import MomentService, handle_request, serve_loop
+
+D = 3
+
+
+@pytest.fixture
+def service(rng):
+    svc = MomentService(start_queue=False)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def prior_fields(rng):
+    a = rng.standard_normal((D, D))
+    cov = a @ a.T + D * np.eye(D)
+    return {
+        "prior_mean": rng.standard_normal(D).tolist(),
+        "prior_covariance": cov.tolist(),
+    }
+
+
+def call(service, **request):
+    return handle_request(service, json.dumps(request))
+
+
+class TestOps:
+    def test_ping(self, service):
+        assert call(service, op="ping") == {"ok": True, "op": "ping"}
+
+    def test_create_ingest_estimate(self, service, prior_fields, rng):
+        created = call(
+            service, op="create", key="dut", kappa0=2.0, v0=D + 2.0, **prior_fields
+        )
+        assert created["ok"] and created["dim"] == D and created["n"] == 0
+
+        block = rng.standard_normal((12, D)).tolist()
+        ingested = call(service, op="ingest", key="dut", samples=block)
+        assert ingested["ok"] and ingested["n"] == 12 and ingested["ingested"] == 12
+
+        estimate = call(service, op="estimate", key="dut")
+        assert estimate["ok"]
+        assert len(estimate["mean"]) == D
+        assert estimate["n"] == 12
+        reference = service.query_many([("estimate", "dut", None)])[0]
+        assert estimate["mean"] == reference.mean.tolist()
+
+    def test_ingest_suffstats_payload(self, service, prior_fields, rng):
+        from repro.stats.suffstats import SufficientStats
+
+        call(service, op="create", key="dut", **prior_fields)
+        shard = SufficientStats.from_samples(rng.standard_normal((9, D)))
+        response = call(service, op="ingest", key="dut", stats=shard.to_dict())
+        assert response["ok"] and response["n"] == 9
+
+    def test_loglik_and_yield(self, service, prior_fields, rng):
+        call(service, op="create", key="dut", **prior_fields)
+        call(
+            service,
+            op="ingest",
+            key="dut",
+            samples=rng.standard_normal((20, D)).tolist(),
+        )
+        ll = call(service, op="loglik", key="dut", x=rng.standard_normal(D).tolist())
+        assert ll["ok"] and np.isfinite(ll["loglik"])
+        y = call(
+            service,
+            op="yield",
+            key="dut",
+            lower=[-4.0] * D,
+            upper=[4.0] * D,
+        )
+        assert y["ok"] and 0.0 <= y["yield"] <= 1.0
+
+    def test_sessions_drop_stats(self, service, prior_fields):
+        call(service, op="create", key="a", **prior_fields)
+        call(service, op="create", key="b", **prior_fields)
+        assert call(service, op="sessions")["sessions"] == ["a", "b"]
+        assert call(service, op="drop", key="a")["dropped"] is True
+        assert call(service, op="sessions")["sessions"] == ["b"]
+        stats = call(service, op="stats")
+        assert stats["ok"] and stats["stats"]["sessions_live"] == 1
+
+    def test_checkpoint_op(self, service, prior_fields, tmp_path):
+        call(service, op="create", key="dut", **prior_fields)
+        path = tmp_path / "wire.ckpt"
+        response = call(service, op="checkpoint", path=str(path))
+        assert response["ok"] and len(response["sha256"]) == 64
+        restored = MomentService.restore(path, start_queue=False)
+        assert "dut" in restored.store
+
+
+class TestErrorContainment:
+    def test_malformed_json(self, service):
+        response = handle_request(service, "this is { not json")
+        assert response == {
+            "ok": False,
+            "op": None,
+            "error": "JSONDecodeError",
+            "message": response["message"],
+        }
+
+    def test_non_object_request(self, service):
+        response = handle_request(service, "[1, 2, 3]")
+        assert not response["ok"] and response["error"] == "ConfigError"
+
+    def test_unknown_op(self, service):
+        response = call(service, op="transmogrify")
+        assert not response["ok"]
+        assert "unknown op" in response["message"]
+
+    def test_missing_field(self, service):
+        response = call(service, op="estimate")
+        assert not response["ok"] and "requires field" in response["message"]
+
+    def test_estimator_error_is_reported(self, service):
+        response = call(service, op="estimate", key="ghost")
+        assert not response["ok"] and response["error"] == "SessionNotFoundError"
+
+    def test_duplicate_create_reported(self, service, prior_fields):
+        call(service, op="create", key="dut", **prior_fields)
+        response = call(service, op="create", key="dut", **prior_fields)
+        assert not response["ok"] and response["error"] == "ConfigError"
+
+
+class TestServeLoop:
+    def test_loop_until_shutdown(self, service, prior_fields):
+        lines = [
+            json.dumps({"op": "ping"}),
+            "",  # blank lines are skipped
+            json.dumps({"op": "create", "key": "dut", **prior_fields}),
+            json.dumps({"op": "bogus"}),
+            json.dumps({"op": "shutdown"}),
+            json.dumps({"op": "ping"}),  # never reached
+        ]
+        out = io.StringIO()
+        handled = serve_loop(service, lines=[line + "\n" for line in lines], out=out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert handled == 4
+        assert [r["ok"] for r in responses] == [True, True, False, True]
+        assert responses[-1]["op"] == "shutdown"
+
+    def test_loop_survives_end_of_input(self, service):
+        out = io.StringIO()
+        handled = serve_loop(service, lines=['{"op": "ping"}\n'], out=out)
+        assert handled == 1

@@ -1,0 +1,175 @@
+"""Micro-batching queue: coalescing, backpressure, failure containment."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, ReproError, ServiceOverloadedError
+from repro.serving.queue import MicroBatchQueue, Request
+
+
+def echo_handler(batch, rng):
+    for request in batch:
+        request.future.set_result((request.kind, request.key, request.payload))
+
+
+class TestBasics:
+    def test_submit_and_resolve(self):
+        with MicroBatchQueue(echo_handler, max_wait=0.0) as queue:
+            future = queue.submit("estimate", "a", None)
+            assert future.result(timeout=5.0) == ("estimate", "a", None)
+
+    def test_unknown_kind_rejected(self):
+        with MicroBatchQueue(echo_handler) as queue:
+            with pytest.raises(ConfigError):
+                queue.submit("divine", "a")
+
+    def test_invalid_knobs(self):
+        for kwargs in ({"max_batch": 0}, {"max_wait": -1.0}, {"max_pending": 0}):
+            with pytest.raises(ConfigError):
+                MicroBatchQueue(echo_handler, **kwargs)
+
+    def test_coalescing_respects_max_batch(self):
+        sizes = []
+        gate = threading.Event()
+
+        def handler(batch, rng):
+            gate.wait(5.0)
+            sizes.append(len(batch))
+            echo_handler(batch, rng)
+
+        queue = MicroBatchQueue(handler, max_batch=4, max_wait=0.05)
+        try:
+            futures = [queue.submit("estimate", str(i)) for i in range(10)]
+            gate.set()
+            for future in futures:
+                future.result(timeout=5.0)
+            assert all(size <= 4 for size in sizes)
+            assert sum(sizes) == 10
+        finally:
+            queue.close()
+
+    def test_flush_waits_for_everything(self):
+        def slow_handler(batch, rng):
+            time.sleep(0.01)
+            echo_handler(batch, rng)
+
+        with MicroBatchQueue(slow_handler, max_wait=0.0) as queue:
+            futures = [queue.submit("estimate", str(i)) for i in range(5)]
+            assert queue.flush(timeout=10.0)
+            assert all(future.done() for future in futures)
+
+
+class TestBackpressure:
+    def test_overload_raises(self):
+        gate = threading.Event()
+
+        def blocked_handler(batch, rng):
+            gate.wait(10.0)
+            echo_handler(batch, rng)
+
+        queue = MicroBatchQueue(
+            blocked_handler, max_batch=1, max_wait=0.0, max_pending=3
+        )
+        try:
+            # first submit may be dispatched (inflight); keep pushing until
+            # the pending deque itself is at capacity.
+            with pytest.raises(ServiceOverloadedError):
+                for _ in range(16):
+                    queue.submit("estimate", "k")
+            assert queue.counters()["overflows"] >= 1
+        finally:
+            gate.set()
+            queue.close()
+
+    def test_closed_queue_rejects(self):
+        queue = MicroBatchQueue(echo_handler)
+        queue.close()
+        with pytest.raises(ServiceOverloadedError):
+            queue.submit("estimate", "a")
+
+    def test_close_without_drain_fails_pending(self):
+        gate = threading.Event()
+
+        def blocked_handler(batch, rng):
+            gate.wait(10.0)
+            echo_handler(batch, rng)
+
+        queue = MicroBatchQueue(
+            blocked_handler, max_batch=1, max_wait=0.0, max_pending=100
+        )
+        futures = [queue.submit("estimate", str(i)) for i in range(5)]
+        gate.set()
+        queue.close(drain=False)
+        outcomes = []
+        for future in futures:
+            try:
+                future.result(timeout=5.0)
+                outcomes.append("ok")
+            except ServiceOverloadedError:
+                outcomes.append("rejected")
+        assert "rejected" in outcomes
+
+
+class TestFailureContainment:
+    def test_handler_exception_lands_in_futures(self):
+        def exploding_handler(batch, rng):
+            raise RuntimeError("kernel panic (simulated)")
+
+        with MicroBatchQueue(exploding_handler, max_wait=0.0) as queue:
+            future = queue.submit("estimate", "a")
+            with pytest.raises(RuntimeError, match="kernel panic"):
+                future.result(timeout=5.0)
+            # the collector survives; the queue keeps serving
+            second = queue.submit("estimate", "b")
+            with pytest.raises(RuntimeError):
+                second.result(timeout=5.0)
+
+    def test_unanswered_future_is_failed(self):
+        def lazy_handler(batch, rng):
+            pass  # answers nothing
+
+        with MicroBatchQueue(lazy_handler, max_wait=0.0) as queue:
+            future = queue.submit("loglik", "a")
+            with pytest.raises(ReproError, match="without answering"):
+                future.result(timeout=5.0)
+
+
+class TestSeeding:
+    def test_batch_rngs_follow_dispatch_order(self):
+        """The k-th dispatched batch gets SeedSequence child k, regardless
+        of worker count — the parallel-engine discipline."""
+        draws = {}
+        lock = threading.Lock()
+
+        def recording_handler(batch, rng):
+            value = float(rng.standard_normal())
+            with lock:
+                draws[len(draws)] = value
+            echo_handler(batch, rng)
+
+        queue = MicroBatchQueue(recording_handler, max_batch=1, max_wait=0.0, seed=42)
+        try:
+            for i in range(4):
+                queue.submit("estimate", str(i)).result(timeout=5.0)
+        finally:
+            queue.close()
+        expected = [
+            float(np.random.default_rng(child).standard_normal())
+            for child in np.random.SeedSequence(42).spawn(4)
+        ]
+        assert sorted(draws.values()) == sorted(expected)
+
+    def test_counters(self):
+        with MicroBatchQueue(echo_handler, max_batch=8, max_wait=0.01) as queue:
+            futures = [queue.submit("estimate", str(i)) for i in range(6)]
+            for future in futures:
+                future.result(timeout=5.0)
+            counters = queue.counters()
+            assert counters["requests_handled"] == 6
+            assert counters["batches_dispatched"] >= 1
+            assert counters["occupancy_sum"] == 6
+            assert counters["depth"] == 0
+            assert counters["depth_high_water"] >= 1

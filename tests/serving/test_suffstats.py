@@ -1,0 +1,236 @@
+"""Sufficient-statistics accumulator: exactness, mergeability, equivalence.
+
+The acceptance bar for the streaming refactor: ingesting N samples
+one-at-a-time (or shard-by-shard in any split/merge order) must reproduce
+the one-shot :class:`~repro.core.bmf.BMFEstimator` MAP moments to 1e-10.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.bmf import BMFEstimator, map_moments, map_moments_from_stats
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import DimensionError, HyperParameterError
+from repro.serving.suffstats import map_moments_stack
+from repro.stats.moments import sample_mean, scatter_matrix
+from repro.stats.suffstats import SufficientStats, merge_all
+
+
+@pytest.fixture
+def samples(rng) -> np.ndarray:
+    scale = np.diag([1.0, 2.0, 0.5, 1.5, 0.8])
+    return rng.standard_normal((60, 5)) @ scale + rng.standard_normal(5)
+
+
+class TestAccumulator:
+    def test_empty_state(self):
+        stats = SufficientStats.empty(3)
+        assert stats.n == 0
+        assert stats.dim == 3
+        assert np.array_equal(stats.mean, np.zeros(3))
+        assert np.array_equal(stats.scatter, np.zeros((3, 3)))
+
+    def test_from_samples_matches_batch_formulas(self, samples):
+        stats = SufficientStats.from_samples(samples)
+        assert stats.n == samples.shape[0]
+        # bit-identical, not merely close: same formulas, same array.
+        assert np.array_equal(stats.mean, sample_mean(samples))
+        assert np.array_equal(stats.scatter, scatter_matrix(samples))
+
+    def test_push_stream_matches_one_shot(self, samples):
+        stats = SufficientStats.empty(samples.shape[1])
+        for row in samples:
+            stats.push(row)
+        ref = SufficientStats.from_samples(samples)
+        assert stats.n == ref.n
+        np.testing.assert_allclose(stats.mean, ref.mean, atol=1e-12)
+        np.testing.assert_allclose(stats.scatter, ref.scatter, atol=1e-10)
+
+    def test_push_batch_on_empty_is_bit_identical(self, samples):
+        stats = SufficientStats.empty(samples.shape[1]).push_batch(samples)
+        ref = SufficientStats.from_samples(samples)
+        assert stats == ref
+
+    @pytest.mark.parametrize("splits", [(10, 50), (1, 59), (20, 20, 20), (7, 13, 40)])
+    def test_shard_merge_any_split(self, samples, splits):
+        edges = np.cumsum((0,) + splits)
+        shards = [
+            SufficientStats.from_samples(samples[a:b])
+            for a, b in zip(edges[:-1], edges[1:])
+        ]
+        merged = merge_all(shards)
+        ref = SufficientStats.from_samples(samples)
+        assert merged.n == ref.n
+        np.testing.assert_allclose(merged.mean, ref.mean, atol=1e-12)
+        np.testing.assert_allclose(merged.scatter, ref.scatter, atol=1e-9)
+
+    def test_merge_order_irrelevant(self, samples):
+        shards = [SufficientStats.from_samples(samples[a : a + 15]) for a in range(0, 60, 15)]
+        forward = merge_all(shards)
+        backward = merge_all(shards[::-1])
+        np.testing.assert_allclose(forward.mean, backward.mean, atol=1e-12)
+        np.testing.assert_allclose(forward.scatter, backward.scatter, atol=1e-9)
+
+    def test_merge_with_empty_is_identity(self, samples):
+        stats = SufficientStats.from_samples(samples)
+        merged = stats.copy().merge(SufficientStats.empty(samples.shape[1]))
+        assert merged == stats
+        other = SufficientStats.empty(samples.shape[1]).merge(stats)
+        assert other == stats
+
+    def test_merge_does_not_mutate_inputs(self, samples):
+        a = SufficientStats.from_samples(samples[:30])
+        b = SufficientStats.from_samples(samples[30:])
+        b_before = b.copy()
+        merge_all([a, b])
+        assert b == b_before
+
+    def test_copy_is_independent(self, samples):
+        stats = SufficientStats.from_samples(samples[:10])
+        clone = stats.copy()
+        clone.push(samples[10])
+        assert stats.n == 10
+        assert clone.n == 11
+
+    def test_json_round_trip_is_bit_exact(self, samples):
+        stats = SufficientStats.from_samples(samples)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        restored = SufficientStats.from_dict(payload)
+        assert restored == stats  # __eq__ is array_equal, i.e. bit-exact
+
+    def test_dimension_errors(self):
+        stats = SufficientStats.empty(3)
+        with pytest.raises(DimensionError):
+            stats.push(np.zeros(2))
+        with pytest.raises(DimensionError):
+            stats.push(np.array([1.0, np.nan, 0.0]))
+        with pytest.raises(DimensionError):
+            stats.merge(SufficientStats.empty(2))
+        with pytest.raises(DimensionError):
+            stats.merge("not stats")
+        with pytest.raises(DimensionError):
+            merge_all([])
+        with pytest.raises(DimensionError):
+            SufficientStats.empty(0)
+        with pytest.raises(DimensionError):
+            SufficientStats.from_dict({"n": 1, "mean": [0.0]})
+
+
+class TestStreamingEquivalence:
+    """The PR's acceptance criterion, verbatim."""
+
+    KAPPA0 = 3.0
+    V0 = 9.0
+
+    @pytest.fixture
+    def prior(self, samples) -> PriorKnowledge:
+        cov = np.cov(samples, rowvar=False) * 1.1 + 0.05 * np.eye(samples.shape[1])
+        return PriorKnowledge(sample_mean(samples) + 0.05, cov)
+
+    def test_one_at_a_time_matches_one_shot_estimator(self, samples, prior):
+        reference = BMFEstimator(prior, kappa0=self.KAPPA0, v0=self.V0).estimate(
+            samples
+        )
+        stats = SufficientStats.empty(samples.shape[1])
+        for row in samples:
+            stats.push(row)
+        mu, sigma = map_moments_from_stats(prior, stats, self.KAPPA0, self.V0)
+        np.testing.assert_allclose(mu, reference.mean, atol=1e-10)
+        np.testing.assert_allclose(sigma, reference.covariance, atol=1e-10)
+
+    @pytest.mark.parametrize("order", ["forward", "reverse", "interleaved"])
+    def test_shard_split_merge_any_order(self, samples, prior, order):
+        reference = BMFEstimator(prior, kappa0=self.KAPPA0, v0=self.V0).estimate(
+            samples
+        )
+        shards = []
+        for a in range(0, samples.shape[0], 12):
+            shard = SufficientStats.empty(samples.shape[1])
+            for row in samples[a : a + 12]:
+                shard.push(row)
+            shards.append(shard)
+        if order == "reverse":
+            shards = shards[::-1]
+        elif order == "interleaved":
+            shards = shards[::2] + shards[1::2]
+        merged = merge_all(shards)
+        mu, sigma = map_moments_from_stats(prior, merged, self.KAPPA0, self.V0)
+        np.testing.assert_allclose(mu, reference.mean, atol=1e-10)
+        np.testing.assert_allclose(sigma, reference.covariance, atol=1e-10)
+
+    def test_map_moments_delegates_bit_identically(self, samples, prior):
+        """The batch entry point now routes through suffstats — exactly."""
+        mu_direct, sigma_direct = map_moments(prior, samples, self.KAPPA0, self.V0)
+        stats = SufficientStats.from_samples(samples)
+        mu_stats, sigma_stats = map_moments_from_stats(
+            prior, stats, self.KAPPA0, self.V0
+        )
+        assert np.array_equal(mu_direct, mu_stats)
+        assert np.array_equal(sigma_direct, sigma_stats)
+
+    def test_zero_samples_returns_prior_mode(self, prior):
+        stats = SufficientStats.empty(prior.dim)
+        mu, sigma = map_moments_from_stats(prior, stats, self.KAPPA0, self.V0)
+        np.testing.assert_allclose(mu, prior.mean, atol=1e-14)
+        d = prior.dim
+        expected = (self.V0 - d) * prior.covariance / (self.V0 - d)
+        np.testing.assert_allclose(sigma, expected, atol=1e-12)
+
+
+class TestMapMomentsStack:
+    def test_stack_matches_scalar_per_member(self, rng):
+        d, b = 4, 6
+        priors, kappas, nus, stats_list = [], [], [], []
+        for i in range(b):
+            a = rng.standard_normal((d, d))
+            priors.append(
+                PriorKnowledge(rng.standard_normal(d), a @ a.T + d * np.eye(d))
+            )
+            kappas.append(0.5 + i)
+            nus.append(d + 2.0 + i)
+            stats_list.append(
+                SufficientStats.from_samples(rng.standard_normal((10 + 5 * i, d)))
+            )
+        # include one empty session (prior-mode member) in the stack
+        stats_list[2] = SufficientStats.empty(d)
+        mu, sigma = map_moments_stack(
+            np.stack([p.mean for p in priors]),
+            np.stack([p.covariance for p in priors]),
+            np.asarray(kappas),
+            np.asarray(nus),
+            np.asarray([s.n for s in stats_list]),
+            np.stack([s.mean for s in stats_list]),
+            np.stack([s.scatter for s in stats_list]),
+        )
+        for i in range(b):
+            mu_ref, sigma_ref = map_moments_from_stats(
+                priors[i], stats_list[i], kappas[i], nus[i]
+            )
+            np.testing.assert_allclose(mu[i], mu_ref, atol=1e-10)
+            np.testing.assert_allclose(sigma[i], sigma_ref, atol=1e-10)
+
+    def test_stack_validation(self, rng):
+        d = 3
+        mu_e = np.zeros((2, d))
+        sig_e = np.stack([np.eye(d)] * 2)
+        good = dict(
+            kappa0=np.ones(2),
+            v0=np.full(2, d + 1.0),
+            counts=np.zeros(2),
+            means=np.zeros((2, d)),
+            scatters=np.zeros((2, d, d)),
+        )
+        with pytest.raises(HyperParameterError):
+            map_moments_stack(mu_e, sig_e, np.array([0.0, 1.0]), good["v0"],
+                              good["counts"], good["means"], good["scatters"])
+        with pytest.raises(HyperParameterError):
+            map_moments_stack(mu_e, sig_e, good["kappa0"], np.array([d - 1.0, d + 1.0]),
+                              good["counts"], good["means"], good["scatters"])
+        with pytest.raises(DimensionError):
+            map_moments_stack(mu_e, np.zeros((2, d, d + 1)), good["kappa0"], good["v0"],
+                              good["counts"], good["means"], good["scatters"])
+        with pytest.raises(DimensionError):
+            map_moments_stack(mu_e, sig_e, good["kappa0"], good["v0"],
+                              np.array([-1.0, 0.0]), good["means"], good["scatters"])

@@ -168,3 +168,145 @@ class TestFigureCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "cost reduction" in out
+
+
+class TestServingVerbs:
+    @pytest.fixture
+    def checkpoint(self, bank_path, tmp_path):
+        path = tmp_path / "svc.ckpt"
+        code = main(
+            [
+                "ingest",
+                str(path),
+                "--session",
+                "adc/tt",
+                "--dataset",
+                str(bank_path),
+                "--samples",
+                "12",
+                "--create",
+                "--kappa0",
+                "2.0",
+                "--v0",
+                "9.0",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_ingest_creates_and_accumulates(self, checkpoint, bank_path, capsys):
+        code = main(
+            [
+                "ingest",
+                str(checkpoint),
+                "--session",
+                "adc/tt",
+                "--dataset",
+                str(bank_path),
+                "--samples",
+                "5",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "session n=17" in capsys.readouterr().out
+
+    def test_ingest_without_create_requires_checkpoint(self, bank_path, tmp_path):
+        code = main(
+            [
+                "ingest",
+                str(tmp_path / "missing.ckpt"),
+                "--session",
+                "x",
+                "--dataset",
+                str(bank_path),
+            ]
+        )
+        assert code == 2
+
+    def test_query_estimate(self, checkpoint, capsys):
+        code = main(["query", str(checkpoint), "estimate", "--session", "adc/tt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAP estimate from 12 ingested samples" in out
+
+    def test_query_estimate_json(self, checkpoint, capsys):
+        import json
+
+        code = main(
+            ["query", str(checkpoint), "estimate", "--session", "adc/tt", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 12
+        assert len(payload["mean"]) == len(payload["covariance"])
+
+    def test_query_loglik_and_sessions_and_stats(
+        self, checkpoint, bank_path, capsys
+    ):
+        import json
+
+        assert (
+            main(
+                [
+                    "query",
+                    str(checkpoint),
+                    "loglik",
+                    "--session",
+                    "adc/tt",
+                    "--dataset",
+                    str(bank_path),
+                    "--rows",
+                    "6",
+                ]
+            )
+            == 0
+        )
+        assert "log-likelihood" in capsys.readouterr().out
+        assert main(["query", str(checkpoint), "sessions"]) == 0
+        assert capsys.readouterr().out.strip() == "adc/tt"
+        assert main(["query", str(checkpoint), "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["ingested_samples"] == 12
+
+    def test_query_requires_session(self, checkpoint, capsys):
+        assert main(["query", str(checkpoint), "estimate"]) == 2
+
+    def test_serve_loop_round_trip(self, checkpoint, capsys, monkeypatch):
+        import io as io_module
+        import json
+
+        requests = [
+            {"op": "ping"},
+            {"op": "sessions"},
+            {"op": "estimate", "key": "adc/tt"},
+            {"op": "shutdown"},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin",
+            io_module.StringIO("\n".join(json.dumps(r) for r in requests) + "\n"),
+        )
+        code = main(["serve", "--checkpoint", str(checkpoint)])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert [r["ok"] for r in lines] == [True] * 4
+        assert lines[1]["sessions"] == ["adc/tt"]
+        assert lines[2]["n"] == 12
+
+    def test_serve_save_on_exit(self, bank_path, tmp_path, capsys, monkeypatch):
+        import io as io_module
+        import json
+
+        path = tmp_path / "fresh.ckpt"
+        monkeypatch.setattr(
+            "sys.stdin", io_module.StringIO('{"op": "ping"}\n')
+        )
+        code = main(["serve", "--checkpoint", str(path), "--save-on-exit"])
+        assert code == 0
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.serving-checkpoint.v1"

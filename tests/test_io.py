@@ -113,3 +113,69 @@ class TestSweepCSV:
         first = lines[1].split(",")
         assert first[0] in ("bmf", "mle")
         assert float(first[3]) > 0.0
+
+
+class TestSchemaVersioning:
+    def test_check_defaults_missing_field(self):
+        from repro.io import check_schema_version
+
+        # legacy payloads without the field are treated as version 1
+        assert check_schema_version({"mean": []}, 1, "thing") == 1
+
+    def test_check_rejects_unsupported(self):
+        from repro.exceptions import SchemaVersionError
+        from repro.io import check_schema_version
+
+        with pytest.raises(SchemaVersionError, match="unsupported"):
+            check_schema_version({"schema_version": 2}, 1, "thing")
+
+    def test_check_rejects_non_integer(self):
+        from repro.exceptions import SchemaVersionError
+        from repro.io import check_schema_version
+
+        for bad in ("1", 1.0, True, None):
+            with pytest.raises(SchemaVersionError):
+                check_schema_version({"schema_version": bad}, 1, "thing")
+
+    def test_result_files_carry_and_enforce_version(
+        self, adc_dataset_small, tmp_path
+    ):
+        from repro.core.pipeline import FusionPipeline
+        from repro.core.registry import FusionConfig
+        from repro.exceptions import SchemaVersionError
+        from repro.io import (
+            RESULT_SCHEMA_VERSION,
+            load_result,
+            result_from_dict,
+            result_to_dict,
+            save_result,
+        )
+
+        ds = adc_dataset_small
+        config = FusionConfig(
+            estimator="bmf", selector="fixed", kappa0=2.0, v0=ds.dim + 2.0
+        )
+        pipeline = FusionPipeline.fit(
+            ds.early, ds.early_nominal, ds.late_nominal, config=config
+        )
+        result = pipeline.estimate(ds.late[:8])
+        payload = result_to_dict(result)
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+
+        # current version round-trips
+        restored = result_from_dict(payload)
+        np.testing.assert_array_equal(restored.mean, result.mean)
+
+        # a future version is rejected with the dedicated exception
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SchemaVersionError):
+            load_result(path)
+
+        # a legacy file without the field still loads (defaults to v1)
+        del doc["schema_version"]
+        path.write_text(json.dumps(doc))
+        np.testing.assert_array_equal(load_result(path).mean, result.mean)
