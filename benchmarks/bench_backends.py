@@ -1,0 +1,128 @@
+"""Solver-backend benchmarks: MNA dense vs sparse crossover, kernel parity.
+
+Pytest twin of ``scripts/bench_backends.py`` sized for CI: it checks the
+*shape* of the performance story — sparse overtakes dense beyond the
+``auto`` crossover, and only sparse can solve a system whose stacked
+dense form exceeds the default memory budget — with floors relaxed at
+``REPRO_BENCH_SCALE=smoke`` where shared-runner noise makes exact ratios
+meaningless.  The compiled kernel backend is exercised when the optional
+numba package is importable and reported as skipped when it is not, so
+an optional-dependency CI job and the base job both run this file.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _bench_util import emit
+from repro.circuits.mna import StampPlan
+from repro.circuits.netlist import Netlist
+from repro.exceptions import SimulationError
+from repro.linalg import (
+    available_backends,
+    cholesky_batched,
+    mahalanobis_sq_batched,
+    use_kernel_backend,
+)
+
+sparse_available = "sparse" in available_backends("mna")
+numba_available = "numba" in available_backends("kernels")
+
+
+def _ladder(n_nodes: int):
+    net = Netlist()
+    net.voltage_source("Vin", "n0", "0", 1.0)
+    for i in range(n_nodes):
+        net.resistor(f"R{i}", f"n{i}", f"n{i + 1}", 1000.0)
+        net.capacitor(f"C{i}", f"n{i + 1}", "0", 1e-9)
+    plan = StampPlan(net, variable=tuple(f"R{i}" for i in range(n_nodes)))
+    rng = np.random.default_rng(0)
+    values = {
+        f"R{i}": 1000.0 * np.exp(0.1 * rng.standard_normal(8))
+        for i in range(n_nodes)
+    }
+    return plan, values
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+@pytest.mark.skipif(not sparse_available, reason="scipy not importable")
+def test_sparse_overtakes_dense_past_crossover(scale):
+    """Past the auto crossover (64 unknowns) sparse must win, and agree."""
+    n_nodes = 128
+    plan, values = _ladder(n_nodes)
+    freqs = np.logspace(2, 8, 11)
+    out = f"n{n_nodes}"
+
+    def solve(backend):
+        return plan.solve_batched(
+            values, freqs, outputs=[out], backend=backend
+        ).voltage(out)
+
+    dense_s, dense_v = _time(lambda: solve("dense"))
+    sparse_s, sparse_v = _time(lambda: solve("sparse"))
+    rel = float(
+        np.max(np.abs(sparse_v - dense_v) / np.maximum(np.abs(dense_v), 1e-300))
+    )
+    emit(
+        f"backends mna ({scale.label}): {n_nodes}-node ladder dense "
+        f"{dense_s * 1e3:.1f} ms | sparse {sparse_s * 1e3:.1f} ms "
+        f"({dense_s / sparse_s:.1f}x) | max rel diff {rel:.2e}"
+    )
+    assert rel <= 1e-9
+    # Smoke runners are too noisy to gate a ratio; reduced/paper scale
+    # must show the crossover the auto heuristic is built on.
+    if scale.label != "smoke":
+        assert sparse_s < dense_s
+
+
+@pytest.mark.skipif(not sparse_available, reason="scipy not importable")
+def test_sparse_solves_where_dense_cannot():
+    """A 500-node ladder at 50 freqs exceeds the default dense budget."""
+    n_nodes = 500
+    plan, values = _ladder(n_nodes)
+    freqs = np.logspace(2, 8, 50)
+    out = f"n{n_nodes}"
+    with pytest.raises(SimulationError):
+        plan.solve_batched(values, freqs, outputs=[out], backend="dense")
+    solution = plan.solve_batched(values, freqs, outputs=[out], backend="sparse")
+    v = solution.voltage(out)
+    assert v.shape == (8, freqs.size)
+    assert np.all(np.isfinite(v))
+
+
+@pytest.mark.skipif(not numba_available, reason="numba not importable")
+def test_numba_kernels_speed_and_parity(scale):
+    """Compiled kernels: 1e-12 agreement always; >=2x at non-smoke scale."""
+    rng = np.random.default_rng(0)
+    batch, dim = 4096, 5
+    a = rng.standard_normal((batch, dim, dim))
+    sigma = a @ np.swapaxes(a, -1, -2) + dim * np.eye(dim)
+    mu = rng.standard_normal((batch, dim))
+    x = rng.standard_normal((8, dim))
+
+    def run():
+        chol, ok = cholesky_batched(sigma)
+        assert ok.all()
+        return mahalanobis_sq_batched(chol, mu, x)
+
+    with use_kernel_backend("numpy"):
+        numpy_s, numpy_maha = _time(run)
+    with use_kernel_backend("numba"):
+        run()  # JIT warm-up
+        numba_s, numba_maha = _time(run)
+
+    diff = float(np.max(np.abs(numba_maha - numpy_maha)))
+    speedup = numpy_s / numba_s
+    emit(
+        f"backends kernels ({scale.label}): numpy {numpy_s * 1e3:.2f} ms | "
+        f"numba {numba_s * 1e3:.2f} ms ({speedup:.1f}x) | max diff {diff:.2e}"
+    )
+    assert diff <= 1e-12 * max(1.0, float(np.abs(numpy_maha).max()))
+    if scale.label != "smoke":
+        assert speedup >= 2.0, f"numba kernels {speedup:.1f}x < 2x"

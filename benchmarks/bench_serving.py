@@ -8,15 +8,14 @@ so the comparison isolates exactly what micro-batching buys — amortised
 Python dispatch and ``(B, d, d)`` LAPACK calls instead of ``B`` separate
 ``(d, d)`` ones.
 
-The measured numbers are written to ``BENCH_serving.json`` at the repo
-root (same convention as ``BENCH_cv.json`` / ``BENCH_mc.json``) so the
-speedup is tracked in review diffs.  ``REPRO_BENCH_SCALE=smoke`` shrinks
-ingest volume and repeats for CI; the session count stays at 64 because
-it is part of the acceptance criterion.
+The measured numbers are appended to the ``BENCH_serving.json`` trajectory
+at the repo root (same convention as ``BENCH_cv.json`` / ``BENCH_mc.json``;
+see :mod:`repro.bench.trajectory`) so the speedup trend is tracked across
+commits.  ``REPRO_BENCH_SCALE=smoke`` shrinks ingest volume and repeats
+for CI; the session count stays at 64 because it is part of the
+acceptance criterion.
 """
 
-import json
-import platform
 import time
 from pathlib import Path
 
@@ -24,6 +23,7 @@ import numpy as np
 import pytest
 
 from _bench_util import emit
+from repro.bench import append_entry
 from repro.core.prior import PriorKnowledge
 from repro.serving import MomentService
 
@@ -157,19 +157,16 @@ _SECTIONS = {}
 
 
 def _record(section, payload, finalize=False, scale_label=""):
-    """Accumulate sections; write BENCH_serving.json once all are in."""
+    """Accumulate sections; append to the BENCH_serving.json trajectory
+    once all are in."""
     _SECTIONS[section] = payload
     if not finalize:
         return
-    document = {
-        "scale": scale_label,
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
-        **_SECTIONS,
-    }
     out = _REPO_ROOT / "BENCH_serving.json"
-    out.write_text(json.dumps(document, indent=2) + "\n")
-    emit(f"wrote {out}")
+    append_entry(
+        out,
+        "serving",
+        config={"scale": scale_label, "n_sessions": N_SESSIONS, "dim": D},
+        results=dict(_SECTIONS),
+    )
+    emit(f"appended to {out}")

@@ -10,24 +10,30 @@ Usage (from the repository root)::
 
     PYTHONPATH=src python scripts/bench_cv.py [--dim 5] [--grid 12]
         [--n-samples 32] [--n-folds 4] [--repeats 5] [--out BENCH_cv.json]
+        [--linalg-backend {auto,numpy,numba}]
 
 Times are best-of-``--repeats`` wall clock, which filters scheduler noise
-on shared machines.
+on shared machines.  ``--linalg-backend`` runs the batched scorer through
+a specific kernel backend (``numba`` needs the optional numba package).
+
+``BENCH_cv.json`` is an append-only trajectory (see
+:mod:`repro.bench.trajectory`): every run adds a timestamped entry to the
+``history`` array instead of overwriting the previous numbers.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.bench import append_entry
 from repro.core.crossval import TwoDimensionalCV
 from repro.core.hypergrid import HyperParameterGrid
 from repro.core.prior import PriorKnowledge
+from repro.linalg import use_kernel_backend
 from repro.stats.multivariate_gaussian import MultivariateGaussian
 
 
@@ -58,6 +64,12 @@ def main() -> None:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--linalg-backend",
+        choices=("auto", "numpy", "numba"),
+        default=None,
+        help="kernel backend for the batched scorer (default: ambient)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_cv.json",
@@ -73,8 +85,9 @@ def main() -> None:
         cv = TwoDimensionalCV(prior, grid, n_folds=args.n_folds, scoring=scoring)
         return cv.select(data, rng=np.random.default_rng(1))
 
-    loop_s, loop_result = best_of(lambda: run("loop"), args.repeats)
-    batched_s, batched_result = best_of(lambda: run("batched"), args.repeats)
+    with use_kernel_backend(args.linalg_backend) as kernel_backend:
+        loop_s, loop_result = best_of(lambda: run("loop"), args.repeats)
+        batched_s, batched_result = best_of(lambda: run("batched"), args.repeats)
 
     max_abs_diff = float(np.max(np.abs(batched_result.scores - loop_result.scores)))
     if batched_result.kappa0 != loop_result.kappa0 or (
@@ -87,33 +100,34 @@ def main() -> None:
             "refusing to report"
         )
 
-    payload = {
-        "config": {
+    speedup = round(loop_s / batched_s, 2)
+    append_entry(
+        args.out,
+        "cv",
+        config={
             "dim": args.dim,
             "grid": f"{args.grid}x{args.grid}",
             "n_samples": args.n_samples,
             "n_folds": args.n_folds,
             "repeats": args.repeats,
             "seed": args.seed,
+            "linalg_backend": kernel_backend,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
+        results={
+            "loop_s": round(loop_s, 6),
+            "batched_s": round(batched_s, 6),
+            "speedup": speedup,
+            "max_abs_score_diff": max_abs_diff,
+            "selected": {
+                "kappa0": batched_result.kappa0,
+                "v0": batched_result.v0,
+            },
         },
-        "loop_s": round(loop_s, 6),
-        "batched_s": round(batched_s, 6),
-        "speedup": round(loop_s / batched_s, 2),
-        "max_abs_score_diff": max_abs_diff,
-        "selected": {
-            "kappa0": batched_result.kappa0,
-            "v0": batched_result.v0,
-        },
-    }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    )
     print(
         f"loop {loop_s * 1e3:.1f} ms | batched {batched_s * 1e3:.1f} ms | "
-        f"speedup {payload['speedup']}x | max |score diff| {max_abs_diff:.2e}"
+        f"speedup {speedup}x | max |score diff| {max_abs_diff:.2e} | "
+        f"kernels {kernel_backend}"
     )
     print(f"wrote {args.out}")
 

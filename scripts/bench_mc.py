@@ -15,18 +15,22 @@ Usage (from the repository root)::
 Times are best-of-``--repeats`` wall clock; the headline ``loop_s`` /
 ``batched_s`` / ``speedup`` fields refer to the 5000-sample op-amp bank
 (the paper's Sec. 5.1 workload), with per-circuit breakdowns alongside.
+
+``BENCH_mc.json`` is an append-only trajectory (see
+:mod:`repro.bench.trajectory`): every run adds a timestamped entry to the
+``history`` array instead of overwriting the previous numbers, so the
+performance trend across commits stays visible.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.bench import append_entry
 from repro.circuits.adc import FlashADC
 from repro.circuits.opamp import TwoStageOpAmp
 
@@ -117,26 +121,24 @@ def main() -> None:
             f"engines diverge (max rel metric diff = {worst:g}) -- refusing to report"
         )
 
-    payload = {
-        "config": {
+    append_entry(
+        args.out,
+        "mc",
+        config={
             "opamp_samples": args.opamp_samples,
             "adc_samples": args.adc_samples,
             "repeats": args.repeats,
             "seed": args.seed,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
+        results={
+            "loop_s": opamp["loop_s"],
+            "batched_s": opamp["batched_s"],
+            "speedup": opamp["speedup"],
+            "max_rel_metric_diff": opamp["max_rel_metric_diff"],
+            "opamp": opamp,
+            "adc": adc,
         },
-        "loop_s": opamp["loop_s"],
-        "batched_s": opamp["batched_s"],
-        "speedup": opamp["speedup"],
-        "max_rel_metric_diff": opamp["max_rel_metric_diff"],
-        "opamp": opamp,
-        "adc": adc,
-    }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    )
     for name, section in (("opamp", opamp), ("adc", adc)):
         print(
             f"{name}: loop {section['loop_s']:.3f} s | batched "

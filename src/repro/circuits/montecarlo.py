@@ -219,6 +219,7 @@ def generate_opamp_dataset(
     design: Optional[OpAmpDesign] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     use_cache: bool = True,
+    mna_backend: Optional[str] = None,
 ) -> PairedDataset:
     """Generate the paper's op-amp sample bank (Sec. 5.1).
 
@@ -227,6 +228,13 @@ def generate_opamp_dataset(
     Identical configurations are served from the disk cache (see
     :func:`dataset_cache_path`); pass ``use_cache=False`` to force a
     fresh simulation.
+
+    ``mna_backend`` picks the MNA solve strategy (``"dense"``,
+    ``"sparse"``, ``None``/``"auto"``).  It is deliberately *not* part of
+    the cache key: the backend-equivalence suite gates dense and sparse
+    to <=1e-9 relative agreement on every solve, so both produce the same
+    dataset up to solver round-off and a bank cached under one backend is
+    valid for the other — a performance knob, not a config change.
     """
     resolved = design if design is not None else OpAmpDesign()
 
@@ -238,8 +246,8 @@ def generate_opamp_dataset(
             early_sim.devices, n_samples, rng
         )
         return PairedDataset(
-            early=early_sim.simulate_batch(samples),
-            late=late_sim.simulate_batch(samples),
+            early=early_sim.simulate_batch(samples, mna_backend=mna_backend),
+            late=late_sim.simulate_batch(samples, mna_backend=mna_backend),
             early_nominal=early_sim.simulate_nominal().as_array(),
             late_nominal=late_sim.simulate_nominal().as_array(),
             metric_names=OPAMP_METRIC_NAMES,

@@ -412,6 +412,7 @@ class TwoStageOpAmp:
         engine: str = "vectorized",
         memory_budget_mb: float = 512.0,
         n_jobs: Optional[int] = None,
+        mna_backend: Optional[str] = None,
     ) -> np.ndarray:
         """Metrics matrix ``(len(samples), 5)`` in metric-name order.
 
@@ -431,6 +432,12 @@ class TwoStageOpAmp:
             Optional process-based sharding of the vectorized engine
             (``-1`` = all CPUs).  Results are bit-identical to the
             single-process engine for every worker count.
+        mna_backend:
+            System-solve strategy forwarded to
+            :meth:`repro.circuits.mna.StampPlan.solve_batched`:
+            ``"dense"``, ``"sparse"``, or ``None``/``"auto"`` (size
+            heuristic — the macromodel's tiny reduced core always
+            resolves dense).
         """
         sample_list = list(samples)
         if not sample_list:
@@ -451,13 +458,13 @@ class TwoStageOpAmp:
             ]
             parts = replicate(
                 lambda idx: self._simulate_chunked(
-                    [sample_list[i] for i in idx], memory_budget_mb
+                    [sample_list[i] for i in idx], memory_budget_mb, mna_backend
                 ),
                 shards,
                 n_jobs=jobs,
             )
             return np.vstack(parts)
-        return self._simulate_chunked(sample_list, memory_budget_mb)
+        return self._simulate_chunked(sample_list, memory_budget_mb, mna_backend)
 
     # ------------------------------------------------------------------
     # vectorized engine
@@ -469,7 +476,10 @@ class TwoStageOpAmp:
     _PIPELINE_CHUNK = 512
 
     def _simulate_chunked(
-        self, samples: List[ProcessSample], memory_budget_mb: float
+        self,
+        samples: List[ProcessSample],
+        memory_budget_mb: float,
+        mna_backend: Optional[str] = None,
     ) -> np.ndarray:
         """Run the vectorized engine in cache-sized sample chunks.
 
@@ -482,10 +492,12 @@ class TwoStageOpAmp:
         )
         chunk = max(1, min(self._PIPELINE_CHUNK, budget_rows))
         if len(samples) <= chunk:
-            return self._simulate_batch_vectorized(samples, memory_budget_mb)
+            return self._simulate_batch_vectorized(samples, memory_budget_mb, mna_backend)
         return np.vstack(
             [
-                self._simulate_batch_vectorized(samples[i : i + chunk], memory_budget_mb)
+                self._simulate_batch_vectorized(
+                    samples[i : i + chunk], memory_budget_mb, mna_backend
+                )
                 for i in range(0, len(samples), chunk)
             ]
         )
@@ -581,7 +593,10 @@ class TwoStageOpAmp:
         return np.sqrt(2.0 * current / dev["beta"])
 
     def _simulate_batch_vectorized(
-        self, samples: List[ProcessSample], memory_budget_mb: float
+        self,
+        samples: List[ProcessSample],
+        memory_budget_mb: float,
+        mna_backend: Optional[str] = None,
     ) -> np.ndarray:
         n = len(samples)
         design = self.design
@@ -615,6 +630,7 @@ class TwoStageOpAmp:
             self._FREQ_GRID,
             memory_budget_mb=memory_budget_mb,
             outputs=[out_node],
+            backend=mna_backend,
         )
         h = solution.transfer(out_node, "in")
 

@@ -45,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(DAC 2015 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--linalg-backend",
+        choices=["auto", "numpy", "numba"],
+        default=None,
+        help=(
+            "kernel backend for batched SPD math (numba needs the optional "
+            "numba package; auto picks the best available); default: ambient"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="simulate a paired Monte-Carlo bank")
@@ -52,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("output", help="output .npz path")
     gen.add_argument("--samples", type=int, default=None, help="bank size")
     gen.add_argument("--seed", type=int, default=2015)
+    gen.add_argument(
+        "--mna-backend",
+        choices=["auto", "dense", "sparse"],
+        default=None,
+        help=(
+            "MNA solve strategy for circuit simulation (sparse needs scipy; "
+            "auto switches on system size); default: auto"
+        ),
+    )
 
     fuse = sub.add_parser("fuse", help="fuse early knowledge with n late samples")
     fuse.add_argument("dataset", help=".npz bank from 'generate'")
@@ -178,7 +196,9 @@ def _cmd_generate(args) -> int:
 
     if args.circuit == "opamp":
         n = args.samples if args.samples is not None else 5000
-        dataset = generate_opamp_dataset(n_samples=n, seed=args.seed)
+        dataset = generate_opamp_dataset(
+            n_samples=n, seed=args.seed, mna_backend=args.mna_backend
+        )
     elif args.circuit == "ota":
         from repro.circuits.ota import generate_ota_dataset
 
@@ -500,6 +520,10 @@ def _cmd_query(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.linalg_backend is not None:
+        from repro.linalg import set_default_kernel_backend
+
+        set_default_kernel_backend(args.linalg_backend)
     handlers = {
         "generate": _cmd_generate,
         "fuse": _cmd_fuse,

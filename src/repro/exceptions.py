@@ -39,6 +39,16 @@ class SimulationError(ReproError, RuntimeError):
     """Raised when a circuit simulation cannot be completed."""
 
 
+class BackendUnavailableError(ReproError, RuntimeError):
+    """Raised when a requested solver backend's dependency is missing.
+
+    The optional backends (``sparse`` needs scipy, ``numba`` needs numba)
+    are never hard dependencies; asking for one explicitly when its import
+    fails raises this instead of an opaque :class:`ImportError`, and the
+    ``auto`` resolvers fall back silently rather than raise.
+    """
+
+
 class NetlistError(ReproError, ValueError):
     """Raised when a circuit netlist is malformed (dangling node, bad value...)."""
 

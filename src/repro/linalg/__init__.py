@@ -1,5 +1,17 @@
-"""Linear-algebra substrate: SPD validation/repair, norms, shrinkage, batching."""
+"""Linear-algebra substrate: SPD validation/repair, norms, shrinkage, batching.
 
+Kernel-backend selection (numpy vs optional numba) is re-exported from
+:mod:`repro.linalg.backends`; the batched primitives dispatch through it.
+"""
+
+from repro.linalg.backends import (
+    active_kernel_backend,
+    available_backends,
+    resolve_kernel_backend,
+    resolve_mna_backend,
+    set_default_kernel_backend,
+    use_kernel_backend,
+)
 from repro.linalg.batched import (
     as_spd_stack,
     cholesky_batched,
@@ -44,6 +56,12 @@ from repro.linalg.validation import (
 )
 
 __all__ = [
+    "active_kernel_backend",
+    "available_backends",
+    "resolve_kernel_backend",
+    "resolve_mna_backend",
+    "set_default_kernel_backend",
+    "use_kernel_backend",
     "as_matrix",
     "as_samples",
     "as_spd_stack",

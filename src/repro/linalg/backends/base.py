@@ -1,0 +1,68 @@
+"""Backend descriptor types shared by the solver-backend registry.
+
+A *kernel backend* supplies the three hot batched-SPD primitives behind
+the :mod:`repro.linalg.batched` wrapper seam (the seam reprolint RPL002
+already enforces): stacked Cholesky factorisation, stacked triangular
+solve and stacked squared-Mahalanobis evaluation.  The wrappers keep all
+argument validation, shape promotion and the repair-ladder policy; a
+backend only implements the raw numerical contract below, which is what
+makes backends interchangeable without touching any caller.
+
+Kernel contract (inputs are pre-validated by the wrappers):
+
+``cholesky(arr)``
+    ``arr`` is a C-contiguous ``(B, d, d)`` float64 stack.  Returns
+    ``(L, ok)`` where ``L`` is all-zero except for the lower factors of
+    the members with ``ok[i] = True``; indefinite or non-finite members
+    get ``ok[i] = False`` and no exception.
+``solve_triangular(factors, rhs, lower)``
+    ``factors`` is ``(B, d, d)``, ``rhs`` is ``(B, d, k)``; returns the
+    ``(B, d, k)`` solution of the triangular systems.
+``mahalanobis_sq(factors, diff)``
+    ``factors`` is ``(B, d, d)`` lower Cholesky factors and ``diff`` is
+    the ``(B, d, n)`` stack of centred points; returns the ``(B, n)``
+    squared Mahalanobis distances ``sum(z*z)`` with ``L z = diff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["KernelBackend", "BackendSpec", "KIND_KERNELS", "KIND_MNA"]
+
+#: Registry kinds: batched-SPD kernel backends and MNA system backends.
+KIND_KERNELS = "kernels"
+KIND_MNA = "mna"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """The three batched-SPD primitives one backend implements."""
+
+    name: str
+    cholesky: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+    solve_triangular: Callable[[np.ndarray, np.ndarray, bool], np.ndarray]
+    mahalanobis_sq: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Registry entry: identity, availability probe and lazy loader.
+
+    ``is_available`` must be cheap and import-free (probe with
+    ``importlib.util.find_spec``); ``loader`` may import and compile —
+    it runs only when the backend is first used.  ``loader`` returns a
+    :class:`KernelBackend` for kernel backends and is unused (``None``)
+    for MNA backends, whose solve loop lives in :mod:`repro.circuits.mna`.
+    """
+
+    name: str
+    kind: str
+    description: str
+    is_available: Callable[[], bool]
+    loader: Any = None
+    #: Free-form metadata (e.g. documented equivalence tolerance).
+    meta: Dict[str, Any] = field(default_factory=dict)

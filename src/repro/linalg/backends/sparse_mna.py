@@ -1,0 +1,156 @@
+"""Sparse factorized-LU solve core for the batched MNA engine.
+
+The dense MNA engine materialises ``(chunk, n_freq, m, m)`` complex
+stacks — ``O(m^2)`` memory per (sample, frequency) — which caps the node
+count long before solve time matters.  This module holds the sparse
+alternative, structured the way SPICE-class simulators do it:
+
+* **symbolic analysis once** — the union sparsity pattern of ``G`` and
+  ``C`` (process variation changes stamp *values*, never the topology)
+  is built a single time by :func:`build_pattern` and shared by every
+  Monte-Carlo sample and frequency point;
+* **numeric factorisation per system** — each ``(sample, frequency)``
+  system ``G_i + j*omega_k*C_i`` reuses the pattern: its values are
+  scattered into one preallocated CSC ``data`` array and factorised with
+  ``scipy.sparse.linalg.splu``, so per-system cost is ``O(nnz)`` fill
+  plus the sparse LU, with no dense ``m x m`` object ever built.
+
+The module is deliberately array-in/array-out: it knows nothing about
+netlists or stamp plans (those live in :mod:`repro.circuits.mna`, a
+higher layer), which is what lets reprolint's layer map pin the backend
+below the circuit models.
+
+scipy is an optional import here even though the package nominally
+depends on it: the probe/guard keeps the error taxonomy clean
+(:class:`~repro.exceptions.BackendUnavailableError` instead of a deep
+``ImportError``) and lets stripped-down environments fall back to dense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib.util import find_spec
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BackendUnavailableError, SingularMatrixError
+
+__all__ = [
+    "is_available",
+    "build_pattern",
+    "solve_patterned",
+    "SparsePattern",
+]
+
+
+def is_available() -> bool:
+    """True when scipy's sparse machinery is importable (probe only)."""
+    return find_spec("scipy") is not None
+
+
+def _require_scipy() -> None:
+    if not is_available():
+        raise BackendUnavailableError(
+            "MNA backend 'sparse' requested but scipy is not installed; "
+            "install scipy or use backend='dense'"
+        )
+
+
+@dataclass(frozen=True)
+class SparsePattern:
+    """Shared CSC sparsity structure of ``G + sC`` for one topology.
+
+    ``indices``/``indptr`` follow the CSC convention; ``nnz`` positions
+    are the union of every G and C entry (base and variable), so one
+    ``data`` vector of length ``nnz`` describes any sample's system.
+    """
+
+    m: int
+    indices: np.ndarray
+    indptr: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries per system."""
+        return int(self.indices.size)
+
+
+def build_pattern(
+    rows: np.ndarray, cols: np.ndarray, m: int
+) -> Tuple[SparsePattern, np.ndarray]:
+    """Symbolic analysis: CSC pattern of the entry list, done once.
+
+    ``rows``/``cols`` may contain duplicates (multiple stamps landing on
+    one matrix position); duplicated positions share a data slot, which
+    is exactly the scatter-add semantics of dense assembly.  Returns the
+    pattern plus ``slot`` mapping every input entry to its index in the
+    CSC ``data`` array.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape or rows.ndim != 1:
+        raise ValueError(f"rows/cols must be matching 1-D arrays, got {rows.shape}/{cols.shape}")
+    if rows.size == 0:
+        raise ValueError("cannot build a sparse pattern from zero entries")
+    if rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= m:
+        raise ValueError(f"entry indices out of range for a {m}x{m} system")
+    # CSC order: column-major flat position; unique -> one slot per cell.
+    flat = cols * np.int64(m) + rows
+    uniq = np.unique(flat)
+    slot = np.searchsorted(uniq, flat)
+    indices = (uniq % m).astype(np.int32)
+    counts = np.bincount((uniq // m).astype(np.int64), minlength=m)
+    indptr = np.zeros(m + 1, dtype=np.int32)
+    np.cumsum(counts, out=indptr[1:])
+    return SparsePattern(m=m, indices=indices, indptr=indptr), slot
+
+
+def solve_patterned(
+    pattern: SparsePattern,
+    data_g: np.ndarray,
+    data_c: np.ndarray,
+    rhs0: np.ndarray,
+    rhs1: np.ndarray,
+    omega: np.ndarray,
+    want: Sequence[int],
+    out: np.ndarray,
+) -> None:
+    """Solve every ``(sample, frequency)`` system through factorized LU.
+
+    ``data_g``/``data_c`` are ``(n, nnz)`` real CSC data vectors in the
+    shared ``pattern``; the system for sample ``i`` at angular frequency
+    ``omega[k]`` is ``data_g[i] + 1j*omega[k]*data_c[i]`` with RHS
+    ``rhs0[i] + 1j*omega[k]*rhs1[i]``.  The columns listed in ``want``
+    are written into ``out`` (shape ``(len(want), n, n_freq)``) in place.
+    """
+    _require_scipy()
+    from scipy.sparse import csc_matrix  # type: ignore[import-untyped]
+    from scipy.sparse.linalg import splu  # type: ignore[import-untyped]
+
+    n = data_g.shape[0]
+    want_idx = np.asarray(list(want), dtype=np.int64)
+    # One CSC shell reused for every system: only `data` changes, so the
+    # index arrays are validated once and never copied again.
+    shell = csc_matrix(
+        (np.zeros(pattern.nnz, dtype=complex), pattern.indices, pattern.indptr),
+        shape=(pattern.m, pattern.m),
+    )
+    for i in range(n):
+        dg = data_g[i]
+        dc = data_c[i]
+        r0 = rhs0[i]
+        r1 = rhs1[i]
+        for k in range(omega.size):
+            s = 1j * omega[k]
+            shell.data[:] = dg
+            if omega[k] != 0.0:
+                shell.data += s * dc
+            try:
+                lu = splu(shell)
+            except RuntimeError as exc:  # SuperLU signals exact singularity
+                raise SingularMatrixError(
+                    f"singular sparse MNA system (sample {i}, omega={omega[k]:g})"
+                ) from exc
+            x = lu.solve(r0 + s * r1)
+            out[:, i, k] = x[want_idx]

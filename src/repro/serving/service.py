@@ -50,6 +50,7 @@ from repro.exceptions import (
     ReproError,
     SpecificationError,
 )
+from repro.linalg.backends import use_kernel_backend
 from repro.linalg.batched import (
     cholesky_batched_safe,
     logdet_batched,
@@ -154,6 +155,14 @@ class MomentService:
         ``False`` runs the service without the background collector —
         queries then go through the synchronous :meth:`query_many` path
         only (used by the offline CLI verbs and deterministic tests).
+    linalg_backend:
+        Kernel backend for the stacked scoring math (``"numpy"``,
+        ``"numba"``, ``"auto"``; see
+        :func:`repro.linalg.backends.use_kernel_backend`).  ``None``
+        keeps the ambient process selection.  Not checkpointed: like the
+        queue knobs it is runtime configuration, and the backends agree
+        numerically, so a checkpoint scored under one backend restores
+        cleanly under another.
     """
 
     #: Version tag stored inside checkpoint state.
@@ -169,9 +178,11 @@ class MomentService:
         n_workers: Optional[int] = 1,
         seed: int = 0,
         start_queue: bool = True,
+        linalg_backend: Optional[str] = None,
     ) -> None:
         self.store = SessionStore(max_sessions=max_sessions, ttl_ops=ttl_ops)
         self.counters = ServiceCounters()
+        self._linalg_backend = linalg_backend
         self._queue: Optional[MicroBatchQueue] = None
         self._queue_config: Dict[str, Any] = {
             "max_batch": max_batch,
@@ -303,6 +314,10 @@ class MomentService:
 
     def _score_requests(self, requests: List[Request]) -> None:
         """Answer every request, grouping work into stacked-kernel calls."""
+        with use_kernel_backend(self._linalg_backend):
+            self._score_requests_impl(requests)
+
+    def _score_requests_impl(self, requests: List[Request]) -> None:
         # 1. snapshot each distinct session once (consistent view per batch)
         sessions: Dict[str, Session] = {}
         live: List[Request] = []
@@ -525,6 +540,7 @@ class MomentService:
         n_workers: Optional[int] = 1,
         seed: int = 0,
         start_queue: bool = True,
+        linalg_backend: Optional[str] = None,
     ) -> "MomentService":
         """Rebuild a service from a checkpoint, bit-identically.
 
@@ -551,6 +567,7 @@ class MomentService:
             n_workers=n_workers,
             seed=seed,
             start_queue=False,
+            linalg_backend=linalg_backend,
         )
         service.store = store
         service.counters.load_state_dict(counters_state)

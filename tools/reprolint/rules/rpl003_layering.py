@@ -34,7 +34,8 @@ from reprolint.registry import FileContext, Rule, register
 
 #: Bottom-up layer map for this repository (overridable in pyproject).
 DEFAULT_LAYERS: List[List[str]] = [
-    ["repro.exceptions", "repro._version"],
+    ["repro.exceptions", "repro._version", "repro.bench"],
+    ["repro.linalg.backends"],
     ["repro.linalg"],
     ["repro.stats"],
     ["repro.core"],
