@@ -25,7 +25,7 @@ import pytest
 from _bench_util import emit
 from repro.bench import append_entry
 from repro.core.prior import PriorKnowledge
-from repro.serving import MomentService
+from repro.serving import MomentService, ShardedMomentService
 
 D = 5
 N_SESSIONS = 64
@@ -151,6 +151,114 @@ def test_batched_vs_per_request_query_latency(sized, scale):
         # CI smoke boxes are too noisy to gate on; the committed
         # BENCH_serving.json records the reduced-scale number.
         assert speedup >= 5.0, f"micro-batching speedup {speedup:.1f}x < 5x"
+
+
+def _zipf_sizing(scale):
+    if scale.label == "smoke":
+        return {"n_sessions": 256, "n_ops": 3_000, "query_every": 750}
+    if scale.label == "paper":
+        return {"n_sessions": 10_000, "n_ops": 100_000, "query_every": 5_000}
+    return {"n_sessions": 2_000, "n_ops": 20_000, "query_every": 2_500}
+
+
+ZIPF_ALPHA = 1.6
+SHARD_COUNTS = (1, 4)
+
+
+def _run_zipf_load(n_shards, n_sessions, n_ops, query_every, seed=0):
+    """One skewed-key ingest/query pass; returns (rows_per_s, p99_ms).
+
+    Keys are drawn Zipf(``ZIPF_ALPHA``) over the session population — the
+    tester-floor shape where a handful of hot populations take most of the
+    trickle.  Every ``query_every`` ingests an ``estimate`` lands on a
+    (also Zipf-drawn) key, so the measurement includes the merge-on-read
+    flush barriers, not just raw buffered appends.
+    """
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_sessions + 1, dtype=float)
+    weights = 1.0 / ranks**ZIPF_ALPHA
+    weights /= weights.sum()
+    keys = [f"pop/{i:05d}" for i in range(n_sessions)]
+    key_draws = rng.choice(n_sessions, size=n_ops, p=weights)
+    rows = rng.standard_normal((n_ops, D))
+    query_draws = rng.choice(n_sessions, size=n_ops // query_every + 1, p=weights)
+
+    service = ShardedMomentService(
+        n_shards=n_shards, max_sessions_per_shard=n_sessions + 1
+    )
+    prior_rng = np.random.default_rng(42)
+    a = prior_rng.standard_normal((D, D))
+    prior = PriorKnowledge(prior_rng.standard_normal(D), a @ a.T + D * np.eye(D))
+    for key in keys:
+        service.create_session(key, prior, kappa0=2.0, v0=D + 3.0)
+
+    latencies = []
+    query_index = 0
+    t0 = time.perf_counter()
+    for i in range(n_ops):
+        service.ingest(keys[key_draws[i]], rows[i])
+        if (i + 1) % query_every == 0:
+            tq = time.perf_counter()
+            service.estimate(keys[query_draws[query_index]])
+            query_index += 1
+            latencies.append(time.perf_counter() - tq)
+    service.flush()
+    elapsed = time.perf_counter() - t0
+    service.close()
+    p99_ms = float(np.percentile(np.asarray(latencies) * 1e3, 99.0))
+    return n_ops / elapsed, p99_ms
+
+
+def test_sharded_zipf_throughput(scale):
+    """Skewed-key load: 4-shard coalesced ingest must beat 1 shard >= 2x.
+
+    Single-shard mode is the bit-identical passthrough (every row hits the
+    store immediately); multi-shard mode buffers per key and flushes
+    64-row blocks, so the hot Zipf keys amortise store and accumulator
+    overhead.  The >= 2x floor holds at every scale including CI smoke —
+    the win is structural (fewer store operations), not machine-dependent
+    parallelism.
+    """
+    sizing = _zipf_sizing(scale)
+    per_shard = {}
+    for n_shards in SHARD_COUNTS:
+        rows_per_s, p99_ms = _run_zipf_load(n_shards, **sizing)
+        per_shard[n_shards] = {
+            "rows_per_s": round(rows_per_s),
+            "estimate_p99_ms": round(p99_ms, 3),
+        }
+        emit(
+            f"serving sharded zipf ({scale.label}): shards={n_shards} -> "
+            f"{rows_per_s:,.0f} rows/s, estimate p99 {p99_ms:.2f} ms"
+        )
+    speedup = (
+        per_shard[SHARD_COUNTS[-1]]["rows_per_s"]
+        / per_shard[SHARD_COUNTS[0]]["rows_per_s"]
+    )
+    emit(
+        f"serving sharded zipf ({scale.label}): {SHARD_COUNTS[-1]}-shard "
+        f"speedup {speedup:.2f}x over single shard"
+    )
+    out = _REPO_ROOT / "BENCH_serving.json"
+    append_entry(
+        out,
+        "serving",
+        config={
+            "scale": scale.label,
+            "section": "sharded_zipf",
+            "dim": D,
+            "zipf_alpha": ZIPF_ALPHA,
+            **sizing,
+        },
+        results={
+            "per_shard": {str(k): v for k, v in per_shard.items()},
+            "speedup_at_4_shards": round(speedup, 2),
+        },
+    )
+    emit(f"appended to {out}")
+    assert speedup >= 2.0, (
+        f"4-shard Zipf ingest speedup {speedup:.2f}x < 2x floor"
+    )
 
 
 _SECTIONS = {}

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -142,6 +142,70 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="evict sessions idle for this many store operations",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard-worker count (1 without other shard flags is the "
+        "bit-identical single-process compatibility mode)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="append per-shard write-ahead logs (shard-NNN.wal) into this "
+        "directory; existing logs are recovered and replayed",
+    )
+    serve.add_argument(
+        "--flush-rows",
+        type=int,
+        default=None,
+        help="ingest-coalescing threshold in rows "
+        "(default: 1 for one shard, 64 otherwise)",
+    )
+    serve.add_argument(
+        "--placement",
+        choices=["hash", "spread"],
+        default="hash",
+        help="session placement: each key on its consistent-hash home "
+        "shard, or spread over all shards with merge-on-read queries",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="verify a write-ahead log and rebuild shard state from it"
+    )
+    replay.add_argument("wal", help="per-shard WAL file (shard-NNN.wal)")
+    replay.add_argument(
+        "--checkpoint",
+        default=None,
+        help="base shard checkpoint; only the WAL tail past its covered "
+        "offset is replayed",
+    )
+    replay.add_argument(
+        "--out", default=None, help="write the recovered shard checkpoint here"
+    )
+    replay.add_argument("--max-sessions", type=int, default=1024)
+    replay.add_argument(
+        "--ttl-ops",
+        type=int,
+        default=None,
+        help="store TTL the original service ran with (ignored with --checkpoint)",
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="checkpoint a sharded service and truncate replayed WAL segments",
+    )
+    compact.add_argument(
+        "checkpoint", help="sharded checkpoint directory (holds manifest.json)"
+    )
+    compact.add_argument(
+        "--wal-dir", required=True, help="directory holding the shard WALs"
+    )
+    compact.add_argument(
+        "--out",
+        default=None,
+        help="write the compacted checkpoint elsewhere (default: in place)",
     )
 
     ingest = sub.add_parser(
@@ -367,12 +431,62 @@ def _cmd_gof(args) -> int:
 
 def _cmd_serve(args) -> int:
     import os
+    from pathlib import Path
 
-    from repro.serving import MomentService, serve_loop
+    from repro.serving import MomentService, ShardedMomentService, serve_loop
 
-    # The stdin loop is a single reader, so queries take the service's
-    # synchronous batch path; no collector thread is needed.
-    if args.checkpoint and os.path.exists(args.checkpoint):
+    # Any shard-mode flag routes through the sharded stack; the bare
+    # single-shard invocation keeps the original MomentService path so its
+    # behaviour and checkpoint bytes stay identical to the pre-shard CLI.
+    sharded = (
+        args.shards != 1
+        or args.wal_dir is not None
+        or args.flush_rows is not None
+        or args.placement != "hash"
+    )
+    if args.save_on_exit and not args.checkpoint:
+        print("--save-on-exit requires --checkpoint", file=sys.stderr)
+        return 2
+    service: Any
+    if sharded:
+        manifest = (
+            os.path.join(args.checkpoint, "manifest.json") if args.checkpoint else None
+        )
+        if manifest is not None and os.path.exists(manifest):
+            service = ShardedMomentService.restore(
+                args.checkpoint,
+                wal_dir=args.wal_dir,
+                flush_rows=args.flush_rows,
+            )
+            print(
+                f"restored {service.n_shards}-shard service from {args.checkpoint}",
+                file=sys.stderr,
+            )
+        elif args.wal_dir is not None and sorted(
+            Path(args.wal_dir).glob("shard-*.wal")
+        ):
+            service = ShardedMomentService.recover(
+                args.wal_dir,
+                max_sessions_per_shard=args.max_sessions,
+                ttl_ops=args.ttl_ops,
+                placement=args.placement,
+                flush_rows=args.flush_rows,
+            )
+            print(
+                f"recovered {service.n_shards} shard(s) by replaying "
+                f"write-ahead logs in {args.wal_dir}",
+                file=sys.stderr,
+            )
+        else:
+            service = ShardedMomentService(
+                n_shards=args.shards,
+                max_sessions_per_shard=args.max_sessions,
+                ttl_ops=args.ttl_ops,
+                placement=args.placement,
+                flush_rows=args.flush_rows,
+                wal_dir=args.wal_dir,
+            )
+    elif args.checkpoint and os.path.exists(args.checkpoint):
         service = MomentService.restore(args.checkpoint, start_queue=False)
         print(f"restored service state from {args.checkpoint}", file=sys.stderr)
     else:
@@ -381,9 +495,6 @@ def _cmd_serve(args) -> int:
             ttl_ops=args.ttl_ops,
             start_queue=False,
         )
-    if args.save_on_exit and not args.checkpoint:
-        print("--save-on-exit requires --checkpoint", file=sys.stderr)
-        return 2
     print(
         "repro serving loop: one JSON request per line on stdin "
         "(op: ping/create/ingest/estimate/loglik/yield/sessions/drop/"
@@ -399,6 +510,59 @@ def _cmd_serve(args) -> int:
         )
     service.close()
     print(f"served {handled} requests", file=sys.stderr)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.serving import ShardWorker, WriteAheadLog
+
+    wal = WriteAheadLog.open(args.wal)
+    n_records = wal.verify()
+    print(
+        f"verified {args.wal}: shard {wal.shard_id}, "
+        f"{n_records} record(s) covering seq ({wal.base_seq}, {wal.last_seq}]"
+    )
+    if args.checkpoint:
+        worker = ShardWorker.restore(args.checkpoint, shard_id=wal.shard_id, wal=wal)
+        print(
+            f"restored base checkpoint {args.checkpoint} and replayed the "
+            "tail past its covered offset"
+        )
+    else:
+        worker = ShardWorker(
+            shard_id=wal.shard_id,
+            max_sessions=args.max_sessions,
+            ttl_ops=args.ttl_ops,
+            wal=wal,
+        )
+        worker.replay(wal)
+    print(
+        f"recovered shard state: {len(worker.store)} live session(s), "
+        f"clock {worker.store.clock}, "
+        f"{worker.counters.ingested_samples} sample(s) ingested"
+    )
+    if args.out:
+        sha = worker.checkpoint(args.out)
+        print(f"wrote recovered checkpoint {args.out} (sha256 {sha[:12]}...)")
+    wal.close()
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from repro.serving import ShardedMomentService
+
+    service = ShardedMomentService.restore(args.checkpoint, wal_dir=args.wal_dir)
+    replayed = sum(
+        worker.wal.last_seq - worker.wal.base_seq
+        for worker in service.workers
+        if worker.wal is not None
+    )
+    sha = service.compact(args.out or args.checkpoint)
+    service.close()
+    print(
+        f"compacted {service.n_shards} shard(s): truncated {replayed} "
+        f"replayed WAL record(s); manifest sha256 {sha[:12]}..."
+    )
     return 0
 
 
@@ -533,6 +697,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": _cmd_cost,
         "gof": _cmd_gof,
         "serve": _cmd_serve,
+        "replay": _cmd_replay,
+        "compact": _cmd_compact,
         "ingest": _cmd_ingest,
         "query": _cmd_query,
     }

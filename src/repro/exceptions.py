@@ -99,6 +99,18 @@ class SessionNotFoundError(ReproError, KeyError):
     (never created, or already evicted by TTL / capacity pressure)."""
 
 
+class WalCorruptionError(ReproError, RuntimeError):
+    """Raised when a write-ahead log fails hash-chain verification.
+
+    A *torn tail* (the last record truncated by a crash mid-write) is not
+    corruption — recovery drops it silently and the log stays usable.
+    This error means something stronger: a record in the *middle* of the
+    chain fails its sha256 link, or valid-looking records follow a broken
+    one — the file was edited, reordered, or damaged at rest, and replaying
+    it would reconstruct a state that never existed.
+    """
+
+
 class ServiceOverloadedError(ReproError, RuntimeError):
     """Raised when the serving request queue is full (backpressure).
 

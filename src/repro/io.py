@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -36,6 +37,8 @@ from repro.exceptions import ConfigError, DimensionError, SchemaVersionError
 from repro.experiments.sweep import SweepResult
 
 __all__ = [
+    "canonical_json",
+    "write_json_atomic",
     "save_dataset",
     "load_dataset",
     "estimate_to_dict",
@@ -53,6 +56,41 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# canonical JSON + crash-safe writes (shared by checkpoints, WALs, manifests)
+# ---------------------------------------------------------------------------
+def canonical_json(payload: Any) -> str:
+    """The one canonical JSON encoding used for every hashed artefact.
+
+    Sorted keys, no whitespace — so a sha256 over the encoding is a
+    well-defined function of the *value*, not of dict insertion order or
+    formatting.  Floats go through ``float.__repr__`` (shortest round
+    trip), which preserves IEEE-754 doubles bit-for-bit.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_json_atomic(payload: Any, path: PathLike, canonical: bool = True) -> str:
+    """Write a JSON document crash-safely; returns the encoded text.
+
+    The bytes go to a temporary file in the target directory, are fsync'd,
+    then atomically renamed over the destination (``os.replace``) — a
+    crash mid-write leaves the previous file intact.  With ``canonical``
+    the encoding is :func:`canonical_json` (hash-stable); otherwise an
+    indented human-readable form.
+    """
+    target = Path(path)
+    encoded = canonical_json(payload) if canonical else json.dumps(payload, indent=2)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(encoded)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return encoded
 
 
 def _info_value(value: Any) -> Union[bool, int, float, str]:

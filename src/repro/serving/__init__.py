@@ -1,24 +1,35 @@
-"""Long-running, in-process moment-estimation service (the serving layer).
+"""Long-running moment-estimation serving stack (router / worker / WAL).
 
 Everything below this package estimates from a dataset it is handed; this
 package keeps the estimation *state* alive between requests, which is how
 BMF is actually consumed on a tester floor — measurements trickle in die
 by die, and the MAP estimate must be queryable at any instant without
-re-touching raw samples:
+re-touching raw samples.  The stack is layered bottom-up:
 
 * :mod:`repro.serving.suffstats` — mergeable sufficient-statistics
   substrate (re-exported from :mod:`repro.stats.suffstats`) plus the
   stacked Eq. (31)–(32) MAP kernel.
+* :mod:`repro.serving.counters` — thread-safe request/ingest/latency
+  counters shared by every layer above.
+* :mod:`repro.serving.wal` — per-shard append-only, sha256-chained
+  write-ahead log with torn-tail recovery and atomic compaction.
 * :mod:`repro.serving.sessions` — keyed session store with LRU capacity
   and logical-clock TTL eviction.
 * :mod:`repro.serving.queue` — micro-batching query queue with bounded
   backpressure.
-* :mod:`repro.serving.service` — :class:`MomentService`, the composed
-  service (+ counters).
 * :mod:`repro.serving.checkpoint` — atomic, integrity-checked snapshot /
   bit-identical restore.
+* :mod:`repro.serving.scoring` — the grouped stacked-kernel batch
+  scorer all services answer through.
+* :mod:`repro.serving.worker` — :class:`ShardWorker`: one store slice +
+  counters + scorer (+ WAL), with bit-identical log replay.
+* :mod:`repro.serving.service` — :class:`MomentService`, the
+  single-process composition (one worker + micro-batch queue).
+* :mod:`repro.serving.router` — :class:`ShardedMomentService`:
+  consistent-hash placement, coalesced ingest, merge-on-read queries,
+  manifest checkpoints.
 * :mod:`repro.serving.protocol` — JSON-lines request handling for the
-  ``repro serve`` CLI verb.
+  ``repro serve`` CLI verb (fronts either service).
 """
 
 from repro.serving.checkpoint import (
@@ -27,15 +38,23 @@ from repro.serving.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.serving.counters import ServiceCounters
 from repro.serving.protocol import handle_request, serve_loop
 from repro.serving.queue import QUERY_KINDS, MicroBatchQueue, Request
-from repro.serving.service import MomentService, ServiceCounters
+from repro.serving.router import MANIFEST_SCHEMA, HashRing, ShardedMomentService
+from repro.serving.scoring import BatchScorer
+from repro.serving.service import MomentService
 from repro.serving.sessions import Session, SessionStore
 from repro.serving.suffstats import SufficientStats, map_moments_stack, merge_all
+from repro.serving.wal import WAL_SCHEMA, WriteAheadLog
+from repro.serving.worker import ShardWorker
 
 __all__ = [
+    "BatchScorer",
     "CHECKPOINT_SCHEMA",
     "CHECKPOINT_SCHEMA_VERSION",
+    "HashRing",
+    "MANIFEST_SCHEMA",
     "MicroBatchQueue",
     "MomentService",
     "QUERY_KINDS",
@@ -43,7 +62,11 @@ __all__ = [
     "ServiceCounters",
     "Session",
     "SessionStore",
+    "ShardWorker",
+    "ShardedMomentService",
     "SufficientStats",
+    "WAL_SCHEMA",
+    "WriteAheadLog",
     "handle_request",
     "load_checkpoint",
     "map_moments_stack",

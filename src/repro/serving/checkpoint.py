@@ -26,12 +26,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.exceptions import ConfigError
-from repro.io import check_schema_version
+from repro.io import canonical_json, check_schema_version, write_json_atomic
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -49,18 +48,14 @@ CHECKPOINT_SCHEMA = "repro.serving-checkpoint.v1"
 CHECKPOINT_SCHEMA_VERSION = 1
 
 
-def _canonical(document: Dict[str, Any]) -> str:
-    """Canonical JSON encoding the digest is computed over."""
-    return json.dumps(document, sort_keys=True, separators=(",", ":"))
-
-
 def _digest(state: Dict[str, Any]) -> str:
+    """sha256 over the canonical encoding of the versioned state."""
     document = {
         "schema": CHECKPOINT_SCHEMA,
         "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "state": state,
     }
-    return hashlib.sha256(_canonical(document).encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
 
 
 def save_checkpoint(state: Dict[str, Any], path: PathLike) -> str:
@@ -70,21 +65,13 @@ def save_checkpoint(state: Dict[str, Any], path: PathLike) -> str:
     produces (the function itself is agnostic — any JSON-safe dict works,
     which keeps it testable in isolation).
     """
-    target = Path(path)
     payload = {
         "schema": CHECKPOINT_SCHEMA,
         "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "sha256": _digest(state),
         "state": state,
     }
-    tmp = target.with_name(target.name + ".tmp")
-    encoded = _canonical(payload)
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(encoded)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, target)
+    write_json_atomic(payload, path)
     return str(payload["sha256"])
 
 

@@ -1,0 +1,101 @@
+"""Thread-safe service counters (shared by workers, services, and routers).
+
+Extracted to the bottom of the serving sub-layering so every layer above —
+:class:`~repro.serving.worker.ShardWorker`,
+:class:`~repro.serving.service.MomentService`, and the shard router — can
+count requests/ingest/latency through one implementation without import
+cycles.
+
+Cumulative counters (requests by kind, errors, ingest totals) are exact
+state: they serialize into checkpoints and are replayed from write-ahead
+logs.  The latency ring is observability only — it measures the *process*,
+not the logical state — and is deliberately excluded from
+:meth:`ServiceCounters.state_dict`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Mapping
+
+import numpy as np
+
+from repro.serving.queue import QUERY_KINDS
+
+__all__ = ["ServiceCounters"]
+
+
+class ServiceCounters:
+    """Thread-safe service counters with a bounded latency ring."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.requests: Dict[str, int] = {kind: 0 for kind in QUERY_KINDS}
+        self.errors = 0
+        self.ingest_calls = 0
+        self.ingested_samples = 0
+        self._latencies: Deque[float] = deque(maxlen=int(latency_window))
+
+    def record_request(self, kind: str) -> None:
+        with self._lock:
+            self.requests[kind] = self.requests.get(kind, 0) + 1
+
+    def record_requests(self, kinds: Mapping[str, int]) -> None:
+        """Bulk request accounting (write-ahead-log touch replay)."""
+        with self._lock:
+            for kind in sorted(kinds):
+                self.requests[kind] = self.requests.get(kind, 0) + int(kinds[kind])
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_ingest(self, n_samples: int) -> None:
+        with self._lock:
+            self.ingest_calls += 1
+            self.ingested_samples += int(n_samples)
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(float(seconds))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe counter snapshot (latencies in milliseconds)."""
+        with self._lock:
+            requests = dict(self.requests)
+            latencies = list(self._latencies)
+            out: Dict[str, Any] = {
+                "requests": requests,
+                "requests_total": sum(requests.values()),
+                "errors": self.errors,
+                "ingest_calls": self.ingest_calls,
+                "ingested_samples": self.ingested_samples,
+            }
+        if latencies:
+            arr = np.asarray(latencies) * 1e3
+            out["latency_ms_p50"] = float(np.percentile(arr, 50.0))
+            out["latency_ms_p99"] = float(np.percentile(arr, 99.0))
+            out["latency_samples"] = len(latencies)
+        else:
+            out["latency_ms_p50"] = None
+            out["latency_ms_p99"] = None
+            out["latency_samples"] = 0
+        return out
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Cumulative counters worth persisting (the latency ring is not)."""
+        with self._lock:
+            return {
+                "requests": dict(self.requests),
+                "errors": self.errors,
+                "ingest_calls": self.ingest_calls,
+                "ingested_samples": self.ingested_samples,
+            }
+
+    def load_state_dict(self, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self.requests = {str(k): int(v) for k, v in payload["requests"].items()}
+            self.errors = int(payload["errors"])
+            self.ingest_calls = int(payload["ingest_calls"])
+            self.ingested_samples = int(payload["ingested_samples"])

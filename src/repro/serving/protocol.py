@@ -41,16 +41,23 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Any, Callable, Dict, IO, Iterable, Optional
+from typing import Any, Callable, Dict, IO, Iterable, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import ConfigError, ReproError
+from repro.serving.router import ShardedMomentService
 from repro.serving.service import MomentService
 from repro.core.prior import PriorKnowledge
 from repro.stats.suffstats import SufficientStats
 
-__all__ = ["handle_request", "serve_loop", "PROTOCOL_OPS"]
+__all__ = ["handle_request", "serve_loop", "PROTOCOL_OPS", "ServingService"]
+
+#: Any service the wire protocol can front: the single-process
+#: :class:`MomentService` or the sharded router.  Both expose the same
+#: session-lifecycle / ingest / synchronous-query surface; the protocol
+#: layer never reaches into stores or workers directly.
+ServingService = Union[MomentService, ShardedMomentService]
 
 #: Operations the wire protocol accepts.
 PROTOCOL_OPS = (
@@ -77,12 +84,12 @@ def _require(request: Dict[str, Any], field: str) -> Any:
         ) from None
 
 
-def _op_ping(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_ping(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     del service, request
     return {}
 
 
-def _op_create(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_create(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     prior = PriorKnowledge(
         mean=np.asarray(_require(request, "prior_mean"), dtype=float),
@@ -107,7 +114,7 @@ def _op_create(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any
     }
 
 
-def _op_ingest(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_ingest(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     if "stats" in request:
         stats = SufficientStats.from_dict(request["stats"])
@@ -120,7 +127,7 @@ def _op_ingest(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any
     return {"key": key, "ingested": folded, "n": total}
 
 
-def _op_estimate(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_estimate(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     estimate = service.query_many([("estimate", key, None)])[0]
     return {
@@ -133,14 +140,14 @@ def _op_estimate(service: MomentService, request: Dict[str, Any]) -> Dict[str, A
     }
 
 
-def _op_loglik(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_loglik(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     x = np.asarray(_require(request, "x"), dtype=float)
     value = service.query_many([("loglik", key, x)])[0]
     return {"key": key, "loglik": float(value)}
 
 
-def _op_yield(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_yield(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     lower = np.asarray(_require(request, "lower"), dtype=float)
     upper = np.asarray(_require(request, "upper"), dtype=float)
@@ -148,28 +155,28 @@ def _op_yield(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]
     return {"key": key, "yield": float(value)}
 
 
-def _op_sessions(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_sessions(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     del request
-    return {"sessions": service.store.keys()}
+    return {"sessions": service.session_keys()}
 
 
-def _op_drop(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_drop(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
-    return {"key": key, "dropped": service.store.drop(key)}
+    return {"key": key, "dropped": service.drop_session(key)}
 
 
-def _op_stats(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_stats(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     del request
     return {"stats": service.stats()}
 
 
-def _op_checkpoint(service: MomentService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _op_checkpoint(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     path = str(_require(request, "path"))
     sha256 = service.checkpoint(path)
     return {"path": path, "sha256": sha256}
 
 
-_HANDLERS: Dict[str, Callable[[MomentService, Dict[str, Any]], Dict[str, Any]]] = {
+_HANDLERS: Dict[str, Callable[[ServingService, Dict[str, Any]], Dict[str, Any]]] = {
     "ping": _op_ping,
     "create": _op_create,
     "ingest": _op_ingest,
@@ -183,7 +190,7 @@ _HANDLERS: Dict[str, Callable[[MomentService, Dict[str, Any]], Dict[str, Any]]] 
 }
 
 
-def handle_request(service: MomentService, line: str) -> Dict[str, Any]:
+def handle_request(service: ServingService, line: str) -> Dict[str, Any]:
     """Decode one request line, execute it, and return the response dict.
 
     Never raises for client mistakes — malformed JSON, unknown ops,
@@ -225,7 +232,7 @@ def handle_request(service: MomentService, line: str) -> Dict[str, Any]:
 
 
 def serve_loop(
-    service: MomentService,
+    service: ServingService,
     lines: Optional[Iterable[str]] = None,
     out: Optional[IO[str]] = None,
 ) -> int:

@@ -1,15 +1,15 @@
 """In-process streaming moment-estimation service.
 
-:class:`MomentService` composes the serving subsystem:
-
-* a :class:`~repro.serving.sessions.SessionStore` holding one prior +
-  live :class:`~repro.stats.suffstats.SufficientStats` accumulator per
-  population (circuit / corner / tester shard),
-* a :class:`~repro.serving.queue.MicroBatchQueue` that coalesces
-  concurrent queries into stacked-kernel scoring passes,
-* checkpoint / restore via :mod:`repro.serving.checkpoint`,
-* built-in counters (request rates, batch occupancy, queue depth,
-  evictions, p50/p99 latency) surfaced by :meth:`MomentService.stats`.
+:class:`MomentService` is the single-process composition of the serving
+stack: exactly one :class:`~repro.serving.worker.ShardWorker` (session
+store + counters + grouped batch scorer, no write-ahead log) behind a
+:class:`~repro.serving.queue.MicroBatchQueue` that coalesces concurrent
+queries into stacked-kernel scoring passes.  The sharded deployment
+(:class:`~repro.serving.router.ShardedMomentService`) replicates the same
+worker N times behind a consistent-hash router; this class *is* the
+``--shards 1`` reference it is gated against — state layout, counters,
+eviction order, and checkpoint bytes are identical to the pre-shard
+service.
 
 Ingest is synchronous and cheap — an O(d^2) accumulator update under the
 store lock; queries are where batching pays.  Three kinds are served:
@@ -24,7 +24,8 @@ store lock; queries are where batching pays.  Three kinds are served:
     Box-probability parametric yield of the session's MAP Gaussian
     against spec bounds (:mod:`repro.yieldest.parametric`).
 
-Batched and per-request scoring share every formula, so the micro-batched
+Batched and per-request scoring share every formula
+(:class:`~repro.serving.scoring.BatchScorer`), so the micro-batched
 answers agree with the scalar path to floating-point rounding — the
 equivalence suite pins 1e-10 against the one-shot
 :class:`~repro.core.bmf.BMFEstimator`.
@@ -32,113 +33,23 @@ equivalence suite pins 1e-10 against the one-shot
 
 from __future__ import annotations
 
-import math
-import threading
-import time
-from collections import deque
 from concurrent.futures import Future
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.typing import ArrayLike
 
 from repro.core.estimators import MomentEstimate
 from repro.core.prior import PriorKnowledge
-from repro.exceptions import (
-    ConfigError,
-    DimensionError,
-    ReproError,
-    SpecificationError,
-)
-from repro.linalg.backends import use_kernel_backend
-from repro.linalg.batched import (
-    cholesky_batched_safe,
-    logdet_batched,
-    solve_triangular_batched,
-)
+from repro.exceptions import ConfigError
 from repro.serving.checkpoint import load_checkpoint, save_checkpoint
-from repro.serving.queue import QUERY_KINDS, MicroBatchQueue, Request
+from repro.serving.counters import ServiceCounters
+from repro.serving.queue import MicroBatchQueue, Request
 from repro.serving.sessions import Session, SessionStore
-from repro.serving.suffstats import SufficientStats, map_moments_stack
-from repro.yieldest.parametric import gaussian_box_probabilities
+from repro.serving.worker import ShardWorker
+from repro.stats.suffstats import SufficientStats
 
 __all__ = ["MomentService", "ServiceCounters"]
-
-_LOG_2PI = math.log(2.0 * math.pi)
-
-#: Jitter/clip policy for batched covariance factorisation; identical to
-#: :func:`repro.stats.multivariate_gaussian.gaussian_loglik_batch`.
-_CHOL_JITTER = 1e-10
-_CHOL_CLIP = 1e-10
-
-
-class ServiceCounters:
-    """Thread-safe service counters with a bounded latency ring."""
-
-    def __init__(self, latency_window: int = 4096) -> None:
-        self._lock = threading.Lock()
-        self.requests: Dict[str, int] = {kind: 0 for kind in QUERY_KINDS}
-        self.errors = 0
-        self.ingest_calls = 0
-        self.ingested_samples = 0
-        self._latencies: Deque[float] = deque(maxlen=int(latency_window))
-
-    def record_request(self, kind: str) -> None:
-        with self._lock:
-            self.requests[kind] = self.requests.get(kind, 0) + 1
-
-    def record_error(self) -> None:
-        with self._lock:
-            self.errors += 1
-
-    def record_ingest(self, n_samples: int) -> None:
-        with self._lock:
-            self.ingest_calls += 1
-            self.ingested_samples += int(n_samples)
-
-    def record_latency(self, seconds: float) -> None:
-        with self._lock:
-            self._latencies.append(float(seconds))
-
-    def snapshot(self) -> Dict[str, Any]:
-        """JSON-safe counter snapshot (latencies in milliseconds)."""
-        with self._lock:
-            requests = dict(self.requests)
-            latencies = list(self._latencies)
-            out: Dict[str, Any] = {
-                "requests": requests,
-                "requests_total": sum(requests.values()),
-                "errors": self.errors,
-                "ingest_calls": self.ingest_calls,
-                "ingested_samples": self.ingested_samples,
-            }
-        if latencies:
-            arr = np.asarray(latencies) * 1e3
-            out["latency_ms_p50"] = float(np.percentile(arr, 50.0))
-            out["latency_ms_p99"] = float(np.percentile(arr, 99.0))
-            out["latency_samples"] = len(latencies)
-        else:
-            out["latency_ms_p50"] = None
-            out["latency_ms_p99"] = None
-            out["latency_samples"] = 0
-        return out
-
-    def state_dict(self) -> Dict[str, Any]:
-        """Cumulative counters worth persisting (the latency ring is not)."""
-        with self._lock:
-            return {
-                "requests": dict(self.requests),
-                "errors": self.errors,
-                "ingest_calls": self.ingest_calls,
-                "ingested_samples": self.ingested_samples,
-            }
-
-    def load_state_dict(self, payload: Dict[str, Any]) -> None:
-        with self._lock:
-            self.requests = {str(k): int(v) for k, v in payload["requests"].items()}
-            self.errors = int(payload["errors"])
-            self.ingest_calls = int(payload["ingest_calls"])
-            self.ingested_samples = int(payload["ingested_samples"])
 
 
 class MomentService:
@@ -166,7 +77,7 @@ class MomentService:
     """
 
     #: Version tag stored inside checkpoint state.
-    STATE_VERSION = 1
+    STATE_VERSION = ShardWorker.STATE_VERSION
 
     def __init__(
         self,
@@ -180,8 +91,13 @@ class MomentService:
         start_queue: bool = True,
         linalg_backend: Optional[str] = None,
     ) -> None:
-        self.store = SessionStore(max_sessions=max_sessions, ttl_ops=ttl_ops)
-        self.counters = ServiceCounters()
+        self._worker = ShardWorker(
+            shard_id=0,
+            max_sessions=max_sessions,
+            ttl_ops=ttl_ops,
+            wal=None,
+            linalg_backend=linalg_backend,
+        )
         self._linalg_backend = linalg_backend
         self._queue: Optional[MicroBatchQueue] = None
         self._queue_config: Dict[str, Any] = {
@@ -193,6 +109,23 @@ class MomentService:
         }
         if start_queue:
             self._queue = MicroBatchQueue(self._handle_batch, **self._queue_config)
+
+    # ------------------------------------------------------------------
+    # worker delegation (store/counters stay public attributes)
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> SessionStore:
+        """The (single) shard's session store."""
+        return self._worker.store
+
+    @store.setter
+    def store(self, value: SessionStore) -> None:
+        self._worker.store = value
+
+    @property
+    def counters(self) -> ServiceCounters:
+        """The (single) shard's counters."""
+        return self._worker.counters
 
     # ------------------------------------------------------------------
     # session lifecycle + ingest
@@ -213,23 +146,25 @@ class MomentService:
         :class:`~repro.core.crossval.TwoDimensionalCV` on a pilot batch)
         for production use.
         """
-        k0 = 1.0 if kappa0 is None else float(kappa0)
-        nu0 = float(prior.dim) + 1.0 if v0 is None else float(v0)
-        return self.store.create(key, prior, k0, nu0, exist_ok=exist_ok)
+        return self._worker.create_session(
+            key, prior, kappa0=kappa0, v0=v0, exist_ok=exist_ok
+        )
 
     def ingest(self, key: str, samples: ArrayLike) -> int:
         """Fold late-stage samples into a session; returns its new total."""
-        arr = np.asarray(samples, dtype=float)
-        count = 1 if arr.ndim == 1 else arr.shape[0]
-        total = self.store.ingest(key, arr)
-        self.counters.record_ingest(count)
-        return total
+        return self._worker.ingest(key, samples)
 
     def ingest_stats(self, key: str, stats: SufficientStats) -> int:
         """Merge shard-local sufficient statistics (tester-side accumulation)."""
-        total = self.store.ingest_stats(key, stats)
-        self.counters.record_ingest(stats.n)
-        return total
+        return self._worker.ingest_stats(key, stats)
+
+    def drop_session(self, key: str) -> bool:
+        """Remove a session explicitly; returns whether it existed."""
+        return self._worker.drop_session(key)
+
+    def session_keys(self) -> List[str]:
+        """Live session keys, sorted."""
+        return self._worker.session_keys()
 
     # ------------------------------------------------------------------
     # queries — asynchronous (micro-batched) path
@@ -284,209 +219,13 @@ class MomentService:
         benchmarks, and the equivalence tests.  Raises the first request
         error encountered, in submission order.
         """
-        requests: List[Request] = []
-        now = time.perf_counter()
-        for kind, key, payload in queries:
-            if kind not in QUERY_KINDS:
-                raise ConfigError(
-                    f"unknown request kind {kind!r}; expected {QUERY_KINDS}"
-                )
-            self.counters.record_request(kind)
-            requests.append(
-                Request(kind=kind, key=str(key), payload=payload, submitted_at=now)
-            )
-        self._score_requests(requests)
-        return [request.future.result() for request in requests]
+        return self._worker.query_many(queries)
 
-    # ------------------------------------------------------------------
-    # batch scoring core
-    # ------------------------------------------------------------------
     def _handle_batch(self, batch: List[Request], rng: np.random.Generator) -> None:
         """Queue handler: score a coalesced batch (rng reserved for future
         randomised scoring; current query kinds are deterministic)."""
         del rng
-        self._score_requests(batch)
-
-    def _fail(self, request: Request, exc: BaseException) -> None:
-        self.counters.record_error()
-        if not request.future.done():
-            request.future.set_exception(exc)
-
-    def _score_requests(self, requests: List[Request]) -> None:
-        """Answer every request, grouping work into stacked-kernel calls."""
-        with use_kernel_backend(self._linalg_backend):
-            self._score_requests_impl(requests)
-
-    def _score_requests_impl(self, requests: List[Request]) -> None:
-        # 1. snapshot each distinct session once (consistent view per batch)
-        sessions: Dict[str, Session] = {}
-        live: List[Request] = []
-        for request in requests:
-            if request.key not in sessions:
-                try:
-                    sessions[request.key] = self.store.snapshot([request.key])[0]
-                except ReproError as exc:
-                    self._fail(request, exc)
-                    continue
-            live.append(request)
-
-        # drop requests whose key failed to snapshot on a *later* request
-        live = [r for r in live if r.key in sessions]
-        if not live:
-            return
-
-        # 2. one stacked MAP pass per distinct metric dimension
-        keys_by_dim: Dict[int, List[str]] = {}
-        for key in sessions:
-            keys_by_dim.setdefault(sessions[key].dim, []).append(key)
-        moments: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
-        for dim in sorted(keys_by_dim):
-            keys = keys_by_dim[dim]
-            group = [sessions[key] for key in keys]
-            try:
-                mu, sigma = map_moments_stack(
-                    np.stack([s.prior.mean for s in group]),
-                    np.stack([s.prior.covariance for s in group]),
-                    np.asarray([s.kappa0 for s in group]),
-                    np.asarray([s.v0 for s in group]),
-                    np.asarray([s.stats.n for s in group]),
-                    np.stack([s.stats.mean for s in group]),
-                    np.stack([s.stats.scatter for s in group]),
-                )
-            except ReproError as exc:
-                bad = set(keys)
-                for request in live:
-                    if request.key in bad:
-                        self._fail(request, exc)
-                live = [r for r in live if r.key not in bad]
-                continue
-            for i, key in enumerate(keys):
-                moments[key] = (mu[i], sigma[i])
-
-        # 3. answer by kind
-        for request in live:
-            if request.kind == "estimate":
-                mean, cov = moments[request.key]
-                session = sessions[request.key]
-                self._finish(
-                    request,
-                    MomentEstimate(
-                        mean=mean,
-                        covariance=cov,
-                        n_samples=session.stats.n,
-                        method="bmf",
-                        info={
-                            "kappa0": session.kappa0,
-                            "v0": session.v0,
-                            "serving": True,
-                        },
-                    ),
-                )
-        self._score_loglik(
-            [r for r in live if r.kind == "loglik"], sessions, moments
-        )
-        self._score_yield(
-            [r for r in live if r.kind == "yield"], sessions, moments
-        )
-
-    def _finish(self, request: Request, result: Any) -> None:
-        if not request.future.done():
-            request.future.set_result(result)
-        if request.submitted_at > 0.0:
-            self.counters.record_latency(time.perf_counter() - request.submitted_at)
-
-    def _score_loglik(
-        self,
-        requests: List[Request],
-        sessions: Dict[str, Session],
-        moments: Dict[str, Tuple[np.ndarray, np.ndarray]],
-    ) -> None:
-        """Grouped log-likelihood: one Cholesky stack per ``(d, n)`` shape.
-
-        Mirrors :func:`repro.stats.multivariate_gaussian.gaussian_loglik_batch`
-        — same repair ladder, same per-row-then-sum accumulation order —
-        but with a *per-request* sample block instead of one shared one.
-        """
-        groups: Dict[Tuple[int, int], List[Tuple[Request, np.ndarray]]] = {}
-        for request in requests:
-            session = sessions[request.key]
-            try:
-                x = np.asarray(request.payload, dtype=float)
-                if x.ndim == 1:
-                    x = x[None, :]
-                if x.ndim != 2 or x.shape[1] != session.dim:
-                    raise DimensionError(
-                        f"loglik payload must be (n, {session.dim}), "
-                        f"got shape {np.asarray(request.payload).shape}"
-                    )
-                if x.shape[0] == 0:
-                    raise DimensionError("loglik payload must contain >= 1 row")
-            except (ReproError, TypeError, ValueError) as exc:
-                self._fail(request, exc)
-                continue
-            groups.setdefault((session.dim, x.shape[0]), []).append((request, x))
-
-        for dim, n_rows in sorted(groups):
-            members = groups[(dim, n_rows)]
-            covs = np.stack([moments[req.key][1] for req, _ in members])
-            means = np.stack([moments[req.key][0] for req, _ in members])
-            xs = np.stack([x for _, x in members])
-            chol, ok = cholesky_batched_safe(
-                covs, jitter_rel=_CHOL_JITTER, clip_floor_rel=_CHOL_CLIP
-            )
-            out = np.full(len(members), -np.inf)
-            sel = np.flatnonzero(ok)
-            if sel.size:
-                diffs = np.swapaxes(xs[sel] - means[sel][:, None, :], -1, -2)
-                z = solve_triangular_batched(chol[sel], diffs, lower=True)
-                maha = np.sum(z * z, axis=1)
-                log_det = logdet_batched(chol[sel])
-                logpdf = -0.5 * (dim * _LOG_2PI + log_det[:, None] + maha)
-                out[sel] = logpdf.sum(axis=1)
-            for i, (request, _) in enumerate(members):
-                self._finish(request, float(out[i]))
-
-    def _score_yield(
-        self,
-        requests: List[Request],
-        sessions: Dict[str, Session],
-        moments: Dict[str, Tuple[np.ndarray, np.ndarray]],
-    ) -> None:
-        """Grouped box-probability yield: one stacked call per bounds set."""
-        groups: Dict[Tuple[float, ...], List[Request]] = {}
-        bounds: Dict[Tuple[float, ...], Tuple[np.ndarray, np.ndarray]] = {}
-        for request in requests:
-            session = sessions[request.key]
-            try:
-                lower, upper = request.payload
-                lo = np.atleast_1d(np.asarray(lower, dtype=float))
-                hi = np.atleast_1d(np.asarray(upper, dtype=float))
-                if lo.shape != (session.dim,) or hi.shape != (session.dim,):
-                    raise SpecificationError(
-                        f"yield bounds must be length-{session.dim} vectors"
-                    )
-                if np.any(lo >= hi):
-                    raise SpecificationError("yield bounds must satisfy lower < upper")
-            except (ReproError, TypeError, ValueError) as exc:
-                self._fail(request, exc)
-                continue
-            group_key = tuple(lo.tolist()) + tuple(hi.tolist())
-            groups.setdefault(group_key, []).append(request)
-            bounds[group_key] = (lo, hi)
-
-        for group_key in sorted(groups):
-            members = groups[group_key]
-            lo, hi = bounds[group_key]
-            means = np.stack([moments[req.key][0] for req in members])
-            covs = np.stack([moments[req.key][1] for req in members])
-            try:
-                probs = gaussian_box_probabilities(means, covs, lo, hi)
-            except ReproError as exc:
-                for request in members:
-                    self._fail(request, exc)
-                continue
-            for i, request in enumerate(members):
-                self._finish(request, float(probs[i]))
+        self._worker.score_requests(batch)
 
     # ------------------------------------------------------------------
     # observability
@@ -514,11 +253,7 @@ class MomentService:
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, Any]:
         """Exact JSON-safe service state (store + cumulative counters)."""
-        return {
-            "state_version": self.STATE_VERSION,
-            "store": self.store.to_dict(),
-            "counters": self.counters.state_dict(),
-        }
+        return self._worker.state_dict()
 
     def checkpoint(self, path: Any) -> str:
         """Atomically snapshot the full service state; returns the sha256.

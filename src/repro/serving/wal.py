@@ -1,0 +1,405 @@
+"""Per-shard write-ahead ingest log: append-only, sha256-chained, replayable.
+
+Every state mutation a shard worker performs (session create/drop, sample
+ingest, statistics merge, and the logical-clock ticks queries cause) is
+appended here *before* it is applied, as one JSON line:
+
+``{"prev": <sha of previous line>, "record": {"seq": ..., "op": ...,
+"payload": {...}}, "sha256": sha256(canonical({"prev", "record"}))}``
+
+The first line is a header carrying the schema marker, shard id, and the
+``base_seq`` the log starts after.  Each line's hash covers the previous
+line's hash, so the file is a hash chain rooted at the header: replaying a
+verified log reproduces the shard's state **bit-identically** (the
+sufficient-statistics recurrences and the eviction clock are deterministic
+functions of the op sequence), and any silent mid-file edit breaks the
+chain.
+
+Crash semantics distinguish two failure shapes:
+
+* **Torn tail** — the process died mid-``write`` and the *last* line is
+  incomplete or fails its hash.  That is the expected crash artefact;
+  recovery silently drops the tail (the op was never acknowledged, because
+  mutations are logged before they are applied) and truncates the file
+  back to the verified prefix.
+* **Mid-chain corruption** — a record *before* the last fails
+  verification, or parseable records follow a broken line.  No crash
+  produces that; it means the file was edited or the disk lied, and
+  :class:`~repro.exceptions.WalCorruptionError` is raised rather than
+  guessing.
+
+Appends ``flush()`` to the OS page cache but do not ``fsync`` per record —
+the kill-recovery guarantee targets process death (SIGKILL), where the
+page cache survives; :meth:`WriteAheadLog.sync` forces durability at
+checkpoint boundaries, and rotation (:meth:`truncate_through`) is atomic
+via the tmp + fsync + ``os.replace`` pattern shared with
+:mod:`repro.serving.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.exceptions import WalCorruptionError
+from repro.io import canonical_json
+
+__all__ = [
+    "WAL_SCHEMA",
+    "WAL_SCHEMA_VERSION",
+    "WAL_OPS",
+    "WalRecord",
+    "WriteAheadLog",
+]
+
+#: Format marker written into every log header.
+WAL_SCHEMA = "repro.serving-wal.v1"
+
+#: Structural version of the record layout; bump on breaking change.
+WAL_SCHEMA_VERSION = 1
+
+#: The closed set of replayable operations.
+WAL_OPS = ("create", "ingest", "ingest_stats", "drop", "touch")
+
+#: One verified log entry: ``(seq, op, payload)``.
+WalRecord = Tuple[int, str, Dict[str, Any]]
+
+PathLike = Union[str, Path]
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _header_obj(shard_id: int, base_seq: int) -> Dict[str, Any]:
+    header = {
+        "schema": WAL_SCHEMA,
+        "schema_version": WAL_SCHEMA_VERSION,
+        "shard": int(shard_id),
+        "base_seq": int(base_seq),
+    }
+    return {"header": header, "sha256": _sha(canonical_json({"header": header}))}
+
+
+def _record_obj(prev_sha: str, seq: int, op: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    record = {"seq": int(seq), "op": op, "payload": payload}
+    body = {"prev": prev_sha, "record": record}
+    return {"prev": prev_sha, "record": record, "sha256": _sha(canonical_json(body))}
+
+
+def _verify_line(obj: Any, prev_sha: str, expect_seq: int) -> WalRecord:
+    """Check one parsed record line against the chain; raise ``ValueError``.
+
+    Callers decide whether a failure is a droppable torn tail or hard
+    corruption — this helper only states *that* the line does not verify.
+    """
+    if not isinstance(obj, dict) or set(obj) != {"prev", "record", "sha256"}:
+        raise ValueError("not a WAL record object")
+    record = obj["record"]
+    if not isinstance(record, dict) or set(record) != {"seq", "op", "payload"}:
+        raise ValueError("malformed WAL record body")
+    if obj["prev"] != prev_sha:
+        raise ValueError(
+            f"chain break: record {record.get('seq')} links prev={obj['prev']!r}, "
+            f"expected {prev_sha!r}"
+        )
+    expected = _sha(canonical_json({"prev": obj["prev"], "record": record}))
+    if obj["sha256"] != expected:
+        raise ValueError(f"sha mismatch on record {record.get('seq')}")
+    seq = record["seq"]
+    if not isinstance(seq, int) or seq != expect_seq:
+        raise ValueError(f"sequence gap: got seq {seq!r}, expected {expect_seq}")
+    op = record["op"]
+    if op not in WAL_OPS:
+        raise ValueError(f"unknown WAL op {op!r}")
+    payload = record["payload"]
+    if not isinstance(payload, dict):
+        raise ValueError("WAL payload must be an object")
+    return int(seq), str(op), payload
+
+
+class WriteAheadLog:
+    """An append-only, hash-chained, per-shard operation log.
+
+    Use :meth:`create` for a fresh log and :meth:`open` to recover an
+    existing one; the constructor is internal.  All methods are
+    thread-safe (one writer lock), matching the shard worker's
+    one-writer-many-readers discipline.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        shard_id: int,
+        base_seq: int,
+        last_seq: int,
+        last_sha: str,
+    ) -> None:
+        self._path = path
+        self._shard_id = int(shard_id)
+        self._base_seq = int(base_seq)
+        self._last_seq = int(last_seq)
+        self._last_sha = last_sha
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # construction / recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: PathLike, shard_id: int, base_seq: int = 0) -> "WriteAheadLog":
+        """Start a new log at ``path`` (must not already exist).
+
+        The header line is fsync'd immediately — a log file either has a
+        durable, verifiable root or it does not exist.
+        """
+        target = Path(path)
+        if target.exists():
+            raise WalCorruptionError(
+                f"refusing to create WAL over existing file: {target}"
+            )
+        header = _header_obj(shard_id, base_seq)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return cls(
+            target,
+            shard_id=shard_id,
+            base_seq=base_seq,
+            last_seq=base_seq,
+            last_sha=header["sha256"],
+        )
+
+    @classmethod
+    def open(cls, path: PathLike) -> "WriteAheadLog":
+        """Recover an existing log: verify the chain, drop a torn tail.
+
+        Raises :class:`~repro.exceptions.WalCorruptionError` on anything a
+        crash cannot produce — a broken header, a mid-chain hash/sequence
+        failure, or records following a broken line.
+        """
+        target = Path(path)
+        raw = target.read_bytes()
+        lines = raw.split(b"\n")
+        # a well-formed file ends with "\n", so the final split element is ""
+        trailing_ok = bool(lines) and lines[-1] == b""
+        if trailing_ok:
+            lines = lines[:-1]
+        if not lines:
+            raise WalCorruptionError(f"WAL file is empty: {target}")
+
+        shard_id, base_seq, header_sha = cls._parse_header(target, lines[0])
+        if len(lines) == 1 and not trailing_ok:
+            # create() fsyncs header + newline before returning, so a
+            # header without its newline is not a crash artefact
+            raise WalCorruptionError(f"WAL {target} header missing newline")
+
+        prev_sha = header_sha
+        seq = base_seq
+        good_bytes = len(lines[0]) + 1
+        n_lines = len(lines)
+        for i in range(1, n_lines):
+            line = lines[i]
+            is_last = i == n_lines - 1
+            try:
+                obj = json.loads(line.decode("utf-8"))
+                rec_seq, _op, _payload = _verify_line(obj, prev_sha, seq + 1)
+            except (ValueError, UnicodeDecodeError) as exc:
+                if is_last:
+                    # torn tail: unacknowledged final write — drop it
+                    break
+                raise WalCorruptionError(
+                    f"WAL {target} corrupt at line {i + 1}: {exc}"
+                ) from exc
+            if is_last and not trailing_ok:
+                # parses and verifies but the newline never landed: still a
+                # torn write (the acknowledgement flush includes the newline)
+                break
+            seq = rec_seq
+            prev_sha = obj["sha256"]
+            good_bytes += len(line) + 1
+
+        if good_bytes < len(raw):
+            with open(target, "r+b") as handle:
+                handle.truncate(good_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return cls(
+            target,
+            shard_id=shard_id,
+            base_seq=base_seq,
+            last_seq=seq,
+            last_sha=prev_sha,
+        )
+
+    @staticmethod
+    def _parse_header(target: Path, line: bytes) -> Tuple[int, int, str]:
+        try:
+            obj = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise WalCorruptionError(f"WAL {target} has unreadable header") from exc
+        if not isinstance(obj, dict) or set(obj) != {"header", "sha256"}:
+            raise WalCorruptionError(f"WAL {target} has malformed header")
+        header = obj["header"]
+        if obj["sha256"] != _sha(canonical_json({"header": header})):
+            raise WalCorruptionError(f"WAL {target} header fails hash check")
+        if header.get("schema") != WAL_SCHEMA:
+            raise WalCorruptionError(
+                f"WAL {target} declares schema {header.get('schema')!r} "
+                f"(expected {WAL_SCHEMA!r})"
+            )
+        if header.get("schema_version") != WAL_SCHEMA_VERSION:
+            raise WalCorruptionError(
+                f"WAL {target} declares schema_version "
+                f"{header.get('schema_version')!r} "
+                f"(this reader supports {WAL_SCHEMA_VERSION})"
+            )
+        try:
+            return int(header["shard"]), int(header["base_seq"]), str(obj["sha256"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalCorruptionError(
+                f"WAL {target} header missing shard/base_seq fields"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def shard_id(self) -> int:
+        return self._shard_id
+
+    @property
+    def base_seq(self) -> int:
+        """Sequence number the log starts *after* (covered by compaction)."""
+        return self._base_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest appended record."""
+        return self._last_seq
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def append(self, op: str, payload: Dict[str, Any]) -> int:
+        """Append one operation; returns its sequence number.
+
+        The line (newline included) is flushed to the page cache before
+        returning, so a SIGKILL after ``append`` leaves the record
+        replayable; at worst the final line is torn, which recovery drops.
+        """
+        if op not in WAL_OPS:
+            raise WalCorruptionError(f"unknown WAL op {op!r}")
+        with self._lock:
+            seq = self._last_seq + 1
+            obj = _record_obj(self._last_sha, seq, op, payload)
+            self._handle.write(canonical_json(obj) + "\n")
+            self._handle.flush()
+            self._last_seq = seq
+            self._last_sha = obj["sha256"]
+            return seq
+
+    def sync(self) -> None:
+        """Force appended records to stable storage (checkpoint boundary)."""
+        with self._lock:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def records(self, after: Optional[int] = None) -> Iterator[WalRecord]:
+        """Yield verified ``(seq, op, payload)`` entries with ``seq > after``.
+
+        ``after`` defaults to ``base_seq`` (everything in the log).  The
+        file is re-read and re-verified from disk — the same code path a
+        cold recovery uses, so tests exercise it constantly.
+        """
+        floor = self._base_seq if after is None else int(after)
+        with self._lock:
+            self._handle.flush()
+            last_seq = self._last_seq
+        text = self._path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        prev_sha = self._parse_header(self._path, lines[0].encode("utf-8"))[2]
+        seq = self._base_seq
+        for line in lines[1:]:
+            if seq >= last_seq:
+                break  # ignore records appended since the snapshot above
+            try:
+                obj = json.loads(line)
+                seq, op, payload = _verify_line(obj, prev_sha, seq + 1)
+            except ValueError as exc:
+                raise WalCorruptionError(
+                    f"WAL {self._path} corrupt during replay: {exc}"
+                ) from exc
+            prev_sha = obj["sha256"]
+            if seq > floor:
+                yield seq, op, payload
+
+    def verify(self) -> int:
+        """Re-verify the whole chain from disk; returns the record count."""
+        return sum(1 for _ in self.records(after=self._base_seq))
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def truncate_through(self, seq: int) -> int:
+        """Drop all records with ``seq <= the given value`` (compaction).
+
+        Called after a checkpoint that covers ``seq``: the surviving tail
+        is re-chained onto a fresh header whose ``base_seq`` is ``seq``,
+        written atomically (tmp + fsync + ``os.replace``), so a crash
+        during compaction leaves either the old or the new log — both
+        verifiable.  Returns the number of records dropped.
+        """
+        target = int(seq)
+        if target < self._base_seq or target > self._last_seq:
+            raise WalCorruptionError(
+                f"cannot truncate through seq {target}: log covers "
+                f"({self._base_seq}, {self._last_seq}]"
+            )
+        tail: List[WalRecord] = [rec for rec in self.records(after=target)]
+        with self._lock:
+            header = _header_obj(self._shard_id, target)
+            prev_sha = str(header["sha256"])
+            out_lines = [canonical_json(header)]
+            for rec_seq, op, payload in tail:
+                obj = _record_obj(prev_sha, rec_seq, op, payload)
+                out_lines.append(canonical_json(obj))
+                prev_sha = str(obj["sha256"])
+            tmp = self._path.with_name(self._path.name + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(out_lines) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.flush()
+            self._handle.close()
+            os.replace(tmp, self._path)
+            dropped = target - self._base_seq
+            self._base_seq = target
+            self._last_sha = prev_sha
+            self._handle = open(self._path, "a", encoding="utf-8")
+            return dropped

@@ -1,0 +1,397 @@
+"""Shard worker: one session-store slice + write-ahead log + batch scorer.
+
+A :class:`ShardWorker` is the unit the sharded serving stack replicates:
+it owns one :class:`~repro.serving.sessions.SessionStore` slice, its own
+:class:`~repro.serving.counters.ServiceCounters`, a
+:class:`~repro.serving.scoring.BatchScorer`, and (optionally) a
+:class:`~repro.serving.wal.WriteAheadLog`.  The single-process
+:class:`~repro.serving.service.MomentService` is exactly one worker with
+a micro-batch queue in front; the shard router owns N of them.
+
+**Log-then-apply.**  Every state mutation — session create/drop, ingest,
+statistics merge, and the logical-clock ticks queries cause ("touch"
+records) — is appended to the WAL *before* it is applied to the store.
+Because the store's eviction clock is logical (one tick per store
+operation) and every numerical update is a deterministic function of the
+op sequence, :meth:`ShardWorker.replay` of a verified log reproduces the
+shard's ``state_dict`` **bit-identically**: same statistics, same LRU
+order, same eviction decisions, same ingest counters.  Failed operations
+are part of that contract: a lookup of a missing key ticks the clock and
+*then* raises, so replay applies each record and swallows
+:class:`~repro.exceptions.ReproError` — the tick is reproduced, the error
+is not re-raised.
+
+Two pieces of live state are deliberately **not** replayed: the error
+counter (scoring errors depend on request payloads the WAL does not
+carry) and the latency ring (it measures the process, not the logical
+state).  Both are excluded from — or constant in — checkpoint state for
+error-free streams, which is what the sha-identity recovery tests pin.
+
+**Checkpoint / WAL interplay.**  ``state_dict`` of a WAL-attached worker
+records the log sequence number it covers; :meth:`restore` replays only
+records *after* that offset, and :meth:`compact` truncates the replayed
+prefix once a checkpoint covers it (crash between checkpoint and
+truncation just replays a little more — replay is idempotent from a
+covered checkpoint).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import ConfigError, ReproError, SessionNotFoundError
+from repro.serving.checkpoint import load_checkpoint, save_checkpoint
+from repro.serving.counters import ServiceCounters
+from repro.serving.queue import QUERY_KINDS, Request
+from repro.serving.scoring import BatchScorer
+from repro.serving.sessions import Session, SessionStore
+from repro.serving.suffstats import SufficientStats
+from repro.serving.wal import WalRecord, WriteAheadLog
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """One shard of the serving state: store + counters + scorer (+ WAL).
+
+    Parameters
+    ----------
+    shard_id:
+        Stable identity of this slice (also stamped into its WAL header).
+    max_sessions, ttl_ops:
+        Store bounds, per shard (see
+        :class:`~repro.serving.sessions.SessionStore`).
+    wal:
+        Optional write-ahead log this worker appends to before every
+        mutation.  ``None`` (the default, and what ``MomentService``
+        uses) keeps behaviour *and checkpoint bytes* identical to the
+        pre-shard service.
+    linalg_backend:
+        Kernel backend for the stacked scoring math (``None`` keeps the
+        ambient process selection).
+    """
+
+    #: Version tag stored inside checkpoint state.
+    STATE_VERSION = 1
+
+    def __init__(
+        self,
+        shard_id: int = 0,
+        max_sessions: int = 1024,
+        ttl_ops: Optional[int] = None,
+        wal: Optional[WriteAheadLog] = None,
+        linalg_backend: Optional[str] = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.store = SessionStore(max_sessions=max_sessions, ttl_ops=ttl_ops)
+        self.counters = ServiceCounters()
+        self.wal = wal
+        self.scorer = BatchScorer(self.counters, linalg_backend=linalg_backend)
+
+    # ------------------------------------------------------------------
+    # session lifecycle + ingest (log-then-apply)
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        key: str,
+        prior: PriorKnowledge,
+        kappa0: Optional[float] = None,
+        v0: Optional[float] = None,
+        exist_ok: bool = False,
+    ) -> Session:
+        """Register a population with its early-stage prior.
+
+        ``(kappa0, v0)`` default to the weakly-informative corner
+        ``(1, d + 1)``; the *resolved* values are what the WAL records, so
+        replay does not depend on default-resolution code paths.
+        """
+        k0 = 1.0 if kappa0 is None else float(kappa0)
+        nu0 = float(prior.dim) + 1.0 if v0 is None else float(v0)
+        if self.wal is not None:
+            self.wal.append(
+                "create",
+                {
+                    "key": str(key),
+                    "prior_mean": prior.mean.tolist(),
+                    "prior_covariance": prior.covariance.tolist(),
+                    "prior_n_samples": int(prior.n_samples),
+                    "kappa0": k0,
+                    "v0": nu0,
+                    "exist_ok": bool(exist_ok),
+                },
+            )
+        return self.store.create(key, prior, k0, nu0, exist_ok=exist_ok)
+
+    def ingest(self, key: str, samples: ArrayLike) -> int:
+        """Fold late-stage samples into a session; returns its new total.
+
+        The WAL record preserves the array's dimensionality: a 1-D vector
+        replays down the Welford single-sample path and an ``(n, d)``
+        block down the Chan block-merge path, which differ in rounding —
+        shape is part of the bit-identity contract.
+        """
+        arr = np.asarray(samples, dtype=float)
+        count = 1 if arr.ndim == 1 else arr.shape[0]
+        if self.wal is not None:
+            self.wal.append("ingest", {"key": str(key), "samples": arr.tolist()})
+        total = self.store.ingest(key, arr)
+        self.counters.record_ingest(count)
+        return total
+
+    def ingest_stats(self, key: str, stats: SufficientStats) -> int:
+        """Merge shard-local sufficient statistics (tester-side accumulation)."""
+        if self.wal is not None:
+            self.wal.append(
+                "ingest_stats", {"key": str(key), "stats": stats.to_dict()}
+            )
+        total = self.store.ingest_stats(key, stats)
+        self.counters.record_ingest(stats.n)
+        return total
+
+    def drop_session(self, key: str) -> bool:
+        """Remove a session explicitly; returns whether it existed."""
+        if self.wal is not None:
+            self.wal.append("drop", {"key": str(key)})
+        return self.store.drop(key)
+
+    def session_keys(self) -> List[str]:
+        """Live session keys, sorted (no clock tick; read-only listing)."""
+        return self.store.keys()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _snapshot_one(self, key: str) -> Session:
+        return self.store.snapshot([key])[0]
+
+    def _log_touch(self, keys: Sequence[str], kinds: Dict[str, int]) -> None:
+        """Record the clock ticks (and request counts) a query batch causes.
+
+        ``keys`` must be the distinct session keys in first-occurrence
+        order — the order the scorer snapshots them in, hence the order
+        the store clock ticks in.
+        """
+        if self.wal is not None:
+            self.wal.append("touch", {"keys": list(keys), "kinds": kinds})
+
+    def score_requests(self, requests: List[Request]) -> None:
+        """Score a coalesced batch (the micro-batch queue handler body).
+
+        Request-rate accounting happened at submission; with a WAL
+        attached, one ``touch`` record captures both the per-key clock
+        ticks and the submission-time kind counts so replay reproduces
+        the counters.
+        """
+        if self.wal is not None:
+            keys: List[str] = []
+            seen = set()
+            kinds: Dict[str, int] = {}
+            for request in requests:
+                if request.key not in seen:
+                    seen.add(request.key)
+                    keys.append(request.key)
+                kinds[request.kind] = kinds.get(request.kind, 0) + 1
+            self._log_touch(keys, kinds)
+        self.scorer.score(requests, self._snapshot_one)
+
+    def query_many(self, queries: Sequence[Tuple[str, str, Any]]) -> List[Any]:
+        """Score a list of ``(kind, key, payload)`` queries in one batch.
+
+        Identical semantics to the pre-shard ``MomentService.query_many``:
+        kinds are validated and counted in submission order, then the
+        whole list is scored as one grouped batch.  Raises the first
+        request error encountered, in submission order.
+        """
+        requests: List[Request] = []
+        now = time.perf_counter()
+        for kind, key, payload in queries:
+            if kind not in QUERY_KINDS:
+                raise ConfigError(
+                    f"unknown request kind {kind!r}; expected {QUERY_KINDS}"
+                )
+            self.counters.record_request(kind)
+            requests.append(
+                Request(kind=kind, key=str(key), payload=payload, submitted_at=now)
+            )
+        self.score_requests(requests)
+        return [request.future.result() for request in requests]
+
+    def collect(self, key: str) -> Session:
+        """Return a detached session snapshot for merge-on-read routing.
+
+        The router Chan-merges the returned snapshots across shards and
+        scores the merge itself; this worker only pays one clock tick
+        (logged as a ``touch`` so replay reproduces it) and one O(d^2)
+        copy.  Raises
+        :class:`~repro.exceptions.SessionNotFoundError` if the key does
+        not live here — after ticking, like any store lookup.
+        """
+        self._log_touch([str(key)], {})
+        return self._snapshot_one(key)
+
+    # ------------------------------------------------------------------
+    # WAL replay
+    # ------------------------------------------------------------------
+    def apply_record(self, op: str, payload: Dict[str, Any]) -> None:
+        """Re-apply one WAL record to the live state.
+
+        Mutations that raised when first applied raise identically here
+        *after* producing their clock ticks; callers (``replay``) swallow
+        the re-raise, which is how failed ops stay part of the replayed
+        history.
+        """
+        if op == "create":
+            prior = PriorKnowledge(
+                mean=np.asarray(payload["prior_mean"], dtype=float),
+                covariance=np.asarray(payload["prior_covariance"], dtype=float),
+                n_samples=int(payload["prior_n_samples"]),
+            )
+            self.store.create(
+                str(payload["key"]),
+                prior,
+                float(payload["kappa0"]),
+                float(payload["v0"]),
+                exist_ok=bool(payload["exist_ok"]),
+            )
+        elif op == "ingest":
+            arr = np.asarray(payload["samples"], dtype=float)
+            count = 1 if arr.ndim == 1 else arr.shape[0]
+            self.store.ingest(str(payload["key"]), arr)
+            self.counters.record_ingest(count)
+        elif op == "ingest_stats":
+            stats = SufficientStats.from_dict(payload["stats"])
+            self.store.ingest_stats(str(payload["key"]), stats)
+            self.counters.record_ingest(stats.n)
+        elif op == "drop":
+            self.store.drop(str(payload["key"]))
+        elif op == "touch":
+            self.counters.record_requests(
+                {str(k): int(v) for k, v in payload["kinds"].items()}
+            )
+            for key in payload["keys"]:
+                self.store.get(str(key))  # ticks; may raise like the original
+        else:
+            raise ConfigError(f"unknown WAL op {op!r}")
+
+    def replay(self, records: "Union[WriteAheadLog, Sequence[WalRecord]]") -> int:
+        """Re-apply a record stream; returns the number of records applied.
+
+        Accepts a :class:`WriteAheadLog` (replays everything after its
+        ``base_seq``) or an explicit ``(seq, op, payload)`` sequence (the
+        restore path hands in only the tail past a checkpoint's covered
+        offset).  :class:`~repro.exceptions.ReproError` raised by an
+        individual record is swallowed — the original operation failed
+        the same way after mutating the clock, so the failure *is* the
+        correct replay.
+        """
+        stream = records.records() if isinstance(records, WriteAheadLog) else records
+        applied = 0
+        for _seq, op, payload in stream:
+            try:
+                self.apply_record(op, payload)
+            except ReproError:
+                pass
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot plus store and WAL gauges."""
+        out = self.counters.snapshot()
+        out["shard_id"] = self.shard_id
+        out["sessions_live"] = len(self.store)
+        out["sessions_evicted"] = self.store.evictions
+        out["store_clock"] = self.store.clock
+        if self.wal is not None:
+            out["wal"] = {
+                "path": str(self.wal.path),
+                "base_seq": self.wal.base_seq,
+                "last_seq": self.wal.last_seq,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore / compaction
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact JSON-safe shard state.
+
+        Without a WAL this is byte-for-byte the pre-shard
+        ``MomentService`` state layout; with one, a ``wal`` entry records
+        the log offset the state covers (every op up to and including
+        ``seq`` is reflected — appends are synchronous log-then-apply).
+        """
+        state: Dict[str, Any] = {
+            "state_version": self.STATE_VERSION,
+            "store": self.store.to_dict(),
+            "counters": self.counters.state_dict(),
+        }
+        if self.wal is not None:
+            state["wal"] = {"seq": self.wal.last_seq}
+        return state
+
+    def checkpoint(self, path: Any) -> str:
+        """Atomically snapshot this shard's state; returns the sha256.
+
+        The WAL is fsync'd first so the covered offset the checkpoint
+        records is durable before the checkpoint that claims it.
+        """
+        if self.wal is not None:
+            self.wal.sync()
+        return save_checkpoint(self.state_dict(), path)
+
+    @classmethod
+    def restore(
+        cls,
+        path: Any,
+        shard_id: int = 0,
+        wal: Optional[WriteAheadLog] = None,
+        linalg_backend: Optional[str] = None,
+    ) -> "ShardWorker":
+        """Rebuild a shard from a checkpoint, replaying only the WAL tail.
+
+        The checkpoint restores bit-identically on its own; when a WAL is
+        supplied, records with ``seq`` beyond the checkpoint's covered
+        offset are replayed on top, recovering everything acknowledged
+        after the snapshot.
+        """
+        state = load_checkpoint(path)
+        version = state.get("state_version")
+        if version != cls.STATE_VERSION:
+            raise ConfigError(
+                f"checkpoint state_version {version!r} is not supported "
+                f"(expected {cls.STATE_VERSION})"
+            )
+        worker = cls(shard_id=shard_id, wal=wal, linalg_backend=linalg_backend)
+        try:
+            worker.store = SessionStore.from_dict(state["store"])
+            worker.counters.load_state_dict(state["counters"])
+        except KeyError as exc:
+            raise ConfigError(f"checkpoint state missing field {exc}") from exc
+        worker.scorer = BatchScorer(worker.counters, linalg_backend=linalg_backend)
+        if wal is not None:
+            covered = int(state.get("wal", {}).get("seq", wal.base_seq))
+            worker.replay(list(wal.records(after=covered)))
+        return worker
+
+    def compact(self, path: Any) -> str:
+        """Checkpoint, then truncate the WAL prefix the checkpoint covers.
+
+        Returns the checkpoint sha256.  Crash-ordering is safe in both
+        directions: a crash *before* truncation leaves the full log, and
+        restore skips the covered prefix by sequence number; a crash
+        *after* truncation leaves a log whose ``base_seq`` equals the
+        checkpoint's covered offset, so restore replays nothing extra.
+        """
+        covered = self.wal.last_seq if self.wal is not None else 0
+        digest = self.checkpoint(path)
+        if self.wal is not None:
+            self.wal.truncate_through(covered)
+        return digest

@@ -23,6 +23,7 @@ computed; the incremental paths agree with it to floating-point rounding
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Sequence
 
 import numpy as np
@@ -32,7 +33,10 @@ from repro.exceptions import DimensionError
 from repro.linalg.validation import as_samples, symmetrize
 from repro.stats.moments import sample_mean, scatter_matrix
 
-__all__ = ["SufficientStats", "merge_all"]
+__all__ = ["SufficientStats", "merge_all", "WIRE_SCHEMA"]
+
+#: Format marker of the stable wire encoding (:meth:`SufficientStats.to_wire`).
+WIRE_SCHEMA = "repro.suffstats.v1"
 
 
 class SufficientStats:
@@ -198,6 +202,37 @@ class SufficientStats:
         stats.mean = mean
         stats.scatter = scatter
         return stats
+
+    def to_wire(self) -> bytes:
+        """Stable wire encoding: canonical JSON (sorted keys, compact,
+        ``repr``-round-tripped floats) inside a versioned envelope.
+
+        This is the *contract* encoding for accumulators that cross a
+        process or machine boundary — shard workers answering a router,
+        tester-side accumulators posted over the JSON-lines protocol, and
+        write-ahead-log records.  Unlike pickle it is schema-checked,
+        inspectable, and identical bytes for identical values regardless
+        of dict insertion order, so it can be sha256-chained.
+        """
+        envelope = {"schema": WIRE_SCHEMA, **self.to_dict()}
+        return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "SufficientStats":
+        """Decode :meth:`to_wire` bytes (bit-exact inverse); schema-checked."""
+        try:
+            envelope = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise DimensionError(f"malformed suffstats wire payload: {exc}") from exc
+        if not isinstance(envelope, dict) or envelope.get("schema") != WIRE_SCHEMA:
+            declared = envelope.get("schema") if isinstance(envelope, dict) else None
+            raise DimensionError(
+                f"suffstats wire payload declares schema {declared!r} "
+                f"(expected {WIRE_SCHEMA!r})"
+            )
+        return cls.from_dict(envelope)
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,267 @@
+"""ShardedMomentService: hashing, merge-on-read equivalence, manifests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import ConfigError, SessionNotFoundError
+from repro.serving import (
+    MANIFEST_SCHEMA,
+    HashRing,
+    MomentService,
+    ShardedMomentService,
+)
+
+D = 3
+KAPPA0 = 2.0
+V0 = D + 2.0
+KEYS = [f"die/{i}" for i in range(12)]
+
+
+@pytest.fixture
+def prior(rng) -> PriorKnowledge:
+    a = rng.standard_normal((D, D))
+    return PriorKnowledge(rng.standard_normal(D), a @ a.T + D * np.eye(D), 10)
+
+
+@pytest.fixture
+def blocks(rng):
+    """Per-key sample blocks: a mix of single rows and small batches."""
+    out = {}
+    for i, key in enumerate(KEYS):
+        n = 3 + (i % 4) * 2
+        out[key] = rng.standard_normal((n, D)) + 0.1 * i
+    return out
+
+
+def _populate(service, prior, blocks, order=None):
+    keys = list(blocks) if order is None else order
+    for key in keys:
+        service.create_session(key, prior, kappa0=KAPPA0, v0=V0, exist_ok=True)
+    for key in keys:
+        block = blocks[key]
+        service.ingest(key, block[0])  # one Welford row
+        if block.shape[0] > 1:
+            service.ingest(key, block[1:])  # one Chan block
+
+
+def _reference(prior, blocks):
+    """Single-process answers for every key."""
+    with MomentService(start_queue=False) as svc:
+        _populate(svc, prior, blocks)
+        out = {}
+        for key in KEYS:
+            est = svc.query_many([("estimate", key, None)])[0]
+            out[key] = (est.mean, est.covariance, est.n_samples)
+        return out
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        a, b = HashRing(8), HashRing(8)
+        for key in KEYS:
+            assert a.shard_for(key) == b.shard_for(key)
+
+    def test_single_shard_is_always_zero(self):
+        ring = HashRing(1)
+        assert all(ring.shard_for(k) == 0 for k in KEYS)
+
+    def test_every_shard_receives_keys(self):
+        ring = HashRing(4, virtual_nodes=64)
+        hits = {ring.shard_for(f"key/{i}") for i in range(500)}
+        assert hits == {0, 1, 2, 3}
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigError):
+            HashRing(0)
+
+
+class TestMergeOnReadEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    @pytest.mark.parametrize("placement", ["hash", "spread"])
+    def test_matches_single_process(self, n_shards, placement, prior, blocks):
+        reference = _reference(prior, blocks)
+        with ShardedMomentService(
+            n_shards=n_shards, placement=placement, flush_rows=4
+        ) as svc:
+            _populate(svc, prior, blocks)
+            for key in KEYS:
+                est = svc.estimate(key)
+                mean, cov, n = reference[key]
+                np.testing.assert_allclose(est.mean, mean, atol=1e-10)
+                np.testing.assert_allclose(est.covariance, cov, atol=1e-10)
+                assert est.n_samples == n
+
+    def test_ingest_order_does_not_matter(self, prior, blocks, rng):
+        reference = _reference(prior, blocks)
+        for seed in (0, 1):
+            order = list(KEYS)
+            np.random.default_rng(seed).shuffle(order)
+            with ShardedMomentService(
+                n_shards=4, placement="spread", flush_rows=2
+            ) as svc:
+                _populate(svc, prior, blocks, order=order)
+                for key in KEYS:
+                    est = svc.estimate(key)
+                    np.testing.assert_allclose(
+                        est.mean, reference[key][0], atol=1e-10
+                    )
+                    np.testing.assert_allclose(
+                        est.covariance, reference[key][1], atol=1e-10
+                    )
+
+    def test_loglik_and_yield_match(self, prior, blocks, rng):
+        x = rng.standard_normal((5, D))
+        lower, upper = np.full(D, -2.0), np.full(D, 2.0)
+        with MomentService(start_queue=False) as single:
+            _populate(single, prior, blocks)
+            ref_ll = single.query_many([("loglik", KEYS[0], x)])[0]
+            ref_y = single.query_many([("yield", KEYS[1], (lower, upper))])[0]
+        with ShardedMomentService(n_shards=4, flush_rows=4) as svc:
+            _populate(svc, prior, blocks)
+            assert svc.loglik(KEYS[0], x) == pytest.approx(ref_ll, abs=1e-10)
+            # the box-probability integrator carries its own quadrature
+            # tolerance; 1e-6 matches the single-process service suite
+            assert svc.yield_prob(KEYS[1], lower, upper) == pytest.approx(
+                ref_y, abs=1e-6
+            )
+
+    def test_missing_key_raises_everywhere(self, prior, blocks):
+        for placement in ("hash", "spread"):
+            with ShardedMomentService(n_shards=4, placement=placement) as svc:
+                _populate(svc, prior, blocks)
+                with pytest.raises(SessionNotFoundError):
+                    svc.estimate("nope")
+
+
+class TestLifecycle:
+    def test_ingest_totals_are_monotone(self, prior, rng):
+        with ShardedMomentService(n_shards=4, flush_rows=8) as svc:
+            svc.create_session("k", prior)
+            totals = [svc.ingest("k", rng.standard_normal(D)) for _ in range(20)]
+            assert totals == sorted(totals)
+            assert totals[-1] == 20
+
+    def test_session_keys_union_and_drop(self, prior, blocks):
+        with ShardedMomentService(n_shards=4, placement="spread") as svc:
+            _populate(svc, prior, blocks)
+            assert svc.session_keys() == sorted(KEYS)
+            assert svc.drop_session(KEYS[0]) is True
+            assert svc.drop_session(KEYS[0]) is False
+            assert KEYS[0] not in svc.session_keys()
+
+    def test_stats_shape(self, prior, blocks):
+        with ShardedMomentService(n_shards=2) as svc:
+            _populate(svc, prior, blocks)
+            svc.estimate(KEYS[0])
+            stats = svc.stats()
+            assert stats["n_shards"] == 2
+            assert stats["placement"] == "hash"
+            assert len(stats["shards"]) == 2
+            assert stats["sessions_live"] == len(KEYS)
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedMomentService(n_shards=2, placement="mirror")
+
+
+class TestSingleShardGate:
+    def test_checkpoint_bytes_match_moment_service(self, prior, blocks, tmp_path):
+        """``--shards 1`` is bit-identical to the pre-shard service:
+        counters, eviction order, and checkpoint bytes."""
+        single = MomentService(start_queue=False)
+        sharded = ShardedMomentService(n_shards=1)
+        for svc in (single, sharded):
+            _populate(svc, prior, blocks)
+            svc.query_many(
+                [("estimate", k, None) for k in KEYS[:3]]
+            )
+            svc.drop_session(KEYS[-1])
+        single.checkpoint(tmp_path / "single.ckpt")
+        sharded.checkpoint(tmp_path / "sharded")
+        shard_file = tmp_path / "sharded" / "shard-000.ckpt"
+        assert shard_file.read_bytes() == (tmp_path / "single.ckpt").read_bytes()
+        single.close()
+        sharded.close()
+
+
+class TestManifestCheckpoint:
+    def test_manifest_round_trip(self, prior, blocks, tmp_path):
+        with ShardedMomentService(n_shards=4, flush_rows=4) as svc:
+            _populate(svc, prior, blocks)
+            svc.estimate(KEYS[0])
+            svc.checkpoint(tmp_path / "ckpt")
+            live_reference = {k: svc.estimate(k).mean for k in KEYS}
+
+        manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["n_shards"] == 4
+        assert len(manifest["shards"]) == 4
+
+        restored = ShardedMomentService.restore(tmp_path / "ckpt")
+        for key in KEYS:
+            np.testing.assert_array_equal(
+                restored.estimate(key).mean, live_reference[key]
+            )
+        restored.close()
+
+    def test_restore_rejects_wrong_shape(self, prior, blocks, tmp_path):
+        with ShardedMomentService(n_shards=2) as svc:
+            _populate(svc, prior, blocks)
+            svc.checkpoint(tmp_path / "ckpt")
+        manifest_path = tmp_path / "ckpt" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema"] = "something-else"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigError):
+            ShardedMomentService.restore(tmp_path / "ckpt")
+
+
+class TestWalIntegration:
+    def test_restore_replays_wal_tail(self, prior, blocks, rng, tmp_path):
+        wal_dir = tmp_path / "wal"
+        svc = ShardedMomentService(n_shards=2, wal_dir=wal_dir, flush_rows=1)
+        _populate(svc, prior, blocks)
+        svc.checkpoint(tmp_path / "ckpt")
+        # ops past the checkpoint live only in the WALs
+        svc.ingest(KEYS[0], rng.standard_normal((5, D)))
+        svc.create_session("late", prior)
+        svc.ingest("late", rng.standard_normal(D))
+        expected = {k: svc.estimate(k).mean for k in KEYS + ["late"]}
+        svc.close()
+
+        restored = ShardedMomentService.restore(tmp_path / "ckpt", wal_dir=wal_dir)
+        for key, mean in expected.items():
+            np.testing.assert_array_equal(restored.estimate(key).mean, mean)
+        restored.close()
+
+    def test_recover_from_wal_alone(self, prior, blocks, rng, tmp_path):
+        wal_dir = tmp_path / "wal"
+        svc = ShardedMomentService(n_shards=4, wal_dir=wal_dir, flush_rows=1)
+        _populate(svc, prior, blocks)
+        expected = {k: svc.estimate(k).mean for k in KEYS}
+        svc.close()
+
+        recovered = ShardedMomentService.recover(wal_dir)
+        assert recovered.n_shards == 4
+        for key, mean in expected.items():
+            np.testing.assert_array_equal(recovered.estimate(key).mean, mean)
+        recovered.close()
+
+    def test_compact_truncates_all_shards(self, prior, blocks, rng, tmp_path):
+        wal_dir = tmp_path / "wal"
+        svc = ShardedMomentService(n_shards=2, wal_dir=wal_dir, flush_rows=1)
+        _populate(svc, prior, blocks)
+        svc.compact(tmp_path / "ckpt")
+        for worker in svc.workers:
+            assert worker.wal is not None
+            assert worker.wal.verify() == 0
+        # post-compaction ops restore from checkpoint + truncated tails
+        svc.ingest(KEYS[0], rng.standard_normal((4, D)))
+        expected = svc.estimate(KEYS[0]).mean
+        svc.close()
+        restored = ShardedMomentService.restore(tmp_path / "ckpt", wal_dir=wal_dir)
+        np.testing.assert_array_equal(restored.estimate(KEYS[0]).mean, expected)
+        restored.close()

@@ -1,0 +1,225 @@
+"""WriteAheadLog: hash chain, torn-tail recovery, corruption, compaction."""
+
+import json
+
+import pytest
+
+from repro.exceptions import WalCorruptionError
+from repro.serving import WAL_SCHEMA, WriteAheadLog
+from repro.serving.wal import WAL_OPS
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "shard-000.wal"
+
+
+def _fill(wal, n=5):
+    """Append n simple records; returns the (seq, op, payload) list."""
+    written = []
+    for i in range(n):
+        op = WAL_OPS[i % len(WAL_OPS)]
+        payload = {"key": f"k{i}", "i": i, "keys": [], "kinds": {}}
+        seq = wal.append(op, payload)
+        written.append((seq, op, payload))
+    return written
+
+
+class TestAppendAndReplay:
+    def test_round_trip(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=3)
+        written = _fill(wal, 5)
+        assert wal.shard_id == 3
+        assert wal.base_seq == 0
+        assert wal.last_seq == 5
+        assert list(wal.records()) == written
+        wal.close()
+
+    def test_records_after_offset(self, wal_path):
+        with WriteAheadLog.create(wal_path, shard_id=0) as wal:
+            written = _fill(wal, 6)
+            assert list(wal.records(after=4)) == written[4:]
+            assert list(wal.records(after=6)) == []
+
+    def test_sequence_numbers_continue_from_base_seq(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0, base_seq=100)
+        assert wal.append("drop", {"key": "a"}) == 101
+        assert wal.append("drop", {"key": "b"}) == 102
+        wal.close()
+
+    def test_unknown_op_rejected(self, wal_path):
+        with WriteAheadLog.create(wal_path, shard_id=0) as wal:
+            with pytest.raises(WalCorruptionError, match="unknown WAL op"):
+                wal.append("mutate", {})
+
+    def test_refuses_to_create_over_existing(self, wal_path):
+        WriteAheadLog.create(wal_path, shard_id=0).close()
+        with pytest.raises(WalCorruptionError, match="existing"):
+            WriteAheadLog.create(wal_path, shard_id=0)
+
+    def test_verify_counts_records(self, wal_path):
+        with WriteAheadLog.create(wal_path, shard_id=0) as wal:
+            _fill(wal, 7)
+            assert wal.verify() == 7
+
+
+class TestOpenRecovery:
+    def test_open_restores_chain_position(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=2)
+        written = _fill(wal, 4)
+        wal.close()
+        reopened = WriteAheadLog.open(wal_path)
+        assert reopened.shard_id == 2
+        assert reopened.last_seq == 4
+        assert list(reopened.records()) == written
+        # appends continue the chain seamlessly
+        reopened.append("drop", {"key": "x"})
+        assert reopened.verify() == 5
+        reopened.close()
+
+    def test_torn_partial_last_line_is_dropped(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        written = _fill(wal, 4)
+        wal.close()
+        size_before = wal_path.stat().st_size
+        with open(wal_path, "ab") as handle:
+            handle.write(b'{"prev": "feedbead", "rec')  # kill mid-write
+        reopened = WriteAheadLog.open(wal_path)
+        assert reopened.last_seq == 4
+        assert list(reopened.records()) == written
+        # the torn bytes were truncated away on disk
+        assert wal_path.stat().st_size == size_before
+        reopened.close()
+
+    def test_torn_valid_line_missing_newline_is_dropped(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 3)
+        wal.close()
+        # chop the final newline: the last record parses and verifies but
+        # its acknowledgement flush never landed
+        raw = wal_path.read_bytes()
+        assert raw.endswith(b"\n")
+        wal_path.write_bytes(raw[:-1])
+        reopened = WriteAheadLog.open(wal_path)
+        assert reopened.last_seq == 2
+        assert reopened.verify() == 2
+        reopened.close()
+
+    def test_empty_file_is_corrupt(self, wal_path):
+        wal_path.write_bytes(b"")
+        with pytest.raises(WalCorruptionError, match="empty"):
+            WriteAheadLog.open(wal_path)
+
+    def test_recovery_after_torn_write_continues_appending(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 2)
+        wal.close()
+        with open(wal_path, "ab") as handle:
+            handle.write(b"garbage")
+        reopened = WriteAheadLog.open(wal_path)
+        assert reopened.append("drop", {"key": "y"}) == 3
+        assert reopened.verify() == 3
+        reopened.close()
+        assert WriteAheadLog.open(wal_path).verify() == 3
+
+
+class TestCorruption:
+    def _lines(self, wal_path):
+        return wal_path.read_text(encoding="utf-8").splitlines()
+
+    def test_mid_chain_edit_raises(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 5)
+        wal.close()
+        lines = self._lines(wal_path)
+        # silently edit record 2's payload without re-hashing
+        obj = json.loads(lines[2])
+        obj["record"]["payload"]["i"] = 999
+        lines[2] = json.dumps(obj)
+        wal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WalCorruptionError, match="corrupt at line 3"):
+            WriteAheadLog.open(wal_path)
+
+    def test_records_after_broken_line_raise(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 4)
+        wal.close()
+        lines = self._lines(wal_path)
+        lines[2] = "not json at all"
+        wal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WalCorruptionError, match="corrupt at line 3"):
+            WriteAheadLog.open(wal_path)
+
+    def test_deleted_record_breaks_sequence(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 4)
+        wal.close()
+        lines = self._lines(wal_path)
+        del lines[2]
+        wal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog.open(wal_path)
+
+    def test_header_tamper_raises(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        wal.close()
+        lines = self._lines(wal_path)
+        obj = json.loads(lines[0])
+        obj["header"]["shard"] = 9
+        lines[0] = json.dumps(obj)
+        wal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(WalCorruptionError, match="hash check"):
+            WriteAheadLog.open(wal_path)
+
+    def test_foreign_schema_rejected(self, wal_path):
+        wal_path.write_text('{"schema": "something-else"}\n', encoding="utf-8")
+        with pytest.raises(WalCorruptionError, match="malformed header"):
+            WriteAheadLog.open(wal_path)
+
+    def test_schema_marker_present(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        wal.close()
+        header = json.loads(self._lines(wal_path)[0])
+        assert header["header"]["schema"] == WAL_SCHEMA
+
+
+class TestCompaction:
+    def test_truncate_through_drops_prefix(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=1)
+        written = _fill(wal, 6)
+        dropped = wal.truncate_through(4)
+        assert dropped == 4
+        assert wal.base_seq == 4
+        assert wal.last_seq == 6
+        assert list(wal.records()) == written[4:]
+        wal.close()
+        # the rewritten file is a verifiable chain rooted at the new header
+        reopened = WriteAheadLog.open(wal_path)
+        assert reopened.base_seq == 4
+        assert reopened.verify() == 2
+        reopened.close()
+
+    def test_truncate_everything_leaves_appendable_log(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 3)
+        assert wal.truncate_through(3) == 3
+        assert wal.verify() == 0
+        assert wal.append("drop", {"key": "z"}) == 4
+        wal.close()
+        assert WriteAheadLog.open(wal_path).verify() == 1
+
+    def test_truncate_out_of_range_raises(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 2)
+        with pytest.raises(WalCorruptionError, match="cannot truncate"):
+            wal.truncate_through(7)
+        with pytest.raises(WalCorruptionError, match="cannot truncate"):
+            wal.truncate_through(-1)
+        wal.close()
+
+    def test_no_tmp_file_left_behind(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, shard_id=0)
+        _fill(wal, 3)
+        wal.truncate_through(2)
+        wal.close()
+        assert not wal_path.with_name(wal_path.name + ".tmp").exists()

@@ -1,0 +1,233 @@
+"""ShardWorker: service parity, bit-identical WAL replay, crash recovery."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import SessionNotFoundError
+from repro.io import canonical_json
+from repro.serving import MomentService, ShardWorker, WriteAheadLog
+from repro.stats.suffstats import SufficientStats
+
+D = 3
+
+
+def _sha(state) -> str:
+    return hashlib.sha256(canonical_json(state).encode("utf-8")).hexdigest()
+
+
+@pytest.fixture
+def prior(rng) -> PriorKnowledge:
+    a = rng.standard_normal((D, D))
+    return PriorKnowledge(rng.standard_normal(D), a @ a.T + D * np.eye(D), 12)
+
+
+def _drive(target, prior, rng, queries=True):
+    """A deterministic mixed op stream: creates, 1-D/2-D ingest, stats
+    merges, drops, and (optionally) all three query kinds."""
+    for i in range(4):
+        target.create_session(f"die/{i}", prior, kappa0=2.0, v0=D + 2.0)
+    for i in range(4):
+        key = f"die/{i}"
+        target.ingest(key, rng.standard_normal(D))  # Welford path
+        target.ingest(key, rng.standard_normal((6, D)))  # Chan block path
+    shard_stats = SufficientStats.from_samples(rng.standard_normal((5, D)))
+    target.ingest_stats("die/1", shard_stats)
+    target.drop_session("die/3")
+    if queries:
+        lower, upper = np.full(D, -2.0), np.full(D, 2.0)
+        target.query_many(
+            [
+                ("estimate", "die/0", None),
+                ("loglik", "die/1", rng.standard_normal((4, D))),
+                ("yield", "die/2", (lower, upper)),
+                ("estimate", "die/0", None),
+            ]
+        )
+
+
+class TestServiceParity:
+    def test_wal_less_worker_matches_moment_service_state(self, prior):
+        """The no-WAL worker *is* the pre-shard service state layout."""
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        worker = ShardWorker(shard_id=0)
+        service = MomentService(start_queue=False)
+        _drive(worker, prior, rng_a)
+        _drive(service, prior, rng_b)
+        assert canonical_json(worker.state_dict()) == canonical_json(
+            service.state_dict()
+        )
+
+    def test_checkpoint_bytes_match_moment_service(self, prior, tmp_path):
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        worker = ShardWorker(shard_id=0)
+        service = MomentService(start_queue=False)
+        _drive(worker, prior, rng_a)
+        _drive(service, prior, rng_b)
+        worker.checkpoint(tmp_path / "w.ckpt")
+        service.checkpoint(tmp_path / "s.ckpt")
+        assert (tmp_path / "w.ckpt").read_bytes() == (
+            tmp_path / "s.ckpt"
+        ).read_bytes()
+
+
+class TestReplayBitIdentity:
+    def test_replay_reproduces_state_sha(self, prior, rng, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        _drive(live, prior, rng)
+        replayed = ShardWorker(shard_id=0)
+        n = replayed.replay(wal)
+        assert n == wal.last_seq
+        # the replayed worker has no WAL, so compare the worker state sans
+        # the covered-offset marker
+        live_state = live.state_dict()
+        assert live_state.pop("wal") == {"seq": wal.last_seq}
+        assert _sha(live_state) == _sha(replayed.state_dict())
+        wal.close()
+
+    def test_replay_preserves_welford_vs_chan_rounding(self, prior, rng, tmp_path):
+        """1-D and (n, d) ingests replay down their original code paths."""
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        for _ in range(10):
+            live.ingest("k", rng.standard_normal(D))
+        live.ingest("k", rng.standard_normal((7, D)))
+        replayed = ShardWorker(shard_id=0)
+        replayed.replay(wal)
+        a = live.store.get("k").stats
+        b = replayed.store.get("k").stats
+        assert np.array_equal(a.mean, b.mean)
+        assert np.array_equal(a.scatter, b.scatter)
+        wal.close()
+
+    def test_replay_reproduces_evictions(self, prior, rng, tmp_path):
+        """LRU evictions are part of the replayed history (same bounds)."""
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, max_sessions=2, wal=wal)
+        for i in range(5):
+            live.create_session(f"k{i}", prior)
+            live.ingest(f"k{i}", rng.standard_normal(D))
+        assert live.store.evictions == 3
+        replayed = ShardWorker(shard_id=0, max_sessions=2)
+        replayed.replay(wal)
+        assert replayed.store.evictions == 3
+        assert replayed.session_keys() == live.session_keys()
+        assert _sha(replayed.state_dict()) == _sha(
+            {k: v for k, v in live.state_dict().items() if k != "wal"}
+        )
+        wal.close()
+
+    def test_replay_swallows_failed_ops_but_keeps_their_ticks(
+        self, prior, rng, tmp_path
+    ):
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        with pytest.raises(SessionNotFoundError):
+            live.ingest("missing", rng.standard_normal(D))
+        live.ingest("k", rng.standard_normal(D))
+        replayed = ShardWorker(shard_id=0)
+        assert replayed.replay(wal) == wal.last_seq
+        assert replayed.store.clock == live.store.clock
+        wal.close()
+
+    def test_touch_records_reproduce_query_clock_ticks(self, prior, rng, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        _drive(live, prior, rng, queries=True)
+        clock_after_queries = live.store.clock
+        replayed = ShardWorker(shard_id=0)
+        replayed.replay(wal)
+        assert replayed.store.clock == clock_after_queries
+        snap = replayed.counters.snapshot()
+        live_snap = live.counters.snapshot()
+        assert snap["requests_total"] == live_snap["requests_total"]
+        assert snap["requests"] == live_snap["requests"]
+        wal.close()
+
+
+class TestCrashRecovery:
+    def test_kill_mid_ingest_recovers_sha_identically(self, prior, rng, tmp_path):
+        """SIGKILL mid-append: the torn record was never acknowledged, so
+        recovery must equal the state after the last *acknowledged* op."""
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        for _ in range(8):
+            live.ingest("k", rng.standard_normal((3, D)))
+        reference_sha = _sha(
+            {k: v for k, v in live.state_dict().items() if k != "wal"}
+        )
+        wal.close()
+        # simulate the process dying part-way through writing the next
+        # ingest record: half a line, no newline
+        with open(tmp_path / "s.wal", "ab") as handle:
+            handle.write(b'{"prev": "abc", "record": {"seq": 99, "op": "ing')
+        recovered_wal = WriteAheadLog.open(tmp_path / "s.wal")
+        recovered = ShardWorker(shard_id=0)
+        recovered.replay(recovered_wal)
+        assert _sha(recovered.state_dict()) == reference_sha
+        recovered_wal.close()
+
+    def test_restore_replays_only_the_tail(self, prior, rng, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        live.ingest("k", rng.standard_normal((4, D)))
+        live.checkpoint(tmp_path / "s.ckpt")
+        covered = wal.last_seq
+        live.ingest("k", rng.standard_normal((4, D)))  # past the checkpoint
+        live.ingest("k", rng.standard_normal(D))
+        wal.sync()
+
+        reopened = WriteAheadLog.open(tmp_path / "s.wal")
+        assert reopened.last_seq == covered + 2
+        restored = ShardWorker.restore(
+            tmp_path / "s.ckpt", shard_id=0, wal=reopened
+        )
+        assert _sha(restored.state_dict()) == _sha(live.state_dict())
+        wal.close()
+        reopened.close()
+
+    def test_compact_truncates_covered_prefix(self, prior, rng, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        live.ingest("k", rng.standard_normal((4, D)))
+        covered = wal.last_seq
+        live.compact(tmp_path / "s.ckpt")
+        assert wal.base_seq == covered
+        assert wal.verify() == 0
+        # post-compaction ops land in the truncated log and restore cleanly
+        live.ingest("k", rng.standard_normal(D))
+        wal.sync()
+        reopened = WriteAheadLog.open(tmp_path / "s.wal")
+        restored = ShardWorker.restore(
+            tmp_path / "s.ckpt", shard_id=0, wal=reopened
+        )
+        assert _sha(restored.state_dict()) == _sha(live.state_dict())
+        wal.close()
+        reopened.close()
+
+    def test_crash_between_checkpoint_and_truncate_is_harmless(
+        self, prior, rng, tmp_path
+    ):
+        """Checkpoint lands, truncation doesn't: restore skips the covered
+        prefix by sequence number and replays nothing twice."""
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        live.ingest("k", rng.standard_normal((4, D)))
+        live.checkpoint(tmp_path / "s.ckpt")  # covered, but NOT truncated
+        wal.close()
+        reopened = WriteAheadLog.open(tmp_path / "s.wal")
+        assert reopened.verify() > 0  # full log still present
+        restored = ShardWorker.restore(
+            tmp_path / "s.ckpt", shard_id=0, wal=reopened
+        )
+        assert _sha(restored.state_dict()) == _sha(live.state_dict())
+        reopened.close()

@@ -310,3 +310,142 @@ class TestServingVerbs:
         assert path.exists()
         payload = json.loads(path.read_text())
         assert payload["schema"] == "repro.serving-checkpoint.v1"
+
+
+class TestShardedServingVerbs:
+    def _requests(self):
+        import json
+
+        rng = np.random.default_rng(3)
+        cov = np.eye(3).tolist()
+        reqs = [
+            {
+                "op": "create",
+                "key": "lna/tt",
+                "prior_mean": [0.0, 0.0, 0.0],
+                "prior_covariance": cov,
+                "prior_n_samples": 8,
+            }
+        ]
+        for _ in range(6):
+            reqs.append(
+                {
+                    "op": "ingest",
+                    "key": "lna/tt",
+                    "samples": rng.standard_normal((4, 3)).tolist(),
+                }
+            )
+        reqs.append({"op": "estimate", "key": "lna/tt"})
+        return reqs
+
+    def _run_serve(self, monkeypatch, capsys, args, reqs):
+        import io as io_module
+        import json
+
+        stream = "\n".join(json.dumps(r) for r in reqs) + "\n"
+        monkeypatch.setattr("sys.stdin", io_module.StringIO(stream))
+        code = main(["serve"] + args)
+        out = capsys.readouterr().out
+        responses = [
+            json.loads(line)
+            for line in out.strip().splitlines()
+            if line.startswith("{")
+        ]
+        return code, responses
+
+    def test_serve_sharded_with_wal(self, tmp_path, capsys, monkeypatch):
+        wal_dir = tmp_path / "wal"
+        reqs = self._requests() + [
+            {"op": "checkpoint", "path": str(tmp_path / "ckpt")},
+            {"op": "shutdown"},
+        ]
+        code, responses = self._run_serve(
+            monkeypatch, capsys, ["--shards", "2", "--wal-dir", str(wal_dir)], reqs
+        )
+        assert code == 0
+        assert all(r["ok"] for r in responses)
+        assert sorted(p.name for p in wal_dir.glob("*.wal")) == [
+            "shard-000.wal",
+            "shard-001.wal",
+        ]
+        assert (tmp_path / "ckpt" / "manifest.json").exists()
+
+    def test_serve_restores_from_manifest(self, tmp_path, capsys, monkeypatch):
+        wal_dir = tmp_path / "wal"
+        reqs = self._requests() + [
+            {"op": "checkpoint", "path": str(tmp_path / "ckpt")},
+            {"op": "shutdown"},
+        ]
+        code, first = self._run_serve(
+            monkeypatch, capsys, ["--shards", "2", "--wal-dir", str(wal_dir)], reqs
+        )
+        assert code == 0
+        code, second = self._run_serve(
+            monkeypatch,
+            capsys,
+            ["--shards", "2", "--checkpoint", str(tmp_path / "ckpt")],
+            [{"op": "estimate", "key": "lna/tt"}, {"op": "shutdown"}],
+        )
+        assert code == 0
+        assert second[0]["ok"]
+        # the restored estimate equals the pre-restart answer exactly
+        # (responses: ..., estimate, checkpoint, shutdown)
+        assert second[0]["mean"] == first[-3]["mean"]
+
+    def test_serve_recovers_from_wal_dir(self, tmp_path, capsys, monkeypatch):
+        wal_dir = tmp_path / "wal"
+        code, first = self._run_serve(
+            monkeypatch,
+            capsys,
+            ["--shards", "2", "--wal-dir", str(wal_dir)],
+            self._requests() + [{"op": "shutdown"}],
+        )
+        assert code == 0
+        code, second = self._run_serve(
+            monkeypatch,
+            capsys,
+            ["--shards", "2", "--wal-dir", str(wal_dir)],
+            [{"op": "estimate", "key": "lna/tt"}, {"op": "shutdown"}],
+        )
+        assert code == 0
+        assert second[0]["mean"] == first[-2]["mean"]
+
+    def test_replay_verb(self, tmp_path, capsys, monkeypatch):
+        wal_dir = tmp_path / "wal"
+        code, _ = self._run_serve(
+            monkeypatch,
+            capsys,
+            ["--shards", "1", "--wal-dir", str(wal_dir)],
+            self._requests() + [{"op": "shutdown"}],
+        )
+        assert code == 0
+        out_ckpt = tmp_path / "replayed.ckpt"
+        code = main(
+            ["replay", str(wal_dir / "shard-000.wal"), "--out", str(out_ckpt)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "recovered shard state" in out
+        assert out_ckpt.exists()
+
+    def test_compact_verb(self, tmp_path, capsys, monkeypatch):
+        wal_dir = tmp_path / "wal"
+        reqs = self._requests() + [
+            {"op": "checkpoint", "path": str(tmp_path / "ckpt")},
+            {"op": "shutdown"},
+        ]
+        code, _ = self._run_serve(
+            monkeypatch, capsys, ["--shards", "2", "--wal-dir", str(wal_dir)], reqs
+        )
+        assert code == 0
+        code = main(
+            ["compact", str(tmp_path / "ckpt"), "--wal-dir", str(wal_dir)]
+        )
+        assert code == 0
+        assert "compacted 2 shard(s)" in capsys.readouterr().out
+        from repro.serving import WriteAheadLog
+
+        for name in ("shard-000.wal", "shard-001.wal"):
+            wal = WriteAheadLog.open(wal_dir / name)
+            assert wal.verify() == 0
+            wal.close()

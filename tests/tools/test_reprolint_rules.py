@@ -161,6 +161,54 @@ class TestRPL003:
         assert diags == []
         assert result.suppressed == 1
 
+    def test_shard_worker_cannot_import_router(self, lint):
+        # Serving sublayers: the worker stratum sits below the router/service
+        # stratum, so a worker module reaching up is a back-edge.
+        diags, _ = lint(
+            "from repro.serving.router import ShardedMomentService\n",
+            rel_path="src/repro/serving/worker.py",
+        )
+        assert codes_of(diags) == ["RPL003"]
+        assert "back-edge" in diags[0].message
+
+    def test_router_may_import_worker_and_wal(self, lint):
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                from repro.serving.wal import WriteAheadLog
+                from repro.serving.worker import ShardWorker
+                from repro.serving.counters import ServiceCounters
+                """
+            ),
+            rel_path="src/repro/serving/router.py",
+        )
+        assert diags == []
+
+    def test_wal_cannot_import_sessions(self, lint):
+        # The WAL substrate is the bottom serving stratum; it must not know
+        # about the session store it records operations for.
+        diags, _ = lint(
+            "from repro.serving.sessions import SessionStore\n",
+            rel_path="src/repro/serving/wal.py",
+        )
+        assert codes_of(diags) == ["RPL003"]
+
+    def test_serving_package_init_sees_all_sublayers(self, lint):
+        # The bare `repro.serving` entry is the package __init__, which
+        # re-exports the whole stack (longest-prefix match keeps submodules
+        # in their own strata).
+        diags, _ = lint(
+            textwrap.dedent(
+                """
+                from repro.serving.protocol import serve_loop
+                from repro.serving.router import ShardedMomentService
+                from repro.serving.wal import WriteAheadLog
+                """
+            ),
+            rel_path="src/repro/serving/__init__.py",
+        )
+        assert diags == []
+
 
 # ---------------------------------------------------------------------------
 # RPL004 — float-literal equality

@@ -42,6 +42,17 @@ DEFAULT_LAYERS: List[List[str]] = [
     ["repro.extensions", "repro.yieldest"],
     ["repro.experiments", "repro.circuits"],
     ["repro.io"],
+    ["repro.serving.suffstats", "repro.serving.wal"],
+    [
+        "repro.serving.sessions",
+        "repro.serving.queue",
+        "repro.serving.checkpoint",
+        "repro.serving.counters",
+    ],
+    ["repro.serving.scoring"],
+    ["repro.serving.worker"],
+    ["repro.serving.service", "repro.serving.router"],
+    ["repro.serving.protocol", "repro.serving"],
     ["repro.cli", "repro.__main__", "repro"],
 ]
 
