@@ -477,6 +477,14 @@ def _cmd_serve(args) -> int:
                 f"write-ahead logs in {args.wal_dir}",
                 file=sys.stderr,
             )
+            if args.shards != service.n_shards:
+                print(
+                    f"warning: --shards {args.shards} ignored — the shard "
+                    f"count is fixed by the {service.n_shards} recovered "
+                    "WAL file(s); re-shard offline if you need a "
+                    "different count",
+                    file=sys.stderr,
+                )
         else:
             service = ShardedMomentService(
                 n_shards=args.shards,

@@ -38,6 +38,7 @@ from repro.experiments.sweep import SweepResult
 
 __all__ = [
     "canonical_json",
+    "fsync_dir",
     "write_json_atomic",
     "save_dataset",
     "load_dataset",
@@ -72,13 +73,35 @@ def canonical_json(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+def fsync_dir(path: PathLike) -> None:
+    """Fsync a directory so a rename inside it survives power loss.
+
+    ``os.replace`` makes a rename atomic against crashes of *this*
+    process, but the rename itself lives in the directory entry — until
+    the directory is fsync'd, a power cut can roll it back.  Platforms
+    that cannot open or fsync directories (e.g. Windows) make this a
+    no-op, which matches their rename-durability semantics anyway.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def write_json_atomic(payload: Any, path: PathLike, canonical: bool = True) -> str:
     """Write a JSON document crash-safely; returns the encoded text.
 
     The bytes go to a temporary file in the target directory, are fsync'd,
-    then atomically renamed over the destination (``os.replace``) — a
-    crash mid-write leaves the previous file intact.  With ``canonical``
-    the encoding is :func:`canonical_json` (hash-stable); otherwise an
+    then atomically renamed over the destination (``os.replace``) and the
+    parent directory is fsync'd so the rename is durable — a crash
+    mid-write leaves the previous file intact.  With ``canonical`` the
+    encoding is :func:`canonical_json` (hash-stable); otherwise an
     indented human-readable form.
     """
     target = Path(path)
@@ -90,6 +113,7 @@ def write_json_atomic(payload: Any, path: PathLike, canonical: bool = True) -> s
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, target)
+    fsync_dir(target.parent)
     return encoded
 
 

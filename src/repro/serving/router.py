@@ -420,6 +420,46 @@ class ShardedMomentService:
         out["shards"] = shards
         return out
 
+    def _reconcile_counters(self, base: Optional[Dict[str, Any]] = None) -> None:
+        """Rebuild router-level counters after a recovery.
+
+        Worker counters are exact post-replay state, so the router totals
+        start as their sum.  ``base`` (a manifest ``counters`` state dict)
+        is folded in by elementwise max: in single-shard mode every count
+        also lives on the worker, so the fresher worker sum wins; in
+        multi-shard mode request kinds are counted only on the router
+        (worker ``collect`` touch records carry ``kinds={}``), so the
+        checkpointed value is the best available — it lags by whatever
+        queries arrived after the checkpoint, and ``ingest_calls`` counts
+        post-coalescing blocks rather than accepted calls on a WAL-only
+        recovery.  Both limits are documented in ``docs/SERVING.md``.
+        """
+        requests: Dict[str, int] = {kind: 0 for kind in QUERY_KINDS}
+        errors = 0
+        ingest_calls = 0
+        ingested_samples = 0
+        for worker in self.workers:
+            state = worker.counters.state_dict()
+            for kind, count in state["requests"].items():
+                requests[kind] = requests.get(kind, 0) + int(count)
+            errors += int(state["errors"])
+            ingest_calls += int(state["ingest_calls"])
+            ingested_samples += int(state["ingested_samples"])
+        if base is not None:
+            for kind, count in base["requests"].items():
+                requests[kind] = max(requests.get(kind, 0), int(count))
+            errors = max(errors, int(base["errors"]))
+            ingest_calls = max(ingest_calls, int(base["ingest_calls"]))
+            ingested_samples = max(ingested_samples, int(base["ingested_samples"]))
+        self.counters.load_state_dict(
+            {
+                "requests": requests,
+                "errors": errors,
+                "ingest_calls": ingest_calls,
+                "ingested_samples": ingested_samples,
+            }
+        )
+
     # ------------------------------------------------------------------
     # checkpoint / restore / compaction
     # ------------------------------------------------------------------
@@ -544,7 +584,9 @@ class ShardedMomentService:
                 wal=wal,
                 linalg_backend=linalg_backend,
             )
-        service.counters.load_state_dict(manifest["counters"])
+        # WAL tails may have advanced the workers past the manifest's
+        # counters; reconcile rather than loading the stale snapshot.
+        service._reconcile_counters(base=manifest["counters"])
         return service
 
     @classmethod
@@ -596,6 +638,11 @@ class ShardedMomentService:
             )
             worker.replay(wal)
             service.workers[shard] = worker
+        # Router counters are not logged anywhere; the shard sums are the
+        # best WAL-only reconstruction (exact in single-shard mode, which
+        # routes requests through the worker; multi-shard request kinds
+        # are router-only state and restart from the replayed touches).
+        service._reconcile_counters()
         return service
 
     # ------------------------------------------------------------------

@@ -32,8 +32,8 @@ Appends ``flush()`` to the OS page cache but do not ``fsync`` per record —
 the kill-recovery guarantee targets process death (SIGKILL), where the
 page cache survives; :meth:`WriteAheadLog.sync` forces durability at
 checkpoint boundaries, and rotation (:meth:`truncate_through`) is atomic
-via the tmp + fsync + ``os.replace`` pattern shared with
-:mod:`repro.serving.checkpoint`.
+and durable via the tmp + fsync + ``os.replace`` + directory-fsync
+pattern shared with :mod:`repro.serving.checkpoint`.
 """
 
 from __future__ import annotations
@@ -46,7 +46,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import WalCorruptionError
-from repro.io import canonical_json
+from repro.io import canonical_json, fsync_dir
 
 __all__ = [
     "WAL_SCHEMA",
@@ -398,6 +398,10 @@ class WriteAheadLog:
             self._handle.flush()
             self._handle.close()
             os.replace(tmp, self._path)
+            # compaction deletes replayed records on the strength of the
+            # new file being durable — fsync the directory so the rename
+            # survives power loss, not just SIGKILL
+            fsync_dir(self._path.parent)
             dropped = target - self._base_seq
             self._base_seq = target
             self._last_sha = prev_sha

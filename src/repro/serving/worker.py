@@ -19,7 +19,10 @@ order, same eviction decisions, same ingest counters.  Failed operations
 are part of that contract: a lookup of a missing key ticks the clock and
 *then* raises, so replay applies each record and swallows
 :class:`~repro.exceptions.ReproError` — the tick is reproduced, the error
-is not re-raised.
+is not re-raised.  ``touch`` records carry one key per request in
+submission order (duplicates included) because the scorer re-attempts a
+failed snapshot on every later request naming that key, ticking the
+clock each time; replay reproduces exactly that attempt pattern.
 
 Two pieces of live state are deliberately **not** replayed: the error
 counter (scoring errors depend on request payloads the WAL does not
@@ -172,9 +175,13 @@ class ShardWorker:
     def _log_touch(self, keys: Sequence[str], kinds: Dict[str, int]) -> None:
         """Record the clock ticks (and request counts) a query batch causes.
 
-        ``keys`` must be the distinct session keys in first-occurrence
-        order — the order the scorer snapshots them in, hence the order
-        the store clock ticks in.
+        ``keys`` is the session key of every request in submission order
+        (duplicates included).  The scorer snapshots a key once per batch
+        *on success* but re-attempts on every later request naming a key
+        whose snapshot failed — and each attempt ticks the store clock.
+        Logging the full request-key sequence lets replay reproduce that
+        attempt pattern exactly (see :meth:`apply_record`), which a
+        deduplicated key list cannot.
         """
         if self.wal is not None:
             self.wal.append("touch", {"keys": list(keys), "kinds": kinds})
@@ -188,15 +195,10 @@ class ShardWorker:
         the counters.
         """
         if self.wal is not None:
-            keys: List[str] = []
-            seen = set()
             kinds: Dict[str, int] = {}
             for request in requests:
-                if request.key not in seen:
-                    seen.add(request.key)
-                    keys.append(request.key)
                 kinds[request.kind] = kinds.get(request.kind, 0) + 1
-            self._log_touch(keys, kinds)
+            self._log_touch([request.key for request in requests], kinds)
         self.scorer.score(requests, self._snapshot_one)
 
     def query_many(self, queries: Sequence[Tuple[str, str, Any]]) -> List[Any]:
@@ -243,7 +245,9 @@ class ShardWorker:
         Mutations that raised when first applied raise identically here
         *after* producing their clock ticks; callers (``replay``) swallow
         the re-raise, which is how failed ops stay part of the replayed
-        history.
+        history.  ``touch`` records handle failures internally instead:
+        one record covers many per-key lookups, and a key that fails must
+        not rob the keys after it of their ticks.
         """
         if op == "create":
             prior = PriorKnowledge(
@@ -273,8 +277,22 @@ class ShardWorker:
             self.counters.record_requests(
                 {str(k): int(v) for k, v in payload["kinds"].items()}
             )
-            for key in payload["keys"]:
-                self.store.get(str(key))  # ticks; may raise like the original
+            # Mirror the scorer's snapshot loop: one attempt per request
+            # key until the key succeeds, then it is cached for the rest
+            # of the batch.  A failed lookup ticked the clock before
+            # raising, so the tick is kept and the key stays eligible for
+            # re-attempts — aborting here would starve the remaining keys
+            # of their ticks.
+            snapshotted = set()
+            for raw_key in payload["keys"]:
+                key = str(raw_key)
+                if key in snapshotted:
+                    continue
+                try:
+                    self.store.get(key)
+                except ReproError:
+                    continue
+                snapshotted.add(key)
         else:
             raise ConfigError(f"unknown WAL op {op!r}")
 

@@ -250,6 +250,60 @@ class TestWalIntegration:
             np.testing.assert_array_equal(recovered.estimate(key).mean, mean)
         recovered.close()
 
+    def test_recover_rebuilds_router_counters_from_shards(
+        self, prior, blocks, tmp_path
+    ):
+        """WAL-only recovery derives top-level counters from the shard
+        sums (regression: they used to stay zero)."""
+        wal_dir = tmp_path / "wal"
+        svc = ShardedMomentService(n_shards=2, wal_dir=wal_dir, flush_rows=1)
+        _populate(svc, prior, blocks)
+        expected_samples = svc.counters.state_dict()["ingested_samples"]
+        svc.close()
+        recovered = ShardedMomentService.recover(wal_dir)
+        stats = recovered.stats()
+        assert expected_samples > 0
+        assert stats["ingested_samples"] == expected_samples
+        shard_sum = sum(s["ingested_samples"] for s in stats["shards"])
+        assert stats["ingested_samples"] == shard_sum
+        recovered.close()
+
+    def test_recover_single_shard_counters_match_worker(self, prior, blocks, tmp_path):
+        """In single-shard mode every count lives on the worker, so a
+        WAL-only recovery reproduces the full counter state exactly."""
+        wal_dir = tmp_path / "wal"
+        svc = ShardedMomentService(n_shards=1, wal_dir=wal_dir)
+        _populate(svc, prior, blocks)
+        svc.query_many([("estimate", key, None) for key in KEYS[:3]])
+        expected = svc.workers[0].counters.state_dict()
+        svc.close()
+        recovered = ShardedMomentService.recover(wal_dir)
+        assert recovered.workers[0].counters.state_dict() == expected
+        assert recovered.counters.state_dict()["requests"] == expected["requests"]
+        recovered.close()
+
+    def test_restore_reconciles_counters_with_wal_tail(
+        self, prior, blocks, rng, tmp_path
+    ):
+        """Counters must reflect the replayed WAL tail, not the stale
+        manifest snapshot, and multi-shard router-only request counts
+        survive via the manifest."""
+        wal_dir = tmp_path / "wal"
+        svc = ShardedMomentService(n_shards=2, wal_dir=wal_dir, flush_rows=1)
+        _populate(svc, prior, blocks)
+        svc.estimate(KEYS[0])
+        svc.checkpoint(tmp_path / "ckpt")
+        checkpoint_requests = svc.counters.state_dict()["requests"]
+        # this ingest lives only in the WAL tails
+        svc.ingest(KEYS[0], rng.standard_normal((5, D)))
+        expected_samples = svc.counters.state_dict()["ingested_samples"]
+        svc.close()
+        restored = ShardedMomentService.restore(tmp_path / "ckpt", wal_dir=wal_dir)
+        state = restored.counters.state_dict()
+        assert state["ingested_samples"] == expected_samples
+        assert state["requests"] == checkpoint_requests
+        restored.close()
+
     def test_compact_truncates_all_shards(self, prior, blocks, rng, tmp_path):
         wal_dir = tmp_path / "wal"
         svc = ShardedMomentService(n_shards=2, wal_dir=wal_dir, flush_rows=1)

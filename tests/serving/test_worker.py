@@ -135,6 +135,61 @@ class TestReplayBitIdentity:
         assert replayed.store.clock == live.store.clock
         wal.close()
 
+    def test_touch_replay_matches_live_ticks_past_missing_keys(
+        self, prior, rng, tmp_path
+    ):
+        """A batch naming a missing key must replay every tick it caused.
+
+        The live scorer re-attempts the snapshot on each request naming a
+        key whose earlier snapshot failed — each attempt ticks the store
+        clock — while a request whose key already snapshotted is served
+        from the batch cache (no tick).  Regression: replay used to abort
+        the touch loop at the first missing key, starving later keys of
+        their ticks, and recorded each distinct key only once.
+        """
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        live.ingest("k", rng.standard_normal((4, D)))
+        with pytest.raises(SessionNotFoundError):
+            live.query_many(
+                [
+                    ("estimate", "ghost", None),  # attempt + tick, fails
+                    ("estimate", "k", None),  # snapshot + tick
+                    ("estimate", "ghost", None),  # re-attempt + tick, fails
+                    ("estimate", "k", None),  # cached — no tick
+                ]
+            )
+        replayed = ShardWorker(shard_id=0)
+        replayed.replay(wal)
+        assert replayed.store.clock == live.store.clock
+        assert replayed.store.to_dict() == live.store.to_dict()
+        live_requests = live.counters.snapshot()["requests"]
+        assert replayed.counters.snapshot()["requests"] == live_requests
+        wal.close()
+
+    def test_touch_replay_preserves_eviction_decisions_after_failures(
+        self, prior, rng, tmp_path
+    ):
+        """TTL eviction depends on the exact tick count, so the ticks a
+        failing key causes must survive replay or recency diverges."""
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
+        live = ShardWorker(shard_id=0, ttl_ops=6, wal=wal)
+        live.create_session("old", prior)
+        live.create_session("new", prior)
+        # repeated queries of an evicted/missing key keep ticking the
+        # clock toward "old"'s TTL horizon
+        with pytest.raises(SessionNotFoundError):
+            live.query_many([("estimate", "ghost", None)] * 5)
+        live.ingest("new", rng.standard_normal(D))
+        assert live.session_keys() == ["new"]  # "old" aged out
+        replayed = ShardWorker(shard_id=0, ttl_ops=6)
+        replayed.replay(wal)
+        assert replayed.session_keys() == live.session_keys()
+        assert replayed.store.evictions == live.store.evictions
+        assert replayed.store.to_dict() == live.store.to_dict()
+        wal.close()
+
     def test_touch_records_reproduce_query_clock_ticks(self, prior, rng, tmp_path):
         wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0)
         live = ShardWorker(shard_id=0, wal=wal)

@@ -410,6 +410,26 @@ class TestShardedServingVerbs:
         assert code == 0
         assert second[0]["mean"] == first[-2]["mean"]
 
+    def test_serve_recover_warns_on_shard_count_mismatch(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io as io_module
+        import json
+
+        wal_dir = tmp_path / "wal"
+        reqs = self._requests() + [{"op": "shutdown"}]
+        stream = "\n".join(json.dumps(r) for r in reqs) + "\n"
+        monkeypatch.setattr("sys.stdin", io_module.StringIO(stream))
+        assert main(["serve", "--shards", "2", "--wal-dir", str(wal_dir)]) == 0
+        capsys.readouterr()
+        # recovery fixes the shard count from the WAL files; a different
+        # --shards must be called out, not silently ignored
+        monkeypatch.setattr("sys.stdin", io_module.StringIO('{"op": "shutdown"}\n'))
+        assert main(["serve", "--shards", "4", "--wal-dir", str(wal_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "--shards 4 ignored" in err
+        assert "2 recovered WAL file(s)" in err
+
     def test_replay_verb(self, tmp_path, capsys, monkeypatch):
         wal_dir = tmp_path / "wal"
         code, _ = self._run_serve(
