@@ -20,15 +20,27 @@ Usage (from the repository root)::
     PYTHONPATH=src python scripts/bench_serving.py [--sessions 10000]
         [--ops 100000] [--dim 5] [--alpha 1.6] [--query-every 5000]
         [--shards 1 2 4 8] [--seed 0] [--out BENCH_serving.json] [--smoke]
+        [--wal none|v1|v2|v2-delta] [--wire direct|list|b64f64]
 
 ``--smoke`` shrinks the workload for CI wall-clock budgets and is the
 configuration the CI floor check runs (4 shards >= 2x single shard).
+
+``--wal`` turns on write-ahead durability for the run: ``v1`` is the
+JSON-lines log, ``v2`` the binary group-commit log, ``v2-delta`` adds
+sufficient-statistics delta logging (the logs live in a temporary
+directory that is deleted afterwards — this measures logging cost, not
+recovery).  ``--wire`` routes every op through the JSON-lines protocol
+layer instead of direct method calls, with arrays as nested lists
+(``list``) or zero-copy base64 float64 envelopes (``b64f64``), so the
+serialization tax of each encoding shows up in the reported rows/s.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -36,9 +48,17 @@ import numpy as np
 
 from repro.bench import append_entry
 from repro.core.prior import PriorKnowledge
-from repro.serving import ShardedMomentService
+from repro.serving import ShardedMomentService, encode_array, handle_request
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: --wal choices mapped to ShardedMomentService keyword arguments.
+WAL_MODES = {
+    "none": None,
+    "v1": {"wal_format": "v1"},
+    "v2": {"wal_format": "v2"},
+    "v2-delta": {"wal_format": "v2", "wal_delta_rows": 32},
+}
 
 
 def run_load(
@@ -49,6 +69,8 @@ def run_load(
     alpha: float,
     query_every: int,
     seed: int,
+    wal: str = "none",
+    wire: str = "direct",
 ) -> dict:
     """One full pass; returns the per-shard-count result row."""
     rng = np.random.default_rng(seed)
@@ -60,9 +82,26 @@ def run_load(
     rows = rng.standard_normal((n_ops, dim))
     query_draws = rng.choice(n_sessions, size=n_ops // query_every + 1, p=weights)
 
-    service = ShardedMomentService(
+    wal_kwargs = WAL_MODES[wal]
+    wal_tmp = None
+    service_kwargs = dict(
         n_shards=n_shards, max_sessions_per_shard=n_sessions + 1
     )
+    if wal_kwargs is not None:
+        wal_tmp = tempfile.TemporaryDirectory(prefix="bench-serving-wal-")
+        service_kwargs.update(wal_dir=wal_tmp.name, **wal_kwargs)
+    service = ShardedMomentService(**service_kwargs)
+
+    def wire_ingest(key: str, row: np.ndarray) -> None:
+        samples = encode_array(row) if wire == "b64f64" else row.tolist()
+        handle_request(
+            service,
+            json.dumps({"op": "ingest", "key": key, "samples": samples}),
+        )
+
+    def wire_estimate(key: str) -> None:
+        handle_request(service, json.dumps({"op": "estimate", "key": key}))
+
     prior_rng = np.random.default_rng(42)
     a = prior_rng.standard_normal((dim, dim))
     prior = PriorKnowledge(
@@ -77,19 +116,30 @@ def run_load(
     query_index = 0
     t0 = time.perf_counter()
     for i in range(n_ops):
-        service.ingest(keys[key_draws[i]], rows[i])
+        if wire == "direct":
+            service.ingest(keys[key_draws[i]], rows[i])
+        else:
+            wire_ingest(keys[key_draws[i]], rows[i])
         if (i + 1) % query_every == 0:
+            key = keys[query_draws[query_index]]
             tq = time.perf_counter()
-            service.estimate(keys[query_draws[query_index]])
+            if wire == "direct":
+                service.estimate(key)
+            else:
+                wire_estimate(key)
             query_index += 1
             latencies.append(time.perf_counter() - tq)
     service.flush()
     elapsed = time.perf_counter() - t0
     service.close()
+    if wal_tmp is not None:
+        wal_tmp.cleanup()
 
     lat_ms = np.asarray(latencies) * 1e3
     return {
         "n_shards": n_shards,
+        "wal": wal,
+        "wire": wire,
         "elapsed_s": round(elapsed, 4),
         "create_s": round(create_s, 4),
         "rows_per_s": round(n_ops / elapsed),
@@ -118,6 +168,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="shrink the workload for CI (and gate 4 shards >= 2x)",
     )
+    parser.add_argument(
+        "--wal",
+        choices=sorted(WAL_MODES),
+        default="none",
+        help="write-ahead log mode for the run (logs go to a temp dir)",
+    )
+    parser.add_argument(
+        "--wire",
+        choices=["direct", "list", "b64f64"],
+        default="direct",
+        help="route ops through the JSON protocol with this array encoding",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -128,7 +190,7 @@ def main(argv=None) -> int:
     print(
         f"sharded serving load: {args.sessions} sessions, {args.ops} ops, "
         f"d={args.dim}, zipf alpha={args.alpha}, "
-        f"query every {args.query_every}"
+        f"query every {args.query_every}, wal={args.wal}, wire={args.wire}"
     )
     results = []
     for n_shards in args.shards:
@@ -140,6 +202,8 @@ def main(argv=None) -> int:
             alpha=args.alpha,
             query_every=args.query_every,
             seed=args.seed,
+            wal=args.wal,
+            wire=args.wire,
         )
         results.append(row)
         print(
@@ -160,6 +224,8 @@ def main(argv=None) -> int:
         config={
             "section": "sharded_load",
             "smoke": bool(args.smoke),
+            "wal": args.wal,
+            "wire": args.wire,
             "n_sessions": args.sessions,
             "n_ops": args.ops,
             "dim": args.dim,

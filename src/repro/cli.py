@@ -164,6 +164,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1 for one shard, 64 otherwise)",
     )
     serve.add_argument(
+        "--wal-format",
+        choices=["v1", "v2"],
+        default="v2",
+        help="on-disk format for NEW write-ahead logs: v2 binary frames "
+        "(raw float64 buffers, the ingest fast path) or v1 JSON lines; "
+        "existing logs auto-detect (default: v2)",
+    )
+    serve.add_argument(
+        "--wal-flush-records",
+        type=int,
+        default=None,
+        help="group-commit record bound: flush the WAL buffer after this "
+        "many appends (default: 1 for v1, 64 for v2)",
+    )
+    serve.add_argument(
+        "--wal-flush-bytes",
+        type=int,
+        default=None,
+        help="group-commit byte bound for the WAL buffer (default: 256 KiB)",
+    )
+    serve.add_argument(
+        "--wal-delta-rows",
+        type=int,
+        default=None,
+        help="log 2-D ingest blocks with at least this many rows as "
+        "O(d^2) sufficient statistics instead of raw samples "
+        "(default: off — always log raw samples)",
+    )
+    serve.add_argument(
         "--placement",
         choices=["hash", "spread"],
         default="hash",
@@ -228,6 +257,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument("--kappa0", type=float, default=None, help="pin kappa0")
     ingest.add_argument("--v0", type=float, default=None, help="pin v0")
+    ingest.add_argument(
+        "--emit-wire",
+        default=None,
+        metavar="PATH",
+        help="instead of updating the checkpoint, write the equivalent "
+        "JSON-lines protocol requests (create + ingest) to PATH "
+        "('-' for stdout) for piping into 'repro serve'",
+    )
+    ingest.add_argument(
+        "--wire-encoding",
+        choices=["list", "b64f64"],
+        default="b64f64",
+        help="array encoding for --emit-wire requests: nested JSON lists "
+        "or zero-copy base64 raw float64 (default: b64f64)",
+    )
 
     query = sub.add_parser("query", help="query a serving checkpoint")
     query.add_argument("checkpoint", help="serving checkpoint path (read-only)")
@@ -457,6 +501,9 @@ def _cmd_serve(args) -> int:
                 args.checkpoint,
                 wal_dir=args.wal_dir,
                 flush_rows=args.flush_rows,
+                wal_flush_records=args.wal_flush_records,
+                wal_flush_bytes=args.wal_flush_bytes,
+                wal_delta_rows=args.wal_delta_rows,
             )
             print(
                 f"restored {service.n_shards}-shard service from {args.checkpoint}",
@@ -471,6 +518,9 @@ def _cmd_serve(args) -> int:
                 ttl_ops=args.ttl_ops,
                 placement=args.placement,
                 flush_rows=args.flush_rows,
+                wal_flush_records=args.wal_flush_records,
+                wal_flush_bytes=args.wal_flush_bytes,
+                wal_delta_rows=args.wal_delta_rows,
             )
             print(
                 f"recovered {service.n_shards} shard(s) by replaying "
@@ -493,6 +543,10 @@ def _cmd_serve(args) -> int:
                 placement=args.placement,
                 flush_rows=args.flush_rows,
                 wal_dir=args.wal_dir,
+                wal_format=args.wal_format,
+                wal_flush_records=args.wal_flush_records,
+                wal_flush_bytes=args.wal_flush_bytes,
+                wal_delta_rows=args.wal_delta_rows,
             )
     elif args.checkpoint and os.path.exists(args.checkpoint):
         service = MomentService.restore(args.checkpoint, start_queue=False)
@@ -574,6 +628,58 @@ def _cmd_compact(args) -> int:
     return 0
 
 
+def _emit_wire_requests(args) -> int:
+    """Write the protocol requests an ingest would issue, instead of issuing
+    them — the zero-copy feeder for a piped ``repro serve`` process."""
+    import json
+
+    from repro.core.prior import PriorKnowledge
+    from repro.io import load_dataset
+    from repro.serving import encode_array
+
+    dataset = load_dataset(args.dataset)
+    rng = np.random.default_rng(args.seed)
+    subset = dataset.late_subset(args.samples, rng)
+
+    def enc(values):
+        return encode_array(values) if args.wire_encoding == "b64f64" else (
+            np.asarray(values, dtype=float).tolist()
+        )
+
+    lines = []
+    if args.create:
+        prior = PriorKnowledge.from_samples(dataset.early)
+        create = {
+            "op": "create",
+            "key": args.session,
+            "prior_mean": enc(prior.mean),
+            "prior_covariance": enc(prior.covariance),
+            "prior_n_samples": int(prior.n_samples),
+            "exist_ok": True,
+        }
+        if args.kappa0 is not None:
+            create["kappa0"] = args.kappa0
+        if args.v0 is not None:
+            create["v0"] = args.v0
+        lines.append(json.dumps(create))
+    lines.append(
+        json.dumps({"op": "ingest", "key": args.session, "samples": enc(subset)})
+    )
+    text = "\n".join(lines) + "\n"
+    if args.emit_wire == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.emit_wire, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    print(
+        f"emitted {len(lines)} {args.wire_encoding}-encoded request line(s) "
+        f"({subset.shape[0]} rows for session {args.session!r}) to "
+        f"{'stdout' if args.emit_wire == '-' else args.emit_wire}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_ingest(args) -> int:
     import os
 
@@ -581,6 +687,8 @@ def _cmd_ingest(args) -> int:
     from repro.io import load_dataset
     from repro.serving import MomentService
 
+    if args.emit_wire is not None:
+        return _emit_wire_requests(args)
     dataset = load_dataset(args.dataset)
     if os.path.exists(args.checkpoint):
         service = MomentService.restore(args.checkpoint, start_queue=False)

@@ -12,7 +12,8 @@ re-touching raw samples.  The stack is layered bottom-up:
 * :mod:`repro.serving.counters` — thread-safe request/ingest/latency
   counters shared by every layer above.
 * :mod:`repro.serving.wal` — per-shard append-only, sha256-chained
-  write-ahead log with torn-tail recovery and atomic compaction.
+  write-ahead log (JSON-lines v1 and binary-frame v2 formats) with
+  group-commit buffering, torn-tail recovery, and atomic compaction.
 * :mod:`repro.serving.sessions` — keyed session store with LRU capacity
   and logical-clock TTL eviction.
 * :mod:`repro.serving.queue` — micro-batching query queue with bounded
@@ -39,14 +40,20 @@ from repro.serving.checkpoint import (
     save_checkpoint,
 )
 from repro.serving.counters import ServiceCounters
-from repro.serving.protocol import handle_request, serve_loop
+from repro.serving.protocol import (
+    WIRE_B64F64,
+    decode_array,
+    encode_array,
+    handle_request,
+    serve_loop,
+)
 from repro.serving.queue import QUERY_KINDS, MicroBatchQueue, Request
 from repro.serving.router import MANIFEST_SCHEMA, HashRing, ShardedMomentService
 from repro.serving.scoring import BatchScorer
 from repro.serving.service import MomentService
 from repro.serving.sessions import Session, SessionStore
 from repro.serving.suffstats import SufficientStats, map_moments_stack, merge_all
-from repro.serving.wal import WAL_SCHEMA, WriteAheadLog
+from repro.serving.wal import WAL_SCHEMA, WAL_SCHEMA_V2, WriteAheadLog
 from repro.serving.worker import ShardWorker
 
 __all__ = [
@@ -66,7 +73,11 @@ __all__ = [
     "ShardedMomentService",
     "SufficientStats",
     "WAL_SCHEMA",
+    "WAL_SCHEMA_V2",
+    "WIRE_B64F64",
     "WriteAheadLog",
+    "decode_array",
+    "encode_array",
     "handle_request",
     "load_checkpoint",
     "map_moments_stack",

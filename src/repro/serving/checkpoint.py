@@ -20,6 +20,17 @@ Versioning follows the :mod:`repro.io` result-schema convention: a
 :func:`repro.io.check_schema_version`, so files written by a newer layout
 are rejected with :class:`~repro.exceptions.SchemaVersionError` instead
 of being misdecoded.
+
+**Interaction with group-committed WALs** — when the serving layer runs
+a write-ahead log with group commit (``flush_records``/``flush_bytes``
+> 1 record), acknowledged records may still sit in the WAL's in-memory
+buffer. Checkpoint writers MUST therefore call ``wal.sync()`` (flush +
+fsync) *before* ``save_checkpoint`` so the durable WAL prefix covers
+every mutation captured in the checkpointed state; the shard workers in
+:mod:`repro.serving.worker` enforce this ordering. Without the barrier a
+crash between checkpoint and WAL flush could leave a checkpoint that
+references seqnos the log never persisted, breaking replay-from-
+checkpoint recovery.
 """
 
 from __future__ import annotations

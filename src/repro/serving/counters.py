@@ -8,9 +8,12 @@ cycles.
 
 Cumulative counters (requests by kind, errors, ingest totals) are exact
 state: they serialize into checkpoints and are replayed from write-ahead
-logs.  The latency ring is observability only — it measures the *process*,
-not the logical state — and is deliberately excluded from
-:meth:`ServiceCounters.state_dict`.
+logs.  The latency ring and the WAL gauges (records appended, bytes
+written, physical flushes) are observability only — they measure the
+*process*, not the logical state — and are deliberately excluded from
+:meth:`ServiceCounters.state_dict` (WAL bytes written this process would
+double-count after a restore, and checkpoint payloads must not change
+shape under an observability tweak).
 """
 
 from __future__ import annotations
@@ -35,6 +38,9 @@ class ServiceCounters:
         self.errors = 0
         self.ingest_calls = 0
         self.ingested_samples = 0
+        self.wal_records = 0
+        self.wal_bytes = 0
+        self.wal_flushes = 0
         self._latencies: Deque[float] = deque(maxlen=int(latency_window))
 
     def record_request(self, kind: str) -> None:
@@ -60,6 +66,18 @@ class ServiceCounters:
         with self._lock:
             self._latencies.append(float(seconds))
 
+    def record_wal_append(self, n_bytes: int) -> None:
+        """One record entered a write-ahead log's group-commit buffer."""
+        with self._lock:
+            self.wal_records += 1
+            self.wal_bytes += int(n_bytes)
+
+    def record_wal_flush(self, n_bytes: int) -> None:
+        """One physical WAL flush drained ``n_bytes`` to the page cache."""
+        del n_bytes  # byte totals accrue at append time; flushes are counted
+        with self._lock:
+            self.wal_flushes += 1
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe counter snapshot (latencies in milliseconds)."""
         with self._lock:
@@ -71,6 +89,9 @@ class ServiceCounters:
                 "errors": self.errors,
                 "ingest_calls": self.ingest_calls,
                 "ingested_samples": self.ingested_samples,
+                "wal_records": self.wal_records,
+                "wal_bytes": self.wal_bytes,
+                "wal_flushes": self.wal_flushes,
             }
         if latencies:
             arr = np.asarray(latencies) * 1e3

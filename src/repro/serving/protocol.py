@@ -35,13 +35,30 @@ loop keeps reading.  Queries taken through this module use the service's
 synchronous batch path (`MomentService.query_many`) — a single stdin
 reader gains nothing from cross-request coalescing, and determinism is
 worth more on the wire.
+
+**Zero-copy arrays.**  Every array-valued request field (``samples``,
+``prior_mean``, ``x``, spec bounds, suffstats ``mean``/``scatter``)
+accepts either a nested JSON list or the ``b64f64`` envelope::
+
+    {"encoding": "b64f64", "shape": [n, d], "data": "<base64 of raw <f8>"}
+
+i.e. the array's little-endian float64 buffer, base64-wrapped to stay
+inside JSON-lines framing.  This skips the tolist/parse round-trip (and
+its per-float formatting cost) on the ingest hot path; decoding is one
+``base64`` pass plus ``np.frombuffer``.  A request that carries
+``"encoding": "b64f64"`` at the top level gets its array-valued
+*response* fields (``estimate``'s mean/covariance) in the same envelope.
+Both encodings are bit-exact: ``float.__repr__`` round-trips, and raw
+bytes trivially so.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 import sys
-from typing import Any, Callable, Dict, IO, Iterable, Optional, Union
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -51,7 +68,18 @@ from repro.serving.service import MomentService
 from repro.core.prior import PriorKnowledge
 from repro.stats.suffstats import SufficientStats
 
-__all__ = ["handle_request", "serve_loop", "PROTOCOL_OPS", "ServingService"]
+__all__ = [
+    "handle_request",
+    "serve_loop",
+    "PROTOCOL_OPS",
+    "ServingService",
+    "WIRE_B64F64",
+    "encode_array",
+    "decode_array",
+]
+
+#: Marker value of the zero-copy float64 array envelope.
+WIRE_B64F64 = "b64f64"
 
 #: Any service the wire protocol can front: the single-process
 #: :class:`MomentService` or the sharded router.  Both expose the same
@@ -75,6 +103,61 @@ PROTOCOL_OPS = (
 )
 
 
+def encode_array(values: Any) -> Dict[str, Any]:
+    """Wrap an array in the ``b64f64`` envelope (raw LE float64 + base64)."""
+    arr = np.ascontiguousarray(np.asarray(values, dtype="<f8"))
+    return {
+        "encoding": WIRE_B64F64,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(value: Any) -> np.ndarray:
+    """Accept a nested list *or* a ``b64f64`` envelope; return float64.
+
+    The permissive side of the wire: clients choose per-field, and both
+    paths produce bit-identical arrays.
+    """
+    if isinstance(value, dict):
+        encoding = value.get("encoding")
+        if encoding != WIRE_B64F64:
+            raise ConfigError(
+                f"unknown array encoding {encoding!r} (expected {WIRE_B64F64!r})"
+            )
+        try:
+            raw = base64.b64decode(str(value["data"]), validate=True)
+        except (KeyError, binascii.Error) as exc:
+            raise ConfigError(f"undecodable {WIRE_B64F64} data: {exc}") from exc
+        shape_field = value.get("shape")
+        if not isinstance(shape_field, list):
+            raise ConfigError(f"{WIRE_B64F64} envelope requires a shape list")
+        shape: List[int] = [int(extent) for extent in shape_field]
+        count = 1
+        for extent in shape:
+            if extent < 0:
+                raise ConfigError(f"negative extent in {WIRE_B64F64} shape {shape}")
+            count *= extent
+        if len(raw) != count * 8:
+            raise ConfigError(
+                f"{WIRE_B64F64} payload holds {len(raw)} bytes but shape "
+                f"{shape} needs {count * 8}"
+            )
+        return np.frombuffer(raw, dtype="<f8").reshape(shape).astype(float)
+    return np.asarray(value, dtype=float)
+
+
+def _decode_stats(payload: Any) -> SufficientStats:
+    """Suffstats from the wire; ``mean``/``scatter`` may be ``b64f64``."""
+    if isinstance(payload, dict) and (
+        isinstance(payload.get("mean"), dict) or isinstance(payload.get("scatter"), dict)
+    ):
+        payload = dict(payload)
+        payload["mean"] = decode_array(payload.get("mean"))
+        payload["scatter"] = decode_array(payload.get("scatter"))
+    return SufficientStats.from_dict(payload)
+
+
 def _require(request: Dict[str, Any], field: str) -> Any:
     try:
         return request[field]
@@ -92,8 +175,8 @@ def _op_ping(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]
 def _op_create(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     prior = PriorKnowledge(
-        mean=np.asarray(_require(request, "prior_mean"), dtype=float),
-        covariance=np.asarray(_require(request, "prior_covariance"), dtype=float),
+        mean=decode_array(_require(request, "prior_mean")),
+        covariance=decode_array(_require(request, "prior_covariance")),
         n_samples=int(request.get("prior_n_samples", 0)),
     )
     kappa0 = request.get("kappa0")
@@ -117,11 +200,11 @@ def _op_create(service: ServingService, request: Dict[str, Any]) -> Dict[str, An
 def _op_ingest(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     if "stats" in request:
-        stats = SufficientStats.from_dict(request["stats"])
+        stats = _decode_stats(request["stats"])
         total = service.ingest_stats(key, stats)
         folded = stats.n
     else:
-        samples = np.asarray(_require(request, "samples"), dtype=float)
+        samples = decode_array(_require(request, "samples"))
         total = service.ingest(key, samples)
         folded = 1 if samples.ndim == 1 else int(samples.shape[0])
     return {"key": key, "ingested": folded, "n": total}
@@ -130,10 +213,15 @@ def _op_ingest(service: ServingService, request: Dict[str, Any]) -> Dict[str, An
 def _op_estimate(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
     estimate = service.query_many([("estimate", key, None)])[0]
+    binary = request.get("encoding") == WIRE_B64F64
     return {
         "key": key,
-        "mean": estimate.mean.tolist(),
-        "covariance": estimate.covariance.tolist(),
+        "mean": encode_array(estimate.mean) if binary else estimate.mean.tolist(),
+        "covariance": (
+            encode_array(estimate.covariance)
+            if binary
+            else estimate.covariance.tolist()
+        ),
         "n": estimate.n_samples,
         "method": estimate.method,
         "info": dict(estimate.info),
@@ -142,15 +230,15 @@ def _op_estimate(service: ServingService, request: Dict[str, Any]) -> Dict[str, 
 
 def _op_loglik(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
-    x = np.asarray(_require(request, "x"), dtype=float)
+    x = decode_array(_require(request, "x"))
     value = service.query_many([("loglik", key, x)])[0]
     return {"key": key, "loglik": float(value)}
 
 
 def _op_yield(service: ServingService, request: Dict[str, Any]) -> Dict[str, Any]:
     key = str(_require(request, "key"))
-    lower = np.asarray(_require(request, "lower"), dtype=float)
-    upper = np.asarray(_require(request, "upper"), dtype=float)
+    lower = decode_array(_require(request, "lower"))
+    upper = decode_array(_require(request, "upper"))
     value = service.query_many([("yield", key, (lower, upper))])[0]
     return {"key": key, "yield": float(value)}
 
@@ -236,10 +324,15 @@ def serve_loop(
     lines: Optional[Iterable[str]] = None,
     out: Optional[IO[str]] = None,
 ) -> int:
-    """Run the JSON-lines loop until ``shutdown`` or end of input.
+    """Run the JSON-lines loop until ``shutdown``, end of input, or a
+    closed output pipe.
 
     Returns the number of requests handled.  ``lines``/``out`` default to
-    stdin/stdout; injectable for tests.
+    stdin/stdout; injectable for tests.  Each response is flushed as soon
+    as it is written so piped clients see replies promptly, and a client
+    that hangs up (``BrokenPipeError`` on write/flush) ends the loop
+    cleanly — the response that could not be delivered does not count as
+    handled, and no traceback escapes.
     """
     source = sys.stdin if lines is None else lines
     sink = sys.stdout if out is None else out
@@ -249,8 +342,11 @@ def serve_loop(
         if not line:
             continue
         response = handle_request(service, line)
-        sink.write(json.dumps(response) + "\n")
-        sink.flush()
+        try:
+            sink.write(json.dumps(response) + "\n")
+            sink.flush()
+        except BrokenPipeError:
+            break
         handled += 1
         if response.get("op") == "shutdown" and response.get("ok"):
             break

@@ -57,7 +57,7 @@ from repro.serving.counters import ServiceCounters
 from repro.serving.queue import QUERY_KINDS, Request
 from repro.serving.scoring import BatchScorer
 from repro.serving.sessions import Session
-from repro.serving.wal import WriteAheadLog
+from repro.serving.wal import DEFAULT_FLUSH_BYTES, WriteAheadLog
 from repro.serving.worker import ShardWorker
 from repro.stats.suffstats import SufficientStats, merge_all
 
@@ -72,12 +72,32 @@ MANIFEST_SCHEMA_VERSION = 1
 #: Placement policies the router understands.
 PLACEMENTS = ("hash", "spread")
 
+#: WAL on-disk formats the router can create (existing logs auto-detect).
+WAL_FORMATS = ("v1", "v2")
+
 PathLike = Union[str, Path]
 
 
 def _stable_hash(text: str) -> int:
     """First 64 bits of sha256 — stable everywhere, unlike ``hash()``."""
     return int(hashlib.sha256(text.encode("utf-8")).hexdigest()[:16], 16)
+
+
+def _resolve_wal_flush(
+    wal_version: int,
+    flush_records: Optional[int],
+    flush_bytes: Optional[int],
+) -> Tuple[int, int]:
+    """Group-commit bounds: v1 defaults to flush-per-record, v2 to 64."""
+    if flush_records is None:
+        flush_records = 1 if wal_version == 1 else 64
+    if flush_bytes is None:
+        flush_bytes = DEFAULT_FLUSH_BYTES
+    if int(flush_records) < 1:
+        raise ConfigError(f"wal_flush_records must be >= 1, got {flush_records}")
+    if int(flush_bytes) < 1:
+        raise ConfigError(f"wal_flush_bytes must be >= 1, got {flush_bytes}")
+    return int(flush_records), int(flush_bytes)
 
 
 class HashRing:
@@ -139,6 +159,23 @@ class ShardedMomentService:
         Directory for per-shard write-ahead logs (``shard-NNN.wal``).
         ``None`` disables logging.  Fresh logs only — recovering existing
         logs goes through :meth:`restore`.
+    wal_format:
+        On-disk format of *new* logs: ``"v2"`` (default — binary frames,
+        raw float64 buffers, the ingest fast path) or ``"v1"`` (JSON
+        lines, greppable).  Existing logs auto-detect on open.
+    wal_flush_records, wal_flush_bytes:
+        Group-commit bounds per shard log (see
+        :class:`~repro.serving.wal.WriteAheadLog`).  ``None`` resolves
+        ``wal_flush_records`` to ``1`` for v1 (the original
+        flush-per-record durability) and ``64`` for v2, and
+        ``wal_flush_bytes`` to 256 KiB.  Checkpoints always barrier
+        (``sync``) first, so coalesced flushing never weakens what a
+        checkpoint claims to cover.
+    wal_delta_rows:
+        Suffstats-delta threshold forwarded to every worker: 2-D ingest
+        blocks with at least this many rows are logged as ``O(d^2)``
+        sufficient statistics instead of raw samples.  ``None`` disables
+        delta logging.
     virtual_nodes:
         Ring resolution (see :class:`HashRing`).
     n_jobs:
@@ -157,6 +194,10 @@ class ShardedMomentService:
         placement: str = "hash",
         flush_rows: Optional[int] = None,
         wal_dir: Optional[PathLike] = None,
+        wal_format: str = "v2",
+        wal_flush_records: Optional[int] = None,
+        wal_flush_bytes: Optional[int] = None,
+        wal_delta_rows: Optional[int] = None,
         virtual_nodes: int = 64,
         n_jobs: Optional[int] = 1,
         linalg_backend: Optional[str] = None,
@@ -165,6 +206,10 @@ class ShardedMomentService:
             raise ConfigError(
                 f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
             )
+        if wal_format not in WAL_FORMATS:
+            raise ConfigError(
+                f"unknown wal_format {wal_format!r}; expected one of {WAL_FORMATS}"
+            )
         self.ring = HashRing(n_shards, virtual_nodes=virtual_nodes)
         self.placement = placement
         if flush_rows is None:
@@ -172,6 +217,10 @@ class ShardedMomentService:
         if int(flush_rows) < 1:
             raise ConfigError(f"flush_rows must be >= 1, got {flush_rows}")
         self.flush_rows = int(flush_rows)
+        wal_version = 2 if wal_format == "v2" else 1
+        flush_records, flush_bytes = _resolve_wal_flush(
+            wal_version, wal_flush_records, wal_flush_bytes
+        )
         self._n_jobs = n_jobs
         self._linalg_backend = linalg_backend
         self.workers: List[ShardWorker] = []
@@ -181,7 +230,11 @@ class ShardedMomentService:
                 directory = Path(wal_dir)
                 directory.mkdir(parents=True, exist_ok=True)
                 wal = WriteAheadLog.create(
-                    directory / f"shard-{shard:03d}.wal", shard_id=shard
+                    directory / f"shard-{shard:03d}.wal",
+                    shard_id=shard,
+                    version=wal_version,
+                    flush_records=flush_records,
+                    flush_bytes=flush_bytes,
                 )
             self.workers.append(
                 ShardWorker(
@@ -189,6 +242,7 @@ class ShardedMomentService:
                     max_sessions=max_sessions_per_shard,
                     ttl_ops=ttl_ops,
                     wal=wal,
+                    wal_delta_rows=wal_delta_rows,
                     linalg_backend=linalg_backend,
                 )
             )
@@ -417,6 +471,11 @@ class ShardedMomentService:
         out["flush_rows"] = self.flush_rows
         out["sessions_live"] = sum(s["sessions_live"] for s in shards)
         out["sessions_evicted"] = sum(s["sessions_evicted"] for s in shards)
+        # WAL append/flush gauges accrue on the worker counters (each log
+        # observes its worker); surface the fleet totals at router level
+        out["wal_records"] = sum(s["wal_records"] for s in shards)
+        out["wal_bytes"] = sum(s["wal_bytes"] for s in shards)
+        out["wal_flushes"] = sum(s["wal_flushes"] for s in shards)
         out["shards"] = shards
         return out
 
@@ -539,6 +598,9 @@ class ShardedMomentService:
         directory: PathLike,
         wal_dir: Optional[PathLike] = None,
         flush_rows: Optional[int] = None,
+        wal_flush_records: Optional[int] = None,
+        wal_flush_bytes: Optional[int] = None,
+        wal_delta_rows: Optional[int] = None,
         n_jobs: Optional[int] = 1,
         linalg_backend: Optional[str] = None,
     ) -> "ShardedMomentService":
@@ -546,9 +608,11 @@ class ShardedMomentService:
 
         Each shard restores from its (self-verifying) checkpoint; when
         ``wal_dir`` is given, each shard's log is recovered
-        (torn tails dropped, chains verified) and only the records past
-        the checkpoint's covered offset are replayed — the tail, not the
-        whole history.
+        (torn tails dropped, chains verified, on-disk format
+        auto-detected) and only the records past the checkpoint's covered
+        offset are replayed — the tail, not the whole history.  Group
+        commit resumes with the recovered log's format defaults unless
+        ``wal_flush_records``/``wal_flush_bytes`` override them.
         """
         target = Path(directory)
         try:
@@ -577,11 +641,16 @@ class ShardedMomentService:
             if wal_dir is not None and entry.get("wal") is not None:
                 wal_path = Path(wal_dir) / str(entry["wal"]["file"])
                 if wal_path.exists():
-                    wal = WriteAheadLog.open(wal_path)
+                    wal = WriteAheadLog.open(
+                        wal_path,
+                        flush_records=wal_flush_records,
+                        flush_bytes=wal_flush_bytes,
+                    )
             service.workers[shard] = ShardWorker.restore(
                 target / str(entry["file"]),
                 shard_id=shard,
                 wal=wal,
+                wal_delta_rows=wal_delta_rows,
                 linalg_backend=linalg_backend,
             )
         # WAL tails may have advanced the workers past the manifest's
@@ -597,6 +666,9 @@ class ShardedMomentService:
         ttl_ops: Optional[int] = None,
         placement: str = "hash",
         flush_rows: Optional[int] = None,
+        wal_flush_records: Optional[int] = None,
+        wal_flush_bytes: Optional[int] = None,
+        wal_delta_rows: Optional[int] = None,
         virtual_nodes: int = 64,
         n_jobs: Optional[int] = 1,
         linalg_backend: Optional[str] = None,
@@ -628,12 +700,17 @@ class ShardedMomentService:
             linalg_backend=linalg_backend,
         )
         for shard, path in enumerate(wal_paths):
-            wal = WriteAheadLog.open(path)
+            wal = WriteAheadLog.open(
+                path,
+                flush_records=wal_flush_records,
+                flush_bytes=wal_flush_bytes,
+            )
             worker = ShardWorker(
                 shard_id=shard,
                 max_sessions=max_sessions_per_shard,
                 ttl_ops=ttl_ops,
                 wal=wal,
+                wal_delta_rows=wal_delta_rows,
                 linalg_backend=linalg_backend,
             )
             worker.replay(wal)

@@ -2,38 +2,67 @@
 
 Every state mutation a shard worker performs (session create/drop, sample
 ingest, statistics merge, and the logical-clock ticks queries cause) is
-appended here *before* it is applied, as one JSON line:
+appended here *before* it is applied.  Two on-disk formats share one hash
+chain discipline and one recovery contract; :meth:`WriteAheadLog.open`
+auto-detects which one a file uses:
 
-``{"prev": <sha of previous line>, "record": {"seq": ..., "op": ...,
-"payload": {...}}, "sha256": sha256(canonical({"prev", "record"}))}``
+* **v1 — JSON lines** (``repro.serving-wal.v1``).  One JSON object per
+  line: ``{"prev": <sha of previous line>, "record": {"seq", "op",
+  "payload"}, "sha256": sha256(canonical({"prev", "record"}))}``, rooted
+  at a header line.  Array payloads are nested lists (``float.__repr__``
+  round-trips doubles bit-for-bit, so replay is still exact), which makes
+  the format greppable but expensive: every float is formatted and
+  re-parsed, and the sha runs over the formatted text.
+* **v2 — binary frames** (``repro.serving-wal.v2``).  The file starts
+  with the magic line ``#repro.serving-wal.v2\\n`` followed by
+  length-prefixed frames::
 
-The first line is a header carrying the schema marker, shard id, and the
-``base_seq`` the log starts after.  Each line's hash covers the previous
-line's hash, so the file is a hash chain rooted at the header: replaying a
-verified log reproduces the shard's state **bit-identically** (the
-sufficient-statistics recurrences and the eviction clock are deterministic
-functions of the op sequence), and any silent mid-file edit breaks the
-chain.
+      frame  := u32le(len(body) + 32) | body | sha256_digest(32 bytes)
+      body   := u32le(len(meta)) | meta | array bytes
+      meta   := canonical JSON {"op", "payload", "seq"}
+
+  ``float64`` arrays inside the payload (sample blocks, prior moments,
+  ``SufficientStats`` buffers) are replaced in ``meta`` by shape-prefixed
+  descriptors ``{"__f64nd__": {"shape": [...], "offset": N}}`` and their
+  raw little-endian bytes appended to the body — no ``tolist`` /
+  ``repr`` / re-parse on either side of the hot path.  The first frame
+  is the header (its digest seeds the chain); every record's digest is
+  ``sha256(prev_digest + body)``, so the chain property of v1 carries
+  over byte-for-byte semantics included: replaying a verified log
+  reproduces the shard's state **bit-identically**, and any silent
+  mid-file edit breaks the chain.
+
+**Group commit.**  Appends land in a bounded in-memory write buffer and
+are written + flushed to the OS page cache as one block once
+``flush_records`` records or ``flush_bytes`` bytes accumulate (the v1
+default of ``flush_records=1`` preserves the original flush-per-record
+behaviour).  :meth:`flush` drains the buffer explicitly; :meth:`sync`
+drains it *and* fsyncs — the durability barrier
+:meth:`~repro.serving.worker.ShardWorker.checkpoint` takes before
+claiming a covered offset.  Reads (:meth:`records`, :meth:`verify`,
+compaction) drain the buffer first, so a log never disagrees with
+itself.  A SIGKILL can lose the still-buffered suffix of a group — those
+records were never group-acknowledged — but recovery keeps every record
+of the *flushed* prefix plus any complete frames of a torn group write.
 
 Crash semantics distinguish two failure shapes:
 
-* **Torn tail** — the process died mid-``write`` and the *last* line is
-  incomplete or fails its hash.  That is the expected crash artefact;
-  recovery silently drops the tail (the op was never acknowledged, because
-  mutations are logged before they are applied) and truncates the file
-  back to the verified prefix.
-* **Mid-chain corruption** — a record *before* the last fails
-  verification, or parseable records follow a broken line.  No crash
-  produces that; it means the file was edited or the disk lied, and
-  :class:`~repro.exceptions.WalCorruptionError` is raised rather than
-  guessing.
+* **Torn tail** — the process died mid-``write`` and the file ends with
+  an incomplete line/frame or one whose hash fails.  That is the
+  expected crash artefact; recovery silently drops the tail and
+  truncates the file back to the verified prefix.  (For v2, structural
+  damage to a length prefix is indistinguishable from a torn tail;
+  recovery conservatively truncates, and the hash chain still guarantees
+  the kept prefix is exactly what was written.)
+* **Mid-chain corruption** — a verifiable-boundary record *before* the
+  last fails its hash, or parseable records follow a broken line.  No
+  crash produces that; it means the file was edited or the disk lied,
+  and :class:`~repro.exceptions.WalCorruptionError` is raised rather
+  than guessing.
 
-Appends ``flush()`` to the OS page cache but do not ``fsync`` per record —
-the kill-recovery guarantee targets process death (SIGKILL), where the
-page cache survives; :meth:`WriteAheadLog.sync` forces durability at
-checkpoint boundaries, and rotation (:meth:`truncate_through`) is atomic
-and durable via the tmp + fsync + ``os.replace`` + directory-fsync
-pattern shared with :mod:`repro.serving.checkpoint`.
+Rotation (:meth:`truncate_through`) is atomic and durable via the tmp +
+fsync + ``os.replace`` + directory-fsync pattern shared with
+:mod:`repro.serving.checkpoint`, for both formats.
 """
 
 from __future__ import annotations
@@ -41,26 +70,41 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import struct
 import threading
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import WalCorruptionError
 from repro.io import canonical_json, fsync_dir
 
 __all__ = [
     "WAL_SCHEMA",
+    "WAL_SCHEMA_V2",
     "WAL_SCHEMA_VERSION",
+    "WAL_VERSIONS",
     "WAL_OPS",
+    "WAL2_MAGIC",
     "WalRecord",
     "WriteAheadLog",
 ]
 
-#: Format marker written into every log header.
+#: Format marker written into every v1 log header.
 WAL_SCHEMA = "repro.serving-wal.v1"
 
-#: Structural version of the record layout; bump on breaking change.
+#: Format marker written into every v2 (binary-frame) log header.
+WAL_SCHEMA_V2 = "repro.serving-wal.v2"
+
+#: Structural version of the v1 record layout; bump on breaking change.
 WAL_SCHEMA_VERSION = 1
+
+#: On-disk format versions this module writes and reads.
+WAL_VERSIONS = (1, 2)
+
+#: First bytes of every v2 log file (human-readable even in binary dumps).
+WAL2_MAGIC = b"#repro.serving-wal.v2\n"
 
 #: The closed set of replayable operations.
 WAL_OPS = ("create", "ingest", "ingest_stats", "drop", "touch")
@@ -68,13 +112,92 @@ WAL_OPS = ("create", "ingest", "ingest_stats", "drop", "touch")
 #: One verified log entry: ``(seq, op, payload)``.
 WalRecord = Tuple[int, str, Dict[str, Any]]
 
+#: Default byte bound of the group-commit buffer (records bound is separate).
+DEFAULT_FLUSH_BYTES = 1 << 18
+
 PathLike = Union[str, Path]
+
+_DIGEST_SIZE = 32
+_U32 = struct.Struct("<I")
+_ND_KEY = "__f64nd__"
 
 
 def _sha(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+# ---------------------------------------------------------------------------
+# payload codecs
+# ---------------------------------------------------------------------------
+def _payload_jsonify(value: Any) -> Any:
+    """v1 encoding of a payload: ndarrays become nested lists.
+
+    ``float.__repr__`` is shortest-round-trip, so the listification is
+    lossless; it is also what the v1 format always stored, keeping v1
+    hash chains byte-identical whether callers pass arrays or lists.
+    """
+    if isinstance(value, np.ndarray):
+        return np.asarray(value, dtype=float).tolist()
+    if isinstance(value, dict):
+        return {key: _payload_jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_payload_jsonify(item) for item in value]
+    return value
+
+
+def _strip_arrays(value: Any, buffers: List[bytes], state: Dict[str, int]) -> Any:
+    """v2 encoding: replace ndarrays with shape+offset descriptors.
+
+    The raw little-endian float64 bytes are appended to ``buffers`` in
+    traversal order; offsets are explicit so decode order is free.
+    """
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(np.asarray(value, dtype="<f8"))
+        raw = arr.tobytes()
+        descriptor = {
+            _ND_KEY: {"offset": state["offset"], "shape": list(arr.shape)}
+        }
+        state["offset"] += len(raw)
+        buffers.append(raw)
+        return descriptor
+    if isinstance(value, dict):
+        return {
+            str(key): _strip_arrays(item, buffers, state)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_strip_arrays(item, buffers, state) for item in value]
+    return value
+
+
+def _bind_arrays(value: Any, region: bytes) -> Any:
+    """v2 decoding: materialise array descriptors from the byte region."""
+    if isinstance(value, dict):
+        if set(value) == {_ND_KEY}:
+            descriptor = value[_ND_KEY]
+            if not isinstance(descriptor, dict):
+                raise ValueError("malformed array descriptor")
+            shape = tuple(int(s) for s in descriptor["shape"])
+            offset = int(descriptor["offset"])
+            count = 1
+            for extent in shape:
+                if extent < 0:
+                    raise ValueError("negative array extent")
+                count *= extent
+            nbytes = count * 8
+            if offset < 0 or offset + nbytes > len(region):
+                raise ValueError("array descriptor exceeds the payload region")
+            flat = np.frombuffer(region, dtype="<f8", count=count, offset=offset)
+            return flat.reshape(shape).astype(float)
+        return {key: _bind_arrays(item, region) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_bind_arrays(item, region) for item in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# v1 line codec
+# ---------------------------------------------------------------------------
 def _header_obj(shard_id: int, base_seq: int) -> Dict[str, Any]:
     header = {
         "schema": WAL_SCHEMA,
@@ -122,13 +245,148 @@ def _verify_line(obj: Any, prev_sha: str, expect_seq: int) -> WalRecord:
     return int(seq), str(op), payload
 
 
+# ---------------------------------------------------------------------------
+# v2 frame codec
+# ---------------------------------------------------------------------------
+class _TornTail(Exception):
+    """Internal: the byte stream ends with a structurally incomplete frame."""
+
+
+def _header_frame_v2(shard_id: int, base_seq: int) -> Tuple[bytes, bytes]:
+    header = {
+        "base_seq": int(base_seq),
+        "schema": WAL_SCHEMA_V2,
+        "schema_version": 2,
+        "shard": int(shard_id),
+    }
+    body = canonical_json(header).encode("utf-8")
+    digest = hashlib.sha256(body).digest()
+    return _U32.pack(len(body) + _DIGEST_SIZE) + body + digest, digest
+
+
+def _record_frame_v2(
+    prev_digest: bytes, seq: int, op: str, payload: Dict[str, Any]
+) -> Tuple[bytes, bytes]:
+    buffers: List[bytes] = []
+    state = {"offset": 0}
+    meta_payload = _strip_arrays(payload, buffers, state)
+    meta = canonical_json(
+        {"op": op, "payload": meta_payload, "seq": int(seq)}
+    ).encode("utf-8")
+    body = _U32.pack(len(meta)) + meta + b"".join(buffers)
+    digest = hashlib.sha256(prev_digest + body).digest()
+    return _U32.pack(len(body) + _DIGEST_SIZE) + body + digest, digest
+
+
+def _iter_raw_frames_v2(
+    data: bytes, start: int
+) -> Iterator[Tuple[int, bytes, bytes, int]]:
+    """Yield ``(frame_start, body, digest, frame_end)`` per complete frame.
+
+    Raises :class:`_TornTail` when the stream ends inside a frame — the
+    shape a killed group write leaves behind.
+    """
+    pos = start
+    total = len(data)
+    while pos < total:
+        if total - pos < _U32.size:
+            raise _TornTail(pos)
+        (length,) = _U32.unpack_from(data, pos)
+        end = pos + _U32.size + length
+        if length < _DIGEST_SIZE or end > total:
+            raise _TornTail(pos)
+        body = data[pos + _U32.size : end - _DIGEST_SIZE]
+        digest = data[end - _DIGEST_SIZE : end]
+        yield pos, body, digest, end
+        pos = end
+
+
+def _verify_frame_v2(
+    body: bytes, digest: bytes, prev_digest: bytes, expect_seq: int
+) -> WalRecord:
+    """Check one structurally complete v2 frame; raise ``ValueError``."""
+    if hashlib.sha256(prev_digest + body).digest() != digest:
+        raise ValueError(f"sha mismatch on record {expect_seq}")
+    if len(body) < _U32.size:
+        raise ValueError("frame body too short for a meta length")
+    (meta_len,) = _U32.unpack_from(body)
+    if _U32.size + meta_len > len(body):
+        raise ValueError("frame meta length exceeds the body")
+    try:
+        meta = json.loads(body[_U32.size : _U32.size + meta_len].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ValueError(f"unreadable frame meta: {exc}") from exc
+    if not isinstance(meta, dict) or set(meta) != {"op", "payload", "seq"}:
+        raise ValueError("malformed frame meta")
+    seq = meta["seq"]
+    if not isinstance(seq, int) or seq != expect_seq:
+        raise ValueError(f"sequence gap: got seq {seq!r}, expected {expect_seq}")
+    op = meta["op"]
+    if op not in WAL_OPS:
+        raise ValueError(f"unknown WAL op {op!r}")
+    payload = _bind_arrays(meta["payload"], body[_U32.size + meta_len :])
+    if not isinstance(payload, dict):
+        raise ValueError("WAL payload must be an object")
+    return int(seq), str(op), payload
+
+
+def _parse_header_v2(target: Path, raw: bytes) -> Tuple[int, int, bytes, int]:
+    """Verify the v2 magic + header frame; returns (shard, base_seq, digest, end)."""
+    frames = _iter_raw_frames_v2(raw, len(WAL2_MAGIC))
+    try:
+        _, body, digest, end = next(frames)
+    except (_TornTail, StopIteration):
+        # create() fsyncs magic + header before returning, so an
+        # incomplete header is not a crash artefact
+        raise WalCorruptionError(f"WAL {target} has an incomplete v2 header") from None
+    if hashlib.sha256(body).digest() != digest:
+        raise WalCorruptionError(f"WAL {target} header fails hash check")
+    try:
+        header = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WalCorruptionError(f"WAL {target} has unreadable header") from exc
+    if not isinstance(header, dict) or header.get("schema") != WAL_SCHEMA_V2:
+        raise WalCorruptionError(
+            f"WAL {target} declares schema "
+            f"{header.get('schema') if isinstance(header, dict) else None!r} "
+            f"(expected {WAL_SCHEMA_V2!r})"
+        )
+    if header.get("schema_version") != 2:
+        raise WalCorruptionError(
+            f"WAL {target} declares schema_version {header.get('schema_version')!r} "
+            "(this reader supports 2)"
+        )
+    try:
+        return int(header["shard"]), int(header["base_seq"]), digest, end
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WalCorruptionError(
+            f"WAL {target} header missing shard/base_seq fields"
+        ) from exc
+
+
 class WriteAheadLog:
     """An append-only, hash-chained, per-shard operation log.
 
     Use :meth:`create` for a fresh log and :meth:`open` to recover an
-    existing one; the constructor is internal.  All methods are
-    thread-safe (one writer lock), matching the shard worker's
-    one-writer-many-readers discipline.
+    existing one (the on-disk format is auto-detected); the constructor
+    is internal.  All methods are thread-safe (one writer lock), matching
+    the shard worker's one-writer-many-readers discipline.
+
+    Parameters (``create``/``open``)
+    --------------------------------
+    version:
+        On-disk format for *new* logs: ``1`` (JSON lines) or ``2``
+        (binary frames with raw float64 array buffers — the ingest fast
+        path).
+    flush_records, flush_bytes:
+        Group-commit bounds: buffered appends are written + flushed to
+        the page cache once either is reached.  ``flush_records=1``
+        (the default) flushes per record, the v1-era behaviour.
+    observer:
+        Optional counters sink (duck-typed
+        :class:`~repro.serving.counters.ServiceCounters`): gets
+        ``record_wal_append(n_bytes)`` per append and
+        ``record_wal_flush(n_bytes)`` per physical flush.
     """
 
     def __init__(
@@ -137,34 +395,71 @@ class WriteAheadLog:
         shard_id: int,
         base_seq: int,
         last_seq: int,
-        last_sha: str,
+        last_sha: Union[str, bytes],
+        version: int = 1,
+        flush_records: int = 1,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        observer: Optional[Any] = None,
     ) -> None:
         self._path = path
         self._shard_id = int(shard_id)
         self._base_seq = int(base_seq)
         self._last_seq = int(last_seq)
         self._last_sha = last_sha
+        self._version = int(version)
+        self._flush_records = max(1, int(flush_records))
+        self._flush_bytes = max(1, int(flush_bytes))
+        self.observer = observer
+        self._pending = bytearray()
+        self._pending_records = 0
+        #: Records appended through this handle (process lifetime).
+        self.records_appended = 0
+        #: Bytes physically written through this handle (process lifetime).
+        self.bytes_written = 0
+        #: Physical flushes issued by this handle (process lifetime).
+        self.flush_count = 0
         self._lock = threading.Lock()
-        self._handle = open(path, "a", encoding="utf-8")
+        self._handle = open(path, "ab")
 
     # ------------------------------------------------------------------
     # construction / recovery
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, path: PathLike, shard_id: int, base_seq: int = 0) -> "WriteAheadLog":
+    def create(
+        cls,
+        path: PathLike,
+        shard_id: int,
+        base_seq: int = 0,
+        version: int = 1,
+        flush_records: int = 1,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        observer: Optional[Any] = None,
+    ) -> "WriteAheadLog":
         """Start a new log at ``path`` (must not already exist).
 
-        The header line is fsync'd immediately — a log file either has a
+        The header is fsync'd immediately — a log file either has a
         durable, verifiable root or it does not exist.
         """
+        if version not in WAL_VERSIONS:
+            raise WalCorruptionError(
+                f"unknown WAL version {version!r}; expected one of {WAL_VERSIONS}"
+            )
         target = Path(path)
         if target.exists():
             raise WalCorruptionError(
                 f"refusing to create WAL over existing file: {target}"
             )
-        header = _header_obj(shard_id, base_seq)
-        with open(target, "w", encoding="utf-8") as handle:
-            handle.write(canonical_json(header) + "\n")
+        last_sha: Union[str, bytes]
+        if version == 2:
+            frame, digest = _header_frame_v2(shard_id, base_seq)
+            root = WAL2_MAGIC + frame
+            last_sha = digest
+        else:
+            header = _header_obj(shard_id, base_seq)
+            root = (canonical_json(header) + "\n").encode("utf-8")
+            last_sha = str(header["sha256"])
+        with open(target, "wb") as handle:
+            handle.write(root)
             handle.flush()
             os.fsync(handle.fileno())
         return cls(
@@ -172,19 +467,60 @@ class WriteAheadLog:
             shard_id=shard_id,
             base_seq=base_seq,
             last_seq=base_seq,
-            last_sha=header["sha256"],
+            last_sha=last_sha,
+            version=version,
+            flush_records=flush_records,
+            flush_bytes=flush_bytes,
+            observer=observer,
         )
 
     @classmethod
-    def open(cls, path: PathLike) -> "WriteAheadLog":
+    def open(
+        cls,
+        path: PathLike,
+        flush_records: Optional[int] = None,
+        flush_bytes: Optional[int] = None,
+        observer: Optional[Any] = None,
+    ) -> "WriteAheadLog":
         """Recover an existing log: verify the chain, drop a torn tail.
 
-        Raises :class:`~repro.exceptions.WalCorruptionError` on anything a
-        crash cannot produce — a broken header, a mid-chain hash/sequence
+        The on-disk format (v1 JSON lines / v2 binary frames) is detected
+        from the first bytes.  ``flush_records``/``flush_bytes`` of
+        ``None`` resume the format's group-commit defaults
+        (flush-per-record for v1, 64-record groups for v2).  Raises
+        :class:`~repro.exceptions.WalCorruptionError` on anything a crash
+        cannot produce — a broken header, a mid-chain hash/sequence
         failure, or records following a broken line.
         """
         target = Path(path)
         raw = target.read_bytes()
+        if raw.startswith(WAL2_MAGIC):
+            return cls._open_v2(
+                target,
+                raw,
+                flush_records=flush_records,
+                flush_bytes=flush_bytes,
+                observer=observer,
+            )
+        return cls._open_v1(
+            target,
+            raw,
+            flush_records=flush_records,
+            flush_bytes=flush_bytes,
+            observer=observer,
+        )
+
+    @classmethod
+    def _open_v1(
+        cls,
+        target: Path,
+        raw: bytes,
+        flush_records: Optional[int],
+        flush_bytes: Optional[int],
+        observer: Optional[Any],
+    ) -> "WriteAheadLog":
+        flush_records = 1 if flush_records is None else flush_records
+        flush_bytes = DEFAULT_FLUSH_BYTES if flush_bytes is None else flush_bytes
         lines = raw.split(b"\n")
         # a well-formed file ends with "\n", so the final split element is ""
         trailing_ok = bool(lines) and lines[-1] == b""
@@ -224,18 +560,79 @@ class WriteAheadLog:
             prev_sha = obj["sha256"]
             good_bytes += len(line) + 1
 
-        if good_bytes < len(raw):
-            with open(target, "r+b") as handle:
-                handle.truncate(good_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
+        cls._truncate_to(target, good_bytes, len(raw))
         return cls(
             target,
             shard_id=shard_id,
             base_seq=base_seq,
             last_seq=seq,
             last_sha=prev_sha,
+            version=1,
+            flush_records=flush_records,
+            flush_bytes=flush_bytes,
+            observer=observer,
         )
+
+    #: Group-commit record bound v2 logs resume with when none is given.
+    DEFAULT_V2_FLUSH_RECORDS = 64
+
+    @classmethod
+    def _open_v2(
+        cls,
+        target: Path,
+        raw: bytes,
+        flush_records: Optional[int],
+        flush_bytes: Optional[int],
+        observer: Optional[Any],
+    ) -> "WriteAheadLog":
+        if flush_records is None:
+            flush_records = cls.DEFAULT_V2_FLUSH_RECORDS
+        flush_bytes = DEFAULT_FLUSH_BYTES if flush_bytes is None else flush_bytes
+        shard_id, base_seq, prev_digest, good_bytes = _parse_header_v2(target, raw)
+        seq = base_seq
+        frames = _iter_raw_frames_v2(raw, good_bytes)
+        while True:
+            try:
+                pos, body, digest, end = next(frames)
+            except _TornTail:
+                # incomplete frame at the tail: the torn suffix of a
+                # group write — drop it
+                break
+            except StopIteration:
+                break
+            try:
+                rec_seq, _op, _payload = _verify_frame_v2(
+                    body, digest, prev_digest, seq + 1
+                )
+            except ValueError as exc:
+                if end >= len(raw):
+                    break  # torn final frame: unacknowledged — drop it
+                raise WalCorruptionError(
+                    f"WAL {target} corrupt at offset {pos}: {exc}"
+                ) from exc
+            seq = rec_seq
+            prev_digest = digest
+            good_bytes = end
+        cls._truncate_to(target, good_bytes, len(raw))
+        return cls(
+            target,
+            shard_id=shard_id,
+            base_seq=base_seq,
+            last_seq=seq,
+            last_sha=prev_digest,
+            version=2,
+            flush_records=flush_records,
+            flush_bytes=flush_bytes,
+            observer=observer,
+        )
+
+    @staticmethod
+    def _truncate_to(target: Path, good_bytes: int, total_bytes: int) -> None:
+        if good_bytes < total_bytes:
+            with open(target, "r+b") as handle:
+                handle.truncate(good_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
 
     @staticmethod
     def _parse_header(target: Path, line: bytes) -> Tuple[int, int, str]:
@@ -278,6 +675,11 @@ class WriteAheadLog:
         return self._shard_id
 
     @property
+    def version(self) -> int:
+        """On-disk format version (1 = JSON lines, 2 = binary frames)."""
+        return self._version
+
+    @property
     def base_seq(self) -> int:
         """Sequence number the log starts *after* (covered by compaction)."""
         return self._base_seq
@@ -287,37 +689,80 @@ class WriteAheadLog:
         """Sequence number of the newest appended record."""
         return self._last_seq
 
+    @property
+    def pending_records(self) -> int:
+        """Appended records still in the group-commit buffer (unflushed)."""
+        with self._lock:
+            return self._pending_records
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
     def append(self, op: str, payload: Dict[str, Any]) -> int:
         """Append one operation; returns its sequence number.
 
-        The line (newline included) is flushed to the page cache before
-        returning, so a SIGKILL after ``append`` leaves the record
-        replayable; at worst the final line is torn, which recovery drops.
+        ``payload`` values may be (nested) ``float64`` ndarrays — v2 logs
+        them as raw buffers, v1 listifies them.  The encoded record
+        enters the group-commit buffer; it reaches the OS page cache at
+        the next bound crossing, :meth:`flush`, :meth:`sync`, read, or
+        close.  With ``flush_records=1`` every append flushes, so a
+        SIGKILL after ``append`` leaves the record replayable; at worst
+        the final line/frame is torn, which recovery drops.
         """
         if op not in WAL_OPS:
             raise WalCorruptionError(f"unknown WAL op {op!r}")
         with self._lock:
             seq = self._last_seq + 1
-            obj = _record_obj(self._last_sha, seq, op, payload)
-            self._handle.write(canonical_json(obj) + "\n")
-            self._handle.flush()
+            if self._version == 2:
+                assert isinstance(self._last_sha, bytes)
+                frame, digest = _record_frame_v2(self._last_sha, seq, op, payload)
+                self._last_sha = digest
+            else:
+                assert isinstance(self._last_sha, str)
+                obj = _record_obj(self._last_sha, seq, op, _payload_jsonify(payload))
+                frame = (canonical_json(obj) + "\n").encode("utf-8")
+                self._last_sha = str(obj["sha256"])
+            self._pending += frame
+            self._pending_records += 1
             self._last_seq = seq
-            self._last_sha = obj["sha256"]
+            self.records_appended += 1
+            if self.observer is not None:
+                self.observer.record_wal_append(len(frame))
+            if (
+                self._pending_records >= self._flush_records
+                or len(self._pending) >= self._flush_bytes
+            ):
+                self._flush_locked()
             return seq
+
+    def _flush_locked(self) -> None:
+        if not self._pending:
+            return
+        data = bytes(self._pending)
+        self._handle.write(data)
+        self._handle.flush()
+        self._pending.clear()
+        self._pending_records = 0
+        self.bytes_written += len(data)
+        self.flush_count += 1
+        if self.observer is not None:
+            self.observer.record_wal_flush(len(data))
+
+    def flush(self) -> None:
+        """Drain the group-commit buffer to the OS page cache."""
+        with self._lock:
+            self._flush_locked()
 
     def sync(self) -> None:
         """Force appended records to stable storage (checkpoint boundary)."""
         with self._lock:
-            self._handle.flush()
+            self._flush_locked()
             os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         with self._lock:
             if not self._handle.closed:
-                self._handle.flush()
+                self._flush_locked()
                 os.fsync(self._handle.fileno())
                 self._handle.close()
 
@@ -334,13 +779,19 @@ class WriteAheadLog:
         """Yield verified ``(seq, op, payload)`` entries with ``seq > after``.
 
         ``after`` defaults to ``base_seq`` (everything in the log).  The
-        file is re-read and re-verified from disk — the same code path a
-        cold recovery uses, so tests exercise it constantly.
+        group-commit buffer is drained first, then the file is re-read
+        and re-verified from disk — the same code path a cold recovery
+        uses, so tests exercise it constantly.  v2 payload arrays come
+        back as ``float64`` ndarrays; v1 payloads as nested lists — the
+        replay layer accepts both.
         """
         floor = self._base_seq if after is None else int(after)
         with self._lock:
-            self._handle.flush()
+            self._flush_locked()
             last_seq = self._last_seq
+        if self._version == 2:
+            yield from self._records_v2(floor, last_seq)
+            return
         text = self._path.read_text(encoding="utf-8")
         lines = text.splitlines()
         prev_sha = self._parse_header(self._path, lines[0].encode("utf-8"))[2]
@@ -359,6 +810,32 @@ class WriteAheadLog:
             if seq > floor:
                 yield seq, op, payload
 
+    def _records_v2(self, floor: int, last_seq: int) -> Iterator[WalRecord]:
+        raw = self._path.read_bytes()
+        shard_id, base_seq, prev_digest, end = _parse_header_v2(self._path, raw)
+        del shard_id
+        seq = base_seq
+        frames = _iter_raw_frames_v2(raw, end)
+        while seq < last_seq:
+            try:
+                pos, body, digest, _end = next(frames)
+            except StopIteration:
+                break
+            except _TornTail as exc:
+                raise WalCorruptionError(
+                    f"WAL {self._path} corrupt during replay: "
+                    f"incomplete frame at offset {exc.args[0]}"
+                ) from exc
+            try:
+                seq, op, payload = _verify_frame_v2(body, digest, prev_digest, seq + 1)
+            except ValueError as exc:
+                raise WalCorruptionError(
+                    f"WAL {self._path} corrupt during replay at offset {pos}: {exc}"
+                ) from exc
+            prev_digest = digest
+            if seq > floor:
+                yield seq, op, payload
+
     def verify(self) -> int:
         """Re-verify the whole chain from disk; returns the record count."""
         return sum(1 for _ in self.records(after=self._base_seq))
@@ -373,7 +850,8 @@ class WriteAheadLog:
         is re-chained onto a fresh header whose ``base_seq`` is ``seq``,
         written atomically (tmp + fsync + ``os.replace``), so a crash
         during compaction leaves either the old or the new log — both
-        verifiable.  Returns the number of records dropped.
+        verifiable.  The rewritten log keeps its on-disk format.  Returns
+        the number of records dropped.
         """
         target = int(seq)
         if target < self._base_seq or target > self._last_seq:
@@ -383,16 +861,29 @@ class WriteAheadLog:
             )
         tail: List[WalRecord] = [rec for rec in self.records(after=target)]
         with self._lock:
-            header = _header_obj(self._shard_id, target)
-            prev_sha = str(header["sha256"])
-            out_lines = [canonical_json(header)]
-            for rec_seq, op, payload in tail:
-                obj = _record_obj(prev_sha, rec_seq, op, payload)
-                out_lines.append(canonical_json(obj))
-                prev_sha = str(obj["sha256"])
+            out: List[bytes]
+            last_sha: Union[str, bytes]
+            if self._version == 2:
+                header_frame, prev_digest = _header_frame_v2(self._shard_id, target)
+                out = [WAL2_MAGIC, header_frame]
+                for rec_seq, op, payload in tail:
+                    frame, prev_digest = _record_frame_v2(
+                        prev_digest, rec_seq, op, payload
+                    )
+                    out.append(frame)
+                last_sha = prev_digest
+            else:
+                header = _header_obj(self._shard_id, target)
+                prev_sha = str(header["sha256"])
+                out = [(canonical_json(header) + "\n").encode("utf-8")]
+                for rec_seq, op, payload in tail:
+                    obj = _record_obj(prev_sha, rec_seq, op, payload)
+                    out.append((canonical_json(obj) + "\n").encode("utf-8"))
+                    prev_sha = str(obj["sha256"])
+                last_sha = prev_sha
             tmp = self._path.with_name(self._path.name + ".tmp")
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write("\n".join(out_lines) + "\n")
+            with open(tmp, "wb") as handle:
+                handle.write(b"".join(out))
                 handle.flush()
                 os.fsync(handle.fileno())
             self._handle.flush()
@@ -404,6 +895,6 @@ class WriteAheadLog:
             fsync_dir(self._path.parent)
             dropped = target - self._base_seq
             self._base_seq = target
-            self._last_sha = prev_sha
-            self._handle = open(self._path, "a", encoding="utf-8")
+            self._last_sha = last_sha
+            self._handle = open(self._path, "ab")
             return dropped

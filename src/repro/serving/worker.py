@@ -73,7 +73,21 @@ class ShardWorker:
         Optional write-ahead log this worker appends to before every
         mutation.  ``None`` (the default, and what ``MomentService``
         uses) keeps behaviour *and checkpoint bytes* identical to the
-        pre-shard service.
+        pre-shard service.  An attached log without an observer gets this
+        worker's counters as its observer, so WAL append/flush gauges
+        surface through :meth:`stats`.
+    wal_delta_rows:
+        Optional suffstats-delta threshold: a 2-D ingest block with at
+        least this many rows is logged as its
+        :class:`~repro.serving.suffstats.SufficientStats` — ``O(d^2)``
+        per record — instead of the raw ``O(n·d)`` samples, and applied
+        through the same statistics merge live and on replay.  Because
+        ``store.ingest`` folds a 2-D block in as exactly one Chan merge
+        of ``SufficientStats.from_samples(block)`` (one clock tick,
+        identical arithmetic), the delta path is **bit-identical** to raw
+        logging, not merely close.  ``None`` (default) always logs raw
+        samples; 1-D single-sample ingests always log raw (the Welford
+        path stays shape-faithful).
     linalg_backend:
         Kernel backend for the stacked scoring math (``None`` keeps the
         ambient process selection).
@@ -88,12 +102,20 @@ class ShardWorker:
         max_sessions: int = 1024,
         ttl_ops: Optional[int] = None,
         wal: Optional[WriteAheadLog] = None,
+        wal_delta_rows: Optional[int] = None,
         linalg_backend: Optional[str] = None,
     ) -> None:
+        if wal_delta_rows is not None and int(wal_delta_rows) < 1:
+            raise ConfigError(
+                f"wal_delta_rows must be >= 1 when set, got {wal_delta_rows}"
+            )
         self.shard_id = int(shard_id)
         self.store = SessionStore(max_sessions=max_sessions, ttl_ops=ttl_ops)
         self.counters = ServiceCounters()
         self.wal = wal
+        self.wal_delta_rows = None if wal_delta_rows is None else int(wal_delta_rows)
+        if wal is not None and wal.observer is None:
+            wal.observer = self.counters
         self.scorer = BatchScorer(self.counters, linalg_backend=linalg_backend)
 
     # ------------------------------------------------------------------
@@ -120,8 +142,8 @@ class ShardWorker:
                 "create",
                 {
                     "key": str(key),
-                    "prior_mean": prior.mean.tolist(),
-                    "prior_covariance": prior.covariance.tolist(),
+                    "prior_mean": prior.mean,
+                    "prior_covariance": prior.covariance,
                     "prior_n_samples": int(prior.n_samples),
                     "kappa0": k0,
                     "v0": nu0,
@@ -136,12 +158,27 @@ class ShardWorker:
         The WAL record preserves the array's dimensionality: a 1-D vector
         replays down the Welford single-sample path and an ``(n, d)``
         block down the Chan block-merge path, which differ in rounding —
-        shape is part of the bit-identity contract.
+        shape is part of the bit-identity contract.  When
+        ``wal_delta_rows`` is set and the block clears it, the record
+        carries the block's sufficient statistics instead of the samples
+        (``O(d^2)`` vs ``O(n·d)``) and the live apply goes through the
+        identical statistics merge — same tick, same arithmetic, same
+        bits.
         """
         arr = np.asarray(samples, dtype=float)
+        if (
+            self.wal is not None
+            and self.wal_delta_rows is not None
+            and arr.ndim == 2
+            and arr.shape[0] >= self.wal_delta_rows
+        ):
+            # validate + summarize *before* logging: a bad block must
+            # leave neither a record nor a clock tick behind
+            stats = SufficientStats.from_samples(arr)
+            return self.ingest_stats(key, stats)
         count = 1 if arr.ndim == 1 else arr.shape[0]
         if self.wal is not None:
-            self.wal.append("ingest", {"key": str(key), "samples": arr.tolist()})
+            self.wal.append("ingest", {"key": str(key), "samples": arr})
         total = self.store.ingest(key, arr)
         self.counters.record_ingest(count)
         return total
@@ -150,7 +187,7 @@ class ShardWorker:
         """Merge shard-local sufficient statistics (tester-side accumulation)."""
         if self.wal is not None:
             self.wal.append(
-                "ingest_stats", {"key": str(key), "stats": stats.to_dict()}
+                "ingest_stats", {"key": str(key), "stats": stats.to_payload()}
             )
         total = self.store.ingest_stats(key, stats)
         self.counters.record_ingest(stats.n)
@@ -330,8 +367,13 @@ class ShardWorker:
         if self.wal is not None:
             out["wal"] = {
                 "path": str(self.wal.path),
+                "version": self.wal.version,
                 "base_seq": self.wal.base_seq,
                 "last_seq": self.wal.last_seq,
+                "records_appended": self.wal.records_appended,
+                "bytes_written": self.wal.bytes_written,
+                "flush_count": self.wal.flush_count,
+                "pending_records": self.wal.pending_records,
             }
         return out
 
@@ -371,6 +413,7 @@ class ShardWorker:
         path: Any,
         shard_id: int = 0,
         wal: Optional[WriteAheadLog] = None,
+        wal_delta_rows: Optional[int] = None,
         linalg_backend: Optional[str] = None,
     ) -> "ShardWorker":
         """Rebuild a shard from a checkpoint, replaying only the WAL tail.
@@ -387,7 +430,12 @@ class ShardWorker:
                 f"checkpoint state_version {version!r} is not supported "
                 f"(expected {cls.STATE_VERSION})"
             )
-        worker = cls(shard_id=shard_id, wal=wal, linalg_backend=linalg_backend)
+        worker = cls(
+            shard_id=shard_id,
+            wal=wal,
+            wal_delta_rows=wal_delta_rows,
+            linalg_backend=linalg_backend,
+        )
         try:
             worker.store = SessionStore.from_dict(state["store"])
             worker.counters.load_state_dict(state["counters"])

@@ -179,6 +179,17 @@ class SufficientStats:
             "scatter": self.scatter.tolist(),
         }
 
+    def to_payload(self) -> Dict[str, Any]:
+        """Array-valued payload for binary sinks (write-ahead-log v2).
+
+        Same keys as :meth:`to_dict` but ``mean``/``scatter`` stay
+        ``float64`` ndarrays, so a binary log can write their raw buffers
+        instead of formatting every float.  :meth:`from_dict` accepts the
+        result unchanged (``np.asarray`` on an ndarray is a no-copy pass),
+        so both payload shapes replay through one code path.
+        """
+        return {"n": int(self.n), "mean": self.mean, "scatter": self.scatter}
+
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SufficientStats":
         """Inverse of :meth:`to_dict` (bit-exact restore)."""

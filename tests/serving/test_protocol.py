@@ -153,3 +153,156 @@ class TestServeLoop:
         out = io.StringIO()
         handled = serve_loop(service, lines=['{"op": "ping"}\n'], out=out)
         assert handled == 1
+
+
+class TestWireEncoding:
+    """Optional zero-copy b64f64 array envelopes on the wire."""
+
+    def test_encode_decode_round_trip(self, rng):
+        from repro.serving import decode_array, encode_array
+
+        arr = rng.standard_normal((7, D))
+        envelope = encode_array(arr)
+        assert envelope["encoding"] == "b64f64"
+        assert envelope["shape"] == [7, D]
+        out = decode_array(envelope)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, arr)
+
+    def test_decode_passes_through_lists(self, rng):
+        from repro.serving import decode_array
+
+        arr = rng.standard_normal((4, D))
+        np.testing.assert_array_equal(decode_array(arr.tolist()), arr)
+
+    def test_b64f64_ingest_matches_list_ingest(self, service, prior_fields, rng):
+        from repro.serving import encode_array
+
+        block = rng.standard_normal((15, D))
+        call(service, op="create", key="as_list", **prior_fields)
+        call(service, op="create", key="as_b64", **prior_fields)
+        call(service, op="ingest", key="as_list", samples=block.tolist())
+        call(service, op="ingest", key="as_b64", samples=encode_array(block))
+        est_list = call(service, op="estimate", key="as_list")
+        est_b64 = call(service, op="estimate", key="as_b64")
+        assert est_b64["n"] == 15
+        assert est_b64["mean"] == est_list["mean"]
+        assert est_b64["covariance"] == est_list["covariance"]
+
+    def test_b64f64_create_and_query_fields(self, service, rng):
+        from repro.serving import encode_array
+
+        a = rng.standard_normal((D, D))
+        cov = a @ a.T + D * np.eye(D)
+        created = call(
+            service,
+            op="create",
+            key="dut",
+            prior_mean=encode_array(rng.standard_normal(D)),
+            prior_covariance=encode_array(cov),
+        )
+        assert created["ok"] and created["dim"] == D
+        call(service, op="ingest", key="dut", samples=rng.standard_normal((8, D)).tolist())
+        ll = call(service, op="loglik", key="dut", x=encode_array(rng.standard_normal(D)))
+        assert ll["ok"] and np.isfinite(ll["loglik"])
+        y = call(
+            service,
+            op="yield",
+            key="dut",
+            lower=encode_array(np.full(D, -5.0)),
+            upper=encode_array(np.full(D, 5.0)),
+        )
+        assert y["ok"] and 0.0 <= y["yield"] <= 1.0
+
+    def test_b64f64_stats_ingest(self, service, prior_fields, rng):
+        from repro.serving import encode_array
+        from repro.stats.suffstats import SufficientStats
+
+        call(service, op="create", key="dut", **prior_fields)
+        shard = SufficientStats.from_samples(rng.standard_normal((9, D)))
+        payload = shard.to_dict()
+        payload["mean"] = encode_array(np.asarray(payload["mean"]))
+        payload["scatter"] = encode_array(np.asarray(payload["scatter"]))
+        response = call(service, op="ingest", key="dut", stats=payload)
+        assert response["ok"] and response["n"] == 9
+
+    def test_estimate_response_encoding(self, service, prior_fields, rng):
+        from repro.serving import decode_array
+
+        call(service, op="create", key="dut", **prior_fields)
+        call(
+            service,
+            op="ingest",
+            key="dut",
+            samples=rng.standard_normal((10, D)).tolist(),
+        )
+        plain = call(service, op="estimate", key="dut")
+        packed = call(service, op="estimate", key="dut", encoding="b64f64")
+        assert packed["ok"]
+        assert packed["mean"]["encoding"] == "b64f64"
+        np.testing.assert_array_equal(decode_array(packed["mean"]), plain["mean"])
+        np.testing.assert_array_equal(
+            decode_array(packed["covariance"]), plain["covariance"]
+        )
+
+    def test_envelope_survives_json_round_trip(self, service, prior_fields, rng):
+        from repro.serving import encode_array
+
+        block = rng.standard_normal((6, D))
+        request = {"op": "ingest", "key": "dut", "samples": encode_array(block)}
+        call(service, op="create", key="dut", **prior_fields)
+        response = handle_request(service, json.dumps(request))
+        assert response["ok"] and response["n"] == 6
+
+    @pytest.mark.parametrize(
+        "envelope",
+        [
+            {"encoding": "b64f64", "shape": [2, 3]},  # missing data
+            {"encoding": "b64f64", "shape": [2, 3], "data": "!!notbase64!!"},
+            {"encoding": "b64f64", "shape": [2, 4], "data": None},
+            {"encoding": "zstd", "shape": [2], "data": "AAA="},
+        ],
+    )
+    def test_malformed_envelope_is_contained(self, service, prior_fields, envelope):
+        call(service, op="create", key="dut", **prior_fields)
+        response = call(service, op="ingest", key="dut", samples=envelope)
+        assert not response["ok"]
+
+    def test_shape_mismatch_is_contained(self, service, prior_fields, rng):
+        from repro.serving import encode_array
+
+        call(service, op="create", key="dut", **prior_fields)
+        envelope = encode_array(rng.standard_normal((5, D)))
+        envelope["shape"] = [4, D]  # lies about the payload size
+        response = call(service, op="ingest", key="dut", samples=envelope)
+        assert not response["ok"]
+
+
+class TestBrokenPipe:
+    def test_serve_loop_exits_cleanly_on_broken_pipe(self, service):
+        class BrokenSink:
+            def __init__(self):
+                self.writes = 0
+
+            def write(self, _text):
+                self.writes += 1
+                if self.writes > 1:
+                    raise BrokenPipeError
+
+            def flush(self):
+                pass
+
+        sink = BrokenSink()
+        lines = ['{"op": "ping"}\n'] * 5
+        handled = serve_loop(service, lines=lines, out=sink)
+        assert handled == 1  # the undelivered response does not count
+
+    def test_serve_loop_broken_pipe_on_flush(self, service):
+        class FlushBrokenSink(io.StringIO):
+            def flush(self):
+                raise BrokenPipeError
+
+        handled = serve_loop(
+            service, lines=['{"op": "ping"}\n'] * 3, out=FlushBrokenSink()
+        )
+        assert handled == 0

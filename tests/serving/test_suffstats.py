@@ -118,6 +118,67 @@ class TestAccumulator:
             SufficientStats.from_dict({"n": 1, "mean": [0.0]})
 
 
+class TestMergeAllAtScale:
+    """Associativity at fleet size: 100+ shard accumulators, any order."""
+
+    N_SHARDS = 128
+    ROWS_PER_SHARD = 9
+    DIM = 4
+
+    @pytest.fixture
+    def shard_parts(self, rng):
+        samples = rng.multivariate_normal(
+            mean=rng.standard_normal(self.DIM) * 50.0,  # |mean| >> spread
+            cov=np.eye(self.DIM),
+            size=self.N_SHARDS * self.ROWS_PER_SHARD,
+        )
+        shards = [
+            SufficientStats.from_samples(
+                samples[i * self.ROWS_PER_SHARD : (i + 1) * self.ROWS_PER_SHARD]
+            )
+            for i in range(self.N_SHARDS)
+        ]
+        return samples, shards
+
+    @pytest.mark.parametrize("permutation_seed", [0, 1, 2, 3, 4])
+    def test_permuted_merge_matches_one_shot(self, shard_parts, permutation_seed):
+        samples, shards = shard_parts
+        order = np.random.default_rng(permutation_seed).permutation(len(shards))
+        merged = merge_all([shards[i] for i in order])
+        ref = SufficientStats.from_samples(samples)
+        assert merged.n == ref.n
+        np.testing.assert_allclose(merged.mean, ref.mean, rtol=0.0, atol=1e-10)
+        np.testing.assert_allclose(
+            merged.scatter, ref.scatter, rtol=1e-10, atol=1e-10
+        )
+
+    def test_permutations_agree_with_each_other(self, shard_parts):
+        _, shards = shard_parts
+        baseline = merge_all(shards)
+        for seed in range(3):
+            order = np.random.default_rng(100 + seed).permutation(len(shards))
+            permuted = merge_all([shards[i] for i in order])
+            assert permuted.n == baseline.n
+            np.testing.assert_allclose(
+                permuted.mean, baseline.mean, rtol=0.0, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                permuted.scatter, baseline.scatter, rtol=1e-10, atol=1e-10
+            )
+
+    def test_empty_sequence_is_an_error(self):
+        with pytest.raises(DimensionError, match="at least one"):
+            merge_all([])
+        with pytest.raises(DimensionError, match="at least one"):
+            merge_all(iter(()))
+
+    def test_inputs_unmutated_at_scale(self, shard_parts):
+        _, shards = shard_parts
+        before = [shard.copy() for shard in shards]
+        merge_all(shards)
+        assert all(a == b for a, b in zip(shards, before))
+
+
 class TestStreamingEquivalence:
     """The PR's acceptance criterion, verbatim."""
 

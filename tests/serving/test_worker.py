@@ -286,3 +286,142 @@ class TestCrashRecovery:
         )
         assert _sha(restored.state_dict()) == _sha(live.state_dict())
         reopened.close()
+
+
+class TestWalV2AndDelta:
+    """Binary-format logging, group commit, and suffstats-delta records."""
+
+    def test_v2_replay_reproduces_state_sha(self, prior, rng, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0, version=2)
+        live = ShardWorker(shard_id=0, wal=wal)
+        _drive(live, prior, rng)
+        replayed = ShardWorker(shard_id=0)
+        assert replayed.replay(wal) == wal.last_seq
+        live_state = live.state_dict()
+        live_state.pop("wal")
+        assert _sha(live_state) == _sha(replayed.state_dict())
+        wal.close()
+
+    def test_kill_mid_ingest_recovers_v2(self, prior, rng, tmp_path):
+        """The v1 kill test, on the binary format: torn frame bytes at the
+        tail recover to the last acknowledged state."""
+        wal = WriteAheadLog.create(
+            tmp_path / "s.wal", shard_id=0, version=2, flush_records=1
+        )
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        for _ in range(8):
+            live.ingest("k", rng.standard_normal((3, D)))
+        reference_sha = _sha(
+            {k: v for k, v in live.state_dict().items() if k != "wal"}
+        )
+        wal.close()
+        with open(tmp_path / "s.wal", "ab") as handle:
+            handle.write(b"\x40\x01\x00\x00half-a-frame")  # torn length+body
+        recovered_wal = WriteAheadLog.open(tmp_path / "s.wal")
+        recovered = ShardWorker(shard_id=0)
+        recovered.replay(recovered_wal)
+        assert _sha(recovered.state_dict()) == reference_sha
+        recovered_wal.close()
+
+    def test_kill_mid_ingest_recovers_group_commit(self, prior, rng, tmp_path):
+        """With group commit, the flushed prefix (+ the checkpoint barrier)
+        defines exactly what recovery reproduces."""
+        wal = WriteAheadLog.create(
+            tmp_path / "s.wal", shard_id=0, version=2, flush_records=4
+        )
+        live = ShardWorker(shard_id=0, wal=wal)
+        live.create_session("k", prior)
+        for _ in range(6):
+            live.ingest("k", rng.standard_normal((3, D)))
+        wal.sync()  # the barrier a checkpoint would take
+        reference_sha = _sha(
+            {k: v for k, v in live.state_dict().items() if k != "wal"}
+        )
+        # two more acked-but-unflushed ingests, then SIGKILL (no close)
+        live.ingest("k", rng.standard_normal((3, D)))
+        live.ingest("k", rng.standard_normal((3, D)))
+        assert wal.pending_records == 2
+        recovered_wal = WriteAheadLog.open(tmp_path / "s.wal")
+        recovered = ShardWorker(shard_id=0)
+        recovered.replay(recovered_wal)
+        assert _sha(recovered.state_dict()) == reference_sha
+        recovered_wal.close()
+        wal.close()
+
+    def test_delta_logging_is_bit_identical_to_raw(self, prior, tmp_path):
+        """Qualifying blocks logged as suffstats leave the *same* worker
+        state as raw-sample logging — same bits, not just 1e-10."""
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        raw_wal = WriteAheadLog.create(tmp_path / "raw.wal", shard_id=0, version=2)
+        raw = ShardWorker(shard_id=0, wal=raw_wal)
+        delta_wal = WriteAheadLog.create(
+            tmp_path / "delta.wal", shard_id=0, version=2
+        )
+        delta = ShardWorker(shard_id=0, wal=delta_wal, wal_delta_rows=4)
+        for worker, rng in ((raw, rng_a), (delta, rng_b)):
+            worker.create_session("k", prior, kappa0=2.0, v0=D + 2.0)
+            worker.ingest("k", rng.standard_normal((8, D)))  # above threshold
+            worker.ingest("k", rng.standard_normal((2, D)))  # below: raw
+            worker.ingest("k", rng.standard_normal(D))  # 1-D: always raw
+        assert _sha(raw.state_dict()) == _sha(delta.state_dict())
+        raw_ops = [op for _, op, _ in raw_wal.records()]
+        delta_ops = [op for _, op, _ in delta_wal.records()]
+        assert raw_ops == ["create", "ingest", "ingest", "ingest"]
+        assert delta_ops == ["create", "ingest_stats", "ingest", "ingest"]
+        raw_wal.close()
+        delta_wal.close()
+
+    def test_delta_records_replay_bit_identically(self, prior, rng, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "s.wal", shard_id=0, version=2)
+        live = ShardWorker(shard_id=0, wal=wal, wal_delta_rows=4)
+        live.create_session("k", prior)
+        for rows in (8, 2, 16, 1):
+            live.ingest("k", rng.standard_normal((rows, D)))
+        replayed = ShardWorker(shard_id=0)
+        replayed.replay(wal)
+        a = live.store.get("k").stats
+        b = replayed.store.get("k").stats
+        assert np.array_equal(a.mean, b.mean)
+        assert np.array_equal(a.scatter, b.scatter)
+        live_state = live.state_dict()
+        live_state.pop("wal")
+        assert _sha(live_state) == _sha(replayed.state_dict())
+        wal.close()
+
+    def test_delta_wal_is_smaller_than_raw(self, prior, rng, tmp_path):
+        raw_wal = WriteAheadLog.create(tmp_path / "raw.wal", shard_id=0, version=2)
+        raw = ShardWorker(shard_id=0, wal=raw_wal)
+        delta_wal = WriteAheadLog.create(
+            tmp_path / "delta.wal", shard_id=0, version=2
+        )
+        delta = ShardWorker(shard_id=0, wal=delta_wal, wal_delta_rows=16)
+        block = rng.standard_normal((512, D))
+        for worker in (raw, delta):
+            worker.create_session("k", prior)
+            worker.ingest("k", block)
+            worker.wal.sync()
+        assert delta_wal.path.stat().st_size < raw_wal.path.stat().st_size / 10
+        raw_wal.close()
+        delta_wal.close()
+
+    def test_stats_exposes_wal_gauges(self, prior, rng, tmp_path):
+        wal = WriteAheadLog.create(
+            tmp_path / "s.wal", shard_id=0, version=2, flush_records=2
+        )
+        worker = ShardWorker(shard_id=0, wal=wal)
+        worker.create_session("k", prior)
+        worker.ingest("k", rng.standard_normal((3, D)))
+        out = worker.stats()
+        assert out["wal"]["version"] == 2
+        assert out["wal"]["records_appended"] == 2
+        assert out["wal"]["flush_count"] == 1
+        assert out["wal"]["pending_records"] == 0
+        assert out["wal"]["bytes_written"] > 0
+        # the WAL observes the worker's counters: gauges in the snapshot...
+        assert out["wal_records"] == 2
+        assert out["wal_bytes"] >= out["wal"]["bytes_written"]
+        assert out["wal_flushes"] == 1
+        # ...but never in persisted state (checkpoint bytes are pinned)
+        assert "wal_records" not in worker.counters.state_dict()
+        wal.close()

@@ -469,3 +469,179 @@ class TestShardedServingVerbs:
             wal = WriteAheadLog.open(wal_dir / name)
             assert wal.verify() == 0
             wal.close()
+
+
+class TestWireEmitAndWalFlags:
+    def test_serve_parser_accepts_wal_knobs(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve",
+                "--shards",
+                "2",
+                "--wal-dir",
+                "/tmp/wal",
+                "--wal-format",
+                "v1",
+                "--wal-flush-records",
+                "8",
+                "--wal-flush-bytes",
+                "4096",
+                "--wal-delta-rows",
+                "16",
+            ]
+        )
+        assert args.wal_format == "v1"
+        assert args.wal_flush_records == 8
+        assert args.wal_flush_bytes == 4096
+        assert args.wal_delta_rows == 16
+
+    def test_serve_wal_format_defaults_to_v2(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.wal_format == "v2"
+        assert args.wal_flush_records is None and args.wal_delta_rows is None
+
+    def test_emit_wire_b64f64_lines_decode(self, bank_path, tmp_path, capsys):
+        import json
+
+        from repro.serving import decode_array
+
+        out_path = tmp_path / "wire.jsonl"
+        code = main(
+            [
+                "ingest",
+                str(tmp_path / "unused.ckpt"),
+                "--session",
+                "adc/tt",
+                "--dataset",
+                str(bank_path),
+                "--samples",
+                "12",
+                "--create",
+                "--emit-wire",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert not (tmp_path / "unused.ckpt").exists()  # emit mode touches no state
+        lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert [r["op"] for r in lines] == ["create", "ingest"]
+        assert lines[0]["exist_ok"] is True
+        assert lines[1]["samples"]["encoding"] == "b64f64"
+        samples = decode_array(lines[1]["samples"])
+        assert samples.ndim == 2 and samples.shape[0] == 12
+        mean = decode_array(lines[0]["prior_mean"])
+        assert mean.shape == (samples.shape[1],) and np.all(np.isfinite(mean))
+
+    def test_emit_wire_list_encoding(self, bank_path, tmp_path):
+        import json
+
+        out_path = tmp_path / "wire.jsonl"
+        code = main(
+            [
+                "ingest",
+                str(tmp_path / "unused.ckpt"),
+                "--session",
+                "adc/tt",
+                "--dataset",
+                str(bank_path),
+                "--samples",
+                "6",
+                "--emit-wire",
+                str(out_path),
+                "--wire-encoding",
+                "list",
+            ]
+        )
+        assert code == 0
+        (request,) = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert request["op"] == "ingest"
+        assert isinstance(request["samples"], list)
+        assert len(request["samples"]) == 6
+
+    def test_emit_wire_feeds_serve(
+        self, bank_path, tmp_path, capsys, monkeypatch
+    ):
+        import io as io_module
+        import json
+
+        wire_path = tmp_path / "wire.jsonl"
+        code = main(
+            [
+                "ingest",
+                str(tmp_path / "unused.ckpt"),
+                "--session",
+                "adc/tt",
+                "--dataset",
+                str(bank_path),
+                "--samples",
+                "10",
+                "--create",
+                "--emit-wire",
+                str(wire_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        wal_dir = tmp_path / "wal"
+        stream = wire_path.read_text() + json.dumps({"op": "shutdown"}) + "\n"
+        monkeypatch.setattr("sys.stdin", io_module.StringIO(stream))
+        code = main(
+            [
+                "serve",
+                "--shards",
+                "2",
+                "--wal-dir",
+                str(wal_dir),
+                "--wal-delta-rows",
+                "4",
+            ]
+        )
+        assert code == 0
+        responses = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+            if line.startswith("{")
+        ]
+        assert all(r["ok"] for r in responses)
+        ingest_resp = [r for r in responses if r["op"] == "ingest"]
+        assert ingest_resp and ingest_resp[0]["n"] == 10
+
+    def test_serve_wal_format_v1_writes_v1_header(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io as io_module
+        import json
+
+        wal_dir = tmp_path / "wal"
+        reqs = [
+            {
+                "op": "create",
+                "key": "dut",
+                "prior_mean": [0.0, 0.0],
+                "prior_covariance": [[1.0, 0.0], [0.0, 1.0]],
+            },
+            {"op": "shutdown"},
+        ]
+        stream = "\n".join(json.dumps(r) for r in reqs) + "\n"
+        monkeypatch.setattr("sys.stdin", io_module.StringIO(stream))
+        code = main(
+            ["serve", "--wal-dir", str(wal_dir), "--wal-format", "v1"]
+        )
+        assert code == 0
+        raw = (wal_dir / "shard-000.wal").read_bytes()
+        assert not raw.startswith(b"#repro.serving-wal.v2\n")
+        header = json.loads(raw.splitlines()[0])
+        assert header["header"]["schema"] == "repro.serving-wal.v1"
+
+    def test_serve_default_wal_is_v2_binary(self, tmp_path, capsys, monkeypatch):
+        import io as io_module
+        import json
+
+        wal_dir = tmp_path / "wal"
+        stream = json.dumps({"op": "shutdown"}) + "\n"
+        monkeypatch.setattr("sys.stdin", io_module.StringIO(stream))
+        code = main(["serve", "--wal-dir", str(wal_dir)])
+        assert code == 0
+        raw = (wal_dir / "shard-000.wal").read_bytes()
+        assert raw.startswith(b"#repro.serving-wal.v2\n")
