@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.exceptions import ConfigError, SchemaVersionError
+from repro.schemas import TRAJECTORY_SCHEMA, write_json_atomic
 
 __all__ = [
     "TRAJECTORY_SCHEMA",
@@ -44,7 +45,8 @@ __all__ = [
 ]
 
 #: Schema identifier stamped into every trajectory document.
-TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"
+# TRAJECTORY_SCHEMA (re-exported in __all__) is defined in repro.schemas,
+# the single source of truth for artefact version markers.
 
 
 def utc_timestamp() -> str:
@@ -165,8 +167,5 @@ def append_entry(
     }
     document["benchmark"] = benchmark
     document["history"].append(entry)
-    payload = json.dumps(document, indent=2) + "\n"
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(payload)
-    os.replace(tmp, path)
+    write_json_atomic(document, path, canonical=False)
     return document

@@ -207,7 +207,7 @@ def _cached_dataset(
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
         save_dataset(dataset, tmp)
-        os.replace(tmp, path)
+        os.replace(tmp, path)  # reprolint: disable=RPL008 -- cache entry: atomicity (no torn .npz) is required, power-loss durability is not; a lost or corrupt entry is detected on load and regenerated
     except OSError:
         pass  # read-only cache location: serve the fresh build uncached
     return dataset

@@ -631,10 +631,9 @@ def _cmd_compact(args) -> int:
 def _emit_wire_requests(args) -> int:
     """Write the protocol requests an ingest would issue, instead of issuing
     them — the zero-copy feeder for a piped ``repro serve`` process."""
-    import json
-
     from repro.core.prior import PriorKnowledge
     from repro.io import load_dataset
+    from repro.schemas import canonical_json
     from repro.serving import encode_array
 
     dataset = load_dataset(args.dataset)
@@ -661,9 +660,9 @@ def _emit_wire_requests(args) -> int:
             create["kappa0"] = args.kappa0
         if args.v0 is not None:
             create["v0"] = args.v0
-        lines.append(json.dumps(create))
+        lines.append(canonical_json(create))
     lines.append(
-        json.dumps({"op": "ingest", "key": args.session, "samples": enc(subset)})
+        canonical_json({"op": "ingest", "key": args.session, "samples": enc(subset)})
     )
     text = "\n".join(lines) + "\n"
     if args.emit_wire == "-":
@@ -736,7 +735,7 @@ def _cmd_query(args) -> int:
     service = MomentService.restore(args.checkpoint, start_queue=False)
 
     if args.kind == "stats":
-        print(json.dumps(service.stats(), indent=2, sort_keys=True))
+        print(json.dumps(service.stats(), indent=2, sort_keys=True))  # reprolint: disable=RPL009 -- human-readable console display, never persisted or hashed
         return 0
     if args.kind == "sessions":
         for key in service.store.keys():
@@ -751,7 +750,7 @@ def _cmd_query(args) -> int:
         estimate = service.query_many([("estimate", args.session, None)])[0]
         if args.json:
             print(
-                json.dumps(
+                json.dumps(  # reprolint: disable=RPL009 -- human-readable console display, never persisted or hashed
                     {
                         "key": args.session,
                         "mean": estimate.mean.tolist(),

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import csv
 import json
-import os
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -35,6 +34,7 @@ from repro.circuits.montecarlo import PairedDataset
 from repro.core.estimators import EstimateInfo, MomentEstimate
 from repro.exceptions import ConfigError, DimensionError, SchemaVersionError
 from repro.experiments.sweep import SweepResult
+from repro.schemas import RESULT_SCHEMA, canonical_json, fsync_dir, write_json_atomic
 
 __all__ = [
     "canonical_json",
@@ -62,59 +62,9 @@ PathLike = Union[str, Path]
 # ---------------------------------------------------------------------------
 # canonical JSON + crash-safe writes (shared by checkpoints, WALs, manifests)
 # ---------------------------------------------------------------------------
-def canonical_json(payload: Any) -> str:
-    """The one canonical JSON encoding used for every hashed artefact.
-
-    Sorted keys, no whitespace — so a sha256 over the encoding is a
-    well-defined function of the *value*, not of dict insertion order or
-    formatting.  Floats go through ``float.__repr__`` (shortest round
-    trip), which preserves IEEE-754 doubles bit-for-bit.
-    """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def fsync_dir(path: PathLike) -> None:
-    """Fsync a directory so a rename inside it survives power loss.
-
-    ``os.replace`` makes a rename atomic against crashes of *this*
-    process, but the rename itself lives in the directory entry — until
-    the directory is fsync'd, a power cut can roll it back.  Platforms
-    that cannot open or fsync directories (e.g. Windows) make this a
-    no-op, which matches their rename-durability semantics anyway.
-    """
-    try:
-        fd = os.open(str(path), os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def write_json_atomic(payload: Any, path: PathLike, canonical: bool = True) -> str:
-    """Write a JSON document crash-safely; returns the encoded text.
-
-    The bytes go to a temporary file in the target directory, are fsync'd,
-    then atomically renamed over the destination (``os.replace``) and the
-    parent directory is fsync'd so the rename is durable — a crash
-    mid-write leaves the previous file intact.  With ``canonical`` the
-    encoding is :func:`canonical_json` (hash-stable); otherwise an
-    indented human-readable form.
-    """
-    target = Path(path)
-    encoded = canonical_json(payload) if canonical else json.dumps(payload, indent=2)
-    tmp = target.with_name(target.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(encoded)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, target)
-    fsync_dir(target.parent)
-    return encoded
+# canonical_json / fsync_dir / write_json_atomic live in repro.schemas (the
+# bottom layer) so every layer can reach them; re-exported here because this
+# module is where serialisation consumers historically import them from.
 
 
 def _info_value(value: Any) -> Union[bool, int, float, str]:
@@ -202,8 +152,8 @@ def estimate_from_dict(payload: Dict) -> MomentEstimate:
 
 
 def save_estimate(estimate: MomentEstimate, path: PathLike) -> None:
-    """Write an estimate to a JSON file."""
-    Path(path).write_text(json.dumps(estimate_to_dict(estimate), indent=2))
+    """Write an estimate to a JSON file (atomic + durable)."""
+    write_json_atomic(estimate_to_dict(estimate), path, canonical=False)
 
 
 def load_estimate(path: PathLike) -> MomentEstimate:
@@ -257,9 +207,6 @@ def check_schema_version(
 # ---------------------------------------------------------------------------
 # pipeline results
 # ---------------------------------------------------------------------------
-#: Format marker written into every serialized pipeline result.
-RESULT_SCHEMA = "repro.pipeline-result.v1"
-
 #: Structural version of the pipeline-result payload; bump on any breaking
 #: field change so old readers fail loudly instead of misdecoding.
 RESULT_SCHEMA_VERSION = 1
@@ -324,8 +271,9 @@ def result_from_dict(payload: Dict):
 
 
 def save_result(result, path: PathLike) -> None:
-    """Write a pipeline result (physical moments + provenance) to JSON."""
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+    """Write a pipeline result (physical moments + provenance) to JSON,
+    atomically (a crash mid-write leaves any previous artefact intact)."""
+    write_json_atomic(result_to_dict(result), path, canonical=False)
 
 
 def load_result(path: PathLike):

@@ -1,0 +1,140 @@
+"""Canonical schema/version registry + the encodings those schemas pin.
+
+Every durable or wire-crossing artefact in this code base carries a
+version marker of the shape ``repro.<artefact>.v<N>`` (or, for the
+benchmark trajectories, ``repro-bench-trajectory/v<N>``).  Those markers
+are *contracts*: readers reject unknown versions instead of misdecoding,
+and sha256 chains/digests are computed over encodings that embed them.
+This module is their single source of truth — reprolint rule RPL009
+flags any matching string literal defined anywhere else, so a version
+bump (or a new artefact) is always one edit here plus the code that
+understands it, never a drift of scattered copies.
+
+Alongside the markers live the two primitives every versioned artefact
+is built on, placed here (the bottom architectural layer) so every layer
+— ``stats`` wire encodings and ``bench`` trajectories included — can
+reach them without a layering back-edge:
+
+* :func:`canonical_json` — the one canonical JSON encoding used for
+  every hashed payload;
+* :func:`fsync_dir` — the directory-fsync half of the crash-safe
+  ``flush -> fsync -> os.replace -> fsync_dir`` write pattern that
+  reprolint rule RPL008 enforces;
+* :func:`write_json_atomic` — the full pattern packaged, so it has
+  exactly one implementation (RPL008 flags hand-rolled copies).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = [
+    "SUFFSTATS_WIRE_SCHEMA",
+    "RESULT_SCHEMA",
+    "CHECKPOINT_SCHEMA",
+    "WAL_SCHEMA_V1",
+    "WAL_SCHEMA_V2",
+    "WAL2_MAGIC",
+    "MANIFEST_SCHEMA",
+    "TRAJECTORY_SCHEMA",
+    "ALL_SCHEMAS",
+    "canonical_json",
+    "fsync_dir",
+    "write_json_atomic",
+]
+
+PathLike = Union[str, Path]
+
+#: Wire envelope of a serialized :class:`repro.stats.suffstats.SufficientStats`.
+SUFFSTATS_WIRE_SCHEMA = "repro.suffstats.v1"
+
+#: Serialized pipeline results (:mod:`repro.io`).
+RESULT_SCHEMA = "repro.pipeline-result.v1"
+
+#: Serving checkpoints (:mod:`repro.serving.checkpoint`).
+CHECKPOINT_SCHEMA = "repro.serving-checkpoint.v1"
+
+#: Write-ahead log, v1 JSON-lines format (:mod:`repro.serving.wal`).
+WAL_SCHEMA_V1 = "repro.serving-wal.v1"
+
+#: Write-ahead log, v2 binary-frame format (:mod:`repro.serving.wal`).
+WAL_SCHEMA_V2 = "repro.serving-wal.v2"
+
+#: First bytes of every v2 log file, derived from the schema marker so the
+#: two can never disagree (human-readable even in binary dumps).
+WAL2_MAGIC = b"#" + WAL_SCHEMA_V2.encode("ascii") + b"\n"
+
+#: Sharded-checkpoint manifest (:mod:`repro.serving.router`).
+MANIFEST_SCHEMA = "repro.serving-shards.v1"
+
+#: Append-only benchmark trajectory documents (:mod:`repro.bench.trajectory`).
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"
+
+#: Every known artefact marker, for tooling and exhaustiveness tests.
+ALL_SCHEMAS = (
+    SUFFSTATS_WIRE_SCHEMA,
+    RESULT_SCHEMA,
+    CHECKPOINT_SCHEMA,
+    WAL_SCHEMA_V1,
+    WAL_SCHEMA_V2,
+    MANIFEST_SCHEMA,
+    TRAJECTORY_SCHEMA,
+)
+
+
+def canonical_json(payload: Any) -> str:
+    """The one canonical JSON encoding used for every hashed artefact.
+
+    Sorted keys, no whitespace — so a sha256 over the encoding is a
+    well-defined function of the *value*, not of dict insertion order or
+    formatting.  Floats go through ``float.__repr__`` (shortest round
+    trip), which preserves IEEE-754 doubles bit-for-bit.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fsync_dir(path: PathLike) -> None:
+    """Fsync a directory so a rename inside it survives power loss.
+
+    ``os.replace`` makes a rename atomic against crashes of *this*
+    process, but the rename itself lives in the directory entry — until
+    the directory is fsync'd, a power cut can roll it back.  Platforms
+    that cannot open or fsync directories (e.g. Windows) make this a
+    no-op, which matches their rename-durability semantics anyway.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_json_atomic(payload: Any, path: PathLike, canonical: bool = True) -> str:
+    """Write a JSON document crash-safely; returns the encoded text.
+
+    The bytes go to a temporary file in the target directory, are fsync'd,
+    then atomically renamed over the destination (``os.replace``) and the
+    parent directory is fsync'd so the rename is durable — a crash
+    mid-write leaves the previous file intact.  With ``canonical`` the
+    encoding is :func:`canonical_json` (hash-stable); otherwise an
+    indented human-readable form.
+    """
+    target = Path(path)
+    encoded = canonical_json(payload) if canonical else json.dumps(payload, indent=2)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(encoded)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_dir(target.parent)
+    return encoded

@@ -42,6 +42,7 @@ from typing import Any, Dict, Union
 
 from repro.exceptions import ConfigError
 from repro.io import canonical_json, check_schema_version, write_json_atomic
+from repro.schemas import CHECKPOINT_SCHEMA
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -52,8 +53,8 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
-#: Format marker of a serving checkpoint file.
-CHECKPOINT_SCHEMA = "repro.serving-checkpoint.v1"
+#: ``CHECKPOINT_SCHEMA`` (re-exported above) comes from :mod:`repro.schemas`,
+#: the single source of truth for artefact version markers.
 
 #: Structural version; bump on any breaking change to the state layout.
 CHECKPOINT_SCHEMA_VERSION = 1

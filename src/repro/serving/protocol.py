@@ -63,6 +63,7 @@ from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
 import numpy as np
 
 from repro.exceptions import ConfigError, ReproError
+from repro.schemas import canonical_json
 from repro.serving.router import ShardedMomentService
 from repro.serving.service import MomentService
 from repro.core.prior import PriorKnowledge
@@ -343,7 +344,7 @@ def serve_loop(
             continue
         response = handle_request(service, line)
         try:
-            sink.write(json.dumps(response) + "\n")
+            sink.write(canonical_json(response) + "\n")
             sink.flush()
         except BrokenPipeError:
             break

@@ -41,6 +41,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -53,6 +54,7 @@ from repro.core.prior import PriorKnowledge
 from repro.exceptions import ConfigError, SessionNotFoundError
 from repro.experiments.parallel import thread_map
 from repro.io import check_schema_version, write_json_atomic
+from repro.schemas import MANIFEST_SCHEMA
 from repro.serving.counters import ServiceCounters
 from repro.serving.queue import QUERY_KINDS, Request
 from repro.serving.scoring import BatchScorer
@@ -63,8 +65,8 @@ from repro.stats.suffstats import SufficientStats, merge_all
 
 __all__ = ["HashRing", "ShardedMomentService", "MANIFEST_SCHEMA"]
 
-#: Format marker of a sharded-checkpoint manifest.
-MANIFEST_SCHEMA = "repro.serving-shards.v1"
+#: ``MANIFEST_SCHEMA`` (re-exported in ``__all__``) comes from
+#: :mod:`repro.schemas`, the version-string source of truth.
 
 #: Structural version of the manifest layout.
 MANIFEST_SCHEMA_VERSION = 1
@@ -248,6 +250,13 @@ class ShardedMomentService:
             )
         self.counters = ServiceCounters()
         self.scorer = BatchScorer(self.counters, linalg_backend=linalg_backend)
+        # Ingest-side shared state below is mutated by whichever thread
+        # calls ingest/flush/drop (protocol loops, load generators, tests
+        # with client pools), so every mutation holds this lock — worker
+        # folds happen under it too, which serialises router-side ingest
+        # but keeps drain + apply atomic per key (reprolint RPL007 pins
+        # the discipline).
+        self._ingest_lock = threading.Lock()
         # per-key ingest buffers: list of (n, d) blocks + pending row count
         self._buffers: Dict[str, List[np.ndarray]] = {}
         self._buffered_rows: Dict[str, int] = {}
@@ -305,8 +314,8 @@ class ShardedMomentService:
         covers everything accepted before it, in order.
         """
         key = str(key)
-        if key in self._buffers:
-            self._flush_key(key)
+        with self._ingest_lock:
+            self._flush_key_locked(key)
         if self.placement == "spread":
             dropped = [worker.drop_session(key) for worker in self.workers]
             return any(dropped)
@@ -338,18 +347,19 @@ class ShardedMomentService:
         arr = np.asarray(samples, dtype=float)
         rows = 1 if arr.ndim == 1 else arr.shape[0]
         self.counters.record_ingest(rows)
-        if self._passthrough:
-            self.workers[0].ingest(key, arr)
+        with self._ingest_lock:
+            if self._passthrough:
+                self.workers[0].ingest(key, arr)
+                self._routed_rows[key] = self._routed_rows.get(key, 0) + rows
+                return self._routed_rows[key]
+            block = arr[None, :] if arr.ndim == 1 else arr
+            self._buffers.setdefault(key, []).append(block)
+            pending = self._buffered_rows.get(key, 0) + int(block.shape[0])
+            self._buffered_rows[key] = pending
             self._routed_rows[key] = self._routed_rows.get(key, 0) + rows
+            if pending >= self.flush_rows:
+                self._flush_key_locked(key)
             return self._routed_rows[key]
-        block = arr[None, :] if arr.ndim == 1 else arr
-        self._buffers.setdefault(key, []).append(block)
-        pending = self._buffered_rows.get(key, 0) + int(block.shape[0])
-        self._buffered_rows[key] = pending
-        self._routed_rows[key] = self._routed_rows.get(key, 0) + rows
-        if pending >= self.flush_rows:
-            self._flush_key(key)
-        return self._routed_rows[key]
 
     def ingest_stats(self, key: str, stats: SufficientStats) -> int:
         """Merge pre-accumulated statistics into the owning worker.
@@ -358,32 +368,34 @@ class ShardedMomentService:
         buffer (flushing the key first keeps arrival order intact).
         """
         key = str(key)
-        if key in self._buffers:
-            self._flush_key(key)
         self.counters.record_ingest(stats.n)
-        self._routed_rows[key] = self._routed_rows.get(key, 0) + stats.n
-        return self._ingest_worker(key).ingest_stats(key, stats)
+        with self._ingest_lock:
+            self._flush_key_locked(key)
+            self._routed_rows[key] = self._routed_rows.get(key, 0) + stats.n
+            return self._ingest_worker_locked(key).ingest_stats(key, stats)
 
-    def _ingest_worker(self, key: str) -> ShardWorker:
-        """The worker the *next* block for ``key`` goes to."""
+    def _ingest_worker_locked(self, key: str) -> ShardWorker:
+        """The worker the *next* block for ``key`` goes to (lock held)."""
         if self.placement == "spread":
             cursor = self._rotation.get(key, 0)
             self._rotation[key] = cursor + 1
             return self.workers[cursor % self.ring.n_shards]
         return self._home(key)
 
-    def _flush_key(self, key: str) -> None:
+    def _flush_key_locked(self, key: str) -> None:
+        """Fold ``key``'s buffered blocks into its worker (lock held)."""
         blocks = self._buffers.pop(key, [])
         self._buffered_rows.pop(key, None)
         if not blocks:
             return
         stacked = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
-        self._ingest_worker(key).ingest(key, stacked)
+        self._ingest_worker_locked(key).ingest(key, stacked)
 
     def flush(self) -> None:
         """Flush every ingest buffer (deterministic key order)."""
-        for key in sorted(self._buffers):
-            self._flush_key(key)
+        with self._ingest_lock:
+            for key in sorted(self._buffers):
+                self._flush_key_locked(key)
 
     # ------------------------------------------------------------------
     # queries (merge-on-read)

@@ -182,8 +182,8 @@ class SessionStore:
         """Current logical operation count."""
         return self._clock
 
-    def _tick(self) -> int:
-        """Advance logical time and apply lazy TTL eviction."""
+    def _tick_locked(self) -> int:
+        """Advance logical time and apply lazy TTL eviction (lock held)."""
         self._clock += 1
         if self.ttl_ops is not None:
             horizon = self._clock - self.ttl_ops
@@ -197,7 +197,8 @@ class SessionStore:
                 self.evictions += 1
         return self._clock
 
-    def _touch(self, session: Session) -> Session:
+    def _touch_locked(self, session: Session) -> Session:
+        """Refresh recency of ``session`` (lock held)."""
         session.last_used_op = self._clock
         self._sessions.move_to_end(session.key)
         return session
@@ -219,15 +220,15 @@ class SessionStore:
         the key is already live (idempotent create for retrying clients).
         """
         with self._lock:
-            op = self._tick()
+            op = self._tick_locked()
             existing = self._sessions.get(key)
             if existing is not None:
                 if exist_ok:
-                    return self._touch(existing)
+                    return self._touch_locked(existing)
                 raise ConfigError(f"session {key!r} already exists")
             session = Session(key, prior, kappa0, v0, created_op=op)
             self._sessions[key] = session
-            self._touch(session)
+            self._touch_locked(session)
             while len(self._sessions) > self.max_sessions:
                 evicted_key, _ = self._sessions.popitem(last=False)
                 self.evictions += 1
@@ -237,18 +238,18 @@ class SessionStore:
     def get(self, key: str) -> Session:
         """Look a session up, refreshing its recency; raises if absent."""
         with self._lock:
-            self._tick()
+            self._tick_locked()
             session = self._sessions.get(key)
             if session is None:
                 raise SessionNotFoundError(
                     f"no session {key!r} (never created, or evicted)"
                 )
-            return self._touch(session)
+            return self._touch_locked(session)
 
     def drop(self, key: str) -> bool:
         """Remove a session explicitly; returns whether it existed."""
         with self._lock:
-            self._tick()
+            self._tick_locked()
             return self._sessions.pop(key, None) is not None
 
     def keys(self) -> List[str]:

@@ -79,6 +79,7 @@ import numpy as np
 
 from repro.exceptions import WalCorruptionError
 from repro.io import canonical_json, fsync_dir
+from repro.schemas import WAL2_MAGIC, WAL_SCHEMA_V1, WAL_SCHEMA_V2
 
 __all__ = [
     "WAL_SCHEMA",
@@ -91,20 +92,15 @@ __all__ = [
     "WriteAheadLog",
 ]
 
-#: Format marker written into every v1 log header.
-WAL_SCHEMA = "repro.serving-wal.v1"
-
-#: Format marker written into every v2 (binary-frame) log header.
-WAL_SCHEMA_V2 = "repro.serving-wal.v2"
+#: Format marker written into every v1 log header (from :mod:`repro.schemas`,
+#: the version-string source of truth; ``WAL_SCHEMA`` is the historical name).
+WAL_SCHEMA = WAL_SCHEMA_V1
 
 #: Structural version of the v1 record layout; bump on breaking change.
 WAL_SCHEMA_VERSION = 1
 
 #: On-disk format versions this module writes and reads.
 WAL_VERSIONS = (1, 2)
-
-#: First bytes of every v2 log file (human-readable even in binary dumps).
-WAL2_MAGIC = b"#repro.serving-wal.v2\n"
 
 #: The closed set of replayable operations.
 WAL_OPS = ("create", "ingest", "ingest_stats", "drop", "touch")

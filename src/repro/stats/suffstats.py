@@ -31,12 +31,14 @@ from numpy.typing import ArrayLike
 
 from repro.exceptions import DimensionError
 from repro.linalg.validation import as_samples, symmetrize
+from repro.schemas import SUFFSTATS_WIRE_SCHEMA, canonical_json
 from repro.stats.moments import sample_mean, scatter_matrix
 
 __all__ = ["SufficientStats", "merge_all", "WIRE_SCHEMA"]
 
-#: Format marker of the stable wire encoding (:meth:`SufficientStats.to_wire`).
-WIRE_SCHEMA = "repro.suffstats.v1"
+#: Format marker of the stable wire encoding (:meth:`SufficientStats.to_wire`);
+#: defined in :mod:`repro.schemas`, the version-string source of truth.
+WIRE_SCHEMA = SUFFSTATS_WIRE_SCHEMA
 
 
 class SufficientStats:
@@ -226,9 +228,7 @@ class SufficientStats:
         of dict insertion order, so it can be sha256-chained.
         """
         envelope = {"schema": WIRE_SCHEMA, **self.to_dict()}
-        return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode(
-            "utf-8"
-        )
+        return canonical_json(envelope).encode("utf-8")
 
     @classmethod
     def from_wire(cls, data: bytes) -> "SufficientStats":

@@ -41,3 +41,74 @@ def lint(tmp_path):
         return result.diagnostics, result
 
     return run
+
+
+@pytest.fixture
+def lint_project(tmp_path):
+    """Write a multi-file tree and run the full two-pass engine over it.
+
+    ``files`` maps root-relative paths to (dedented) sources.  Returns the
+    :class:`reprolint.engine.LintResult`; project-wide rules (RPL007,
+    RPL009) only work through this fixture because their evidence spans
+    files.  The cache is off unless a test opts in via ``use_cache``.
+    """
+    import textwrap
+
+    import reprolint.rules  # noqa: F401  (populates the registry)
+    from reprolint.config import Config
+    from reprolint.engine import run_lint
+    from reprolint.registry import all_rules
+
+    def run(
+        files,
+        codes=None,
+        rule_options=None,
+        src_roots=("src",),
+        jobs=1,
+        use_cache=False,
+        cache_path=None,
+    ):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        config = Config(
+            root=str(tmp_path),
+            src_roots=list(src_roots),
+            rule_options=dict(rule_options or {}),
+        )
+        selected = list(codes) if codes else [r.code for r in all_rules()]
+        return run_lint(
+            [str(tmp_path)],
+            config,
+            selected,
+            jobs=jobs,
+            cache_path=cache_path or str(tmp_path / ".reprolint-cache.json"),
+            use_cache=use_cache,
+        )
+
+    return run
+
+
+@pytest.fixture
+def lint_fixture_dir():
+    """Run the two-pass engine over an on-disk fixture package.
+
+    Fixture packages live under ``tests/tools/fixtures/<rule>/`` (excluded
+    from the repo's own lint in pyproject); each is a miniature project
+    with deliberate violations the rule must catch.
+    """
+    import reprolint.rules  # noqa: F401  (populates the registry)
+    from reprolint.config import Config
+    from reprolint.engine import run_lint
+    from reprolint.registry import all_rules
+
+    fixtures_root = Path(__file__).resolve().parent / "fixtures"
+
+    def run(name, codes=None, rule_options=None):
+        root = fixtures_root / name
+        config = Config(root=str(root), rule_options=dict(rule_options or {}))
+        selected = list(codes) if codes else [r.code for r in all_rules()]
+        return run_lint([str(root)], config, selected, jobs=1, use_cache=False)
+
+    return run

@@ -1,0 +1,22 @@
+"""RPL007 fixture: base class establishing the lock discipline."""
+
+import threading
+
+
+class Buffered:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self._count = 0
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._count += 1
+
+    def drain_locked(self):
+        # The _locked suffix asserts the caller holds self._lock.
+        out = list(self._items)
+        self._items.clear()
+        self._count = 0
+        return out

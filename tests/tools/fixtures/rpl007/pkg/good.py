@@ -1,0 +1,24 @@
+"""RPL007 fixture: fully disciplined class (no diagnostics expected)."""
+
+import threading
+
+
+class Counters:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.total = 0
+        self.batches = 0
+
+    def record(self, n):
+        with self._cond:
+            self.total += n
+            self.batches += 1
+            self._cond.notify_all()
+
+    def snapshot(self):
+        with self._cond:
+            return (self.total, self.batches)
+
+    def _reset_locked(self):
+        self.total = 0
+        self.batches = 0

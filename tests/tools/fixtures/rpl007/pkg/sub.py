@@ -1,0 +1,17 @@
+"""RPL007 fixture: subclass in another file breaking the discipline.
+
+``Buffered`` guards ``self._items`` with ``self._lock``; the unlocked
+``clear`` here must be caught even though the lock and the guarded writes
+live in ``base.py``.
+"""
+
+from pkg.base import Buffered
+
+
+class DroppingBuffer(Buffered):
+    def drop_all(self):
+        self._items.clear()  # VIOLATION: no lock held
+
+    def reset(self):
+        with self._lock:
+            self._items.clear()

@@ -1,0 +1,16 @@
+"""RPL007 fixture: violation silenced at the reported (write) site."""
+
+import threading
+
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def set(self, value):
+        with self._lock:
+            self.value = value
+
+    def set_fast(self, value):
+        self.value = value  # reprolint: disable=RPL007 -- benign last-writer-wins gauge, torn reads acceptable

@@ -1,0 +1,16 @@
+"""RPL008 fixture: durable, but re-implements write_json_atomic."""
+
+import json
+import os
+
+from write_good import fsync_dir
+
+
+def save_report(document, path, parent):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(json.dumps(document, indent=2))  # VIOLATION: hand-rolled
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_dir(parent)

@@ -1,0 +1,10 @@
+"""RPL008 fixture: cache-style rename with a justified suppression."""
+
+import os
+
+
+def stash(payload, path):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)  # reprolint: disable=RPL008 -- cache entry, regenerated on loss

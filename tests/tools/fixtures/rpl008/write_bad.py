@@ -1,0 +1,10 @@
+"""RPL008 fixture: rename with no durability at all (two problems)."""
+
+import os
+
+
+def publish(payload, path):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)  # VIOLATION: no flush/fsync before, no dir sync after

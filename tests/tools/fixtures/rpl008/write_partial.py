@@ -1,0 +1,12 @@
+"""RPL008 fixture: temp handle synced, but the rename itself is not."""
+
+import os
+
+
+def publish(payload, path):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)  # VIOLATION: parent directory never fsync'd

@@ -1,0 +1,7 @@
+"""RPL009 fixture: imports the constant and uses the canonical encoder."""
+
+from proj.schemas import BLOB_SCHEMA, canonical_json
+
+
+def encode(payload):
+    return canonical_json({"schema": BLOB_SCHEMA, "payload": payload})

@@ -1,0 +1,10 @@
+"""RPL009 fixture: the constants module (configured as ``proj.schemas``)."""
+
+import json
+
+BLOB_SCHEMA = "repro.fixture-blob.v1"
+LOG_SCHEMA = "repro-fixture-log/v2"
+
+
+def canonical_json(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,11 @@
+"""RPL009 fixture: justified suppressions at the reported sites."""
+
+import json
+
+
+def legacy_blob():
+    return "repro.fixture-blob.v1"  # reprolint: disable=RPL009 -- legacy reader compat shim
+
+
+def debug_dump(payload):
+    return json.dumps(payload, indent=2)  # reprolint: disable=RPL009 -- debug console output

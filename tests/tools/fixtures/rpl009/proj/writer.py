@@ -1,0 +1,14 @@
+"""RPL009 fixture: stray version literal + raw json.dumps in scope."""
+
+import json
+
+from proj.schemas import canonical_json
+
+
+def encode(payload):
+    envelope = {"schema": "repro.fixture-blob.v1", "payload": payload}  # VIOLATION: literal
+    return canonical_json(envelope)
+
+
+def encode_raw(payload):
+    return json.dumps(payload)  # VIOLATION: raw dumps in dumps-scope

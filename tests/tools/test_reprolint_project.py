@@ -1,0 +1,344 @@
+"""Two-pass engine tests: ProjectContext, cache, parallelism, suppressions.
+
+Everything here exercises :func:`reprolint.engine.run_lint` over throwaway
+multi-file trees — the project-wide machinery that ``lint_file`` (per-file
+compatibility path) deliberately does not touch.
+"""
+
+import ast
+import json
+
+import pytest
+
+THREADED = """
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def wipe(self):
+        self._items.clear()
+"""
+
+
+def codes_of(result):
+    return [d.code for d in result.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# ProjectContext construction
+# ---------------------------------------------------------------------------
+class TestProjectContext:
+    def test_summarize_collects_locks_and_writes(self):
+        from reprolint.project import summarize_file
+
+        tree = ast.parse(THREADED)
+        summary = summarize_file(tree, "src/repro/store.py", "repro.store")
+        assert summary.module_name == "repro.store"
+        assert [c.qualname for c in summary.classes] == ["repro.store.Store"]
+        cls = summary.classes[0]
+        assert cls.lock_attrs == ["_lock"]
+        attrs = {(w.attr, w.method, w.locks) for w in cls.writes}
+        assert ("_items", "add", ("_lock",)) in attrs
+        assert ("_items", "wipe", ()) in attrs
+
+    def test_summary_round_trips_through_json(self):
+        from reprolint.project import FileSummary, summarize_file
+
+        summary = summarize_file(ast.parse(THREADED), "src/repro/s.py", "repro.s")
+        encoded = json.dumps(summary.to_dict())
+        restored = FileSummary.from_dict(json.loads(encoded))
+        assert restored.to_dict() == summary.to_dict()
+
+    def test_import_graph_and_resolution(self, tmp_path):
+        import reprolint.rules  # noqa: F401  (populates the registry)
+        from reprolint.config import Config
+        from reprolint.engine import process_file
+        from reprolint.project import FileSummary, ProjectContext
+
+        files = {
+            "src/repro/a.py": "VALUE = 1\n",
+            "src/repro/b.py": "from repro.a import VALUE\nimport json\n",
+        }
+        config = Config(root=str(tmp_path))
+        project = ProjectContext(config)
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+            record = process_file(str(path), rel, config, ["RPL007"])
+            project.add_file(str(path), FileSummary.from_dict(record["summary"]))
+        assert project.import_graph() == {"repro.a": [], "repro.b": ["repro.a"]}
+        assert project.resolve("repro.a") == "src/repro/a.py"
+        assert project.resolve("repro.a.VALUE") == "src/repro/a.py"
+        assert project.resolve("repro.missing") is None
+
+    def test_inheritance_closure_crosses_files(self, tmp_path):
+        import reprolint.rules  # noqa: F401  (populates the registry)
+        from reprolint.config import Config
+        from reprolint.engine import process_file
+        from reprolint.project import FileSummary, ProjectContext
+
+        files = {
+            "src/repro/base.py": "class Base:\n    def __init__(self):\n        self.x = 1\n",
+            "src/repro/sub.py": (
+                "from repro.base import Base\n\n"
+                "class Sub(Base):\n    def set(self):\n        self.x = 2\n"
+            ),
+        }
+        config = Config(root=str(tmp_path))
+        project = ProjectContext(config)
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+            record = process_file(str(path), rel, config, ["RPL007"])
+            project.add_file(str(path), FileSummary.from_dict(record["summary"]))
+        closure = [cls.qualname for _, cls in project.inheritance_closure("repro.sub.Sub")]
+        assert closure == ["repro.base.Base", "repro.sub.Sub"]
+        writes = project.class_writes("repro.sub.Sub")
+        assert {(rel, w.method) for rel, w in writes} == {
+            ("src/repro/base.py", "__init__"),
+            ("src/repro/sub.py", "set"),
+        }
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+class TestDiagnosticsCache:
+    def test_second_run_is_fully_cached_and_identical(self, lint_project, tmp_path):
+        files = {"src/repro/store.py": THREADED}
+        first = lint_project(files, use_cache=True)
+        second = lint_project({}, use_cache=True)
+        assert second.cached_files == first.files
+        assert [d.code for d in second.diagnostics] == [
+            d.code for d in first.diagnostics
+        ]
+        assert [(d.path, d.line) for d in second.diagnostics] == [
+            (d.path, d.line) for d in first.diagnostics
+        ]
+
+    def test_edited_file_is_reprocessed(self, lint_project, tmp_path):
+        clean = {"src/repro/m.py": "import numpy as np\nrng = np.random.default_rng(0)\n"}
+        first = lint_project(clean, use_cache=True)
+        assert first.diagnostics == []
+        dirty = {"src/repro/m.py": "import numpy as np\nnp.random.seed(0)\n"}
+        second = lint_project(dirty, use_cache=True)
+        assert second.cached_files == 0
+        assert codes_of(second) == ["RPL001"]
+
+    def test_config_change_invalidates_cache(self, lint_project, tmp_path):
+        files = {"src/repro/m.py": "import numpy as np\nnp.random.seed(0)\n"}
+        first = lint_project(files, use_cache=True)
+        assert codes_of(first) == ["RPL001"]
+        second = lint_project(
+            {}, use_cache=True, rule_options={"RPL001": {"exempt": ["src"]}}
+        )
+        assert second.cached_files == 0
+        assert second.diagnostics == []
+
+    def test_project_rules_rerun_from_cached_summaries(self, lint_project):
+        files = {"src/repro/store.py": THREADED}
+        first = lint_project(files, use_cache=True, codes=["RPL007"])
+        assert codes_of(first) == ["RPL007"]
+        second = lint_project({}, use_cache=True, codes=["RPL007"])
+        assert second.cached_files == 1
+        assert codes_of(second) == ["RPL007"]
+
+    def test_corrupt_cache_is_ignored(self, lint_project, tmp_path):
+        cache = tmp_path / ".reprolint-cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        files = {"src/repro/m.py": "import numpy as np\nnp.random.seed(0)\n"}
+        result = lint_project(files, use_cache=True)
+        assert codes_of(result) == ["RPL001"]
+
+
+# ---------------------------------------------------------------------------
+# parallelism
+# ---------------------------------------------------------------------------
+class TestParallelJobs:
+    def test_jobs_2_matches_jobs_1(self, lint_project):
+        files = {
+            "src/repro/store.py": THREADED,
+            "src/repro/rng.py": "import numpy as np\nnp.random.seed(0)\n",
+            "src/repro/clean.py": "import numpy as np\nrng = np.random.default_rng(1)\n",
+            "src/repro/broken.py": "def oops(:\n",
+        }
+        serial = lint_project(files, jobs=1)
+        parallel = lint_project({}, jobs=2)
+        assert [(d.path, d.line, d.code) for d in serial.diagnostics] == [
+            (d.path, d.line, d.code) for d in parallel.diagnostics
+        ]
+        assert serial.files == parallel.files
+        assert len(serial.diagnostics) >= 3  # RPL001, RPL007, RPL900
+
+
+# ---------------------------------------------------------------------------
+# suppression semantics for project rules
+# ---------------------------------------------------------------------------
+class TestProjectSuppressions:
+    def test_suppression_at_reported_site_silences(self, lint_project):
+        files = {
+            "src/repro/store.py": THREADED.replace(
+                "self._items.clear()",
+                "self._items.clear()  # reprolint: disable=RPL007 -- shutdown path, single-threaded by contract",
+            )
+        }
+        result = lint_project(files, codes=["RPL007"])
+        assert result.diagnostics == []
+        assert result.suppressed == 1
+
+    def test_suppression_at_evidence_site_does_not_silence(self, lint_project):
+        # Suppressing the *guarded* write must not excuse the unguarded
+        # one: the suppression applies where the diagnostic is reported.
+        files = {
+            "src/repro/store.py": THREADED.replace(
+                "self._items.append(item)",
+                "self._items.append(item)  # reprolint: disable=RPL007 -- not the reported site",
+            )
+        }
+        result = lint_project(files, codes=["RPL007"])
+        assert codes_of(result) == ["RPL007"]
+        assert "wipe" in result.diagnostics[0].message
+
+    def test_lint_file_skips_project_rules(self, lint):
+        diags, result = lint(THREADED, codes=["RPL007"])
+        assert diags == []
+        assert result.suppressed == 0
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip_filters_known_violations(self, lint_project, tmp_path):
+        from reprolint.baseline import (
+            filter_baselined,
+            load_baseline,
+            write_baseline,
+        )
+        from reprolint.config import Config
+
+        files = {"src/repro/m.py": "import numpy as np\nnp.random.seed(0)\n"}
+        result = lint_project(files)
+        assert len(result.diagnostics) == 1
+        config = Config(root=str(tmp_path))
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), result.diagnostics, config)
+        fingerprints = load_baseline(str(baseline_path))
+        assert filter_baselined(result.diagnostics, fingerprints, config) == []
+
+    def test_new_violations_survive_the_baseline(self, lint_project, tmp_path):
+        from reprolint.baseline import filter_baselined, load_baseline, write_baseline
+        from reprolint.config import Config
+
+        config = Config(root=str(tmp_path))
+        first = lint_project(
+            {"src/repro/m.py": "import numpy as np\nnp.random.seed(0)\n"}
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), first.diagnostics, config)
+        second = lint_project(
+            {"src/repro/n.py": "import numpy as np\nnp.random.seed(1)\n"}
+        )
+        kept = filter_baselined(
+            second.diagnostics, load_baseline(str(baseline_path)), config
+        )
+        assert [d.path.replace("\\", "/").split("/")[-1] for d in kept] == ["n.py"]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        from reprolint.baseline import load_baseline
+
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"entries": [{"nope": 1}]}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+class TestSarif:
+    def _render(self, lint_project, tmp_path):
+        from reprolint.config import Config
+        from reprolint.sarif import render_sarif
+
+        result = lint_project(
+            {"src/repro/m.py": "import numpy as np\nnp.random.seed(0)\n"}
+        )
+        config = Config(root=str(tmp_path))
+        return render_sarif(result.diagnostics, config, ["RPL001", "RPL007"])
+
+    def test_structure(self, lint_project, tmp_path):
+        document = self._render(lint_project, tmp_path)
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        result = run["results"][0]
+        assert result["ruleId"] == "RPL001"
+        assert rule_ids[result["ruleIndex"]] == "RPL001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/m.py"
+        assert location["region"]["startLine"] == 2
+        assert location["region"]["startColumn"] >= 1
+        assert "reprolint/v1" in result["partialFingerprints"]
+
+    def test_json_serialisable_and_uri_relative(self, lint_project, tmp_path):
+        document = self._render(lint_project, tmp_path)
+        encoded = json.dumps(document)
+        assert "\\\\" not in encoded.replace("\\\\u", "")
+        for result in document["runs"][0]["results"]:
+            uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            assert not uri.startswith("/")
+
+    def test_validates_against_schema_when_available(self, lint_project, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        # Offline structural contract: the subset of the SARIF 2.1.0 schema
+        # the GitHub uploader actually requires.  CI validates against the
+        # full published schema.
+        schema = {
+            "type": "object",
+            "required": ["version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "runs": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["tool", "results"],
+                        "properties": {
+                            "tool": {
+                                "type": "object",
+                                "required": ["driver"],
+                                "properties": {
+                                    "driver": {
+                                        "type": "object",
+                                        "required": ["name", "rules"],
+                                    }
+                                },
+                            },
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["ruleId", "message", "locations"],
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        jsonschema.validate(self._render(lint_project, tmp_path), schema)

@@ -1,0 +1,86 @@
+"""Baseline files: accept today's violations, fail only on new ones.
+
+A baseline is a JSON document of fingerprints — ``sha256(rel_path, code,
+message)`` truncated — deliberately *excluding* line numbers so unrelated
+edits that shift a known violation do not resurrect it.  ``--write-baseline``
+records the current violations; ``--baseline`` filters matching diagnostics
+out of the run (they count as ``baselined``, not as failures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Sequence, Set
+
+from reprolint.config import Config
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import rel_to_root
+
+BASELINE_FORMAT_VERSION = 1
+
+
+def fingerprint(rel_path: str, code: str, message: str) -> str:
+    """Stable identity of one violation, independent of line numbers."""
+    digest = hashlib.sha256(
+        "\x00".join((rel_path, code, message)).encode("utf-8")
+    )
+    return digest.hexdigest()[:24]
+
+
+def baseline_document(
+    diagnostics: Sequence[Diagnostic], config: Config
+) -> Dict[str, Any]:
+    entries: List[Dict[str, Any]] = []
+    for diag in diagnostics:
+        rel = rel_to_root(diag.path, config.root)
+        entries.append(
+            {
+                "path": rel,
+                "line": diag.line,
+                "code": diag.code,
+                "message": diag.message,
+                "fingerprint": fingerprint(rel, diag.code, diag.message),
+            }
+        )
+    entries.sort(key=lambda e: (e["path"], e["line"], e["code"]))
+    return {"version": BASELINE_FORMAT_VERSION, "entries": entries}
+
+
+def write_baseline(
+    path: str, diagnostics: Sequence[Diagnostic], config: Config
+) -> None:
+    document = baseline_document(diagnostics, config)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The fingerprint set of a baseline file.
+
+    Raises ``ValueError`` on a malformed document (the CLI turns that into
+    a usage error rather than silently linting without the baseline).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    fingerprints: Set[str] = set()
+    for entry in data["entries"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"{path}: malformed baseline entry")
+        fingerprints.add(str(entry["fingerprint"]))
+    return fingerprints
+
+
+def filter_baselined(
+    diagnostics: Sequence[Diagnostic], fingerprints: Set[str], config: Config
+) -> List[Diagnostic]:
+    """Diagnostics not covered by the baseline, order preserved."""
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        rel = rel_to_root(diag.path, config.root)
+        if fingerprint(rel, diag.code, diag.message) not in fingerprints:
+            kept.append(diag)
+    return kept

@@ -2,131 +2,44 @@
 
 Exit status: 0 when clean, 1 when violations (or unparseable files) were
 found, 2 on usage errors.
+
+The heavy lifting lives in :mod:`reprolint.engine` (two-pass project
+engine with an on-disk diagnostics cache); this module is flag parsing
+and output rendering (human text or SARIF 2.1.0).
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
+import json
 import os
 import sys
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import reprolint.rules  # noqa: F401  (populates the registry)
+from reprolint import baseline as baseline_mod
 from reprolint.config import Config, load_config
-from reprolint.diagnostics import Diagnostic
-from reprolint.registry import FileContext, all_rules
-from reprolint.suppressions import collect_suppressions, is_suppressed
+from reprolint.engine import (  # noqa: F401  (re-exported for compatibility)
+    PARSE_ERROR_CODE,
+    LintResult,
+    discover_files,
+    lint_file,
+    run_lint,
+)
+from reprolint.registry import all_rules
+from reprolint.sarif import render_sarif
 
-#: Pseudo-code reported for files the parser rejects.
-PARSE_ERROR_CODE = "RPL900"
-
-
-@dataclass
-class LintResult:
-    diagnostics: List[Diagnostic] = field(default_factory=list)
-    suppressed: int = 0
-    files: int = 0
-    warnings: List[str] = field(default_factory=list)
-
-    @property
-    def exit_code(self) -> int:
-        return 1 if self.diagnostics else 0
-
-
-def discover_files(paths: Sequence[str], config: Config) -> List[str]:
-    """Expand files/directories into a sorted, de-duplicated .py file list."""
-    found: List[str] = []
-    for path in paths:
-        if os.path.isfile(path):
-            if path.endswith(".py"):
-                found.append(path)
-            continue
-        for dirpath, dirnames, filenames in os.walk(path):
-            rel_dir = _rel(dirpath, config.root)
-            dirnames[:] = sorted(
-                d for d in dirnames if not config.is_excluded(_join_rel(rel_dir, d))
-            )
-            for name in sorted(filenames):
-                if not name.endswith(".py"):
-                    continue
-                rel = _join_rel(rel_dir, name)
-                if not config.is_excluded(rel):
-                    found.append(os.path.join(dirpath, name))
-    # Deterministic order regardless of argument order or filesystem state.
-    return sorted(set(found))
-
-
-def _rel(path: str, root: str) -> str:
-    rel = os.path.relpath(os.path.abspath(path), root)
-    return rel.replace(os.sep, "/")
-
-
-def _join_rel(rel_dir: str, name: str) -> str:
-    return name if rel_dir in (".", "") else f"{rel_dir}/{name}"
-
-
-def lint_file(path: str, config: Config, codes: Iterable[str]) -> LintResult:
-    """Run the selected rules over one file."""
-    result = LintResult(files=1)
-    rel_path = _rel(path, config.root)
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        result.warnings.append(f"{path}: unreadable ({exc})")
-        return result
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        result.diagnostics.append(
-            Diagnostic(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code=PARSE_ERROR_CODE,
-                message=f"syntax error: {exc.msg}",
-            )
-        )
-        return result
-    suppressions = collect_suppressions(source)
-    module_name = config.module_name(rel_path)
-    wanted = set(codes)
-    for rule in all_rules():
-        if rule.code not in wanted:
-            continue
-        ctx = FileContext(
-            path=path,
-            rel_path=rel_path,
-            source=source,
-            tree=tree,
-            module_name=module_name,
-            options=config.options_for(rule.code),
-        )
-        if not rule.applies_to(ctx):
-            continue
-        for diag in rule.check(ctx):
-            if is_suppressed(suppressions, diag.span(), diag.code):
-                result.suppressed += 1
-            else:
-                result.diagnostics.append(diag)
-    return result
+#: Linted when they exist and no explicit paths are given.  ``tools``,
+#: ``benchmarks`` and ``scripts`` are first-class lint targets — the
+#: linter lints itself.
+DEFAULT_PATHS = ["src", "tests", "tools", "examples", "benchmarks", "scripts"]
 
 
 def lint_paths(
-    paths: Sequence[str], config: Config, codes: Iterable[str]
+    paths: Sequence[str], config: Config, codes: Sequence[str]
 ) -> LintResult:
-    total = LintResult()
-    codes = list(codes)
-    for path in discover_files(paths, config):
-        one = lint_file(path, config, codes)
-        total.diagnostics.extend(one.diagnostics)
-        total.suppressed += one.suppressed
-        total.files += one.files
-        total.warnings.extend(one.warnings)
-    total.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
-    return total
+    """Compatibility wrapper: the v1 entry point, now engine-backed."""
+    return run_lint(paths, config, codes, jobs=1, use_cache=False)
 
 
 def _selected_codes(config: Config, args: argparse.Namespace) -> List[str]:
@@ -146,17 +59,62 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description="AST-based invariant linter for the repro codebase "
-        "(determinism, SPD safety, layering).",
+        "(determinism, SPD safety, layering, lock discipline, durability).",
     )
-    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: src tests tools examples "
+        "benchmarks scripts, those that exist)",
+    )
     parser.add_argument("--config", help="explicit pyproject.toml path")
     parser.add_argument("--select", help="comma-separated rule codes to run")
     parser.add_argument("--ignore", help="comma-separated rule codes to skip")
     parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
     parser.add_argument(
+        "--format",
+        choices=["text", "sarif"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file: violations recorded there do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current violations as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parse files with N worker processes (0 = CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk diagnostics cache",
+    )
+    parser.add_argument(
+        "--cache-path",
+        help="diagnostics cache location (default: .reprolint-cache.json "
+        "under the config root)",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="show config source and stats"
     )
     return parser
+
+
+def _default_paths() -> List[str]:
+    existing = [path for path in DEFAULT_PATHS if os.path.exists(path)]
+    return existing or ["src"]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -174,21 +132,74 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not codes:
         print("reprolint: error: no rules selected", file=sys.stderr)
         return 2
-    result = lint_paths(args.paths, config, codes)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    result = run_lint(
+        args.paths or _default_paths(),
+        config,
+        codes,
+        jobs=jobs,
+        cache_path=args.cache_path,
+        use_cache=not args.no_cache,
+    )
+
+    if args.write_baseline:
+        try:
+            baseline_mod.write_baseline(args.write_baseline, result.diagnostics, config)
+        except OSError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"reprolint: wrote baseline with {len(result.diagnostics)} "
+            f"entr{'y' if len(result.diagnostics) == 1 else 'ies'} to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            fingerprints = baseline_mod.load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
+        kept = baseline_mod.filter_baselined(
+            result.diagnostics, fingerprints, config
+        )
+        result.baselined = len(result.diagnostics) - len(kept)
+        result.diagnostics = kept
+
     for warning in warnings + result.warnings:
         print(f"reprolint: warning: {warning}", file=sys.stderr)
-    for diag in result.diagnostics:
-        print(diag.format())
+
+    if args.format == "sarif":
+        document = render_sarif(result.diagnostics, config, codes)
+        rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    else:
+        rendered = "".join(diag.format() + "\n" for diag in result.diagnostics)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        except OSError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
+    elif rendered:
+        sys.stdout.write(rendered)
+
     if args.verbose:
         print(
             f"reprolint: config={config.source} rules={','.join(codes)} "
-            f"files={result.files}",
+            f"files={result.files} cached={result.cached_files} jobs={jobs}",
             file=sys.stderr,
         )
-    if result.diagnostics or args.verbose or result.suppressed:
+    if result.diagnostics or args.verbose or result.suppressed or result.baselined:
+        baselined = (
+            f", {result.baselined} baselined" if result.baselined else ""
+        )
         print(
             f"reprolint: {len(result.diagnostics)} violation(s), "
-            f"{result.suppressed} suppressed, {result.files} file(s) checked",
+            f"{result.suppressed} suppressed{baselined}, "
+            f"{result.files} file(s) checked",
             file=sys.stderr,
         )
     return result.exit_code

@@ -5,14 +5,28 @@ A rule is a class with a ``code``, a one-line ``summary``, and a
 objects.  Registration happens at import time via the :func:`register`
 decorator; :mod:`reprolint.rules` imports every rule module so the registry
 is fully populated after ``import reprolint.rules``.
+
+Two rule flavours exist:
+
+* :class:`Rule` — per-file: sees one :class:`FileContext` at a time and is
+  trivially parallel/cacheable.
+* :class:`ProjectRule` — project-wide: pass 1 runs its (cacheable)
+  :meth:`ProjectRule.collect` on each file, pass 2 runs
+  :meth:`ProjectRule.check_project` once against the assembled
+  :class:`~reprolint.project.ProjectContext`.  Suppression comments apply
+  at the *reported* site only — evidence gathered from other files does not
+  inherit suppressions written there.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Type
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Type
 
 from reprolint.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from reprolint.project import ProjectContext
 
 
 class FileContext:
@@ -56,12 +70,15 @@ class Rule:
 
     # ------------------------------------------------------------------
     def applies_to(self, ctx: FileContext) -> bool:
-        include = ctx.options.get("include", self.default_include)
-        exempt = ctx.options.get("exempt", self.default_exempt)
-        rel = ctx.rel_path
-        if include and not any(_prefix_match(rel, p) for p in include):  # type: ignore[union-attr]
+        return self.applies_to_rel(ctx.rel_path, ctx.options)
+
+    def applies_to_rel(self, rel_path: str, options: Dict[str, object]) -> bool:
+        """Include/exempt prefix check against a root-relative path."""
+        include = options.get("include", self.default_include)
+        exempt = options.get("exempt", self.default_exempt)
+        if include and not any(_prefix_match(rel_path, p) for p in include):  # type: ignore[union-attr]
             return False
-        if exempt and any(_prefix_match(rel, p) for p in exempt):  # type: ignore[union-attr]
+        if exempt and any(_prefix_match(rel_path, p) for p in exempt):  # type: ignore[union-attr]
             return False
         return True
 
@@ -74,6 +91,29 @@ class Rule:
             message=message,
             end_line=getattr(node, "end_lineno", 0) or 0,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for rules that need to see the whole program.
+
+    Pass 1 calls :meth:`collect` once per applicable file; the return value
+    must be JSON-serialisable because it is cached on disk keyed by the
+    file's content hash.  Pass 2 calls :meth:`check_project` once with the
+    assembled :class:`~reprolint.project.ProjectContext`; diagnostics must
+    anchor on a concrete file/line (``project.diagnostic`` helps), and the
+    engine filters them against the *reported* file's suppression map.
+    """
+
+    def collect(self, ctx: FileContext) -> Any:
+        """Per-file facts for this rule (JSON-serialisable), or ``None``."""
+        return None
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Project rules emit nothing in the per-file pass."""
+        return iter(())
 
 
 def _prefix_match(rel_path: str, prefix: str) -> bool:
@@ -98,6 +138,16 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 def all_rules() -> List[Rule]:
     """Every registered rule, sorted by code."""
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def file_rules() -> List[Rule]:
+    """Per-file rules only (non-project), sorted by code."""
+    return [rule for rule in all_rules() if not isinstance(rule, ProjectRule)]
+
+
+def project_rules() -> List["ProjectRule"]:
+    """Project-wide rules only, sorted by code."""
+    return [rule for rule in all_rules() if isinstance(rule, ProjectRule)]
 
 
 def get_rule(code: str) -> Rule:

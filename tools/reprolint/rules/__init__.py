@@ -7,4 +7,7 @@ from reprolint.rules import (  # noqa: F401  (imported for registration side eff
     rpl004_floateq,
     rpl005_exceptions,
     rpl006_determinism,
+    rpl007_lockdiscipline,
+    rpl008_durability,
+    rpl009_schema_drift,
 )

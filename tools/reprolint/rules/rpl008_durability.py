@@ -1,0 +1,165 @@
+"""RPL008 — durability ordering around atomic-rename publication.
+
+``os.replace``/``os.rename`` is the commit point of every atomic-write
+pattern in this repo (result artefacts, serving checkpoints, WAL
+truncation, the bench trajectory log).  The rename alone is *atomicity*,
+not *durability*: without ``flush()`` + ``os.fsync()`` on the temp handle
+before the rename a crash can publish an empty or torn file under the
+final name, and without an ``fsync`` of the parent directory after it the
+rename itself can be rolled back by power loss.
+
+The rule checks, per function containing a rename:
+
+1. a ``.flush()`` call and an ``os.fsync(...)`` call both appear before
+   the rename,
+2. a directory sync (any ``fsync_dir``-named call, or a later
+   ``os.fsync``) appears after it,
+3. functions that assemble the full pattern around a ``json.dumps``
+   payload outside :mod:`repro.io`/:mod:`repro.schemas` are flagged as
+   hand-rolled ``write_json_atomic`` re-implementations — use the real
+   one so the pattern has a single owner.
+
+Callers whose artefact is a pure cache (regenerate-on-loss) suppress with
+a justification; see ``circuits/montecarlo.py``.
+
+Options (``[tool.reprolint.rules.RPL008]``): ``allowed-functions`` —
+function names exempt from all three checks (default
+``["write_json_atomic"]``); standard ``include``/``exempt``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.qualnames import import_aliases, qualified_name
+from reprolint.registry import FileContext, Rule, register
+
+RENAME_CALLS = frozenset({"os.replace", "os.rename"})
+DEFAULT_ALLOWED_FUNCTIONS = ["write_json_atomic"]
+#: Modules that own the canonical pattern (re-implementations elsewhere
+#: should call into them instead).
+PATTERN_OWNERS = ("repro.io", "repro.schemas")
+
+
+@register
+class DurabilityOrdering(Rule):
+    code = "RPL008"
+    summary = (
+        "os.replace/os.rename without flush+fsync before and directory "
+        "fsync after"
+    )
+    default_exempt = ["tests"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        aliases = import_aliases(ctx.tree, ctx.module_name)
+        allowed = set(
+            ctx.options.get("allowed-functions", DEFAULT_ALLOWED_FUNCTIONS)
+        )
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name in allowed:
+                continue
+            calls = _calls_in(func)
+            renames = [
+                call
+                for call in calls
+                if qualified_name(call.func, aliases) in RENAME_CALLS
+            ]
+            if not renames:
+                continue
+            fsync_lines = [
+                call.lineno
+                for call in calls
+                if qualified_name(call.func, aliases) == "os.fsync"
+            ]
+            flush_lines = [
+                call.lineno
+                for call in calls
+                if isinstance(call.func, ast.Attribute)
+                and call.func.attr == "flush"
+            ]
+            dirsync_lines = [
+                call.lineno for call in calls if _is_dirsync(call, aliases)
+            ]
+            complete = True
+            for rename in renames:
+                problems: List[str] = []
+                if not any(line <= rename.lineno for line in flush_lines) or not any(
+                    line <= rename.lineno for line in fsync_lines
+                ):
+                    problems.append(
+                        "is not preceded by flush()+os.fsync() on the temp "
+                        "handle (a crash can publish an empty/torn file)"
+                    )
+                if not any(line > rename.lineno for line in dirsync_lines) and not any(
+                    line > rename.lineno for line in fsync_lines
+                ):
+                    problems.append(
+                        "is not followed by fsync_dir() on the parent "
+                        "directory (power loss can undo the rename)"
+                    )
+                if problems:
+                    complete = False
+                    yield self.diagnostic(
+                        ctx,
+                        rename,
+                        f"atomic rename in `{func.name}` "
+                        + " and ".join(problems)
+                        + "; use repro.schemas.write_json_atomic for JSON "
+                        "artefacts or complete the pattern",
+                    )
+            if complete and self._is_handrolled(ctx, func, calls, aliases):
+                yield self.diagnostic(
+                    ctx,
+                    func,
+                    f"`{func.name}` re-implements the durable JSON "
+                    "write pattern (json.dumps + flush + fsync + rename + "
+                    "dir sync); call repro.schemas.write_json_atomic so the "
+                    "pattern has one owner",
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_handrolled(
+        ctx: FileContext,
+        func: ast.AST,
+        calls: Sequence[ast.Call],
+        aliases: dict,
+    ) -> bool:
+        module = ctx.module_name or ""
+        if any(module == owner or module.startswith(owner + ".") for owner in PATTERN_OWNERS):
+            return False
+        return any(
+            qualified_name(call.func, aliases) in ("json.dumps", "json.dump")
+            for call in calls
+        )
+
+
+def _calls_in(func: ast.AST) -> List[ast.Call]:
+    """Every call in the function body, nested defs excluded."""
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def _is_dirsync(call: ast.Call, aliases: dict) -> Optional[bool]:
+    name: Optional[str] = None
+    if isinstance(call.func, ast.Name):
+        name = call.func.id
+    elif isinstance(call.func, ast.Attribute):
+        name = call.func.attr
+    if name is not None and name.lstrip("_").startswith("fsync_dir"):
+        return True
+    resolved = qualified_name(call.func, aliases)
+    return resolved is not None and resolved.endswith(".fsync_dir")

@@ -1,0 +1,231 @@
+"""RPL009 — schema-string drift (project-wide).
+
+Every persisted artefact and wire message in this repo carries a version
+tag (``repro.suffstats.v1``, ``repro.serving-wal.v2``, ...).  Those tags
+are load-bearing: readers dispatch on them, and two spellings of the same
+tag means a reader silently rejects data a writer produced.  The rule
+pins them to one constants module (``repro.schemas`` by default):
+
+* a string/bytes literal matching the version pattern anywhere outside
+  the constants module is an error — import the constant instead.  The
+  diagnostic names the constant when the literal matches one defined
+  there, because the fix is then a one-line import;
+* ``json.dumps``/``json.dump`` of protocol/checkpoint payloads in the
+  serialisation-sensitive modules (``dumps-scope``) outside the canonical
+  encoders is an error — byte-stable encodings (hash chains, wire
+  compares) must go through ``canonical_json``.
+
+Project-wide because the check is relational: the set of known constants
+lives in one file, violations in any other, and the diagnostic cites the
+definition site.
+
+Options (``[tool.reprolint.rules.RPL009]``):
+
+* ``constants-module`` (default ``"repro.schemas"``)
+* ``pattern`` — regex a literal must fully match to count as a version
+  tag (default ``^repro[.-][A-Za-z0-9_.-]*[./]v[0-9]+$``)
+* ``dumps-scope`` — module prefixes where raw ``json.dumps`` is policed
+  (default: serving, io, suffstats, cli, schemas)
+* ``canonical-functions`` — enclosing function names allowed to call
+  ``json.dumps`` (default ``["canonical_json", "write_json_atomic"]``)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.project import ProjectContext
+from reprolint.qualnames import import_aliases, qualified_name
+from reprolint.registry import FileContext, ProjectRule, register
+
+DEFAULT_CONSTANTS_MODULE = "repro.schemas"
+DEFAULT_PATTERN = r"^repro[.-][A-Za-z0-9_.-]*[./]v[0-9]+$"
+DEFAULT_DUMPS_SCOPE = [
+    "repro.serving",
+    "repro.io",
+    "repro.stats.suffstats",
+    "repro.cli",
+    "repro.schemas",
+]
+DEFAULT_CANONICAL_FUNCTIONS = ["canonical_json", "write_json_atomic"]
+
+
+@register
+class SchemaStringDrift(ProjectRule):
+    code = "RPL009"
+    summary = (
+        "schema version literal outside the constants module, or raw "
+        "json.dumps of protocol payloads outside canonical_json"
+    )
+    default_exempt = ["tests"]
+
+    # ------------------------------------------------------------------
+    # pass 1: per-file facts
+    # ------------------------------------------------------------------
+    def collect(self, ctx: FileContext) -> Optional[Dict[str, Any]]:
+        pattern = re.compile(
+            str(ctx.options.get("pattern", DEFAULT_PATTERN))
+        )
+        aliases = import_aliases(ctx.tree, ctx.module_name)
+        canonical = set(
+            ctx.options.get("canonical-functions", DEFAULT_CANONICAL_FUNCTIONS)
+        )
+        bare_strings = _bare_string_positions(ctx.tree)
+        literals: List[Dict[str, Any]] = []
+        for node, assigned in _literal_sites(ctx.tree):
+            text = node.value
+            if isinstance(text, bytes):
+                try:
+                    text = text.decode("ascii")
+                except UnicodeDecodeError:
+                    continue
+            if not isinstance(text, str) or not pattern.match(text):
+                continue
+            if (node.lineno, node.col_offset) in bare_strings:
+                continue  # docstrings / bare string statements
+            literals.append(
+                {
+                    "value": text,
+                    "assigned": assigned,
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "end_line": node.end_lineno or 0,
+                }
+            )
+        dumps: List[Dict[str, Any]] = []
+        for call, enclosing in _calls_with_enclosing(ctx.tree):
+            if qualified_name(call.func, aliases) not in ("json.dumps", "json.dump"):
+                continue
+            if enclosing in canonical:
+                continue
+            dumps.append(
+                {
+                    "function": enclosing or "<module>",
+                    "line": call.lineno,
+                    "col": call.col_offset,
+                    "end_line": call.end_lineno or 0,
+                }
+            )
+        if not literals and not dumps:
+            return None
+        return {"literals": literals, "dumps": dumps}
+
+    # ------------------------------------------------------------------
+    # pass 2: relate facts across the project
+    # ------------------------------------------------------------------
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        options = project.options_for(self.code)
+        constants_module = str(
+            options.get("constants-module", DEFAULT_CONSTANTS_MODULE)
+        )
+        scope: Sequence[str] = options.get("dumps-scope", DEFAULT_DUMPS_SCOPE)
+        collected = project.collected_for(self.code)
+
+        constants_rel = project.module_file(constants_module)
+        known: Dict[str, str] = {}
+        if constants_rel is not None and constants_rel in collected:
+            for literal in collected[constants_rel]["literals"]:
+                if literal["assigned"]:
+                    known.setdefault(literal["value"], literal["assigned"])
+
+        for rel in sorted(collected):
+            data = collected[rel]
+            module = project.files[rel].module_name if rel in project.files else None
+            if module != constants_module:
+                for literal in data["literals"]:
+                    value = literal["value"]
+                    assigned = literal.get("assigned")
+                    where = f" (assigned to `{assigned}`)" if assigned else ""
+                    if value in known:
+                        hint = (
+                            f"; it is defined as `{known[value]}` in "
+                            f"`{constants_module}`"
+                            + (f" ({constants_rel})" if constants_rel else "")
+                            + " — import that constant"
+                        )
+                    else:
+                        hint = (
+                            f"; add a constant to `{constants_module}` and "
+                            "import it"
+                        )
+                    yield project.diagnostic(
+                        self.code,
+                        rel,
+                        f'schema version literal "{value}"{where} outside '
+                        f"the constants module{hint}",
+                        line=literal["line"],
+                        col=literal["col"],
+                        end_line=literal["end_line"],
+                    )
+            if module and _in_scope(module, scope):
+                for dump in data["dumps"]:
+                    yield project.diagnostic(
+                        self.code,
+                        rel,
+                        f"raw json.dumps in `{dump['function']}` of "
+                        f"serialisation-sensitive module `{module}`; "
+                        "protocol/checkpoint payloads must go through "
+                        f"`{constants_module}.canonical_json` (or "
+                        "write_json_atomic) so encodings stay byte-stable",
+                        line=dump["line"],
+                        col=dump["col"],
+                        end_line=dump["end_line"],
+                    )
+
+
+def _in_scope(module: str, scope: Sequence[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in scope
+    )
+
+
+def _bare_string_positions(tree: ast.Module) -> set:
+    """Positions of string constants used as bare statements (docstrings)."""
+    out = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, (str, bytes))
+        ):
+            out.add((node.value.lineno, node.value.col_offset))
+    return out
+
+
+def _literal_sites(tree: ast.Module) -> Iterator[Any]:
+    """Every string/bytes constant with the name it is assigned to, if any."""
+    assigned_at: Dict[int, str] = {}
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if (
+            targets
+            and isinstance(getattr(node, "value", None), ast.Constant)
+            and len(targets) == 1
+            and isinstance(targets[0], ast.Name)
+        ):
+            assigned_at[id(node.value)] = targets[0].id
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, (str, bytes)):
+            yield node, assigned_at.get(id(node))
+
+
+def _calls_with_enclosing(tree: ast.Module) -> Iterator[Any]:
+    """Every call paired with its innermost enclosing function name."""
+
+    def walk(node: ast.AST, enclosing: Optional[str]) -> Iterator[Any]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, child.name)
+                continue
+            if isinstance(child, ast.Call):
+                yield child, enclosing
+            yield from walk(child, enclosing)
+
+    yield from walk(tree, None)

@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 rendering of lint results.
+
+One run, one ``reprolint`` driver, one result per diagnostic.  Paths are
+emitted root-relative under the ``SRCROOT`` URI base so GitHub code
+scanning anchors annotations correctly regardless of the checkout
+directory.  Each result carries a stable ``partialFingerprints`` entry
+(shared with the baseline machinery) so re-uploads dedupe instead of
+re-opening alerts when lines shift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from reprolint import __version__
+from reprolint.baseline import fingerprint
+from reprolint.config import Config
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import PARSE_ERROR_CODE, rel_to_root
+from reprolint.registry import all_rules
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic], config: Config, codes: Sequence[str]
+) -> Dict[str, Any]:
+    """The SARIF 2.1.0 log document for one lint run."""
+    rule_ids: List[str] = sorted(set(codes) | {d.code for d in diagnostics})
+    summaries = {rule.code: rule.summary for rule in all_rules()}
+    summaries.setdefault(PARSE_ERROR_CODE, "file could not be parsed")
+    rule_index = {code: index for index, code in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summaries.get(code, code)},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in rule_ids
+    ]
+    results = []
+    for diag in diagnostics:
+        rel = rel_to_root(diag.path, config.root)
+        region: Dict[str, Any] = {
+            "startLine": diag.line,
+            "startColumn": diag.col + 1,
+        }
+        if diag.end_line >= diag.line:
+            region["endLine"] = diag.end_line
+        results.append(
+            {
+                "ruleId": diag.code,
+                "ruleIndex": rule_index[diag.code],
+                "level": "error",
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": rel,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": region,
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reprolint/v1": fingerprint(rel, diag.code, diag.message)
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": _file_uri(config.root)}
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def _file_uri(root: str) -> str:
+    path = root.replace("\\", "/")
+    if not path.startswith("/"):
+        path = "/" + path
+    return f"file://{path}/"
