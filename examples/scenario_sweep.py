@@ -1,0 +1,100 @@
+"""Fuse every instance of a declarative corner x mismatch scenario sweep.
+
+The scenario compiler turns a small document into a grid of paired
+Monte-Carlo banks — here a SAR ADC across three process corners and two
+mismatch magnitudes — and each bank then goes through the paper's fusion
+pipeline exactly like a hand-built dataset:
+
+1. declare the sweep (no Python per configuration);
+2. expand it into deterministic, content-hashed instances;
+3. compile each instance to a paired early/late bank (disk-cached, so a
+   second run of this example re-simulates nothing);
+4. fuse a handful of late samples per instance and compare BMF against
+   the plain MLE on the same budget.
+
+Run with:  PYTHONPATH=src python examples/scenario_sweep.py
+"""
+
+import numpy as np
+
+from repro.core.errors import covariance_error, mean_error
+from repro.core.pipeline import FusionPipeline
+from repro.scenarios import LIBRARY_VERSION, compile_instance, expand, parse_scenario_doc
+from repro.schemas import SCENARIO_SCHEMA
+
+DOCUMENT = {
+    "schema": SCENARIO_SCHEMA,
+    "library": LIBRARY_VERSION,
+    "scenarios": [
+        {
+            "name": "sar-grid",
+            "circuit": "sar_adc",
+            "knobs": {"resolution": 8, "samples": 256},
+            "sweep": {
+                "corner": ["TT", "SS", "FF"],
+                "mismatch": ["nominal", "extreme"],
+            },
+        }
+    ],
+}
+
+N_LATE = 12
+
+
+def main() -> None:
+    doc = parse_scenario_doc(DOCUMENT, source="<scenario_sweep.py>")
+    instances = expand(doc)
+    print(
+        f"expanded {doc.scenarios[0].name!r} into {len(instances)} instances; "
+        f"fusing {N_LATE} late samples each\n"
+    )
+
+    print(
+        f"{'grid cell':<35} {'bank':<6} {'BMF mean':>9} {'MLE mean':>9} "
+        f"{'BMF cov':>9} {'MLE cov':>9}"
+    )
+    wins = 0
+    for inst in instances:
+        dataset, report = compile_instance(inst)
+        pipeline = FusionPipeline.fit(
+            dataset.early,
+            dataset.early_nominal,
+            dataset.late_nominal,
+        )
+        rng = np.random.default_rng(7)
+        subset = dataset.late_subset(N_LATE, rng)
+        bmf = pipeline.estimate(subset, rng=rng)
+        mle = pipeline.estimate_mle(subset)
+
+        # Ground truth: the full late-stage bank, in the same isotropic
+        # space the estimators work in (Eq. 37/38 error metrics).
+        late_iso = pipeline.transform.transform(dataset.late, "late")
+        exact_mean = late_iso.mean(axis=0)
+        exact_cov = np.cov(late_iso.T, bias=True)
+
+        errs = (
+            mean_error(bmf.isotropic.mean, exact_mean),
+            mean_error(mle.isotropic.mean, exact_mean),
+            covariance_error(bmf.isotropic.covariance, exact_cov),
+            covariance_error(mle.isotropic.covariance, exact_cov),
+        )
+        wins += errs[0] < errs[1]
+        tag = "cached" if report["cache_hit"] else "built"
+        label = inst.name.split("@", 1)[1]
+        print(
+            f"{label:<35} {tag:<6} {errs[0]:>9.4f} {errs[1]:>9.4f} "
+            f"{errs[2]:>9.4f} {errs[3]:>9.4f}"
+        )
+
+    print(
+        f"\nBMF beat the {N_LATE}-sample MLE on the mean vector in "
+        f"{wins}/{len(instances)} grid cells"
+    )
+    print(
+        "(each cell is an independent fusion problem: the scenario layer "
+        "only manufactures the banks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

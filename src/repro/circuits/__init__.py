@@ -11,8 +11,10 @@ from repro.circuits.components import (
     VCCS,
     VoltageSource,
 )
+from repro.circuits.dies import die_draw_bank
 from repro.circuits.linearity import (
     LinearityResult,
+    inl_dnl_from_dac_levels,
     inl_dnl_from_histogram,
     inl_dnl_from_levels,
 )
@@ -49,6 +51,36 @@ from repro.circuits.opamp import (
     OpAmpMetrics,
     TwoStageOpAmp,
 )
+from repro.circuits.r2r_dac import (
+    R2R_DAC_METRIC_NAMES,
+    R2RDACDesign,
+    R2RDACMetrics,
+    R2RLadderDAC,
+)
+from repro.circuits.registry import (
+    CircuitEntry,
+    circuit_names,
+    generate_dataset,
+    get_circuit,
+)
+from repro.circuits.sar_adc import (
+    SAR_ADC_METRIC_NAMES,
+    SarADC,
+    SarADCDesign,
+    SarADCMetrics,
+)
+from repro.circuits.svf import (
+    SVF_METRIC_NAMES,
+    GmCFilterDesign,
+    GmCStateVariableFilter,
+    SVFMetrics,
+)
+from repro.circuits.variants import (
+    CircuitVariant,
+    corner_spec,
+    scale_divergence,
+    scaled_process_model,
+)
 from repro.circuits.sensitivity import (
     SensitivityResult,
     metric_sensitivities,
@@ -84,6 +116,8 @@ __all__ = [
     "BatchedACSolution",
     "ADC_METRIC_NAMES",
     "Capacitor",
+    "CircuitEntry",
+    "CircuitVariant",
     "CornerSpec",
     "Component",
     "CurrentSource",
@@ -91,6 +125,8 @@ __all__ = [
     "FlashADCDesign",
     "FoldedCascodeDesign",
     "FoldedCascodeOTA",
+    "GmCFilterDesign",
+    "GmCStateVariableFilter",
     "GROUND",
     "GlobalVariation",
     "Inductor",
@@ -110,8 +146,18 @@ __all__ = [
     "PairedDataset",
     "ProcessSample",
     "ProcessVariationModel",
+    "R2RDACDesign",
+    "R2RDACMetrics",
+    "R2RLadderDAC",
+    "R2R_DAC_METRIC_NAMES",
     "Resistor",
     "STANDARD_CORNERS",
+    "SAR_ADC_METRIC_NAMES",
+    "SVFMetrics",
+    "SVF_METRIC_NAMES",
+    "SarADC",
+    "SarADCDesign",
+    "SarADCMetrics",
     "SensitivityResult",
     "SmallSignal",
     "SpectralAnalyzer",
@@ -123,16 +169,24 @@ __all__ = [
     "TwoStageOpAmp",
     "VCCS",
     "VoltageSource",
+    "circuit_names",
     "coherent_frequency",
+    "corner_spec",
     "dataset_cache_path",
+    "die_draw_bank",
     "format_value",
     "generate_adc_dataset",
     "generate_corner_datasets",
+    "generate_dataset",
     "generate_ota_dataset",
     "generate_opamp_dataset",
+    "get_circuit",
+    "inl_dnl_from_dac_levels",
     "inl_dnl_from_histogram",
     "inl_dnl_from_levels",
     "metric_sensitivities",
+    "scale_divergence",
+    "scaled_process_model",
     "parse_netlist",
     "parse_value",
     "sine",

@@ -24,7 +24,12 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 
-__all__ = ["LinearityResult", "inl_dnl_from_levels", "inl_dnl_from_histogram"]
+__all__ = [
+    "LinearityResult",
+    "inl_dnl_from_levels",
+    "inl_dnl_from_dac_levels",
+    "inl_dnl_from_histogram",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,35 @@ def inl_dnl_from_levels(levels) -> LinearityResult:
     if lsb <= 0.0:
         raise SimulationError("degenerate transfer curve: zero full-scale range")
     ideal = lv[0] + lsb * np.arange(n_trans)
+    inl = (lv - ideal) / lsb
+    dnl = np.diff(lv) / lsb - 1.0
+    return LinearityResult(dnl=dnl, inl=inl)
+
+
+def inl_dnl_from_dac_levels(levels) -> LinearityResult:
+    """INL/DNL of a DAC transfer curve (end-point fit, *no sorting*).
+
+    Parameters
+    ----------
+    levels:
+        1-D array of the converter's output level per input code, in code
+        order (``2^b`` entries for a ``b``-bit DAC).
+
+    Unlike :func:`inl_dnl_from_levels` — which measures the sorted
+    transition set of an ADC ladder — a DAC's transfer curve is indexed by
+    the digital input code, so the level order *is* the measurement:
+    sorting would erase exactly the non-monotonicity a DAC linearity test
+    exists to catch.  A decreasing step shows up as ``DNL < -1`` and the
+    :attr:`LinearityResult.monotonic` flag reports it.
+    """
+    lv = np.asarray(levels, dtype=float).ravel()
+    if lv.size < 3:
+        raise SimulationError(f"need at least 3 DAC levels, got {lv.size}")
+    n_levels = lv.size
+    lsb = (lv[-1] - lv[0]) / (n_levels - 1)
+    if lsb <= 0.0:
+        raise SimulationError("degenerate transfer curve: non-positive full scale")
+    ideal = lv[0] + lsb * np.arange(n_levels)
     inl = (lv - ideal) / lsb
     dnl = np.diff(lv) / lsb - 1.0
     return LinearityResult(dnl=dnl, inl=inl)

@@ -24,8 +24,8 @@ from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.circuits.adc import ADC_METRIC_NAMES, FlashADC, FlashADCDesign
-from repro.circuits.opamp import OPAMP_METRIC_NAMES, OpAmpDesign, TwoStageOpAmp
+from repro.circuits.adc import FlashADCDesign
+from repro.circuits.opamp import OpAmpDesign
 from repro.exceptions import DimensionError, ReproError, SimulationError
 
 __all__ = [
@@ -143,8 +143,17 @@ def _resolve_cache_dir(cache_dir: Optional[Union[str, Path]]) -> Path:
     return base / "repro" / "datasets"
 
 
-def _dataset_cache_key(circuit: str, n_samples: int, seed: int, design) -> str:
-    """Content hash over everything that determines the generated bank."""
+def _dataset_cache_key(
+    circuit: str, n_samples: int, seed: int, design, extra: Optional[dict] = None
+) -> str:
+    """Content hash over everything that determines the generated bank.
+
+    ``extra`` carries additional generation config beyond the design —
+    today the scenario compiler's non-default circuit variant (corner /
+    mismatch / divergence knobs).  It is folded into the hashed payload
+    *only when present*, so every pre-variant configuration keeps its
+    exact historical cache path.
+    """
     config = {
         "circuit": circuit,
         "version": _DATASET_CACHE_VERSION,
@@ -152,6 +161,8 @@ def _dataset_cache_key(circuit: str, n_samples: int, seed: int, design) -> str:
         "seed": int(seed),
         "design": dataclasses.asdict(design),
     }
+    if extra:
+        config["extra"] = extra
     payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -162,9 +173,10 @@ def dataset_cache_path(
     seed: int,
     design,
     cache_dir: Optional[Union[str, Path]] = None,
+    extra: Optional[dict] = None,
 ) -> Path:
     """Where the cache entry for this exact configuration lives (may not exist)."""
-    key = _dataset_cache_key(circuit, n_samples, seed, design)
+    key = _dataset_cache_key(circuit, n_samples, seed, design, extra)
     return _resolve_cache_dir(cache_dir) / f"{circuit}-{key[:20]}.npz"
 
 
@@ -176,6 +188,7 @@ def _cached_dataset(
     builder: Callable[[], PairedDataset],
     cache_dir: Optional[Union[str, Path]],
     use_cache: bool,
+    extra: Optional[dict] = None,
 ) -> PairedDataset:
     """Round a dataset build through the disk cache.
 
@@ -187,7 +200,7 @@ def _cached_dataset(
     """
     if not use_cache:
         return builder()
-    path = dataset_cache_path(circuit, n_samples, seed, design, cache_dir)
+    path = dataset_cache_path(circuit, n_samples, seed, design, cache_dir, extra)
     if path.exists():
         # Lazy upward import: repro.io owns (de)serialisation and already
         # depends on circuits for PairedDataset, so the cache round-trip
@@ -236,25 +249,19 @@ def generate_opamp_dataset(
     dataset up to solver round-off and a bank cached under one backend is
     valid for the other — a performance knob, not a config change.
     """
-    resolved = design if design is not None else OpAmpDesign()
+    # Lazy upward import: the registry aggregates every circuit module
+    # (this one included), so dispatching through it at module scope
+    # would be an import cycle.
+    from repro.circuits.registry import generate_dataset
 
-    def build() -> PairedDataset:
-        early_sim = TwoStageOpAmp.schematic(resolved)
-        late_sim = TwoStageOpAmp.post_layout(resolved)
-        rng = np.random.default_rng(seed)
-        samples = early_sim.process_model().sample(
-            early_sim.devices, n_samples, rng
-        )
-        return PairedDataset(
-            early=early_sim.simulate_batch(samples, mna_backend=mna_backend),
-            late=late_sim.simulate_batch(samples, mna_backend=mna_backend),
-            early_nominal=early_sim.simulate_nominal().as_array(),
-            late_nominal=late_sim.simulate_nominal().as_array(),
-            metric_names=OPAMP_METRIC_NAMES,
-        )
-
-    return _cached_dataset(
-        "opamp", n_samples, seed, resolved, build, cache_dir, use_cache
+    return generate_dataset(
+        "opamp",
+        n_samples=n_samples,
+        seed=seed,
+        design=design,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        mna_backend=mna_backend,
     )
 
 
@@ -272,22 +279,13 @@ def generate_adc_dataset(
     :func:`dataset_cache_path`); pass ``use_cache=False`` to force a
     fresh simulation.
     """
-    resolved = design if design is not None else FlashADCDesign()
+    from repro.circuits.registry import generate_dataset
 
-    def build() -> PairedDataset:
-        early_sim = FlashADC.schematic(resolved)
-        late_sim = FlashADC.post_layout(resolved)
-        die_seeds = (
-            np.arange(n_samples, dtype=np.int64) + np.int64(seed) * 1_000_003
-        )
-        return PairedDataset(
-            early=early_sim.simulate_batch(die_seeds),
-            late=late_sim.simulate_batch(die_seeds),
-            early_nominal=early_sim.simulate_nominal().as_array(),
-            late_nominal=late_sim.simulate_nominal().as_array(),
-            metric_names=ADC_METRIC_NAMES,
-        )
-
-    return _cached_dataset(
-        "adc", n_samples, seed, resolved, build, cache_dir, use_cache
+    return generate_dataset(
+        "adc",
+        n_samples=n_samples,
+        seed=seed,
+        design=design,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
     )

@@ -1,0 +1,405 @@
+"""Behavioural R-2R ladder DAC (scenario-library circuit block).
+
+A ``b``-bit voltage-mode R-2R ladder: ``b`` branch resistors of ``2R``
+(each switched between ground and ``vref`` through a real switch
+resistance), ``b - 1`` rung resistors of ``R`` and a ``2R`` terminator.
+The output node (MSB side) drives a high-impedance buffer.  Nothing is
+idealised away:
+
+* every resistor and switch carries per-die mismatch drawn from the
+  shared die-seed stream (:mod:`repro.circuits.dies`), so schematic and
+  post-layout runs of the same die are physically correlated;
+* the transfer curve comes from an exact nodal solve of the mismatched
+  ladder — a batched Thomas (tridiagonal) factorisation per die with all
+  ``2^b`` input codes as stacked right-hand sides — so DNL/INL and
+  non-monotonicity *emerge* from the resistor network;
+* the post-layout variant adds a systematic resistor gradient along the
+  ladder (metal/poly sheet-resistance drift), higher switch resistance
+  (contact/via stacks), a mismatch inflation, an output-wiring offset and
+  a power overhead.
+
+Five correlated metrics per die, in :data:`R2R_DAC_METRIC_NAMES` order:
+worst |DNL| and |INL| (LSB, end-point fit on the code-ordered levels —
+see :func:`repro.circuits.linearity.inl_dnl_from_dac_levels`), gain
+error (relative), output offset (V) and power (W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.dies import die_draw_bank
+from repro.circuits.linearity import LinearityResult, inl_dnl_from_dac_levels
+from repro.exceptions import SimulationError
+
+__all__ = ["R2RDACDesign", "R2RDACMetrics", "R2RLadderDAC", "R2R_DAC_METRIC_NAMES"]
+
+#: Metric ordering used by every returned array.
+R2R_DAC_METRIC_NAMES: Tuple[str, ...] = (
+    "dnl_max",      # LSB
+    "inl_max",      # LSB
+    "gain_error",   # relative full-scale error
+    "offset",       # V
+    "power",        # W
+)
+
+
+@dataclass(frozen=True)
+class R2RDACDesign:
+    """Architecture and nominal electrical parameters of the ladder."""
+
+    n_bits: int = 8
+    vref: float = 1.8
+    r_unit: float = 10e3         # ladder "R" (ohms)
+    sigma_r_rel: float = 1.2e-3  # per-resistor relative mismatch std
+    r_switch: float = 120.0      # switch on-resistance (ohms)
+    sigma_switch_rel: float = 0.08  # per-switch relative mismatch std
+    sigma_offset: float = 0.8e-3    # output buffer input offset std (V)
+    buffer_current: float = 150e-6  # output buffer bias (A)
+    sigma_bias_rel: float = 0.05    # buffer bias mismatch
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.n_bits <= 12:
+            raise SimulationError(f"n_bits must lie in [4, 12], got {self.n_bits}")
+        if self.r_unit <= 0.0 or self.r_switch < 0.0:
+            raise SimulationError("ladder resistances must be positive")
+
+    @property
+    def n_codes(self) -> int:
+        """``2^b`` input codes."""
+        return 1 << self.n_bits
+
+    @property
+    def lsb(self) -> float:
+        """Ideal output step in volts."""
+        return self.vref / self.n_codes
+
+
+@dataclass(frozen=True)
+class _R2RLayoutEffects:
+    """Post-layout deviations (all neutral at schematic level)."""
+
+    mismatch_inflation: float = 1.0  # multiplies resistor/offset mismatch
+    gradient_rel: float = 0.0        # full-ladder linear resistor drift
+    switch_derate: float = 0.0       # relative switch-resistance increase
+    offset_v: float = 0.0            # output wiring/buffer systematic offset
+    power_overhead_rel: float = 0.0
+
+
+@dataclass(frozen=True)
+class R2RDACMetrics:
+    """The five measured performances of one simulated die."""
+
+    dnl_max: float
+    inl_max: float
+    gain_error: float
+    offset: float
+    power: float
+
+    def as_array(self) -> np.ndarray:
+        """Metrics in :data:`R2R_DAC_METRIC_NAMES` order."""
+        return np.array(
+            [self.dnl_max, self.inl_max, self.gain_error, self.offset, self.power]
+        )
+
+
+class R2RLadderDAC:
+    """Simulator for one design stage of the R-2R converter.
+
+    Build stage pairs with :meth:`schematic` / :meth:`post_layout` and feed
+    both the *same die seeds* so early/late samples are correlated.
+    """
+
+    def __init__(
+        self, design: R2RDACDesign, layout: Optional[_R2RLayoutEffects] = None
+    ) -> None:
+        self.design = design
+        self.layout = layout if layout is not None else _R2RLayoutEffects()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def schematic(cls, design: Optional[R2RDACDesign] = None) -> "R2RLadderDAC":
+        """Early-stage simulator: ideal layout."""
+        return cls(design if design is not None else R2RDACDesign())
+
+    @classmethod
+    def post_layout(cls, design: Optional[R2RDACDesign] = None) -> "R2RLadderDAC":
+        """Late-stage simulator with extracted layout effects."""
+        return cls(
+            design if design is not None else R2RDACDesign(),
+            _R2RLayoutEffects(
+                mismatch_inflation=1.03,
+                gradient_rel=1.5e-3,
+                switch_derate=0.18,
+                offset_v=0.6e-3,
+                power_overhead_rel=0.08,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # per-die draw layout (single standard_normal stream, fixed order):
+    #   branch z   [0, b)          2R branch resistor mismatch
+    #   rung z     [b, 2b-1)       R rung resistor mismatch
+    #   term z     [2b-1]          2R terminator mismatch
+    #   switch z   [2b, 3b)        switch on-resistance mismatch
+    #   bias z     [3b]            buffer bias mismatch
+    #   offset z   [3b+1]          buffer input offset
+    @property
+    def _stride(self) -> int:
+        return 3 * self.design.n_bits + 2
+
+    def _conductances(
+        self, z: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ladder conductances of each die from its draw rows ``(n, stride)``.
+
+        Returns ``(g_branch, g_rung, g_term)`` with shapes ``(n, b)``,
+        ``(n, b-1)`` and ``(n,)``.  Branch conductance includes the switch
+        in series.  The layout gradient tilts every resistor linearly with
+        its position along the ladder (terminator at -1/2, MSB at +1/2).
+        """
+        design = self.design
+        layout = self.layout
+        b = design.n_bits
+        infl = layout.mismatch_inflation
+        sig_r = design.sigma_r_rel * infl
+
+        # Positions along the physical ladder: terminator, then rung i
+        # between nodes i and i+1, with branch i adjacent to node i.
+        pos_branch = (np.arange(b) / max(b - 1, 1)) - 0.5
+        pos_rung = ((np.arange(b - 1) + 0.5) / max(b - 1, 1)) - 0.5
+
+        grad_b = 1.0 + layout.gradient_rel * pos_branch
+        grad_r = 1.0 + layout.gradient_rel * pos_rung
+        grad_t = 1.0 - 0.5 * layout.gradient_rel
+
+        r2 = 2.0 * design.r_unit
+        branch_r = r2 * (1.0 + sig_r * z[:, :b]) * grad_b
+        rung_r = design.r_unit * (1.0 + sig_r * z[:, b : 2 * b - 1]) * grad_r
+        term_r = r2 * (1.0 + sig_r * z[:, 2 * b - 1]) * grad_t
+
+        r_sw = design.r_switch * (1.0 + layout.switch_derate)
+        switch_r = r_sw * (1.0 + design.sigma_switch_rel * z[:, 2 * b : 3 * b])
+
+        branch_total = np.maximum(branch_r + switch_r, 0.05 * r2)
+        rung_r = np.maximum(rung_r, 0.05 * design.r_unit)
+        term_r = np.maximum(term_r, 0.05 * r2)
+        return 1.0 / branch_total, 1.0 / rung_r, 1.0 / term_r
+
+    def _code_bits(self) -> np.ndarray:
+        """``(n_codes, b)`` bit matrix, LSB first (bit i drives node i)."""
+        design = self.design
+        codes = np.arange(design.n_codes)
+        bits = (codes[:, None] >> np.arange(design.n_bits)[None, :]) & 1
+        return bits.astype(float)
+
+    def _ladder_levels(
+        self,
+        g_branch: np.ndarray,
+        g_rung: np.ndarray,
+        g_term: np.ndarray,
+        bits: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve the ladder for every (die, code) pair.
+
+        One Thomas factorisation per die (the conductance matrix does not
+        depend on the code), then all codes as stacked right-hand sides.
+        Returns ``(levels, i_ref)``: output voltages ``(n, n_codes)`` and
+        the mean reference-rail current per die ``(n,)``.
+        """
+        design = self.design
+        b = design.n_bits
+        n = g_branch.shape[0]
+        n_codes = bits.shape[0]
+
+        # Tridiagonal coefficients per die: diag d_i, off-diagonal -g_rung.
+        diag = g_branch.copy()
+        diag[:, 0] += g_term
+        if b > 1:
+            diag[:, :-1] += g_rung
+            diag[:, 1:] += g_rung
+
+        # Thomas factorisation (die-wise, b is tiny).
+        denom = np.empty((n, b))
+        w = np.zeros((n, b))
+        denom[:, 0] = diag[:, 0]
+        for i in range(1, b):
+            w[:, i] = -g_rung[:, i - 1] / denom[:, i - 1]
+            denom[:, i] = diag[:, i] + w[:, i] * g_rung[:, i - 1]
+
+        # Right-hand sides for all codes: rhs[d, c, i] = bit_ci * gb_di * vref.
+        rhs = bits[None, :, :] * g_branch[:, None, :] * design.vref
+
+        # Forward elimination / back substitution, vectorized over (die, code).
+        y = np.empty((n, n_codes, b))
+        y[:, :, 0] = rhs[:, :, 0]
+        for i in range(1, b):
+            y[:, :, i] = rhs[:, :, i] - w[:, i, None] * y[:, :, i - 1]
+        v = np.empty((n, n_codes, b))
+        v[:, :, b - 1] = y[:, :, b - 1] / denom[:, b - 1, None]
+        for i in range(b - 2, -1, -1):
+            v[:, :, i] = (y[:, :, i] + g_rung[:, i, None] * v[:, :, i + 1]) / denom[
+                :, i, None
+            ]
+
+        levels = v[:, :, b - 1]
+        # Current drawn from the reference rail: through every branch whose
+        # bit is high, (vref - v_node) * g_branch; averaged over codes.
+        i_codes = np.sum(
+            bits[None, :, :] * g_branch[:, None, :] * (design.vref - v), axis=2
+        )
+        return levels, np.mean(i_codes, axis=1)
+
+    # ------------------------------------------------------------------
+    def _metrics_from_rows(self, z: np.ndarray) -> np.ndarray:
+        """Metrics matrix for a bank of draw rows ``(n, stride)``."""
+        design = self.design
+        layout = self.layout
+        b = design.n_bits
+
+        g_branch, g_rung, g_term = self._conductances(z)
+        bits = self._code_bits()
+        levels, i_ref = self._ladder_levels(g_branch, g_rung, g_term, bits)
+
+        offset = (
+            design.sigma_offset * layout.mismatch_inflation * z[:, 3 * b + 1]
+            + layout.offset_v
+        )
+        levels = levels + offset[:, None]
+
+        # End-point linearity on the code-ordered curve (vectorized mirror
+        # of inl_dnl_from_dac_levels; no sorting — see that function).
+        span = levels[:, -1] - levels[:, 0]
+        if np.any(span <= 0.0):
+            raise SimulationError("degenerate ladder: non-positive full scale")
+        lsb = span / (design.n_codes - 1)
+        ideal = levels[:, :1] + lsb[:, None] * np.arange(design.n_codes)
+        inl = (levels - ideal) / lsb[:, None]
+        dnl = np.diff(levels, axis=1) / lsb[:, None] - 1.0
+        dnl_max = np.max(np.abs(dnl), axis=1)
+        inl_max = np.max(np.abs(inl), axis=1)
+
+        ideal_span = design.vref * (design.n_codes - 1) / design.n_codes
+        gain_error = span / ideal_span - 1.0
+        out_offset = levels[:, 0]
+
+        bias = design.buffer_current * (1.0 + design.sigma_bias_rel * z[:, 3 * b])
+        bias = np.maximum(bias, 0.0)
+        nominal_core = design.buffer_current + design.vref / (2.0 * design.r_unit)
+        power = design.vref * (
+            i_ref + bias + layout.power_overhead_rel * nominal_core
+        )
+        return np.column_stack([dnl_max, inl_max, gain_error, out_offset, power])
+
+    # ------------------------------------------------------------------
+    def simulate(self, die_seed: int) -> R2RDACMetrics:
+        """Measure the five metrics of die ``die_seed``.
+
+        The seed identifies the *die*: calling the schematic and
+        post-layout simulators with the same seed replays the same
+        mismatch draws through both stages.
+        """
+        die_rng = np.random.default_rng(np.random.SeedSequence(int(die_seed)))
+        z = die_rng.standard_normal(self._stride)
+        row = self._metrics_from_rows(z[None, :])[0]
+        return R2RDACMetrics(*[float(x) for x in row])
+
+    def simulate_nominal(self) -> R2RDACMetrics:
+        """Variation-free run (``P_NOM`` for the Sec. 4.1 shift).
+
+        Zeroed mismatch, but the deterministic layout effects (gradient,
+        switch derate, wiring offset, overhead) stay — mirroring a nominal
+        post-layout SPICE run.
+        """
+        row = self._metrics_from_rows(np.zeros((1, self._stride)))[0]
+        return R2RDACMetrics(*[float(x) for x in row])
+
+    def transfer_levels(self, die_seed: int) -> np.ndarray:
+        """Output voltage per input code for one die (``(2^b,)``)."""
+        die_rng = np.random.default_rng(np.random.SeedSequence(int(die_seed)))
+        z = die_rng.standard_normal(self._stride)[None, :]
+        g_branch, g_rung, g_term = self._conductances(z)
+        levels, _ = self._ladder_levels(g_branch, g_rung, g_term, self._code_bits())
+        offset = (
+            self.design.sigma_offset
+            * self.layout.mismatch_inflation
+            * z[0, 3 * self.design.n_bits + 1]
+            + self.layout.offset_v
+        )
+        return levels[0] + offset
+
+    def measure_linearity(self, die_seed: int) -> LinearityResult:
+        """Static INL/DNL of one die's code-ordered transfer curve."""
+        return inl_dnl_from_dac_levels(self.transfer_levels(die_seed))
+
+    # ------------------------------------------------------------------
+    #: Dies per vectorized sweep; the (dies, codes, bits) solve planes for
+    #: a 12-bit ladder stay well under typical cache budgets at this size.
+    _PIPELINE_CHUNK = 64
+
+    def simulate_batch(
+        self,
+        die_seeds,
+        engine: str = "vectorized",
+        memory_budget_mb: float = 512.0,
+        n_jobs: Optional[int] = None,
+    ) -> np.ndarray:
+        """Metrics matrix ``(len(die_seeds), 5)`` in metric-name order.
+
+        Same seam as the flash ADC: ``engine="vectorized"`` (default)
+        factorises and solves whole die chunks at once, ``engine="loop"``
+        is the per-die reference path; ``n_jobs`` shards the bank across
+        forked workers with order-preserving reassembly.
+        """
+        seeds = np.atleast_1d(np.asarray(die_seeds, dtype=np.int64))
+        if seeds.size == 0:
+            raise SimulationError("simulate_batch requires at least one die seed")
+        if engine == "loop":
+            return np.array([self.simulate(int(s)).as_array() for s in seeds])
+        if engine != "vectorized":
+            raise SimulationError(
+                f"unknown simulate_batch engine {engine!r} (use 'vectorized' or 'loop')"
+            )
+        from repro.experiments.parallel import (
+            fork_available,
+            replicate,
+            resolve_n_jobs,
+        )
+
+        jobs = min(resolve_n_jobs(n_jobs), seeds.size)
+        if jobs > 1 and fork_available():
+            shards = [s for s in np.array_split(seeds, jobs) if s.size]
+            parts = replicate(
+                lambda shard: self._simulate_chunked(shard, memory_budget_mb),
+                shards,
+                n_jobs=jobs,
+            )
+            return np.vstack(parts)
+        return self._simulate_chunked(seeds, memory_budget_mb)
+
+    def _simulate_chunked(
+        self, seeds: np.ndarray, memory_budget_mb: float
+    ) -> np.ndarray:
+        """Run the vectorized engine in memory-bounded die chunks."""
+        if memory_budget_mb <= 0.0:
+            raise SimulationError(
+                f"memory_budget_mb must be positive, got {memory_budget_mb}"
+            )
+        design = self.design
+        # Per-die working set: the (codes, bits) rhs/forward/back planes
+        # plus levels/INL/DNL rows, in float64.
+        per_die = design.n_codes * (3 * design.n_bits + 6) * 8
+        budget_rows = int(memory_budget_mb * 2**20 // per_die)
+        chunk = max(1, min(self._PIPELINE_CHUNK, budget_rows))
+        bank = die_draw_bank(seeds, self._stride)
+        if seeds.size <= chunk:
+            return self._metrics_from_rows(bank)
+        return np.vstack(
+            [
+                self._metrics_from_rows(bank[start : start + chunk])
+                for start in range(0, seeds.size, chunk)
+            ]
+        )

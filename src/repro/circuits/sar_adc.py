@@ -1,0 +1,330 @@
+"""Behavioural charge-redistribution SAR ADC (scenario-library block).
+
+A ``b``-bit successive-approximation converter with a binary-weighted
+capacitor DAC: unit-cap mismatch (Pelgrom ``1/sqrt(C)`` scaling), a
+termination cap, comparator input offset and thermal noise, converting a
+coherent near-full-scale sine.  The SAR bit trials run against the *real*
+mismatched capacitor weights, so DNL discontinuities at major carries,
+missing codes and their SNDR/SFDR signatures all emerge from the search —
+nothing is injected at the metric level.
+
+The post-layout stage adds top-plate parasitic capacitance (attenuating
+the DAC reference steps), inflated cap mismatch, a comparator offset
+shift, incomplete-settling compression of the input (odd-order
+distortion) and extra noise/power — the early/late divergence structure
+the BMF fusion exploits.
+
+Five correlated metrics per die, in :data:`SAR_ADC_METRIC_NAMES` order:
+SNR, SINAD, SFDR, THD (dB/dBc via the IEEE 1241 coherent-FFT procedure in
+:mod:`repro.circuits.testbench`) and power (W).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.dies import die_draw_bank
+from repro.circuits.testbench import SpectralAnalyzer, sine_record
+from repro.exceptions import SimulationError
+
+__all__ = ["SarADCDesign", "SarADCMetrics", "SarADC", "SAR_ADC_METRIC_NAMES"]
+
+#: Metric ordering used by every returned array.
+SAR_ADC_METRIC_NAMES: Tuple[str, ...] = (
+    "snr",    # dB
+    "sinad",  # dB
+    "sfdr",   # dBc
+    "thd",    # dBc
+    "power",  # W
+)
+
+
+@dataclass(frozen=True)
+class SarADCDesign:
+    """Architecture and nominal electrical parameters of the converter."""
+
+    n_bits: int = 10
+    vref: float = 1.2
+    sigma_cap_unit_rel: float = 2e-3   # unit-cap relative mismatch std
+    sigma_comp_offset: float = 0.8e-3  # comparator input offset std (V)
+    noise_rms: float = 0.25e-3         # input-referred noise (V rms)
+    comparator_current: float = 35e-6  # comparator + SAR logic bias (A)
+    dac_switch_current: float = 18e-6  # average CDAC switching current (A)
+    sigma_bias_rel: float = 0.06       # bias-branch mismatch
+    n_samples: int = 2048              # conversions per record
+    n_cycles: int = 67                 # coherent cycles (odd, co-prime)
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.n_bits <= 14:
+            raise SimulationError(f"n_bits must lie in [4, 14], got {self.n_bits}")
+        if math.gcd(self.n_samples, self.n_cycles) != 1:
+            raise SimulationError("n_cycles must be co-prime with n_samples")
+
+    @property
+    def n_codes(self) -> int:
+        """``2^b`` output codes."""
+        return 1 << self.n_bits
+
+
+@dataclass(frozen=True)
+class _SarLayoutEffects:
+    """Post-layout deviations (all neutral at schematic level)."""
+
+    cap_mismatch_inflation: float = 1.0  # multiplies unit-cap mismatch
+    parasitic_cap_rel: float = 0.0       # top-plate parasitic / total ideal
+    offset_shift: float = 0.0            # systematic comparator offset (V)
+    settle_compression: float = 0.0      # odd-order settling distortion
+    power_overhead_rel: float = 0.0
+    extra_noise_rms: float = 0.0
+
+
+@dataclass(frozen=True)
+class SarADCMetrics:
+    """The five measured performances of one simulated die."""
+
+    snr: float
+    sinad: float
+    sfdr: float
+    thd: float
+    power: float
+
+    def as_array(self) -> np.ndarray:
+        """Metrics in :data:`SAR_ADC_METRIC_NAMES` order."""
+        return np.array([self.snr, self.sinad, self.sfdr, self.thd, self.power])
+
+
+class SarADC:
+    """Simulator for one design stage of the SAR converter.
+
+    Same die-seed seam as the flash ADC and R-2R DAC: build stage pairs
+    with :meth:`schematic` / :meth:`post_layout` and feed both the same
+    die seeds.
+    """
+
+    def __init__(
+        self, design: SarADCDesign, layout: Optional[_SarLayoutEffects] = None
+    ) -> None:
+        self.design = design
+        self.layout = layout if layout is not None else _SarLayoutEffects()
+        self._analyzer = SpectralAnalyzer()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def schematic(cls, design: Optional[SarADCDesign] = None) -> "SarADC":
+        """Early-stage simulator: ideal layout."""
+        return cls(design if design is not None else SarADCDesign())
+
+    @classmethod
+    def post_layout(cls, design: Optional[SarADCDesign] = None) -> "SarADC":
+        """Late-stage simulator with extracted layout effects."""
+        return cls(
+            design if design is not None else SarADCDesign(),
+            _SarLayoutEffects(
+                cap_mismatch_inflation=1.015,
+                parasitic_cap_rel=0.02,
+                offset_shift=0.5e-3,
+                settle_compression=0.01,
+                power_overhead_rel=0.10,
+                extra_noise_rms=0.05e-3,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # per-die draw layout (single standard_normal stream, fixed order):
+    #   cap z     [0, b+1)                 binary caps (LSB first) + termination
+    #   offset z  [b+1]                    comparator input offset
+    #   bias z    [b+2], [b+3]             comparator / CDAC switching bias
+    #   noise z   [b+4, b+4+n_samples)     per-conversion input noise
+    @property
+    def _stride(self) -> int:
+        return self.design.n_bits + 4 + self.design.n_samples
+
+    def _dac_weights(self, cap_z: np.ndarray) -> np.ndarray:
+        """Per-die CDAC bit weights ``(n, b)`` from cap draws ``(n, b+1)``.
+
+        Bit ``i``'s capacitor is ``2^i`` units; its *relative* mismatch
+        shrinks as ``1/sqrt(2^i)`` (Pelgrom: larger caps average more unit
+        devices).  The weight of bit ``i`` is its capacitance over the
+        total array capacitance including the termination cap and any
+        top-plate parasitic.
+        """
+        design = self.design
+        b = design.n_bits
+        exps = np.exp2(np.arange(b))
+        sig = design.sigma_cap_unit_rel * self.layout.cap_mismatch_inflation
+        caps = exps * (1.0 + sig / np.sqrt(exps) * cap_z[:, :b])
+        term = 1.0 + sig * cap_z[:, b]
+        total = (
+            np.sum(caps, axis=1)
+            + term
+            + self.layout.parasitic_cap_rel * design.n_codes
+        )
+        return caps / total[:, None]
+
+    def _input_record(self) -> np.ndarray:
+        """Deterministic input drive: near-full-scale coherent sine."""
+        design = self.design
+        layout = self.layout
+        amplitude = 0.49 * design.vref
+        mid = 0.5 * design.vref
+        vin = sine_record(design.n_samples, design.n_cycles, amplitude, offset=mid)
+        if layout.settle_compression != 0.0:
+            # Incomplete CDAC/track settling compresses large swings
+            # (odd-order term generating 3rd-harmonic distortion).
+            ac = vin - mid
+            vin = vin - layout.settle_compression * (ac / amplitude) ** 3 * ac
+        return vin
+
+    def _convert(self, weights: np.ndarray, vcmp: np.ndarray) -> np.ndarray:
+        """SAR binary search of every (die, conversion) pair.
+
+        ``weights`` is ``(n, b)``; ``vcmp`` is ``(n, n_samples)`` — the
+        noisy, offset-shifted comparator input.  Returns float codes.
+        The trial loop keeps bit ``i`` when the accumulated DAC level
+        would still sit below the input, which with ideal weights reduces
+        to ``floor(vin * 2^b / vref)`` exactly.
+        """
+        design = self.design
+        b = design.n_bits
+        acc = np.zeros_like(vcmp)
+        code = np.zeros_like(vcmp)
+        for i in range(b - 1, -1, -1):
+            trial = acc + weights[:, i][:, None]
+            bit = vcmp >= trial * design.vref
+            acc = np.where(bit, trial, acc)
+            code = code + bit * float(1 << i)
+        return code
+
+    def _metrics_from_rows(self, z: np.ndarray) -> np.ndarray:
+        """Metrics matrix for a bank of draw rows ``(n, stride)``."""
+        design = self.design
+        layout = self.layout
+        b = design.n_bits
+
+        weights = self._dac_weights(z[:, : b + 1])
+        offset = design.sigma_comp_offset * z[:, b + 1] + layout.offset_shift
+
+        vin = self._input_record()
+        noise_rms = math.hypot(design.noise_rms, layout.extra_noise_rms)
+        vcmp = vin[None, :] + noise_rms * z[:, b + 4 :] + offset[:, None]
+        codes = self._convert(weights, vcmp)
+        spectral = self._analyzer.analyze_batch(codes, design.n_cycles)
+
+        comp = design.comparator_current * (1.0 + design.sigma_bias_rel * z[:, b + 2])
+        dac = design.dac_switch_current * (1.0 + design.sigma_bias_rel * z[:, b + 3])
+        comp = np.maximum(comp, 0.0)
+        dac = np.maximum(dac, 0.0)
+        nominal_core = design.comparator_current + design.dac_switch_current
+        power = design.vref * (
+            comp + dac + layout.power_overhead_rel * nominal_core
+        )
+        return np.column_stack(
+            [spectral.snr, spectral.sinad, spectral.sfdr, spectral.thd, power]
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(self, die_seed: int) -> SarADCMetrics:
+        """Convert a coherent sine on die ``die_seed`` and measure metrics."""
+        die_rng = np.random.default_rng(np.random.SeedSequence(int(die_seed)))
+        z = die_rng.standard_normal(self._stride)
+        row = self._metrics_from_rows(z[None, :])[0]
+        return SarADCMetrics(*[float(x) for x in row])
+
+    def simulate_nominal(self) -> SarADCMetrics:
+        """Variation- and noise-free conversion (``P_NOM`` for Sec. 4.1).
+
+        Zeroed mismatch and noise; the deterministic layout effects
+        (parasitic attenuation, offset shift, settling compression,
+        overhead) stay, mirroring a nominal post-layout SPICE run.
+        """
+        row = self._metrics_from_rows(np.zeros((1, self._stride)))[0]
+        return SarADCMetrics(*[float(x) for x in row])
+
+    def convert_record(self, die_seed: int, vin) -> np.ndarray:
+        """Noise-free conversion of an arbitrary input record on one die.
+
+        Exposes the die's real mismatched transfer function (comparator
+        offset included) for code-transition and linearity tests.
+        """
+        die_rng = np.random.default_rng(np.random.SeedSequence(int(die_seed)))
+        z = die_rng.standard_normal(self._stride)[None, :]
+        b = self.design.n_bits
+        weights = self._dac_weights(z[:, : b + 1])
+        offset = (
+            self.design.sigma_comp_offset * z[0, b + 1] + self.layout.offset_shift
+        )
+        vcmp = np.asarray(vin, dtype=float).ravel()[None, :] + offset
+        return self._convert(weights, vcmp)[0].astype(int)
+
+    # ------------------------------------------------------------------
+    #: Dies per vectorized sweep; the (dies, conversions) SAR planes stay
+    #: cache-friendly at this size.
+    _PIPELINE_CHUNK = 64
+
+    def simulate_batch(
+        self,
+        die_seeds,
+        engine: str = "vectorized",
+        memory_budget_mb: float = 512.0,
+        n_jobs: Optional[int] = None,
+    ) -> np.ndarray:
+        """Metrics matrix ``(len(die_seeds), 5)`` in metric-name order.
+
+        Same seam as the flash ADC: ``engine="vectorized"`` (default)
+        runs whole die chunks through the SAR search at once,
+        ``engine="loop"`` is the per-die reference path; ``n_jobs``
+        shards the bank across forked workers order-preservingly.
+        """
+        seeds = np.atleast_1d(np.asarray(die_seeds, dtype=np.int64))
+        if seeds.size == 0:
+            raise SimulationError("simulate_batch requires at least one die seed")
+        if engine == "loop":
+            return np.array([self.simulate(int(s)).as_array() for s in seeds])
+        if engine != "vectorized":
+            raise SimulationError(
+                f"unknown simulate_batch engine {engine!r} (use 'vectorized' or 'loop')"
+            )
+        from repro.experiments.parallel import (
+            fork_available,
+            replicate,
+            resolve_n_jobs,
+        )
+
+        jobs = min(resolve_n_jobs(n_jobs), seeds.size)
+        if jobs > 1 and fork_available():
+            shards = [s for s in np.array_split(seeds, jobs) if s.size]
+            parts = replicate(
+                lambda shard: self._simulate_chunked(shard, memory_budget_mb),
+                shards,
+                n_jobs=jobs,
+            )
+            return np.vstack(parts)
+        return self._simulate_chunked(seeds, memory_budget_mb)
+
+    def _simulate_chunked(
+        self, seeds: np.ndarray, memory_budget_mb: float
+    ) -> np.ndarray:
+        """Run the vectorized engine in memory-bounded die chunks."""
+        if memory_budget_mb <= 0.0:
+            raise SimulationError(
+                f"memory_budget_mb must be positive, got {memory_budget_mb}"
+            )
+        design = self.design
+        # Per-die working set: the (n_samples,) SAR planes (vcmp, acc,
+        # trial, bit, code) plus the FFT of the record, in float64.
+        per_die = design.n_samples * 8 * 8
+        budget_rows = int(memory_budget_mb * 2**20 // per_die)
+        chunk = max(1, min(self._PIPELINE_CHUNK, budget_rows))
+        bank = die_draw_bank(seeds, self._stride)
+        if seeds.size <= chunk:
+            return self._metrics_from_rows(bank)
+        return np.vstack(
+            [
+                self._metrics_from_rows(bank[start : start + chunk])
+                for start in range(0, seeds.size, chunk)
+            ]
+        )

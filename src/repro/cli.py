@@ -3,7 +3,8 @@
 Gives non-Python users (and CI jobs) direct access to the reproduction
 harness:
 
-* ``generate`` — simulate a paired Monte-Carlo bank and save it as .npz;
+* ``generate`` — simulate a paired Monte-Carlo bank for any registry
+  circuit (or one ``--scenario DOC#NAME`` instance) and save it as .npz;
 * ``fuse`` — run the fusion pipeline on a saved bank with n late samples
   using any registered estimator (``--estimator``) and/or a declarative
   JSON config (``--config``), print the fused physical-space moments, and
@@ -18,7 +19,9 @@ harness:
 * ``ingest`` — fold late-stage samples from a saved bank into a serving
   checkpoint (creating the session from the bank's early stage);
 * ``query`` — ask a serving checkpoint for an estimate, a log-likelihood,
-  a parametric yield, its counters, or its session list.
+  a parametric yield, its counters, or its session list;
+* ``scenarios`` — ``list``/``expand``/``compile`` declarative scenario
+  documents (see :mod:`repro.scenarios`).
 
 The CLI constructs no concrete estimator class itself — everything goes
 through :mod:`repro.core.registry`, so a newly registered estimator is
@@ -56,11 +59,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # The circuit list and its help text come from the registry, so a
+    # newly registered circuit is immediately generatable from here.
+    from repro.circuits.registry import circuit_names, get_circuit
+
+    names = circuit_names()
     gen = sub.add_parser("generate", help="simulate a paired Monte-Carlo bank")
-    gen.add_argument("circuit", choices=["opamp", "adc", "ota"])
-    gen.add_argument("output", help="output .npz path")
+    # Both positionals are declared optional and reconciled in the
+    # handler: with --scenario only the output path is given, and argparse
+    # cannot express "first positional optional, second required" when
+    # flags interleave.  Circuit names are validated by the registry.
+    gen.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        metavar="circuit",
+        help="registry circuit: "
+        + "; ".join(f"{n} ({get_circuit(n).summary})" for n in names),
+    )
+    gen.add_argument(
+        "output", nargs="?", default=None, help="output .npz path"
+    )
     gen.add_argument("--samples", type=int, default=None, help="bank size")
     gen.add_argument("--seed", type=int, default=2015)
+    gen.add_argument(
+        "--scenario",
+        default=None,
+        metavar="DOC#NAME",
+        help="generate one expanded instance of a scenario document "
+        "instead of a bare circuit: a .yaml/.json path or builtin:<name>, "
+        "'#', then the scenario or instance name",
+    )
     gen.add_argument(
         "--mna-backend",
         choices=["auto", "dense", "sparse"],
@@ -292,32 +321,165 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
 
+    scen = sub.add_parser(
+        "scenarios",
+        help="inspect and compile declarative scenario documents",
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+
+    s_list = scen_sub.add_parser(
+        "list",
+        help="list bundled documents and registry circuits (or one document's scenarios)",
+    )
+    s_list.add_argument(
+        "document",
+        nargs="?",
+        default=None,
+        help="scenario document (.yaml/.json path or builtin:<name>); "
+        "omit to list builtins and circuits",
+    )
+
+    s_expand = scen_sub.add_parser(
+        "expand", help="expand a document's sweeps into its ordered instance list"
+    )
+    s_expand.add_argument(
+        "document", help="scenario document (.yaml/.json path or builtin:<name>)"
+    )
+    s_expand.add_argument(
+        "--json", action="store_true", help="one canonical-JSON object per instance"
+    )
+
+    s_compile = scen_sub.add_parser(
+        "compile", help="compile every expanded instance to a paired MC dataset"
+    )
+    s_compile.add_argument(
+        "document", help="scenario document (.yaml/.json path or builtin:<name>)"
+    )
+    s_compile.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: serial; -1 = one per core)",
+    )
+    s_compile.add_argument(
+        "--cache-dir",
+        default=None,
+        help="dataset cache directory (default: REPRO_DATASET_CACHE_DIR or "
+        "the repo-local cache)",
+    )
+    s_compile.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the dataset disk cache (always re-simulate)",
+    )
+    s_compile.add_argument(
+        "--mna-backend",
+        choices=["auto", "dense", "sparse"],
+        default=None,
+        help="MNA solve strategy for circuits that thread one",
+    )
+    s_compile.add_argument(
+        "--json", action="store_true", help="one canonical-JSON report per instance"
+    )
+
     return parser
 
 
 # ---------------------------------------------------------------------------
 # command implementations
 # ---------------------------------------------------------------------------
+def _resolve_scenario_doc_path(ref: str):
+    """Turn a document reference (path or ``builtin:<name>``) into a path."""
+    from pathlib import Path
+
+    from repro.scenarios import builtin_document_path
+
+    if ref.startswith("builtin:"):
+        return builtin_document_path(ref)
+    return Path(ref)
+
+
+def _select_scenario_instance(spec: str):
+    """Resolve a ``DOC#NAME`` reference to one expanded instance."""
+    from repro.exceptions import ConfigError
+    from repro.scenarios import expand, load_scenario_doc
+
+    ref, sep, wanted = spec.partition("#")
+    if not sep or not wanted:
+        raise ConfigError(
+            f"--scenario needs the form DOC#NAME (document, '#', scenario "
+            f"or instance name), got {spec!r}"
+        )
+    doc = load_scenario_doc(_resolve_scenario_doc_path(ref))
+    instances = expand(doc)
+    exact = [inst for inst in instances if inst.name == wanted]
+    if len(exact) == 1:
+        return exact[0]
+    of_scenario = [
+        inst
+        for inst in instances
+        if inst.name == wanted or inst.name.startswith(f"{wanted}@")
+    ]
+    if len(of_scenario) == 1:
+        return of_scenario[0]
+    if of_scenario:
+        names = ", ".join(inst.name for inst in of_scenario[:8])
+        more = "..." if len(of_scenario) > 8 else ""
+        raise ConfigError(
+            f"scenario {wanted!r} expands to {len(of_scenario)} instances; "
+            f"name one of: {names}{more} (or use 'repro scenarios compile')"
+        )
+    raise ConfigError(
+        f"no scenario or instance named {wanted!r} in {doc.source}; "
+        f"scenarios: {', '.join(s.name for s in doc.scenarios)}"
+    )
+
+
 def _cmd_generate(args) -> int:
-    from repro.circuits.montecarlo import generate_adc_dataset, generate_opamp_dataset
+    from repro.circuits.registry import generate_dataset
     from repro.io import save_dataset
 
-    if args.circuit == "opamp":
-        n = args.samples if args.samples is not None else 5000
-        dataset = generate_opamp_dataset(
-            n_samples=n, seed=args.seed, mna_backend=args.mna_backend
-        )
-    elif args.circuit == "ota":
-        from repro.circuits.ota import generate_ota_dataset
+    if args.scenario is not None:
+        # With --scenario the single positional is the output path; when
+        # flags precede it argparse lands it in the circuit slot.
+        if args.output is None:
+            args.circuit, args.output = None, args.circuit
+        if args.circuit is not None:
+            print(
+                "generate takes either a circuit or --scenario, not both",
+                file=sys.stderr,
+            )
+            return 2
+        if args.output is None:
+            print("generate needs an output .npz path", file=sys.stderr)
+            return 2
+        from repro.scenarios import compile_instance
 
-        n = args.samples if args.samples is not None else 2000
-        dataset = generate_ota_dataset(n_samples=n, seed=args.seed)
+        inst = _select_scenario_instance(args.scenario)
+        if args.samples is not None:
+            import dataclasses
+
+            inst = dataclasses.replace(inst, n_samples=args.samples)
+        dataset, _ = compile_instance(inst, mna_backend=args.mna_backend)
+        label = f"{inst.circuit} ({inst.name})"
+    elif args.circuit is None or args.output is None:
+        print(
+            "generate needs a circuit name and an output .npz path "
+            "(or --scenario DOC#NAME and an output path)",
+            file=sys.stderr,
+        )
+        return 2
     else:
-        n = args.samples if args.samples is not None else 1000
-        dataset = generate_adc_dataset(n_samples=n, seed=args.seed)
+        dataset = generate_dataset(
+            args.circuit,
+            n_samples=args.samples,
+            seed=args.seed,
+            mna_backend=args.mna_backend,
+        )
+        label = args.circuit
     save_dataset(dataset, args.output)
     print(
-        f"wrote {dataset.n_samples} paired {args.circuit} dies "
+        f"wrote {dataset.n_samples} paired {label} dies "
         f"({dataset.dim} metrics) to {args.output}"
     )
     return 0
@@ -796,6 +958,119 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_scenarios_list(args) -> int:
+    from repro.circuits.registry import circuit_names, get_circuit
+    from repro.scenarios import (
+        builtin_documents,
+        expand,
+        load_scenario_doc,
+        topology_knobs,
+    )
+
+    if args.document is not None:
+        doc = load_scenario_doc(_resolve_scenario_doc_path(args.document))
+        instances = expand(doc)
+        print(f"{doc.source}: schema {doc.schema}, library {doc.library}")
+        for spec in doc.scenarios:
+            n = sum(
+                1
+                for inst in instances
+                if inst.name == spec.name or inst.name.startswith(f"{spec.name}@")
+            )
+            axes = (
+                " x ".join(
+                    f"{axis}[{len(spec.sweep[axis])}]" for axis in sorted(spec.sweep)
+                )
+                or "<point>"
+            )
+            print(f"  {spec.name:<24} {spec.circuit:<10} {axes:<28} {n} instance(s)")
+        print(f"total: {len(instances)} instance(s)")
+        return 0
+
+    builtins = builtin_documents()
+    print("bundled documents:")
+    for name in builtins or ["  <none>"]:
+        print(f"  {name}")
+    print("registry circuits:")
+    for name in circuit_names():
+        entry = get_circuit(name)
+        knobs = ", ".join(topology_knobs(name)) or "<reserved knobs only>"
+        print(f"  {name:<10} {entry.summary}")
+        print(f"  {'':<10} knobs: {knobs}")
+    return 0
+
+
+def _cmd_scenarios_expand(args) -> int:
+    from repro.scenarios import expand, load_scenario_doc
+    from repro.schemas import canonical_json
+
+    doc = load_scenario_doc(_resolve_scenario_doc_path(args.document))
+    instances = expand(doc)
+    if args.json:
+        for inst in instances:
+            print(
+                canonical_json(
+                    {
+                        "name": inst.name,
+                        "circuit": inst.circuit,
+                        "config_hash": inst.config_hash,
+                        "n_samples": inst.n_samples,
+                        "seed": inst.seed,
+                        "knobs": {k: inst.knobs[k] for k in sorted(inst.knobs)},
+                    }
+                )
+            )
+    else:
+        for inst in instances:
+            print(
+                f"{inst.config_hash[:12]} {inst.circuit:<10} "
+                f"n={inst.n_samples:<6} {inst.name}"
+            )
+        print(f"{len(instances)} instance(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_scenarios_compile(args) -> int:
+    from repro.scenarios import compile_all, expand, load_scenario_doc
+    from repro.schemas import canonical_json
+
+    doc = load_scenario_doc(_resolve_scenario_doc_path(args.document))
+    instances = expand(doc)
+    reports = compile_all(
+        instances,
+        n_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        mna_backend=args.mna_backend,
+    )
+    hits = sum(1 for r in reports if r["cache_hit"])
+    if args.json:
+        for report in reports:
+            print(canonical_json(report))
+    else:
+        for report in reports:
+            mark = "cached" if report["cache_hit"] else "built"
+            print(
+                f"{report['config_hash'][:12]} {mark:<6} "
+                f"{report['circuit']:<10} {report['name']}"
+            )
+    print(
+        f"compiled {len(reports)} instance(s) from {doc.source}: "
+        f"{hits} cache-served, {len(reports) - hits} built",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    handlers = {
+        "list": _cmd_scenarios_list,
+        "expand": _cmd_scenarios_expand,
+        "compile": _cmd_scenarios_compile,
+    }
+    return handlers[args.scenario_command](args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -816,6 +1091,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compact": _cmd_compact,
         "ingest": _cmd_ingest,
         "query": _cmd_query,
+        "scenarios": _cmd_scenarios,
     }
     return handlers[args.command](args)
 

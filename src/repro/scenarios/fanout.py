@@ -1,0 +1,140 @@
+"""Serving-facing fan-out: compiled scenarios as ingest streams.
+
+The serving layer thinks in *sessions* — a key, a prior anchored on
+early-stage moments, and batches of late-stage samples.  A compiled
+scenario fleet is exactly that shape: every instance yields one session
+whose prior comes from its early bank and whose ingest blocks come from
+its late bank.  :func:`scenario_streams` performs that projection and
+:func:`wire_requests` renders it as protocol request lines (one
+canonical-JSON object per line) ready to pipe into ``repro serve``.
+
+This module sits *below* :mod:`repro.serving` in the layer order, so it
+never imports the serving package: callers inject the sample encoder
+(e.g. ``repro.serving.encode_array``) and plain ``tolist`` encoding is
+the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.prior import PriorKnowledge
+from repro.exceptions import ConfigError
+from repro.scenarios.compiler import ScenarioInstance, compile_instance
+from repro.schemas import canonical_json
+
+__all__ = ["ScenarioStream", "scenario_streams", "wire_requests"]
+
+#: How many hex digits of the config hash go into a stream key — enough
+#: to separate any realistic fleet while keeping keys log-friendly.
+_KEY_HASH_DIGITS = 12
+
+
+@dataclass(frozen=True)
+class ScenarioStream:
+    """One serving session derived from a compiled scenario instance.
+
+    Attributes
+    ----------
+    key:
+        Session key ``{instance-name}#{config-hash-prefix}`` — stable
+        across runs, distinct across config changes.
+    instance:
+        The source :class:`ScenarioInstance`.
+    metric_names:
+        Metric labels of the stream's sample columns.
+    prior:
+        Early-bank moments for session creation.
+    blocks:
+        Late-bank ingest batches, in order.
+    """
+
+    key: str
+    instance: ScenarioInstance
+    metric_names: Tuple[str, ...]
+    prior: PriorKnowledge
+    blocks: Tuple[np.ndarray, ...]
+
+
+def _split_blocks(late: np.ndarray, block_rows: int) -> Tuple[np.ndarray, ...]:
+    if block_rows < 1:
+        raise ConfigError(f"block_rows must be >= 1, got {block_rows}")
+    return tuple(
+        late[start : start + block_rows]
+        for start in range(0, late.shape[0], block_rows)
+    )
+
+
+def scenario_streams(
+    instances: Sequence[ScenarioInstance],
+    block_rows: int = 50,
+    cache_dir: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
+) -> List[ScenarioStream]:
+    """Compile instances and project them onto serving streams.
+
+    Each instance compiles through the dataset cache (so a fleet that was
+    already compiled is pure cache service), then becomes one stream: the
+    early bank collapses into a :class:`PriorKnowledge`, the late bank is
+    chunked into ``block_rows``-row ingest blocks.
+    """
+    streams: List[ScenarioStream] = []
+    for inst in instances:
+        dataset, _ = compile_instance(inst, cache_dir=cache_dir, use_cache=use_cache)
+        streams.append(
+            ScenarioStream(
+                key=f"{inst.name}#{inst.config_hash[:_KEY_HASH_DIGITS]}",
+                instance=inst,
+                metric_names=tuple(dataset.metric_names),
+                prior=PriorKnowledge.from_samples(dataset.early),
+                blocks=_split_blocks(np.asarray(dataset.late, dtype=float), block_rows),
+            )
+        )
+    return streams
+
+
+def _default_encode(values: Any) -> Any:
+    return np.asarray(values, dtype=float).tolist()
+
+
+def wire_requests(
+    streams: Iterable[ScenarioStream],
+    encode: Optional[Callable[[Any], Any]] = None,
+    kappa0: Optional[float] = None,
+    v0: Optional[float] = None,
+) -> List[str]:
+    """Render streams as serving-protocol request lines.
+
+    One ``create`` (prior moments, ``exist_ok``) followed by one
+    ``ingest`` per block, per stream, all canonical-JSON encoded so the
+    emitted text is byte-stable.  ``encode`` converts sample arrays to
+    their wire form — pass ``repro.serving.encode_array`` for the
+    zero-copy b64f64 encoding; the default is plain nested lists.
+    """
+    enc = encode if encode is not None else _default_encode
+    lines: List[str] = []
+    for stream in streams:
+        create: Dict[str, Any] = {
+            "op": "create",
+            "key": stream.key,
+            "prior_mean": enc(stream.prior.mean),
+            "prior_covariance": enc(stream.prior.covariance),
+            "prior_n_samples": int(stream.prior.n_samples),
+            "exist_ok": True,
+        }
+        if kappa0 is not None:
+            create["kappa0"] = kappa0
+        if v0 is not None:
+            create["v0"] = v0
+        lines.append(canonical_json(create))
+        for block in stream.blocks:
+            lines.append(
+                canonical_json(
+                    {"op": "ingest", "key": stream.key, "samples": enc(block)}
+                )
+            )
+    return lines

@@ -1,0 +1,238 @@
+"""Built-in knob library: discrete lookup tables behind scenario knobs.
+
+A scenario document speaks in *design intent* ("resolution: 10",
+"mismatch: high", "samples: small"); this module is the dictionary that
+turns intent into concrete generation config.  Every knob resolves
+through a discrete table — no free-form expressions — so two documents
+using the same words always mean the same numbers, and the set of legal
+values is enumerable for error messages and docs.
+
+Two knob families:
+
+* **reserved knobs** (:data:`repro.scenarios.spec.RESERVED_KNOBS`) are
+  circuit-agnostic: ``corner`` names a standard process corner,
+  ``mismatch`` / ``divergence`` select :class:`CircuitVariant` scales,
+  ``samples`` selects the Monte-Carlo budget (named tier or a positive
+  integer);
+* **topology knobs** are per-circuit and map to design-dataclass fields
+  (e.g. ``resolution: 10`` -> ``SarADCDesign(n_bits=10)``).
+
+The library itself is versioned (:data:`LIBRARY_VERSION`) and the
+version participates in every instance's config hash, so growing or
+re-tuning a table can never silently alias old compiled datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.circuits.registry import get_circuit
+from repro.circuits.variants import CircuitVariant
+from repro.exceptions import ConfigError
+from repro.scenarios.spec import RESERVED_KNOBS
+
+__all__ = [
+    "LIBRARY_VERSION",
+    "MISMATCH_LEVELS",
+    "DIVERGENCE_LEVELS",
+    "SAMPLE_TIERS",
+    "topology_knobs",
+    "resolve_knobs",
+]
+
+#: Version marker of the bundled knob tables; folded into every compiled
+#: instance's config hash.  (Deliberately *not* a ``repro.*.v<N>``
+#: artefact marker — documents name it in the ``library:`` field.)
+LIBRARY_VERSION = "ams-blocks-v1"
+
+#: ``mismatch`` knob -> :attr:`CircuitVariant.mismatch_scale`.
+MISMATCH_LEVELS: Dict[str, float] = {
+    "low": 0.5,
+    "nominal": 1.0,
+    "high": 1.5,
+    "extreme": 2.0,
+}
+
+#: ``divergence`` knob -> :attr:`CircuitVariant.divergence_scale`.
+DIVERGENCE_LEVELS: Dict[str, float] = {
+    "none": 0.0,
+    "mild": 0.5,
+    "standard": 1.0,
+    "severe": 1.5,
+}
+
+#: ``samples`` knob -> Monte-Carlo bank size (a raw positive integer is
+#: also accepted).  "paper" is the op-amp budget of Sec. 5.1.
+SAMPLE_TIERS: Dict[str, int] = {
+    "tiny": 32,
+    "small": 128,
+    "medium": 512,
+    "large": 2000,
+    "paper": 5000,
+}
+
+#: Per-circuit topology tables: circuit -> knob -> value -> design kwargs.
+#: Values are looked up by their string form, so YAML ``10`` and ``"10"``
+#: mean the same row.
+_TOPOLOGY: Dict[str, Dict[str, Dict[str, Dict[str, Any]]]] = {
+    "opamp": {
+        "load": {
+            "light": {"c_load": 0.5e-12},
+            "nominal": {"c_load": 1.0e-12},
+            "heavy": {"c_load": 2.0e-12},
+        },
+        "compensation": {
+            "light": {"c_comp": 0.3e-12},
+            "nominal": {"c_comp": 0.5e-12},
+            "strong": {"c_comp": 0.8e-12},
+        },
+    },
+    "adc": {
+        "resolution": {
+            "5": {"n_bits": 5},
+            "6": {"n_bits": 6},
+            "7": {"n_bits": 7},
+        },
+    },
+    "ota": {
+        "load": {
+            "light": {"c_load": 1.0e-12},
+            "nominal": {"c_load": 2.0e-12},
+            "heavy": {"c_load": 4.0e-12},
+        },
+    },
+    "r2r_dac": {
+        "resolution": {
+            "8": {"n_bits": 8},
+            "10": {"n_bits": 10},
+            "12": {"n_bits": 12},
+        },
+        "reference": {
+            "low": {"vref": 1.2},
+            "nominal": {"vref": 1.8},
+        },
+    },
+    "svf": {
+        "tuning": {
+            "slow": {"c_bp": 4.0e-12, "c_lp": 4.0e-12},
+            "nominal": {"c_bp": 2.0e-12, "c_lp": 2.0e-12},
+            "fast": {"c_bp": 1.0e-12, "c_lp": 1.0e-12},
+        },
+        "q": {
+            "low": {"i_q": 16e-6},
+            "nominal": {"i_q": 8e-6},
+            "high": {"i_q": 4e-6},
+        },
+    },
+    "sar_adc": {
+        "resolution": {
+            "8": {"n_bits": 8},
+            "10": {"n_bits": 10},
+            "12": {"n_bits": 12},
+        },
+    },
+}
+
+
+def topology_knobs(circuit: str) -> Dict[str, Tuple[str, ...]]:
+    """The topology knob names (and legal values) of one circuit."""
+    get_circuit(circuit)  # self-diagnosing unknown-circuit error
+    tables = _TOPOLOGY.get(circuit, {})
+    return {knob: tuple(values) for knob, values in tables.items()}
+
+
+def _resolve_samples(value: Any, scenario: str) -> int:
+    if isinstance(value, bool):
+        raise ConfigError(f"scenario {scenario!r}: 'samples' must not be a boolean")
+    if isinstance(value, int):
+        if value < 2:
+            raise ConfigError(
+                f"scenario {scenario!r}: 'samples' must be >= 2, got {value}"
+            )
+        return value
+    tier = SAMPLE_TIERS.get(str(value))
+    if tier is None:
+        raise ConfigError(
+            f"scenario {scenario!r}: unknown sample tier {value!r}; "
+            f"expected an integer or one of {', '.join(SAMPLE_TIERS)}"
+        )
+    return tier
+
+
+def _resolve_level(
+    value: Any, table: Dict[str, float], knob: str, scenario: str
+) -> float:
+    level = table.get(str(value))
+    if level is None:
+        raise ConfigError(
+            f"scenario {scenario!r}: unknown {knob} level {value!r}; "
+            f"expected one of {', '.join(table)}"
+        )
+    return level
+
+
+def resolve_knobs(
+    circuit: str, knobs: Dict[str, Any], scenario: str
+) -> Tuple[Any, CircuitVariant, int]:
+    """Resolve one fully-fixed knob mapping into generation config.
+
+    Parameters
+    ----------
+    circuit:
+        Registry circuit name.
+    knobs:
+        Effective knob mapping (fixed knobs plus the current sweep point).
+    scenario:
+        Scenario name, for error messages.
+
+    Returns
+    -------
+    (design, variant, n_samples):
+        The design dataclass instance with topology knobs applied, the
+        :class:`CircuitVariant` from the reserved knobs, and the sample
+        budget (circuit default when no ``samples`` knob is given).
+    """
+    entry = get_circuit(circuit)
+    tables = _TOPOLOGY.get(circuit, {})
+
+    design_kwargs: Dict[str, Any] = {}
+    corner = "TT"
+    mismatch = 1.0
+    divergence = 1.0
+    n_samples = entry.default_samples
+    for knob in sorted(knobs):
+        value = knobs[knob]
+        if knob == "corner":
+            corner = str(value)
+        elif knob == "mismatch":
+            mismatch = _resolve_level(value, MISMATCH_LEVELS, "mismatch", scenario)
+        elif knob == "divergence":
+            divergence = _resolve_level(
+                value, DIVERGENCE_LEVELS, "divergence", scenario
+            )
+        elif knob == "samples":
+            n_samples = _resolve_samples(value, scenario)
+        else:
+            table = tables.get(knob)
+            if table is None:
+                known = tuple(tables) + RESERVED_KNOBS
+                raise ConfigError(
+                    f"scenario {scenario!r}: circuit {circuit!r} has no knob "
+                    f"{knob!r}; available: {', '.join(known)}"
+                )
+            row = table.get(str(value))
+            if row is None:
+                raise ConfigError(
+                    f"scenario {scenario!r}: unknown {knob} value {value!r} "
+                    f"for {circuit!r}; expected one of {', '.join(table)}"
+                )
+            design_kwargs.update(row)
+
+    try:
+        variant = CircuitVariant(
+            corner=corner, mismatch_scale=mismatch, divergence_scale=divergence
+        )
+    except ConfigError as exc:
+        raise ConfigError(f"scenario {scenario!r}: {exc}") from exc
+    design = entry.design_cls(**design_kwargs)
+    return design, variant, n_samples

@@ -1,0 +1,205 @@
+"""Declarative scenario documents: parsing and schema validation.
+
+A scenario document is a small YAML (or JSON) file that names circuits
+from the registry and describes *what to vary* — topology knobs, process
+corner, mismatch magnitude, early/late divergence and sample budget —
+without any Python.  The document carries the versioned marker
+:data:`repro.schemas.SCENARIO_SCHEMA` so readers reject foreign or
+future documents instead of misinterpreting them::
+
+    schema: repro.scenario.v1
+    library: ams-blocks-v1
+    scenarios:
+      - name: dac-grid
+        circuit: r2r_dac
+        knobs: {resolution: 8, samples: small}
+        sweep:
+          corner: [TT, SS, FF]
+          mismatch: [nominal, high]
+
+``knobs`` are point settings; ``sweep`` axes are expanded into the cross
+product by :func:`repro.scenarios.compiler.expand`.  Knob *names* shared
+between ``knobs`` and ``sweep`` are rejected — a value cannot be both
+fixed and swept.  Knob semantics (which names exist, what the values
+mean) live in :mod:`repro.scenarios.library`.
+
+PyYAML is an optional dependency: JSON documents always work, and a
+missing ``yaml`` module produces a :class:`ConfigError` naming the
+package instead of an ImportError from deep inside a parse.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.exceptions import ConfigError, SchemaVersionError
+from repro.schemas import SCENARIO_SCHEMA
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioDoc",
+    "parse_scenario_doc",
+    "load_scenario_doc",
+    "RESERVED_KNOBS",
+    "DEFAULT_SEED",
+]
+
+#: Knob names interpreted by the compiler itself (circuit-agnostic);
+#: everything else is a per-circuit topology knob from the library.
+RESERVED_KNOBS: Tuple[str, ...] = ("corner", "mismatch", "divergence", "samples")
+
+#: Master seed used when a scenario does not pin one (the paper's year,
+#: matching the dataset generators).
+DEFAULT_SEED = 2015
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named scenario: a circuit plus fixed and swept knobs."""
+
+    name: str
+    circuit: str
+    knobs: Dict[str, Any] = field(default_factory=dict)
+    sweep: Dict[str, List[Any]] = field(default_factory=dict)
+    seed: int = DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class ScenarioDoc:
+    """A parsed scenario document (schema-checked)."""
+
+    schema: str
+    library: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    source: str = "<memory>"
+
+
+def _require_mapping(value: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise ConfigError(f"{what} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def _parse_scenario(raw: Any, index: int) -> ScenarioSpec:
+    data = _require_mapping(raw, f"scenarios[{index}]")
+    unknown = set(data) - {"name", "circuit", "knobs", "sweep", "seed"}
+    if unknown:
+        raise ConfigError(
+            f"scenarios[{index}]: unknown field(s) {sorted(unknown)}; "
+            "expected name, circuit, knobs, sweep, seed"
+        )
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigError(f"scenarios[{index}]: 'name' must be a non-empty string")
+    if any(ch in name for ch in "@=,#"):
+        raise ConfigError(
+            f"scenario {name!r}: names may not contain '@', '=', ',' or '#' "
+            "(reserved for expanded instance names)"
+        )
+    circuit = data.get("circuit")
+    if not isinstance(circuit, str) or not circuit:
+        raise ConfigError(f"scenario {name!r}: 'circuit' must be a non-empty string")
+
+    knobs = _require_mapping(data.get("knobs", {}), f"scenario {name!r} knobs")
+    sweep_raw = _require_mapping(data.get("sweep", {}), f"scenario {name!r} sweep")
+    sweep: Dict[str, List[Any]] = {}
+    for axis, values in sweep_raw.items():
+        if not isinstance(values, list) or not values:
+            raise ConfigError(
+                f"scenario {name!r}: sweep axis {axis!r} must be a non-empty list"
+            )
+        if len(values) != len(set(map(str, values))):
+            raise ConfigError(
+                f"scenario {name!r}: sweep axis {axis!r} has duplicate values"
+            )
+        sweep[axis] = list(values)
+    overlap = set(knobs) & set(sweep)
+    if overlap:
+        raise ConfigError(
+            f"scenario {name!r}: knob(s) {sorted(overlap)} appear in both "
+            "'knobs' and 'sweep' — a knob is either fixed or swept"
+        )
+    seed = data.get("seed", DEFAULT_SEED)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ConfigError(f"scenario {name!r}: 'seed' must be an integer")
+    return ScenarioSpec(
+        name=name, circuit=circuit, knobs=dict(knobs), sweep=sweep, seed=seed
+    )
+
+
+def parse_scenario_doc(data: Any, source: str = "<memory>") -> ScenarioDoc:
+    """Validate a decoded document and build the typed representation."""
+    doc = _require_mapping(data, f"scenario document {source}")
+    schema = doc.get("schema")
+    if schema != SCENARIO_SCHEMA:
+        raise SchemaVersionError(
+            f"{source}: unsupported scenario schema {schema!r} "
+            f"(this reader understands {SCENARIO_SCHEMA!r})"
+        )
+    unknown = set(doc) - {"schema", "library", "scenarios"}
+    if unknown:
+        raise ConfigError(
+            f"{source}: unknown top-level field(s) {sorted(unknown)}; "
+            "expected schema, library, scenarios"
+        )
+    # Import here to avoid a cycle: the library module imports the spec
+    # types for its resolve() signature documentation.
+    from repro.scenarios.library import LIBRARY_VERSION
+
+    library = doc.get("library", LIBRARY_VERSION)
+    if library != LIBRARY_VERSION:
+        raise ConfigError(
+            f"{source}: unknown knob library {library!r} "
+            f"(this build bundles {LIBRARY_VERSION!r})"
+        )
+    raw_scenarios = doc.get("scenarios")
+    if not isinstance(raw_scenarios, list) or not raw_scenarios:
+        raise ConfigError(f"{source}: 'scenarios' must be a non-empty list")
+    scenarios = tuple(
+        _parse_scenario(raw, i) for i, raw in enumerate(raw_scenarios)
+    )
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"{source}: duplicate scenario names: {names}")
+    return ScenarioDoc(
+        schema=schema, library=library, scenarios=scenarios, source=source
+    )
+
+
+def _decode_yaml(text: str, source: str) -> Any:
+    try:
+        import yaml
+    except ImportError:
+        raise ConfigError(
+            f"{source}: reading YAML scenario documents requires the optional "
+            "PyYAML package (pip install pyyaml), or use a .json document"
+        ) from None
+    try:
+        return yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ConfigError(f"{source}: invalid YAML: {exc}") from exc
+
+
+def load_scenario_doc(path: Union[str, Path]) -> ScenarioDoc:
+    """Load and validate a scenario document from a ``.yaml``/``.json`` file."""
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read scenario document {p}: {exc}") from exc
+    if p.suffix.lower() in (".yaml", ".yml"):
+        data = _decode_yaml(text, str(p))
+    elif p.suffix.lower() == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{p}: invalid JSON: {exc}") from exc
+    else:
+        raise ConfigError(
+            f"{p}: unsupported scenario document extension {p.suffix!r} "
+            "(use .yaml, .yml or .json)"
+        )
+    return parse_scenario_doc(data, source=str(p))

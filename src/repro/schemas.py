@@ -40,6 +40,7 @@ __all__ = [
     "WAL2_MAGIC",
     "MANIFEST_SCHEMA",
     "TRAJECTORY_SCHEMA",
+    "SCENARIO_SCHEMA",
     "ALL_SCHEMAS",
     "canonical_json",
     "fsync_dir",
@@ -73,6 +74,9 @@ MANIFEST_SCHEMA = "repro.serving-shards.v1"
 #: Append-only benchmark trajectory documents (:mod:`repro.bench.trajectory`).
 TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"
 
+#: Declarative scenario documents (:mod:`repro.scenarios.spec`).
+SCENARIO_SCHEMA = "repro.scenario.v1"
+
 #: Every known artefact marker, for tooling and exhaustiveness tests.
 ALL_SCHEMAS = (
     SUFFSTATS_WIRE_SCHEMA,
@@ -82,6 +86,7 @@ ALL_SCHEMAS = (
     WAL_SCHEMA_V2,
     MANIFEST_SCHEMA,
     TRAJECTORY_SCHEMA,
+    SCENARIO_SCHEMA,
 )
 
 

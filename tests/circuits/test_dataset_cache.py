@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import montecarlo
-from repro.circuits.adc import FlashADCDesign
+from repro.circuits.adc import FlashADC, FlashADCDesign
 from repro.circuits.montecarlo import (
     dataset_cache_path,
     generate_adc_dataset,
@@ -18,13 +18,13 @@ N = 12
 def counting_adc_builds(monkeypatch):
     """Count how many times the ADC bank is actually simulated."""
     calls = {"n": 0}
-    original = montecarlo.FlashADC.simulate_batch
+    original = FlashADC.simulate_batch
 
     def counted(self, *args, **kwargs):
         calls["n"] += 1
         return original(self, *args, **kwargs)
 
-    monkeypatch.setattr(montecarlo.FlashADC, "simulate_batch", counted)
+    monkeypatch.setattr(FlashADC, "simulate_batch", counted)
     return calls
 
 

@@ -1,0 +1,78 @@
+"""Tests for the SAR ADC simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sar_adc import SAR_ADC_METRIC_NAMES, SarADC, SarADCDesign
+
+#: Mismatch- and noise-free converter: successive approximation against
+#: an ideal binary CDAC must quantise exactly like floor(vin / LSB).
+IDEAL = SarADCDesign(
+    n_bits=8,
+    sigma_cap_unit_rel=0.0,
+    sigma_comp_offset=0.0,
+    noise_rms=0.0,
+)
+
+
+class TestIdealTransitions:
+    def test_codes_match_ideal_quantiser(self):
+        adc = SarADC.schematic(IDEAL)
+        vin = np.linspace(0.0, IDEAL.vref * 0.999, 997)
+        codes = adc.convert_record(3, vin)
+        expected = np.floor(vin / IDEAL.vref * IDEAL.n_codes).astype(int)
+        assert np.array_equal(codes, np.clip(expected, 0, IDEAL.n_codes - 1))
+
+    def test_transition_voltages_are_exact(self):
+        # Probe epsilon either side of each ideal code edge k*vref/2^b.
+        adc = SarADC.schematic(IDEAL)
+        lsb = IDEAL.vref / IDEAL.n_codes
+        edges = np.arange(1, IDEAL.n_codes) * lsb
+        eps = 1e-9
+        below = adc.convert_record(0, edges - eps)
+        above = adc.convert_record(0, edges + eps)
+        assert np.array_equal(below, np.arange(0, IDEAL.n_codes - 1))
+        assert np.array_equal(above, np.arange(1, IDEAL.n_codes))
+
+    def test_full_scale_clips(self):
+        adc = SarADC.schematic(IDEAL)
+        codes = adc.convert_record(0, np.array([-0.1, IDEAL.vref + 0.1]))
+        assert codes[0] == 0
+        assert codes[1] == IDEAL.n_codes - 1
+
+
+class TestMismatchedDies:
+    @pytest.mark.parametrize("die_seed", [0, 1, 5, 42])
+    def test_ramp_codes_nondecreasing(self, die_seed):
+        # Default unit-cap sigma keeps an 8-bit CDAC monotone.
+        adc = SarADC.schematic(SarADCDesign(n_bits=8))
+        vin = np.linspace(0.0, 1.2, 4096)
+        codes = adc.convert_record(die_seed, vin)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_comparator_offset_shifts_transitions(self):
+        base = SarADC.schematic(IDEAL)
+        shifted_design = SarADCDesign(
+            n_bits=8, sigma_cap_unit_rel=0.0, sigma_comp_offset=0.05, noise_rms=0.0
+        )
+        shifted = SarADC.schematic(shifted_design)
+        vin = np.linspace(0.0, IDEAL.vref * 0.999, 499)
+        assert not np.array_equal(
+            base.convert_record(1, vin), shifted.convert_record(1, vin)
+        )
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("stage", ["schematic", "post_layout"])
+    def test_vectorized_matches_loop(self, stage):
+        adc = getattr(SarADC, stage)(SarADCDesign(n_bits=8, n_samples=256, n_cycles=17))
+        seeds = np.arange(12)
+        fast = adc.simulate_batch(seeds, engine="vectorized")
+        slow = adc.simulate_batch(seeds, engine="loop")
+        assert fast.shape == (12, len(SAR_ADC_METRIC_NAMES))
+        assert np.max(np.abs(fast - slow) / np.maximum(np.abs(slow), 1e-300)) < 1e-10
+
+    def test_batch_row_matches_simulate(self):
+        adc = SarADC.schematic(SarADCDesign(n_bits=8, n_samples=256, n_cycles=17))
+        row = adc.simulate_batch([11], engine="vectorized")[0]
+        assert np.allclose(row, adc.simulate(11).as_array(), rtol=1e-12, atol=0.0)

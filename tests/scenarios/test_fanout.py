@@ -1,0 +1,120 @@
+"""Tests for the serving-facing scenario fan-out."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.scenarios import (
+    LIBRARY_VERSION,
+    compile_instance,
+    expand,
+    parse_scenario_doc,
+    scenario_streams,
+    wire_requests,
+)
+from repro.scenarios.fanout import _split_blocks
+from repro.schemas import SCENARIO_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def instances():
+    doc = parse_scenario_doc(
+        {
+            "schema": SCENARIO_SCHEMA,
+            "library": LIBRARY_VERSION,
+            "scenarios": [
+                {
+                    "name": "fleet",
+                    "circuit": "adc",
+                    "knobs": {"samples": 32},
+                    "sweep": {"corner": ["TT", "SS"]},
+                }
+            ],
+        }
+    )
+    return expand(doc)
+
+
+@pytest.fixture(scope="module")
+def streams(instances, tmp_path_factory):
+    cache = tmp_path_factory.mktemp("fanout-cache")
+    return scenario_streams(instances, block_rows=10, cache_dir=cache)
+
+
+class TestStreams:
+    def test_one_stream_per_instance(self, streams, instances):
+        assert [s.instance.name for s in streams] == [i.name for i in instances]
+
+    def test_key_embeds_hash_prefix(self, streams, instances):
+        for stream, inst in zip(streams, instances):
+            assert stream.key == f"{inst.name}#{inst.config_hash[:12]}"
+
+    def test_prior_comes_from_early_bank(self, streams, instances, tmp_path):
+        dataset, _ = compile_instance(instances[0], cache_dir=tmp_path)
+        stream = streams[0]
+        assert stream.prior.n_samples == dataset.n_samples
+        assert np.allclose(stream.prior.mean, np.mean(dataset.early, axis=0))
+        assert stream.metric_names == tuple(dataset.metric_names)
+
+    def test_blocks_partition_late_bank(self, streams, instances, tmp_path):
+        dataset, _ = compile_instance(instances[0], cache_dir=tmp_path)
+        blocks = streams[0].blocks
+        assert [b.shape[0] for b in blocks] == [10, 10, 10, 2]
+        assert np.array_equal(np.concatenate(blocks), dataset.late)
+
+    def test_block_rows_must_be_positive(self):
+        with pytest.raises(ConfigError, match="block_rows"):
+            _split_blocks(np.zeros((4, 2)), 0)
+
+
+class TestWireRequests:
+    def test_line_structure(self, streams):
+        lines = wire_requests(streams)
+        requests = [json.loads(line) for line in lines]
+        # One create followed by that stream's ingests, per stream.
+        expected_ops = []
+        for stream in streams:
+            expected_ops.append("create")
+            expected_ops.extend(["ingest"] * len(stream.blocks))
+        assert [r["op"] for r in requests] == expected_ops
+
+    def test_create_carries_prior(self, streams):
+        create = json.loads(wire_requests(streams)[0])
+        stream = streams[0]
+        assert create["key"] == stream.key
+        assert create["exist_ok"] is True
+        assert create["prior_n_samples"] == stream.prior.n_samples
+        assert np.allclose(create["prior_mean"], stream.prior.mean)
+        assert np.allclose(create["prior_covariance"], stream.prior.covariance)
+        assert "kappa0" not in create and "v0" not in create
+
+    def test_optional_prior_strengths(self, streams):
+        create = json.loads(wire_requests(streams, kappa0=4.0, v0=9.0)[0])
+        assert create["kappa0"] == 4.0
+        assert create["v0"] == 9.0
+
+    def test_ingest_round_trips_samples(self, streams):
+        lines = wire_requests(streams[:1])
+        ingest = json.loads(lines[1])
+        assert ingest["key"] == streams[0].key
+        assert np.array_equal(np.asarray(ingest["samples"]), streams[0].blocks[0])
+
+    def test_output_is_byte_stable(self, streams):
+        assert wire_requests(streams) == wire_requests(streams)
+
+    def test_encoder_is_injected(self, streams):
+        lines = wire_requests(streams[:1], encode=lambda a: "ENC")
+        create = json.loads(lines[0])
+        assert create["prior_mean"] == "ENC"
+        assert all(json.loads(line)["samples"] == "ENC" for line in lines[1:])
+
+    def test_serving_encoder_round_trips(self, streams):
+        # The real b64f64 encoder is injected from above (fanout itself
+        # must not import repro.serving — RPL003 layering).
+        from repro.serving import decode_array, encode_array
+
+        lines = wire_requests(streams[:1], encode=encode_array)
+        ingest = json.loads(lines[1])
+        assert np.array_equal(decode_array(ingest["samples"]), streams[0].blocks[0])

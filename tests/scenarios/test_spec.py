@@ -1,0 +1,155 @@
+"""Tests for scenario document parsing and schema validation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigError, SchemaVersionError
+from repro.scenarios import (
+    DEFAULT_SEED,
+    LIBRARY_VERSION,
+    RESERVED_KNOBS,
+    load_scenario_doc,
+    parse_scenario_doc,
+)
+from repro.schemas import SCENARIO_SCHEMA
+
+
+def _doc(**overrides):
+    base = {
+        "schema": SCENARIO_SCHEMA,
+        "library": LIBRARY_VERSION,
+        "scenarios": [
+            {
+                "name": "grid",
+                "circuit": "adc",
+                "knobs": {"samples": "tiny"},
+                "sweep": {"corner": ["TT", "SS"]},
+            }
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSchemaGate:
+    def test_accepts_current_schema(self):
+        doc = parse_scenario_doc(_doc())
+        assert doc.schema == SCENARIO_SCHEMA
+        assert doc.library == LIBRARY_VERSION
+        assert len(doc.scenarios) == 1
+
+    def test_rejects_missing_schema(self):
+        with pytest.raises(SchemaVersionError):
+            parse_scenario_doc(_doc(schema=None))
+
+    def test_rejects_foreign_schema(self):
+        with pytest.raises(SchemaVersionError, match="unsupported scenario schema"):
+            parse_scenario_doc(_doc(schema="repro.scenario.v2"))
+
+    def test_rejects_unknown_library(self):
+        with pytest.raises(ConfigError, match="unknown knob library"):
+            parse_scenario_doc(_doc(library="ams-blocks-v99"))
+
+    def test_library_defaults_to_bundled(self):
+        data = _doc()
+        del data["library"]
+        assert parse_scenario_doc(data).library == LIBRARY_VERSION
+
+    def test_rejects_unknown_top_level_field(self):
+        with pytest.raises(ConfigError, match="unknown top-level"):
+            parse_scenario_doc(_doc(extra_field=1))
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ConfigError, match="must be a mapping"):
+            parse_scenario_doc([1, 2, 3])
+
+    def test_rejects_empty_scenarios(self):
+        with pytest.raises(ConfigError, match="non-empty list"):
+            parse_scenario_doc(_doc(scenarios=[]))
+
+
+class TestScenarioValidation:
+    def _with_scenario(self, **fields):
+        scenario = {"name": "s", "circuit": "adc"}
+        scenario.update(fields)
+        return _doc(scenarios=[scenario])
+
+    def test_defaults(self):
+        spec = parse_scenario_doc(self._with_scenario()).scenarios[0]
+        assert spec.knobs == {}
+        assert spec.sweep == {}
+        assert spec.seed == DEFAULT_SEED
+
+    def test_rejects_reserved_characters_in_name(self):
+        for ch in "@=,#":
+            with pytest.raises(ConfigError, match="names may not contain"):
+                parse_scenario_doc(self._with_scenario(name=f"bad{ch}name"))
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            parse_scenario_doc(self._with_scenario(knob={}))
+
+    def test_rejects_empty_sweep_axis(self):
+        with pytest.raises(ConfigError, match="non-empty list"):
+            parse_scenario_doc(self._with_scenario(sweep={"corner": []}))
+
+    def test_rejects_duplicate_sweep_values(self):
+        with pytest.raises(ConfigError, match="duplicate values"):
+            parse_scenario_doc(self._with_scenario(sweep={"corner": ["TT", "TT"]}))
+
+    def test_rejects_knob_both_fixed_and_swept(self):
+        with pytest.raises(ConfigError, match="either fixed or swept"):
+            parse_scenario_doc(
+                self._with_scenario(
+                    knobs={"corner": "TT"}, sweep={"corner": ["TT", "SS"]}
+                )
+            )
+
+    def test_rejects_boolean_seed(self):
+        with pytest.raises(ConfigError, match="'seed' must be an integer"):
+            parse_scenario_doc(self._with_scenario(seed=True))
+
+    def test_rejects_duplicate_scenario_names(self):
+        data = _doc(
+            scenarios=[
+                {"name": "s", "circuit": "adc"},
+                {"name": "s", "circuit": "opamp"},
+            ]
+        )
+        with pytest.raises(ConfigError, match="duplicate scenario names"):
+            parse_scenario_doc(data)
+
+    def test_reserved_knobs_frozen(self):
+        assert RESERVED_KNOBS == ("corner", "mismatch", "divergence", "samples")
+
+
+class TestLoad:
+    def test_loads_json(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(_doc()), encoding="utf-8")
+        doc = load_scenario_doc(path)
+        assert doc.source == str(path)
+        assert doc.scenarios[0].name == "grid"
+
+    def test_loads_yaml(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "doc.yaml"
+        path.write_text(yaml.safe_dump(_doc()), encoding="utf-8")
+        assert load_scenario_doc(path).scenarios[0].circuit == "adc"
+
+    def test_rejects_unknown_extension(self, tmp_path):
+        path = tmp_path / "doc.toml"
+        path.write_text("x = 1", encoding="utf-8")
+        with pytest.raises(ConfigError, match="unsupported scenario document"):
+            load_scenario_doc(path)
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_scenario_doc(tmp_path / "absent.json")
+
+    def test_invalid_json_is_config_error(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_scenario_doc(path)

@@ -27,8 +27,10 @@ class TestParser:
         assert args.seed == 2015
 
     def test_rejects_unknown_circuit(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["generate", "dac", "out.npz"])
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown circuit"):
+            main(["generate", "dac", "out.npz"])
 
 
 class TestGenerate:

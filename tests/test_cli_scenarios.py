@@ -1,0 +1,181 @@
+"""Tests for the scenario CLI verbs and ``generate --scenario``."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ConfigError
+from repro.io import load_dataset
+from repro.scenarios import LIBRARY_VERSION, builtin_documents
+from repro.schemas import SCENARIO_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def doc_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("scenario-docs") / "fleet.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": SCENARIO_SCHEMA,
+                "library": LIBRARY_VERSION,
+                "scenarios": [
+                    {
+                        "name": "grid",
+                        "circuit": "adc",
+                        "knobs": {"samples": 8},
+                        "sweep": {"corner": ["TT", "SS"]},
+                    },
+                    {"name": "point", "circuit": "ota", "knobs": {"samples": 8}},
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestScenariosList:
+    def test_overview_names_builtins_and_circuits(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in builtin_documents():
+            assert name in out
+        assert "r2r_dac" in out and "sar_adc" in out and "svf" in out
+
+    def test_document_listing_counts_instances(self, doc_path, capsys):
+        assert main(["scenarios", "list", str(doc_path)]) == 0
+        out = capsys.readouterr().out
+        assert "grid" in out and "point" in out
+        assert "3" in out  # 2 swept + 1 point instance
+
+
+class TestScenariosExpand:
+    def test_json_lines(self, doc_path, capsys):
+        assert main(["scenarios", "expand", str(doc_path), "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [r["name"] for r in rows] == [
+            "grid@corner=TT",
+            "grid@corner=SS",
+            "point",
+        ]
+        assert all(len(r["config_hash"]) == 64 for r in rows)
+
+    def test_expansion_output_is_deterministic(self, doc_path, capsys):
+        main(["scenarios", "expand", str(doc_path), "--json"])
+        first = capsys.readouterr().out
+        main(["scenarios", "expand", str(doc_path), "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_builtin_reference_expands(self, capsys):
+        pytest.importorskip("yaml")
+        assert main(["scenarios", "expand", "builtin:ams_fleet", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) >= 100
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(ConfigError, match="unknown builtin scenario document"):
+            main(["scenarios", "expand", "builtin:nope"])
+
+
+class TestScenariosCompile:
+    def test_cold_then_warm(self, doc_path, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["scenarios", "compile", str(doc_path), "--cache-dir", cache, "--json"]
+        assert main(args) == 0
+        cold = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert [r["cache_hit"] for r in cold] == [False, False, False]
+        assert main(args) == 0
+        warm = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert [r["cache_hit"] for r in warm] == [True, True, True]
+        assert [r["config_hash"] for r in warm] == [r["config_hash"] for r in cold]
+
+    def test_jobs_do_not_reorder_reports(self, doc_path, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["scenarios", "compile", str(doc_path), "--cache-dir", cache, "--json"]
+        main(base)  # cold fill so both runs below are pure cache service
+        capsys.readouterr()
+        main(base + ["--jobs", "2"])
+        sharded = capsys.readouterr().out
+        main(base + ["--jobs", "1"])
+        serial = capsys.readouterr().out
+        assert sharded == serial
+
+
+class TestGenerateScenario:
+    def test_compiles_named_instance(self, doc_path, tmp_path):
+        out = tmp_path / "bank.npz"
+        code = main(
+            ["generate", "--scenario", f"{doc_path}#grid@corner=SS", str(out)]
+        )
+        assert code == 0
+        dataset = load_dataset(out)
+        assert dataset.n_samples == 8
+
+    def test_scenario_prefix_selects_unique_point(self, doc_path, tmp_path):
+        out = tmp_path / "point.npz"
+        assert main(["generate", "--scenario", f"{doc_path}#point", str(out)]) == 0
+        assert load_dataset(out).n_samples == 8
+
+    def test_samples_override(self, doc_path, tmp_path):
+        out = tmp_path / "resized.npz"
+        code = main(
+            [
+                "generate",
+                "--scenario",
+                f"{doc_path}#point",
+                str(out),
+                "--samples",
+                "12",
+            ]
+        )
+        assert code == 0
+        assert load_dataset(out).n_samples == 12
+
+    def test_seed_reproducible_through_scenario(self, doc_path, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        ref = f"{doc_path}#grid@corner=TT"
+        main(["generate", "--scenario", ref, str(a)])
+        main(["generate", "--scenario", ref, str(b)])
+        assert np.array_equal(load_dataset(a).late, load_dataset(b).late)
+
+    def test_ambiguous_reference_rejected(self, doc_path, tmp_path):
+        with pytest.raises(ConfigError, match="grid@corner=TT"):
+            main(
+                [
+                    "generate",
+                    "--scenario",
+                    f"{doc_path}#grid",
+                    str(tmp_path / "x.npz"),
+                ]
+            )
+
+    def test_unknown_instance_rejected(self, doc_path, tmp_path):
+        with pytest.raises(ConfigError):
+            main(
+                [
+                    "generate",
+                    "--scenario",
+                    f"{doc_path}#absent",
+                    str(tmp_path / "x.npz"),
+                ]
+            )
+
+    def test_circuit_and_scenario_are_exclusive(self, doc_path, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "adc",
+                str(tmp_path / "x.npz"),
+                "--scenario",
+                f"{doc_path}#point",
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_bare_generate_still_requires_circuit(self, tmp_path, capsys):
+        assert main(["generate", str(tmp_path / "x.npz")]) == 2
+        assert "needs a circuit" in capsys.readouterr().err

@@ -42,6 +42,7 @@ DEFAULT_LAYERS: List[List[str]] = [
     ["repro.extensions", "repro.yieldest"],
     ["repro.experiments", "repro.circuits"],
     ["repro.io"],
+    ["repro.scenarios"],
     ["repro.serving.suffstats", "repro.serving.wal"],
     [
         "repro.serving.sessions",
